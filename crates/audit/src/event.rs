@@ -1,0 +1,173 @@
+//! System events and their attributes (Table III).
+//!
+//! A system event is the interaction ⟨subject_entity, operation,
+//! object_entity⟩ between two system entities: the subject is always a
+//! process; the object may be a file, a process, or a network connection.
+//! Events are categorized by their object kind into file events, process
+//! events, and network events (Section III-A).
+//!
+//! | Attribute group | Attributes                                       |
+//! |-----------------|--------------------------------------------------|
+//! | Operation       | Type (Read, Write, Execute, Start, End, Rename…) |
+//! | Time            | Start Time, End Time, Duration                   |
+//! | Misc.           | Subject ID, Object ID, Data Amount, Failure Code |
+
+use raptor_common::ids::{EntityId, EventId};
+use raptor_common::time::{Duration, Timestamp};
+
+/// Operation type of a system event. This is also the TBQL `⟨op⟩`
+/// vocabulary (`read`, `write`, `execute`, `start`, …).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum Operation {
+    Read,
+    Write,
+    Execute,
+    Start,
+    End,
+    Rename,
+    Connect,
+}
+
+impl Operation {
+    pub fn name(self) -> &'static str {
+        match self {
+            Operation::Read => "read",
+            Operation::Write => "write",
+            Operation::Execute => "execute",
+            Operation::Start => "start",
+            Operation::End => "end",
+            Operation::Rename => "rename",
+            Operation::Connect => "connect",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Option<Operation> {
+        Some(match s {
+            "read" => Operation::Read,
+            "write" => Operation::Write,
+            "execute" => Operation::Execute,
+            "start" => Operation::Start,
+            "end" => Operation::End,
+            "rename" => Operation::Rename,
+            "connect" => Operation::Connect,
+            _ => return None,
+        })
+    }
+
+    pub const ALL: [Operation; 7] = [
+        Operation::Read,
+        Operation::Write,
+        Operation::Execute,
+        Operation::Start,
+        Operation::End,
+        Operation::Rename,
+        Operation::Connect,
+    ];
+}
+
+/// Event category, determined by the object entity's kind.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EventKind {
+    File,
+    Process,
+    Network,
+}
+
+impl EventKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::File => "file",
+            EventKind::Process => "process",
+            EventKind::Network => "network",
+        }
+    }
+}
+
+/// A parsed system event.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SystemEvent {
+    pub id: EventId,
+    /// Initiating process entity.
+    pub subject: EntityId,
+    /// Target entity (file / process / network connection).
+    pub object: EntityId,
+    /// Interaction type.
+    pub op: Operation,
+    /// Category, redundant with the object's kind but kept on the event so
+    /// queries never need an extra entity lookup.
+    pub kind: EventKind,
+    pub start: Timestamp,
+    pub end: Timestamp,
+    /// Bytes transferred, when meaningful (I/O operations).
+    pub amount: u64,
+    /// 0 on success, the errno otherwise.
+    pub fail_code: i32,
+    /// Monitored host.
+    pub host: u16,
+}
+
+impl SystemEvent {
+    /// Duration attribute of Table III.
+    pub fn duration(&self) -> Duration {
+        self.end.since(self.start)
+    }
+
+    /// Generic attribute access used by query return clauses.
+    pub fn get(&self, attr: &str) -> Option<String> {
+        Some(match attr {
+            "id" => self.id.to_string(),
+            "optype" => self.op.name().to_string(),
+            "starttime" => self.start.0.to_string(),
+            "endtime" => self.end.0.to_string(),
+            "duration" => self.duration().0.to_string(),
+            "subject" => self.subject.to_string(),
+            "object" => self.object.to_string(),
+            "amount" => self.amount.to_string(),
+            "failcode" => self.fail_code.to_string(),
+            "host" => self.host.to_string(),
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn evt() -> SystemEvent {
+        SystemEvent {
+            id: EventId(7),
+            subject: EntityId(1),
+            object: EntityId(2),
+            op: Operation::Read,
+            kind: EventKind::File,
+            start: Timestamp::from_secs(100),
+            end: Timestamp::from_secs(101),
+            amount: 4096,
+            fail_code: 0,
+            host: 0,
+        }
+    }
+
+    #[test]
+    fn operation_names_roundtrip() {
+        for op in Operation::ALL {
+            assert_eq!(Operation::from_name(op.name()), Some(op));
+        }
+        assert_eq!(Operation::from_name("mmap"), None);
+    }
+
+    #[test]
+    fn duration_is_end_minus_start() {
+        assert_eq!(evt().duration(), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn attribute_access() {
+        let e = evt();
+        assert_eq!(e.get("optype").as_deref(), Some("read"));
+        assert_eq!(e.get("amount").as_deref(), Some("4096"));
+        assert_eq!(e.get("bogus"), None);
+    }
+}

@@ -1,0 +1,274 @@
+//! Raw system-call records.
+//!
+//! This is the wire-level model: what a kernel auditing framework (Sysdig /
+//! Linux Audit / ETW) would deliver. Table I of the paper lists the calls the
+//! system processes per event category:
+//!
+//! | Event category     | Relevant system calls                                   |
+//! |--------------------|---------------------------------------------------------|
+//! | ProcessToFile      | read, readv, write, writev, execve, rename             |
+//! | ProcessToProcess   | execve, fork, clone                                     |
+//! | ProcessToNetwork   | read, readv, recvfrom, recvmsg, sendto, write, writev   |
+//!
+//! We additionally model the bookkeeping calls (`open`, `close`, `socket`,
+//! `connect`, `exit`) that the parser needs to maintain file-descriptor
+//! tables, exactly as a real auditing pipeline does.
+
+use raptor_common::time::{Duration, Timestamp};
+
+/// A monitored system call.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum Syscall {
+    Open,
+    Close,
+    Read,
+    Readv,
+    Write,
+    Writev,
+    Execve,
+    Fork,
+    Clone,
+    Rename,
+    Socket,
+    Connect,
+    Sendto,
+    Sendmsg,
+    Recvfrom,
+    Recvmsg,
+    Exit,
+}
+
+/// The three event categories of Table I.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EventCategory {
+    ProcessToFile,
+    ProcessToProcess,
+    ProcessToNetwork,
+}
+
+impl Syscall {
+    /// Stable name (matches the text log format).
+    pub fn name(self) -> &'static str {
+        match self {
+            Syscall::Open => "open",
+            Syscall::Close => "close",
+            Syscall::Read => "read",
+            Syscall::Readv => "readv",
+            Syscall::Write => "write",
+            Syscall::Writev => "writev",
+            Syscall::Execve => "execve",
+            Syscall::Fork => "fork",
+            Syscall::Clone => "clone",
+            Syscall::Rename => "rename",
+            Syscall::Socket => "socket",
+            Syscall::Connect => "connect",
+            Syscall::Sendto => "sendto",
+            Syscall::Sendmsg => "sendmsg",
+            Syscall::Recvfrom => "recvfrom",
+            Syscall::Recvmsg => "recvmsg",
+            Syscall::Exit => "exit",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<Syscall> {
+        Some(match name {
+            "open" => Syscall::Open,
+            "close" => Syscall::Close,
+            "read" => Syscall::Read,
+            "readv" => Syscall::Readv,
+            "write" => Syscall::Write,
+            "writev" => Syscall::Writev,
+            "execve" => Syscall::Execve,
+            "fork" => Syscall::Fork,
+            "clone" => Syscall::Clone,
+            "rename" => Syscall::Rename,
+            "socket" => Syscall::Socket,
+            "connect" => Syscall::Connect,
+            "sendto" => Syscall::Sendto,
+            "sendmsg" => Syscall::Sendmsg,
+            "recvfrom" => Syscall::Recvfrom,
+            "recvmsg" => Syscall::Recvmsg,
+            "exit" => Syscall::Exit,
+            _ => return None,
+        })
+    }
+
+    /// All calls, in codec tag order.
+    pub const ALL: [Syscall; 17] = [
+        Syscall::Open,
+        Syscall::Close,
+        Syscall::Read,
+        Syscall::Readv,
+        Syscall::Write,
+        Syscall::Writev,
+        Syscall::Execve,
+        Syscall::Fork,
+        Syscall::Clone,
+        Syscall::Rename,
+        Syscall::Socket,
+        Syscall::Connect,
+        Syscall::Sendto,
+        Syscall::Sendmsg,
+        Syscall::Recvfrom,
+        Syscall::Recvmsg,
+        Syscall::Exit,
+    ];
+
+    /// Which event categories this call can produce (Table I). `read`/`write`
+    /// appear in both file and network rows: the category depends on what the
+    /// file descriptor refers to, which only the parser knows.
+    pub fn categories(self) -> &'static [EventCategory] {
+        use EventCategory::*;
+        match self {
+            Syscall::Read | Syscall::Readv | Syscall::Write | Syscall::Writev => {
+                &[ProcessToFile, ProcessToNetwork]
+            }
+            Syscall::Execve => &[ProcessToFile, ProcessToProcess],
+            Syscall::Rename => &[ProcessToFile],
+            Syscall::Fork | Syscall::Clone | Syscall::Exit => &[ProcessToProcess],
+            Syscall::Sendto | Syscall::Sendmsg | Syscall::Recvfrom | Syscall::Recvmsg
+            | Syscall::Connect => &[ProcessToNetwork],
+            Syscall::Open | Syscall::Close | Syscall::Socket => &[],
+        }
+    }
+}
+
+/// Call-specific arguments.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SyscallArgs {
+    /// `open(path) = fd`
+    Open { path: String, fd: i32 },
+    /// `close(fd)`
+    Close { fd: i32 },
+    /// `read/readv/write/writev/sendto/sendmsg/recvfrom/recvmsg(fd)`;
+    /// the byte count is the return value.
+    Io { fd: i32 },
+    /// `execve(path, cmdline)` — the process image is replaced.
+    Exec { path: String, cmdline: String },
+    /// `fork/clone() = child_pid`, recorded with the child executable the
+    /// auditing layer observes post-fork.
+    Spawn { child_pid: u32, child_exe: String },
+    /// `rename(old, new)`
+    Rename { old: String, new: String },
+    /// `socket() = fd`
+    Socket { fd: i32, protocol: Protocol },
+    /// `connect(fd, dst)` — the auditing layer records the full 5-tuple.
+    Connect {
+        fd: i32,
+        src_ip: String,
+        src_port: u16,
+        dst_ip: String,
+        dst_port: u16,
+    },
+    /// `exit()`
+    Exit,
+}
+
+/// Transport protocol of a socket.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Protocol {
+    Tcp,
+    Udp,
+}
+
+impl Protocol {
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Tcp => "tcp",
+            Protocol::Udp => "udp",
+        }
+    }
+}
+
+/// One raw audit record, as collected from the kernel.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SyscallRecord {
+    /// Event start time.
+    pub ts: Timestamp,
+    /// Call latency; the event's end time is `ts + latency`.
+    pub latency: Duration,
+    /// Monitored host (index into the deployment's host list).
+    pub host: u16,
+    /// Calling process id.
+    pub pid: u32,
+    /// Executable name of the calling process, as the kernel reports it.
+    pub exe: String,
+    /// User that owns the process.
+    pub user: String,
+    /// Group that owns the process.
+    pub group: String,
+    /// The call itself.
+    pub call: Syscall,
+    /// Call arguments.
+    pub args: SyscallArgs,
+    /// Return value (byte count for I/O calls, 0/-errno otherwise).
+    pub ret: i64,
+}
+
+impl SyscallRecord {
+    /// End time of the call.
+    pub fn end(&self) -> Timestamp {
+        self.ts.plus(self.latency)
+    }
+
+    /// Whether the call failed (negative return value).
+    pub fn failed(&self) -> bool {
+        self.ret < 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_roundtrip() {
+        for call in Syscall::ALL {
+            assert_eq!(Syscall::from_name(call.name()), Some(call));
+        }
+        assert_eq!(Syscall::from_name("ptrace"), None);
+    }
+
+    #[test]
+    fn table1_categories() {
+        use EventCategory::*;
+        // ProcessToFile row of Table I.
+        for c in [Syscall::Read, Syscall::Readv, Syscall::Write, Syscall::Writev, Syscall::Execve, Syscall::Rename] {
+            assert!(c.categories().contains(&ProcessToFile), "{c:?}");
+        }
+        // ProcessToProcess row.
+        for c in [Syscall::Execve, Syscall::Fork, Syscall::Clone] {
+            assert!(c.categories().contains(&ProcessToProcess), "{c:?}");
+        }
+        // ProcessToNetwork row.
+        for c in [Syscall::Read, Syscall::Readv, Syscall::Recvfrom, Syscall::Recvmsg, Syscall::Sendto, Syscall::Write, Syscall::Writev] {
+            assert!(c.categories().contains(&ProcessToNetwork), "{c:?}");
+        }
+        // Bookkeeping calls map to no event category directly.
+        assert!(Syscall::Open.categories().is_empty());
+        assert!(Syscall::Close.categories().is_empty());
+        assert!(Syscall::Socket.categories().is_empty());
+    }
+
+    #[test]
+    fn record_end_and_failure() {
+        let r = SyscallRecord {
+            ts: Timestamp::from_secs(10),
+            latency: Duration::from_millis(3),
+            host: 0,
+            pid: 42,
+            exe: "/bin/tar".into(),
+            user: "root".into(),
+            group: "root".into(),
+            call: Syscall::Read,
+            args: SyscallArgs::Io { fd: 3 },
+            ret: 4096,
+        };
+        assert_eq!(r.end(), Timestamp(10 * 1_000_000_000 + 3_000_000));
+        assert!(!r.failed());
+        let mut f = r.clone();
+        f.ret = -13;
+        assert!(f.failed());
+    }
+}

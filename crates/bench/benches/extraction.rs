@@ -1,0 +1,51 @@
+//! Criterion benches for threat behavior extraction (Table V / VII shapes):
+//! the full pipeline, the no-protection ablation, and both Open IE baselines
+//! on the data_leak report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use raptor_extract::openie::run_baseline;
+use raptor_extract::pipeline::{extract, extract_with_options};
+
+fn report() -> &'static str {
+    raptor_cases::catalog::case_by_id("data_leak").unwrap().report
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let text = report();
+    let mut g = c.benchmark_group("extraction");
+    g.bench_function("threatraptor", |b| b.iter(|| extract(std::hint::black_box(text))));
+    g.bench_function("threatraptor_no_protection", |b| {
+        b.iter(|| extract_with_options(std::hint::black_box(text), false))
+    });
+    g.bench_function("openie_stanford_style", |b| {
+        b.iter(|| run_baseline(std::hint::black_box(text), false, false))
+    });
+    g.bench_function("openie5_style_exhaustive", |b| {
+        b.iter(|| run_baseline(std::hint::black_box(text), false, true))
+    });
+    g.finish();
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let text = report();
+    let mut g = c.benchmark_group("extraction_stages");
+    g.bench_function("ioc_scan", |b| b.iter(|| raptor_extract::scan_iocs(std::hint::black_box(text))));
+    let iocs = raptor_extract::scan_iocs(text);
+    g.bench_function("protect", |b| {
+        b.iter(|| raptor_extract::protect::protect(std::hint::black_box(text), &iocs))
+    });
+    let out = extract(text);
+    g.bench_function("synthesize", |b| {
+        b.iter(|| {
+            threatraptor::synthesize(
+                std::hint::black_box(&out.graph),
+                &threatraptor::SynthesisPlan::default(),
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_extraction, bench_stages);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion benches for the fuzzy search mode (Table IX shape): provenance
+//! graph construction, exhaustive (ThreatRaptor-Fuzzy) vs first-acceptable
+//! (Poirot) alignment search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use raptor_bench::caseval::evaluate_case;
+use raptor_engine::fuzzy::{search, FuzzyConfig, QueryGraph};
+use raptor_engine::provenance::build_from_stores;
+
+fn bench_fuzzy(c: &mut Criterion) {
+    let spec = raptor_cases::catalog::case_by_id("data_leak").unwrap();
+    let eval = evaluate_case(spec, 0.5, 42);
+    let q = raptor_tbql::parse_tbql(&eval.tbql).unwrap();
+    let aq = raptor_tbql::analyze(&q).unwrap();
+    let qg = QueryGraph::from_analyzed(&aq);
+    let (prov, _) = build_from_stores(&eval.raptor.engine().stores).unwrap();
+
+    let mut g = c.benchmark_group("fuzzy");
+    g.sample_size(20);
+    g.bench_function("provenance_build", |b| {
+        b.iter(|| build_from_stores(std::hint::black_box(&eval.raptor.engine().stores)).unwrap())
+    });
+    g.bench_function("exhaustive", |b| {
+        b.iter(|| search(&prov, &qg, &FuzzyConfig { exhaustive: true, ..Default::default() }))
+    });
+    g.bench_function("poirot_first_acceptable", |b| {
+        b.iter(|| search(&prov, &qg, &FuzzyConfig { exhaustive: false, ..Default::default() }))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fuzzy);
+criterion_main!(benches);

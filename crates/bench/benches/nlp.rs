@@ -1,0 +1,48 @@
+//! Criterion benches for the NLP substrate: tokenization, tagging,
+//! dependency parsing, lemmatization, n-gram similarity, Levenshtein.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use raptor_nlp::{dep, lemma, pos, sentence, tokenize, vector};
+
+const SENT: &str =
+    "The attacker used Something to read user credentials from Something and wrote the \
+     gathered information to a file Something before connecting to Something.";
+
+fn bench_nlp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nlp");
+    g.bench_function("tokenize", |b| b.iter(|| tokenize::tokenize(std::hint::black_box(SENT), 0)));
+    g.bench_function("sentence_segment", |b| {
+        let text = SENT.repeat(20);
+        b.iter(|| sentence::segment(std::hint::black_box(&text)))
+    });
+    g.bench_function("pos_tag", |b| {
+        let toks = tokenize::tokenize(SENT, 0);
+        b.iter(|| {
+            let mut t = toks.clone();
+            pos::tag(&mut t);
+            t
+        })
+    });
+    g.bench_function("dep_parse", |b| {
+        let mut toks = tokenize::tokenize(SENT, 0);
+        pos::tag(&mut toks);
+        b.iter(|| dep::parse(std::hint::black_box(&toks)))
+    });
+    g.bench_function("lemmatize", |b| {
+        b.iter(|| {
+            for w in ["wrote", "downloaded", "connecting", "executes", "ran"] {
+                std::hint::black_box(lemma::lemmatize_verb(w));
+            }
+        })
+    });
+    g.bench_function("ngram_similarity", |b| {
+        b.iter(|| vector::similarity("/tmp/upload.tar", "/tmp/upload.tar.bz2"))
+    });
+    g.bench_function("levenshtein", |b| {
+        b.iter(|| raptor_common::strdist::levenshtein("/usr/bin/curl", "/usr/bin/cur1"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_nlp);
+criterion_main!(benches);

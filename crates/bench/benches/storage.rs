@@ -1,0 +1,83 @@
+//! Criterion benches for the storage substrates: relational point/LIKE/join
+//! queries (index ablations) and graph var-length path search, plus the
+//! audit parser and data-reduction pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use raptor_audit::reduce::{merge_events, DEFAULT_THRESHOLD};
+use raptor_audit::sim::{generate_background, BackgroundProfile, Simulator};
+use raptor_audit::LogParser;
+use raptor_common::time::Timestamp;
+use raptor_engine::load::load;
+
+fn workload() -> Vec<raptor_audit::SyscallRecord> {
+    let mut sim = Simulator::new(3, Timestamp::from_secs(0));
+    generate_background(
+        &mut sim,
+        &BackgroundProfile { users: 15, sessions: 600, ..Default::default() },
+    );
+    sim.finish()
+}
+
+fn bench_audit(c: &mut Criterion) {
+    let records = workload();
+    let mut g = c.benchmark_group("audit");
+    g.sample_size(10);
+    g.bench_function("parse", |b| b.iter(|| LogParser::parse(std::hint::black_box(&records))));
+    let parsed = LogParser::parse(&records);
+    g.bench_function("reduce", |b| {
+        b.iter(|| {
+            let mut events = parsed.events.clone();
+            merge_events(&mut events, DEFAULT_THRESHOLD)
+        })
+    });
+    let encoded = raptor_audit::codec::encode_batch(&records);
+    g.bench_function("codec_decode", |b| {
+        b.iter(|| raptor_audit::codec::decode_batch(std::hint::black_box(encoded.clone())).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_stores(c: &mut Criterion) {
+    let records = workload();
+    let mut log = LogParser::parse(&records);
+    merge_events(&mut log.events, DEFAULT_THRESHOLD);
+    let stores = load(&log).unwrap();
+    let mut g = c.benchmark_group("stores");
+    g.sample_size(20);
+    g.bench_function("load_both", |b| b.iter(|| load(std::hint::black_box(&log)).unwrap()));
+    g.bench_function("sql_like_trigram", |b| {
+        b.iter(|| {
+            stores
+                .rel
+                .query("SELECT id FROM processes WHERE exename LIKE '%/usr/bin/gcc%'")
+                .unwrap()
+        })
+    });
+    g.bench_function("sql_point_lookup", |b| {
+        b.iter(|| stores.rel.query("SELECT id FROM events WHERE optype = 'connect'").unwrap())
+    });
+    g.bench_function("sql_three_way_join", |b| {
+        b.iter(|| {
+            stores
+                .rel
+                .query(
+                    "SELECT p.exename, f.name FROM processes p, events e, files f \
+                     WHERE e.subject = p.id AND e.object = f.id AND e.optype = 'read' \
+                     AND p.exename LIKE '%/usr/bin/gcc%'",
+                )
+                .unwrap()
+        })
+    });
+    let cy = raptor_graphstore::cypher::parse_cypher(
+        "MATCH (p:Process)-[:EVENT*1..2]->(f:File) \
+         WHERE p.exename CONTAINS '/usr/bin/gcc' RETURN DISTINCT f.name",
+    )
+    .unwrap();
+    g.bench_function("cypher_var_length", |b| {
+        b.iter(|| raptor_graphstore::cypher::exec::execute(&stores.graph, &cy, 8).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_audit, bench_stores);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Regenerates every table of the ThreatRaptor evaluation.
+//!
+//! ```text
+//! cargo run --release -p raptor-bench --bin tables                  # all tables
+//! cargo run --release -p raptor-bench --bin tables -- table5 table6 # a subset
+//! cargo run --release -p raptor-bench --bin tables -- --scale 0.2 --rounds 5
+//! ```
+
+use raptor_bench::tables::*;
+
+fn main() {
+    let mut cfg = HarnessConfig { noise_scale: 1.0, rounds: 20, fuzzy_budget_secs: 60.0, seed: 42 };
+    let mut wanted: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                cfg.noise_scale = args.next().and_then(|v| v.parse().ok()).unwrap_or(1.0)
+            }
+            "--rounds" => cfg.rounds = args.next().and_then(|v| v.parse().ok()).unwrap_or(20),
+            "--budget" => {
+                cfg.fuzzy_budget_secs = args.next().and_then(|v| v.parse().ok()).unwrap_or(60.0)
+            }
+            "--seed" => cfg.seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(42),
+            other => wanted.push(other.to_string()),
+        }
+    }
+    let want = |name: &str| wanted.is_empty() || wanted.iter().any(|w| w == name);
+
+    eprintln!(
+        "# harness config: scale={} rounds={} fuzzy_budget={}s seed={}",
+        cfg.noise_scale, cfg.rounds, cfg.fuzzy_budget_secs, cfg.seed
+    );
+
+    if want("table1") {
+        println!("{}", table1());
+    }
+    if want("table2") {
+        println!("{}", table2());
+    }
+    if want("table3") {
+        println!("{}", table3());
+    }
+    if want("table4") {
+        println!("{}", table4());
+    }
+    if want("table5") {
+        println!("{}", table5());
+    }
+    let needs_evals =
+        ["table6", "table7", "table8", "table9", "table10"].iter().any(|t| want(t));
+    if needs_evals {
+        eprintln!("# building 18 scenarios (scale {}) ...", cfg.noise_scale);
+        let evals = run_all(&cfg);
+        if want("table6") {
+            println!("{}", table6(&evals));
+        }
+        if want("table7") {
+            println!("{}", table7(&evals));
+        }
+        if want("table8") {
+            println!("{}", table8(&evals, &cfg));
+        }
+        if want("table9") {
+            println!("{}", table9(&evals, &cfg));
+        }
+        if want("table10") {
+            println!("{}", table10(&evals));
+        }
+    }
+}

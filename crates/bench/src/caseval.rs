@@ -1,0 +1,166 @@
+//! End-to-end evaluation of one benchmark case.
+
+use std::time::Instant;
+
+use raptor_cases::metrics::{score_entities, score_relations, PrF1};
+use raptor_cases::spec::{build_case, BuiltCase, CaseSpec};
+use raptor_common::hash::FxHashSet;
+use raptor_engine::exec::ExecMode;
+use raptor_extract::openie;
+use raptor_extract::pipeline::extract_with_options;
+use raptor_tbql::print::print_query;
+use threatraptor::{synthesize, SynthesisPlan, ThreatRaptor};
+
+pub use raptor_extract::pipeline::extract;
+
+/// Extraction-quality scores for one approach on one case.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExtractScores {
+    pub entity: PrF1,
+    pub relation: PrF1,
+    /// Text → entities & relations seconds.
+    pub seconds: f64,
+}
+
+/// The full evaluation of one case.
+pub struct CaseEval {
+    pub case: &'static CaseSpec,
+    /// ThreatRaptor extraction quality.
+    pub extraction: ExtractScores,
+    /// Stage timings (Table VII): text→E&R, E&R→graph, graph→TBQL.
+    pub stage_seconds: (f64, f64, f64),
+    /// The synthesized TBQL query text.
+    pub tbql: String,
+    /// Hunting outcome: (found∩gt, found, gt) event counts (Table VI).
+    pub hunt_tp: usize,
+    pub hunt_found: usize,
+    pub hunt_gt: usize,
+    /// The built scenario (kept for query-execution benchmarks).
+    pub built: BuiltCase,
+    pub raptor: ThreatRaptor,
+}
+
+impl CaseEval {
+    pub fn hunt_precision(&self) -> f64 {
+        if self.hunt_found == 0 {
+            return 0.0;
+        }
+        self.hunt_tp as f64 / self.hunt_found as f64
+    }
+
+    pub fn hunt_recall(&self) -> f64 {
+        if self.hunt_gt == 0 {
+            return 0.0;
+        }
+        self.hunt_tp as f64 / self.hunt_gt as f64
+    }
+}
+
+/// Scores the ThreatRaptor extraction pipeline on one case (optionally
+/// without IOC protection — the Table V ablation).
+pub fn score_threatraptor_extraction(spec: &CaseSpec, ioc_protection: bool) -> ExtractScores {
+    let t0 = Instant::now();
+    let out = extract_with_options(spec.report, ioc_protection);
+    let seconds = t0.elapsed().as_secs_f64();
+    let entity_texts: Vec<String> = out.entities.iter().map(|e| e.text.clone()).collect();
+    let triples: Vec<(String, String, String)> = out
+        .triples
+        .iter()
+        .map(|t| (t.subj.clone(), t.verb.clone(), t.obj.clone()))
+        .collect();
+    ExtractScores {
+        entity: score_entities(&entity_texts, spec.gt_entities),
+        relation: score_relations(&triples, spec.gt_relations),
+        seconds,
+    }
+}
+
+/// Scores an Open IE baseline on one case.
+pub fn score_openie(spec: &CaseSpec, protection: bool, exhaustive: bool) -> ExtractScores {
+    let t0 = Instant::now();
+    let out = openie::run_baseline(spec.report, protection, exhaustive);
+    let seconds = t0.elapsed().as_secs_f64();
+    let triples: Vec<(String, String, String)> = out
+        .triples
+        .iter()
+        .map(|t| (t.subj.clone(), t.verb.clone(), t.obj.clone()))
+        .collect();
+    ExtractScores {
+        entity: score_entities(&out.entities, spec.gt_entities),
+        relation: score_relations(&triples, spec.gt_relations),
+        seconds,
+    }
+}
+
+/// Runs the full pipeline on a case: build scenario → extract → synthesize
+/// → hunt, and scores everything.
+pub fn evaluate_case(spec: &'static CaseSpec, noise_scale: f64, seed: u64) -> CaseEval {
+    let built = build_case(spec, noise_scale, seed);
+    let raptor = ThreatRaptor::from_log(&built.log).expect("load stores");
+
+    // Extraction + timing (Table V / VII).
+    let extraction = score_threatraptor_extraction(spec, true);
+    let t0 = Instant::now();
+    let out = extract(spec.report);
+    let text_to_er = out.timing.text_to_er;
+    let er_to_graph = out.timing.er_to_graph;
+    let _ = t0;
+
+    // Synthesis + timing.
+    let t1 = Instant::now();
+    let query = synthesize(&out.graph, &SynthesisPlan::default()).expect("synthesize");
+    let graph_to_tbql = t1.elapsed().as_secs_f64();
+    let tbql = print_query(&query);
+
+    // Hunting: per-pattern matches vs ground truth.
+    let aq = raptor_tbql::analyze(&query).expect("analyze");
+    let matches = raptor.engine().pattern_event_matches(&aq).expect("match");
+    let found: FxHashSet<i64> = matches.into_iter().flat_map(|(_, ids)| ids).collect();
+    let tp = found.intersection(&built.gt_event_ids).count();
+
+    CaseEval {
+        case: spec,
+        extraction,
+        stage_seconds: (text_to_er, er_to_graph, graph_to_tbql),
+        tbql,
+        hunt_tp: tp,
+        hunt_found: found.len(),
+        hunt_gt: built.gt_event_ids.len(),
+        built,
+        raptor,
+    }
+}
+
+/// The four Table VIII / X query variants for a case's synthesized query.
+pub struct QueryVariants {
+    /// (a) TBQL, event-pattern syntax.
+    pub tbql: String,
+    /// (b) giant SQL.
+    pub sql: String,
+    /// (c) TBQL, length-1 event path syntax.
+    pub tbql_path: String,
+    /// (d) giant Cypher.
+    pub cypher: String,
+}
+
+/// Builds all four query variants from an evaluated case.
+pub fn query_variants(eval: &CaseEval) -> QueryVariants {
+    let q = raptor_tbql::parse_tbql(&eval.tbql).expect("reparse");
+    let aq = raptor_tbql::analyze(&q).expect("analyze");
+    let ctx = raptor_engine::compile::CompileCtx {
+        aq: &aq,
+        now_ns: eval.raptor.engine().stores.now_ns,
+    };
+    let sql = raptor_engine::compile::giant_sql(&ctx).expect("giant sql");
+    let cypher = raptor_engine::compile::giant_cypher(&ctx).expect("giant cypher");
+    let path_q = raptor_engine::exec::to_length1_path_query(&q);
+    let tbql_path = print_query(&path_q);
+    QueryVariants { tbql: eval.tbql.clone(), sql, tbql_path, cypher }
+}
+
+/// Executes a TBQL text under a mode, returning elapsed seconds.
+pub fn time_execution(raptor: &ThreatRaptor, tbql: &str, mode: ExecMode) -> f64 {
+    let t0 = Instant::now();
+    let _ = raptor.query_with_mode(tbql, mode).expect("execute");
+    t0.elapsed().as_secs_f64()
+}

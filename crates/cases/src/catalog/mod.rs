@@ -1,0 +1,115 @@
+//! The case catalog (Table IV).
+
+pub mod clearscope;
+pub mod custom;
+pub mod fivedirections;
+pub mod theia;
+pub mod trace;
+
+use raptor_audit::sim::{Pid, Simulator};
+use raptor_common::time::Duration;
+
+use crate::spec::CaseSpec;
+
+/// All 18 benchmark cases, in Table IV order.
+pub fn all_cases() -> Vec<&'static CaseSpec> {
+    let mut v: Vec<&'static CaseSpec> = Vec::new();
+    v.extend(clearscope::CASES.iter());
+    v.extend(fivedirections::CASES.iter());
+    v.extend(theia::CASES.iter());
+    v.extend(trace::CASES.iter());
+    v.extend(custom::CASES.iter());
+    v
+}
+
+/// Looks a case up by id.
+pub fn case_by_id(id: &str) -> Option<&'static CaseSpec> {
+    all_cases().into_iter().find(|c| c.id == id)
+}
+
+// --- shared attack-script helpers ---
+
+/// Long-enough gap to defeat the 1 s data-reduction merge, so consecutive
+/// actions on the same entity pair stay separate events.
+pub(crate) fn burst_gap(sim: &mut Simulator) {
+    sim.advance(Duration::from_millis(1_500));
+}
+
+/// Connects once, then downloads `bursts` chunks (one read event each) and
+/// writes them to `out` (one write event each).
+pub(crate) fn download_file(
+    sim: &mut Simulator,
+    p: Pid,
+    ip: &str,
+    port: u16,
+    out: &str,
+    bursts: usize,
+) {
+    let fd = sim.connect(p, ip, port);
+    for _ in 0..bursts {
+        sim.recv(p, fd, 65_536, 4);
+        burst_gap(sim);
+        sim.write_file(p, out, 65_536, 4);
+        burst_gap(sim);
+    }
+    sim.close(p, fd);
+}
+
+/// Reads `n` distinct files under `dir` (one read event each).
+pub(crate) fn scan_dir(sim: &mut Simulator, p: Pid, dir: &str, n: usize) {
+    for i in 0..n {
+        sim.read_file(p, &format!("{dir}/f{i:04}.dat"), 4_096, 1);
+    }
+}
+
+/// Forks `p` `n` times without exec (fork-only process starts — the events
+/// the `run`-ambiguity cases lose).
+pub(crate) fn fork_self(sim: &mut Simulator, p: Pid, n: usize) {
+    for _ in 0..n {
+        let _child = sim.fork(p);
+        burst_gap(sim);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eighteen_cases_with_unique_ids() {
+        let cases = all_cases();
+        assert_eq!(cases.len(), 18);
+        let mut ids: Vec<&str> = cases.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 18);
+        assert!(case_by_id("data_leak").is_some());
+        assert!(case_by_id("nope").is_none());
+    }
+
+    #[test]
+    fn every_case_has_report_and_ground_truth() {
+        for c in all_cases() {
+            assert!(!c.report.is_empty(), "{}", c.id);
+            assert!(!c.gt_entities.is_empty(), "{}", c.id);
+            assert!(!c.gt_relations.is_empty(), "{}", c.id);
+            assert!(!c.gt_events.is_empty(), "{}", c.id);
+        }
+    }
+
+    #[test]
+    fn reports_scan_to_the_gold_entities() {
+        // Every gold entity must be recognizable by the IOC scanner.
+        for c in all_cases() {
+            let found = raptor_extract::scan_iocs(c.report);
+            for (text, ty) in c.gt_entities {
+                assert!(
+                    found.iter().any(|m| m.text == *text && m.ioc_type == *ty),
+                    "{}: gold entity {text} ({ty:?}) not scanned; found {:?}",
+                    c.id,
+                    found.iter().map(|m| (&m.text, m.ioc_type)).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+}

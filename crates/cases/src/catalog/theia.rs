@@ -1,0 +1,151 @@
+//! THEIA (Linux) cases.
+
+use raptor_audit::sim::Simulator;
+use raptor_extract::IocType::*;
+
+use super::{burst_gap, download_file, scan_dir};
+use crate::spec::CaseSpec;
+
+fn th1_attack(sim: &mut Simulator) {
+    let ff = sim.boot_process("/usr/lib/firefox", "admin");
+    download_file(sim, ff, "141.43.176.203", 443, "/var/dropbear", 1);
+    let _implant = sim.spawn(ff, "/var/dropbear", "dropbear");
+    sim.exit(ff);
+}
+
+fn th2_attack(sim: &mut Simulator) {
+    let tb = sim.boot_process("/usr/bin/thunderbird", "admin");
+    // 57 download bursts: 57 network reads + 57 file writes.
+    download_file(sim, tb, "198.115.236.119", 443, "/home/admin/profiles.tar.gz", 57);
+    let gtar = sim.boot_process("/bin/gtar", "admin");
+    sim.read_file(gtar, "/home/admin/profiles.tar.gz", 1_048_576, 8);
+    sim.exit(gtar);
+    sim.exit(tb);
+}
+
+fn th3_attack(sim: &mut Simulator) {
+    let xpcom = sim.boot_process("/usr/lib/xpcom", "admin");
+    sim.write_file(xpcom, "/home/admin/profile_ext", 131_072, 4);
+    burst_gap(sim);
+    let dropper = sim.boot_process("/home/admin/profile_ext", "admin");
+    let fd = sim.connect(dropper, "141.43.176.8", 443);
+    sim.recv(dropper, fd, 65_536, 4);
+    sim.close(dropper, fd);
+    burst_gap(sim);
+    sim.write_file(dropper, "/var/log/mail", 65_536, 4);
+    burst_gap(sim);
+    let _implant = sim.spawn(dropper, "/var/log/mail", "mail");
+    sim.exit(xpcom);
+}
+
+fn th4_attack(sim: &mut Simulator) {
+    let tb = sim.boot_process("/usr/bin/thunderbird", "admin");
+    sim.write_file(tb, "/home/admin/mailer_tool", 524_288, 8);
+    burst_gap(sim);
+    let tool = sim.boot_process("/home/admin/mailer_tool", "admin");
+    // Document scraping: 420 reads under the scanned directory.
+    scan_dir(sim, tool, "/home/admin/docs", 420);
+    sim.exit(tool);
+    sim.exit(tb);
+}
+
+pub static CASES: [CaseSpec; 4] = [
+    CaseSpec {
+        id: "tc_theia_1",
+        name: "20180410 1400 THEIA - Firefox Backdoor w/ Drakon In-Memory",
+        report: "/usr/lib/firefox fetched the Drakon implant /var/dropbear from \
+141.43.176.203 and executed /var/dropbear.",
+        gt_entities: &[
+            ("/usr/lib/firefox", FilePath),
+            ("/var/dropbear", FilePath),
+            ("141.43.176.203", Ip),
+        ],
+        gt_relations: &[
+            ("/usr/lib/firefox", "fetch", "/var/dropbear"),
+            ("/usr/lib/firefox", "fetch", "141.43.176.203"),
+            ("/var/dropbear", "fetch", "141.43.176.203"),
+            ("/usr/lib/firefox", "execute", "/var/dropbear"),
+        ],
+        gt_events: &[
+            ("/usr/lib/firefox", "write", "/var/dropbear"),
+            ("/usr/lib/firefox", "read", "141.43.176.203"),
+            ("/usr/lib/firefox", "execute", "/var/dropbear"),
+        ],
+        attack: th1_attack,
+        noise_sessions: 260,
+    },
+    CaseSpec {
+        id: "tc_theia_2",
+        name: "20180410 1300 THEIA - Phishing Email w/ Link",
+        report: "The victim followed the phishing e-mail link. /usr/bin/thunderbird \
+downloaded the profile archive /home/admin/profiles.tar.gz from 198.115.236.119. \
+/bin/gtar read from /home/admin/profiles.tar.gz.",
+        gt_entities: &[
+            ("/usr/bin/thunderbird", FilePath),
+            ("/home/admin/profiles.tar.gz", FilePath),
+            ("198.115.236.119", Ip),
+            ("/bin/gtar", FilePath),
+        ],
+        gt_relations: &[
+            ("/usr/bin/thunderbird", "download", "/home/admin/profiles.tar.gz"),
+            ("/usr/bin/thunderbird", "download", "198.115.236.119"),
+            ("/home/admin/profiles.tar.gz", "download", "198.115.236.119"),
+            ("/bin/gtar", "read", "/home/admin/profiles.tar.gz"),
+        ],
+        gt_events: &[
+            ("/usr/bin/thunderbird", "write", "/home/admin/profiles.tar.gz"),
+            ("/usr/bin/thunderbird", "read", "198.115.236.119"),
+            ("/bin/gtar", "read", "/home/admin/profiles.tar.gz"),
+        ],
+        attack: th2_attack,
+        noise_sessions: 260,
+    },
+    CaseSpec {
+        id: "tc_theia_3",
+        name: "20180412 THEIA - Browser Extension w/ Drakon Dropper",
+        report: "The extension host /usr/lib/xpcom wrote the dropper /home/admin/profile_ext. \
+The dropper read the payload from 141.43.176.8. It wrote the implant /var/log/mail \
+and launched /var/log/mail.",
+        gt_entities: &[
+            ("/usr/lib/xpcom", FilePath),
+            ("/home/admin/profile_ext", FilePath),
+            ("141.43.176.8", Ip),
+            ("/var/log/mail", FilePath),
+        ],
+        gt_relations: &[
+            ("/usr/lib/xpcom", "write", "/home/admin/profile_ext"),
+            ("/home/admin/profile_ext", "read", "141.43.176.8"),
+            ("/home/admin/profile_ext", "write", "/var/log/mail"),
+            ("/home/admin/profile_ext", "launch", "/var/log/mail"),
+        ],
+        gt_events: &[
+            ("/usr/lib/xpcom", "write", "/home/admin/profile_ext"),
+            ("/home/admin/profile_ext", "read", "141.43.176.8"),
+            ("/home/admin/profile_ext", "write", "/var/log/mail"),
+            ("/home/admin/profile_ext", "start", "/var/log/mail"),
+        ],
+        attack: th3_attack,
+        noise_sessions: 260,
+    },
+    CaseSpec {
+        id: "tc_theia_4",
+        name: "20180413 1400 THEIA - Phishing E-mail w/ Executable Attachment",
+        report: "/usr/bin/thunderbird saved the executable attachment /home/admin/mailer_tool. \
+The attacker used /home/admin/mailer_tool to scan /home/admin/docs.",
+        gt_entities: &[
+            ("/usr/bin/thunderbird", FilePath),
+            ("/home/admin/mailer_tool", FilePath),
+            ("/home/admin/docs", FilePath),
+        ],
+        gt_relations: &[
+            ("/usr/bin/thunderbird", "save", "/home/admin/mailer_tool"),
+            ("/home/admin/mailer_tool", "scan", "/home/admin/docs"),
+        ],
+        gt_events: &[
+            ("/usr/bin/thunderbird", "write", "/home/admin/mailer_tool"),
+            ("/home/admin/mailer_tool", "read", "/home/admin/docs"),
+        ],
+        attack: th4_attack,
+        noise_sessions: 260,
+    },
+];

@@ -1,0 +1,170 @@
+//! TRACE (Linux) cases.
+
+use raptor_audit::sim::Simulator;
+use raptor_extract::IocType::*;
+
+use super::{burst_gap, download_file, fork_self};
+use crate::spec::CaseSpec;
+
+fn tr1_attack(sim: &mut Simulator) {
+    let ff = sim.boot_process("/home/admin/firefox", "admin");
+    // 19 download bursts: 19 network reads + 19 file writes.
+    download_file(sim, ff, "145.199.103.57", 443, "/home/admin/cache", 19);
+    // The implant starts (execute by firefox's child — not in the query's
+    // reach), then re-execs itself once (the 1 execute event found) and
+    // forks itself 37 times (the 37 process starts the query misses).
+    let cache = sim.spawn(ff, "/home/admin/cache", "cache");
+    burst_gap(sim);
+    sim.exec(cache, "/home/admin/cache", "cache --respawn");
+    burst_gap(sim);
+    fork_self(sim, cache, 37);
+    sim.exit(ff);
+}
+
+fn tr2_attack(sim: &mut Simulator) {
+    let tb = sim.boot_process("/usr/bin/thunderbird", "admin");
+    download_file(sim, tb, "208.75.117.48", 443, "/tmp/pine_backup.tar", 3);
+    let gtar = sim.boot_process("/bin/gtar", "admin");
+    sim.read_file(gtar, "/tmp/pine_backup.tar", 262_144, 4);
+    sim.exit(gtar);
+    sim.exit(tb);
+}
+
+fn tr3_attack(sim: &mut Simulator) {
+    // Fork-only persistence: the synthesized execute-pattern finds nothing.
+    let cache = sim.boot_process("/home/admin/.cache/gtcache", "admin");
+    fork_self(sim, cache, 2);
+}
+
+fn tr4_attack(sim: &mut Simulator) {
+    let pine = sim.boot_process("/usr/bin/pine", "admin");
+    sim.write_file(pine, "/tmp/tcexec", 131_072, 4);
+    burst_gap(sim);
+    let tc = sim.spawn(pine, "/tmp/tcexec", "tcexec");
+    fork_self(sim, tc, 1);
+    // The C2 moved after the report was written: .143 instead of .128.
+    let fd = sim.connect(tc, "61.167.39.143", 443);
+    sim.send(tc, fd, 1_024, 2);
+    sim.close(tc, fd);
+    sim.exit(pine);
+}
+
+fn tr5_attack(sim: &mut Simulator) {
+    let tb = sim.boot_process("/usr/bin/thunderbird", "admin");
+    sim.write_file(tb, "/home/admin/executable_attach", 262_144, 4);
+    burst_gap(sim);
+    let tool = sim.boot_process("/home/admin/executable_attach", "admin");
+    super::scan_dir(sim, tool, "/home/admin/shared", 577);
+    sim.exit(tool);
+    sim.exit(tb);
+}
+
+pub static CASES: [CaseSpec; 5] = [
+    CaseSpec {
+        id: "tc_trace_1",
+        name: "20180410 1000 TRACE - Firefox Backdoor w/ Drakon In-Memory",
+        report: "/home/admin/firefox fetched the implant /home/admin/cache from \
+145.199.103.57. The attacker then used /home/admin/cache to run /home/admin/cache.",
+        gt_entities: &[
+            ("/home/admin/firefox", FilePath),
+            ("/home/admin/cache", FilePath),
+            ("145.199.103.57", Ip),
+        ],
+        gt_relations: &[
+            ("/home/admin/firefox", "fetch", "/home/admin/cache"),
+            ("/home/admin/firefox", "fetch", "145.199.103.57"),
+            ("/home/admin/cache", "fetch", "145.199.103.57"),
+            ("/home/admin/cache", "run", "/home/admin/cache"),
+        ],
+        gt_events: &[
+            ("/home/admin/firefox", "write", "/home/admin/cache"),
+            ("/home/admin/firefox", "read", "145.199.103.57"),
+            ("/home/admin/cache", "execute", "/home/admin/cache"),
+            ("/home/admin/cache", "start", "/home/admin/cache"),
+        ],
+        attack: tr1_attack,
+        noise_sessions: 300,
+    },
+    CaseSpec {
+        id: "tc_trace_2",
+        name: "20180410 1200 TRACE - Phishing E-mail Link",
+        report: "The victim opened the phishing e-mail link. /usr/bin/thunderbird \
+downloaded the archive /tmp/pine_backup.tar from 208.75.117.48. /bin/gtar read \
+from /tmp/pine_backup.tar.",
+        gt_entities: &[
+            ("/usr/bin/thunderbird", FilePath),
+            ("/tmp/pine_backup.tar", FilePath),
+            ("208.75.117.48", Ip),
+            ("/bin/gtar", FilePath),
+        ],
+        gt_relations: &[
+            ("/usr/bin/thunderbird", "download", "/tmp/pine_backup.tar"),
+            ("/usr/bin/thunderbird", "download", "208.75.117.48"),
+            ("/tmp/pine_backup.tar", "download", "208.75.117.48"),
+            ("/bin/gtar", "read", "/tmp/pine_backup.tar"),
+        ],
+        gt_events: &[
+            ("/usr/bin/thunderbird", "write", "/tmp/pine_backup.tar"),
+            ("/usr/bin/thunderbird", "read", "208.75.117.48"),
+            ("/bin/gtar", "read", "/tmp/pine_backup.tar"),
+        ],
+        attack: tr2_attack,
+        noise_sessions: 300,
+    },
+    CaseSpec {
+        id: "tc_trace_3",
+        name: "20180412 1300 TRACE - Browser Extension w/ Drakon Dropper",
+        report: "The rogue extension used /home/admin/.cache/gtcache to run \
+/home/admin/.cache/gtcache.",
+        gt_entities: &[("/home/admin/.cache/gtcache", FilePath)],
+        gt_relations: &[("/home/admin/.cache/gtcache", "run", "/home/admin/.cache/gtcache")],
+        gt_events: &[("/home/admin/.cache/gtcache", "start", "/home/admin/.cache/gtcache")],
+        attack: tr3_attack,
+        noise_sessions: 300,
+    },
+    CaseSpec {
+        id: "tc_trace_4",
+        name: "20180413 1200 TRACE - Pine Backdoor w/ Drakon Dropper",
+        report: "/usr/bin/pine dropped the loader /tmp/tcexec. The attacker used \
+/tmp/tcexec to run /tmp/tcexec. /tmp/tcexec beaconed to 61.167.39.128.",
+        gt_entities: &[
+            ("/usr/bin/pine", FilePath),
+            ("/tmp/tcexec", FilePath),
+            ("61.167.39.128", Ip),
+        ],
+        gt_relations: &[
+            ("/usr/bin/pine", "drop", "/tmp/tcexec"),
+            ("/tmp/tcexec", "run", "/tmp/tcexec"),
+            ("/tmp/tcexec", "beacon", "61.167.39.128"),
+        ],
+        gt_events: &[
+            ("/usr/bin/pine", "write", "/tmp/tcexec"),
+            ("/tmp/tcexec", "start", "/tmp/tcexec"),
+            ("/tmp/tcexec", "connect", "61.167.39.143"),
+        ],
+        attack: tr4_attack,
+        noise_sessions: 300,
+    },
+    CaseSpec {
+        id: "tc_trace_5",
+        name: "20180413 1400 TRACE - Phishing E-mail w/ Executable Attachment",
+        report: "/usr/bin/thunderbird saved the executable attachment \
+/home/admin/executable_attach. The attacker used /home/admin/executable_attach \
+to scan /home/admin/shared.",
+        gt_entities: &[
+            ("/usr/bin/thunderbird", FilePath),
+            ("/home/admin/executable_attach", FilePath),
+            ("/home/admin/shared", FilePath),
+        ],
+        gt_relations: &[
+            ("/usr/bin/thunderbird", "save", "/home/admin/executable_attach"),
+            ("/home/admin/executable_attach", "scan", "/home/admin/shared"),
+        ],
+        gt_events: &[
+            ("/usr/bin/thunderbird", "write", "/home/admin/executable_attach"),
+            ("/home/admin/executable_attach", "read", "/home/admin/shared"),
+        ],
+        attack: tr5_attack,
+        noise_sessions: 300,
+    },
+];

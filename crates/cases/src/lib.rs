@@ -1,0 +1,23 @@
+//! The 18-case evaluation benchmark (Table IV).
+//!
+//! Fifteen DARPA-TC-style cases (ClearScope / FiveDirections / THEIA /
+//! TRACE) plus the paper's three multi-step intrusive attacks
+//! (password_crack, data_leak, vpnfilter). The original TC data release is
+//! not redistributable, so each case ships as a *generator*: an OSCTI report
+//! written in the register the extraction pipeline targets, a scripted
+//! attack over the audit simulator, labelled ground truth for IOC entities,
+//! IOC relations, and malicious system events, and a benign background
+//! noise profile (DESIGN.md §1 documents the substitution).
+//!
+//! Several cases deliberately reproduce the paper's *failure modes*: the
+//! `run` self-loop ambiguity that loses fork-only process starts
+//! (tc_trace_1/3/4, tc_fivedirections_3), intermediate helper processes
+//! omitted from CTI text (data_leak), and drifted IOCs (tc_trace_4).
+
+pub mod catalog;
+pub mod metrics;
+pub mod spec;
+
+pub use catalog::all_cases;
+pub use metrics::{score_entities, score_relations, PrF1};
+pub use spec::{build_case, BuiltCase, CaseSpec};

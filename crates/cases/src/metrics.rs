@@ -1,0 +1,140 @@
+//! Precision / recall / F1 scoring.
+//!
+//! Entity scoring compares extracted IOC surface forms against gold labels
+//! as sets per case; relation scoring compares (subject, verb, object)
+//! triples. Micro-aggregation over cases matches the paper's "results are
+//! aggregated over all 18 cases".
+
+use raptor_common::hash::FxHashSet;
+
+/// Counts for one precision/recall computation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrF1 {
+    pub tp: usize,
+    pub fp: usize,
+    pub fn_: usize,
+}
+
+impl PrF1 {
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fp) as f64
+    }
+
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fn_) as f64
+    }
+
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+
+    /// Micro-aggregation: sum the counts.
+    pub fn add(&mut self, other: PrF1) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+
+    /// From predicted/gold sets.
+    pub fn from_sets<T: Eq + std::hash::Hash>(
+        predicted: &FxHashSet<T>,
+        gold: &FxHashSet<T>,
+    ) -> PrF1 {
+        let tp = predicted.intersection(gold).count();
+        PrF1 { tp, fp: predicted.len() - tp, fn_: gold.len() - tp }
+    }
+}
+
+/// Scores extracted entity surface forms against gold labels.
+pub fn score_entities(predicted: &[String], gold: &[(&str, raptor_extract::IocType)]) -> PrF1 {
+    let p: FxHashSet<String> = predicted.iter().cloned().collect();
+    let g: FxHashSet<String> = gold.iter().map(|(t, _)| t.to_string()).collect();
+    PrF1::from_sets(&p, &g)
+}
+
+/// Scores extracted relation triples against gold labels. Subject/object
+/// match on surface text (after the pipeline's canonicalization, the longer
+/// form may carry a directory prefix, so gold text must be *contained*).
+pub fn score_relations(
+    predicted: &[(String, String, String)],
+    gold: &[(&str, &str, &str)],
+) -> PrF1 {
+    let matches = |p: &(String, String, String), g: &(&str, &str, &str)| {
+        p.1 == g.1 && text_match(&p.0, g.0) && text_match(&p.2, g.2)
+    };
+    let mut tp = 0usize;
+    let mut used = vec![false; gold.len()];
+    for p in predicted {
+        if let Some(i) = gold
+            .iter()
+            .enumerate()
+            .position(|(i, g)| !used[i] && matches(p, g))
+        {
+            used[i] = true;
+            tp += 1;
+        }
+    }
+    PrF1 { tp, fp: predicted.len() - tp, fn_: gold.len() - tp }
+}
+
+fn text_match(predicted: &str, gold: &str) -> bool {
+    predicted == gold || predicted.ends_with(gold) || gold.ends_with(predicted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prf1_arithmetic() {
+        let m = PrF1 { tp: 8, fp: 2, fn_: 2 };
+        assert!((m.precision() - 0.8).abs() < 1e-9);
+        assert!((m.recall() - 0.8).abs() < 1e-9);
+        assert!((m.f1() - 0.8).abs() < 1e-9);
+        let zero = PrF1::default();
+        assert_eq!(zero.precision(), 0.0);
+        assert_eq!(zero.f1(), 0.0);
+    }
+
+    #[test]
+    fn entity_scoring() {
+        let predicted = vec!["/bin/tar".to_string(), "/etc/passwd".to_string(), "bogus".to_string()];
+        let gold = [("/bin/tar", raptor_extract::IocType::FilePath), ("/etc/passwd", raptor_extract::IocType::FilePath), ("/tmp/missing", raptor_extract::IocType::FilePath)];
+        let m = score_entities(&predicted, &gold);
+        assert_eq!(m, PrF1 { tp: 2, fp: 1, fn_: 1 });
+    }
+
+    #[test]
+    fn relation_scoring_with_canonical_prefixes() {
+        let predicted = vec![(
+            "/tmp/upload.tar".to_string(),
+            "read".to_string(),
+            "/etc/passwd".to_string(),
+        )];
+        // Gold labelled the bare name; canonical form carries the path.
+        let gold = [("upload.tar", "read", "/etc/passwd")];
+        assert_eq!(score_relations(&predicted, &gold), PrF1 { tp: 1, fp: 0, fn_: 0 });
+        // Verb mismatch is a miss.
+        let gold = [("upload.tar", "write", "/etc/passwd")];
+        let m = score_relations(&predicted, &gold);
+        assert_eq!(m, PrF1 { tp: 0, fp: 1, fn_: 1 });
+    }
+
+    #[test]
+    fn micro_aggregation() {
+        let mut total = PrF1::default();
+        total.add(PrF1 { tp: 5, fp: 0, fn_: 1 });
+        total.add(PrF1 { tp: 3, fp: 1, fn_: 0 });
+        assert_eq!(total, PrF1 { tp: 8, fp: 1, fn_: 1 });
+    }
+}

@@ -1,0 +1,110 @@
+//! Case specifications and scenario building.
+
+use raptor_audit::reduce::{merge_events, DEFAULT_THRESHOLD};
+use raptor_audit::sim::{generate_background, BackgroundProfile, Simulator};
+use raptor_audit::{LogParser, Operation, ParsedLog};
+use raptor_common::hash::FxHashSet;
+use raptor_common::time::Timestamp;
+use raptor_extract::IocType;
+
+/// A ground-truth event selector: (subject exename contains, operation,
+/// object default-attribute contains). Evaluated over the parsed log; the
+/// selectors use attack-only IOC substrings so benign noise never matches.
+pub type GtEventSpec = (&'static str, &'static str, &'static str);
+
+/// One benchmark case.
+pub struct CaseSpec {
+    /// Short id, e.g. `tc_trace_1`.
+    pub id: &'static str,
+    /// Full name from Table IV.
+    pub name: &'static str,
+    /// The OSCTI report text fed to the extraction pipeline.
+    pub report: &'static str,
+    /// Gold IOC entities in the report (surface form, type).
+    pub gt_entities: &'static [(&'static str, IocType)],
+    /// Gold IOC relations (subject text, verb lemma, object text).
+    pub gt_relations: &'static [(&'static str, &'static str, &'static str)],
+    /// Ground-truth malicious event selectors.
+    pub gt_events: &'static [GtEventSpec],
+    /// The attack script.
+    pub attack: fn(&mut Simulator),
+    /// Baseline benign noise (sessions); scaled by `build_case`.
+    pub noise_sessions: usize,
+}
+
+/// A generated case: the reduced log plus resolved ground-truth event ids.
+pub struct BuiltCase {
+    pub spec: &'static CaseSpec,
+    pub log: ParsedLog,
+    pub gt_event_ids: FxHashSet<i64>,
+}
+
+/// Builds a case at a given noise scale (1.0 = the spec's baseline).
+pub fn build_case(spec: &'static CaseSpec, noise_scale: f64, seed: u64) -> BuiltCase {
+    let mut sim = Simulator::new(seed, Timestamp::from_secs(1_523_000_000));
+    let sessions = ((spec.noise_sessions as f64) * noise_scale).max(1.0) as usize;
+    generate_background(
+        &mut sim,
+        &BackgroundProfile { users: 15, sessions, ..Default::default() },
+    );
+    // The attack starts after a quiet gap, as a real intrusion would.
+    sim.advance(raptor_common::time::Duration::from_secs(30));
+    (spec.attack)(&mut sim);
+    let mut log = LogParser::parse(&sim.finish());
+    merge_events(&mut log.events, DEFAULT_THRESHOLD);
+    let gt_event_ids = resolve_gt_events(&log, spec.gt_events);
+    BuiltCase { spec, log, gt_event_ids }
+}
+
+/// Resolves ground-truth selectors against the parsed log.
+fn resolve_gt_events(log: &ParsedLog, specs: &[GtEventSpec]) -> FxHashSet<i64> {
+    let mut out = FxHashSet::default();
+    for e in &log.events {
+        let subj = log.entity(e.subject);
+        let obj = log.entity(e.object);
+        let subj_name = subj.attrs.default_attribute_value();
+        let obj_name = obj.attrs.default_attribute_value();
+        for &(s, op, o) in specs {
+            let Some(want_op) = Operation::from_name(op) else { continue };
+            if e.op == want_op && subj_name.contains(s) && obj_name.contains(o) {
+                out.insert(e.id.index() as i64);
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gt_resolution_matches_substrings() {
+        let spec = crate::catalog::all_cases()
+            .into_iter()
+            .find(|c| c.id == "tc_clearscope_3")
+            .unwrap();
+        let built = build_case(spec, 0.1, 7);
+        assert!(!built.gt_event_ids.is_empty());
+        // Every GT event involves an attack IOC.
+        for &id in &built.gt_event_ids {
+            let e = &built.log.events[id as usize];
+            let subj = built.log.entity(e.subject).attrs.default_attribute_value();
+            assert!(subj.contains("com.android.defcontainer"), "{subj}");
+        }
+    }
+
+    #[test]
+    fn noise_scale_changes_log_size() {
+        let spec = crate::catalog::all_cases()
+            .into_iter()
+            .find(|c| c.id == "tc_clearscope_3")
+            .unwrap();
+        let small = build_case(spec, 0.1, 7);
+        let large = build_case(spec, 1.0, 7);
+        assert!(large.log.events.len() > small.log.events.len());
+        // Ground truth is noise-invariant.
+        assert_eq!(small.gt_event_ids.len(), large.gt_event_ids.len());
+    }
+}

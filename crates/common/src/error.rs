@@ -1,0 +1,134 @@
+//! The workspace-wide error type.
+//!
+//! Each subsystem reports failures through [`Error`] with a category that
+//! tells the caller which layer rejected the input (a TBQL syntax error, an
+//! unknown column in a compiled SQL query, a malformed audit record, ...).
+//! Positions are tracked as byte offsets into the offending source text where
+//! applicable so tools can render carets.
+
+use std::fmt;
+
+/// Result alias used across the workspace.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Which layer produced the error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Lexical or syntactic error in a query or report.
+    Syntax,
+    /// Semantic error (unknown identifier, type mismatch, ...).
+    Semantic,
+    /// Malformed or inconsistent audit data.
+    Audit,
+    /// Storage-layer failure (unknown table/column, codec failure, ...).
+    Storage,
+    /// Query execution failure.
+    Execution,
+    /// Extraction pipeline failure.
+    Extraction,
+    /// Configuration / synthesis plan error.
+    Config,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorKind::Syntax => "syntax error",
+            ErrorKind::Semantic => "semantic error",
+            ErrorKind::Audit => "audit data error",
+            ErrorKind::Storage => "storage error",
+            ErrorKind::Execution => "execution error",
+            ErrorKind::Extraction => "extraction error",
+            ErrorKind::Config => "configuration error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An error with a category, a message, and an optional source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    pub kind: ErrorKind,
+    pub message: String,
+    /// Byte offset into the source text, when the error refers to one.
+    pub offset: Option<usize>,
+}
+
+impl Error {
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        Error {
+            kind,
+            message: message.into(),
+            offset: None,
+        }
+    }
+
+    pub fn at(kind: ErrorKind, message: impl Into<String>, offset: usize) -> Self {
+        Error {
+            kind,
+            message: message.into(),
+            offset: Some(offset),
+        }
+    }
+
+    pub fn syntax(message: impl Into<String>, offset: usize) -> Self {
+        Self::at(ErrorKind::Syntax, message, offset)
+    }
+
+    pub fn semantic(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Semantic, message)
+    }
+
+    pub fn storage(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Storage, message)
+    }
+
+    pub fn execution(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Execution, message)
+    }
+
+    pub fn audit(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Audit, message)
+    }
+
+    pub fn extraction(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Extraction, message)
+    }
+
+    pub fn config(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Config, message)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(off) => write!(f, "{} at byte {}: {}", self.kind, off, self.message),
+            None => write!(f, "{}: {}", self.kind, self.message),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_offset() {
+        let e = Error::syntax("unexpected token `)`", 17);
+        assert_eq!(e.to_string(), "syntax error at byte 17: unexpected token `)`");
+        let e = Error::storage("unknown table `procs`");
+        assert_eq!(e.to_string(), "storage error: unknown table `procs`");
+    }
+
+    #[test]
+    fn kind_is_preserved() {
+        assert_eq!(Error::semantic("x").kind, ErrorKind::Semantic);
+        assert_eq!(Error::execution("x").kind, ErrorKind::Execution);
+        assert_eq!(Error::audit("x").kind, ErrorKind::Audit);
+        assert_eq!(Error::extraction("x").kind, ErrorKind::Extraction);
+        assert_eq!(Error::config("x").kind, ErrorKind::Config);
+    }
+}

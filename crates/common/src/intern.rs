@@ -1,0 +1,121 @@
+//! String interning.
+//!
+//! Entity attributes (file paths, executable names, IPs) repeat massively in
+//! audit data — one enterprise host produces millions of events over a few
+//! thousand distinct strings. Both storage engines intern attribute strings
+//! so rows hold 4-byte [`Sym`]s, comparisons are integer compares, and the
+//! distinct-string dictionary can be scanned for `LIKE`/`CONTAINS`
+//! acceleration.
+
+use crate::hash::FxHashMap;
+
+/// An interned string handle. Ordering follows insertion order, not
+/// lexicographic order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Append-only string interner.
+#[derive(Default, Debug)]
+pub struct Interner {
+    map: FxHashMap<Box<str>, Sym>,
+    strings: Vec<Box<str>>,
+}
+
+impl Interner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its stable handle.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Sym(self.strings.len() as u32);
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, sym);
+        sym
+    }
+
+    /// Looks up a handle without interning.
+    pub fn get(&self, s: &str) -> Option<Sym> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolves a handle back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` was produced by a different interner.
+    #[inline]
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over `(Sym, &str)` pairs in insertion order. Used by the
+    /// storage layer to evaluate `LIKE` over the dictionary instead of over
+    /// every row.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Sym(i as u32), s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("/etc/passwd");
+        let b = i.intern("/etc/passwd");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let mut i = Interner::new();
+        let syms: Vec<Sym> = (0..100).map(|n| i.intern(&format!("proc{n}"))).collect();
+        for (n, sym) in syms.iter().enumerate() {
+            assert_eq!(i.resolve(*sym), format!("proc{n}"));
+        }
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("missing"), None);
+        let s = i.intern("present");
+        assert_eq!(i.get("present"), Some(s));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn iter_in_insertion_order() {
+        let mut i = Interner::new();
+        i.intern("b");
+        i.intern("a");
+        let all: Vec<&str> = i.iter().map(|(_, s)| s).collect();
+        assert_eq!(all, vec!["b", "a"]);
+    }
+}

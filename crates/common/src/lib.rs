@@ -1,0 +1,29 @@
+//! Shared primitives for the ThreatRaptor reproduction.
+//!
+//! This crate holds the small, dependency-light building blocks used by every
+//! other crate in the workspace:
+//!
+//! * [`hash`] — a fast, non-cryptographic hasher (`FxHashMap` / `FxHashSet`
+//!   aliases) used for all internal hash tables,
+//! * [`ids`] — strongly-typed integer identifiers,
+//! * [`time`] — nanosecond timestamps, durations and datetime parsing used by
+//!   audit events and TBQL time windows,
+//! * [`error`] — the workspace-wide error type,
+//! * [`strdist`] — Levenshtein distance and normalized string similarity
+//!   (used by the fuzzy search mode for node alignment),
+//! * [`intern`] — a string interner backing entity attribute storage,
+//! * [`table`] — minimal fixed-width text-table rendering used by the
+//!   benchmark harness to print paper-style tables.
+
+pub mod error;
+pub mod hash;
+pub mod ids;
+pub mod intern;
+pub mod strdist;
+pub mod table;
+pub mod time;
+
+pub use error::{Error, Result};
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use intern::{Interner, Sym};
+pub use time::{Duration, Timestamp};

@@ -1,0 +1,118 @@
+//! String distance metrics.
+//!
+//! The fuzzy search mode (Section III-F of the paper) aligns IOC strings from
+//! a TBQL query with entity attributes stored in the database using
+//! Levenshtein distance, so typos or small IOC changes still retrieve the
+//! right entities. The IOC scan-and-merge step of the extraction pipeline
+//! also uses character-level overlap.
+
+/// Levenshtein edit distance (insertions, deletions, substitutions all
+/// cost 1). Two-row dynamic program, O(min(a,b)) memory.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    // Keep the shorter string in the inner dimension.
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur: Vec<usize> = vec![0; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let sub = prev[j] + usize::from(lc != sc);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Normalized similarity in `[0, 1]`: `1 - distance / max_len`.
+/// Two empty strings are perfectly similar.
+pub fn similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Character-level containment overlap used by IOC merging: the fraction of
+/// the shorter string's characters covered by the longest common substring.
+pub fn containment_overlap(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let min_len = a.len().min(b.len());
+    if min_len == 0 {
+        return 0.0;
+    }
+    longest_common_substring(&a, &b) as f64 / min_len as f64
+}
+
+fn longest_common_substring(a: &[char], b: &[char]) -> usize {
+    // O(len(a) * len(b)) dynamic program over suffix match lengths.
+    let mut best = 0usize;
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut cur = vec![0usize; b.len() + 1];
+    for &ac in a {
+        for (j, &bc) in b.iter().enumerate() {
+            cur[j + 1] = if ac == bc { prev[j] + 1 } else { 0 };
+            best = best.max(cur[j + 1]);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_cases() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn ioc_typo_is_close() {
+        // The use case from the paper: a typo'd IOC still aligns.
+        let d = levenshtein("/usr/bin/curl", "/usr/bin/cur1");
+        assert_eq!(d, 1);
+        assert!(similarity("/usr/bin/curl", "/usr/bin/cur1") > 0.9);
+    }
+
+    #[test]
+    fn unicode_counts_chars_not_bytes() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        assert_eq!(similarity("", ""), 1.0);
+        assert_eq!(similarity("abc", "abc"), 1.0);
+        assert_eq!(similarity("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn containment() {
+        // "upload.tar" is wholly contained in "/tmp/upload.tar.bz2".
+        assert_eq!(containment_overlap("upload.tar", "/tmp/upload.tar.bz2"), 1.0);
+        assert_eq!(containment_overlap("", "abc"), 0.0);
+        assert!(containment_overlap("abcd", "zzcdzz") >= 0.5);
+    }
+
+    #[test]
+    fn symmetric() {
+        for (a, b) in [("/bin/tar", "/bin/bzip2"), ("a", "ab"), ("", "x")] {
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+            assert_eq!(containment_overlap(a, b), containment_overlap(b, a));
+        }
+    }
+}

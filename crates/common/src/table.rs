@@ -1,0 +1,139 @@
+//! Fixed-width text-table rendering.
+//!
+//! The benchmark harness reproduces the paper's tables on stdout. This is a
+//! tiny column-aligned renderer — headers, rows of strings, right-alignment
+//! for numeric-looking cells.
+
+use std::fmt::Write as _;
+
+/// A simple text table builder.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        debug_assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table. Cells that parse as numbers are right-aligned.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let w = widths[i];
+                let len = cell.chars().count();
+                let pad = w.saturating_sub(len);
+                if is_numeric(cell) {
+                    for _ in 0..pad {
+                        out.push(' ');
+                    }
+                    out.push_str(cell);
+                } else {
+                    out.push_str(cell);
+                    if i + 1 < ncols {
+                        for _ in 0..pad {
+                            out.push(' ');
+                        }
+                    }
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        for _ in 0..total {
+            out.push('-');
+        }
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+fn is_numeric(s: &str) -> bool {
+    let t = s
+        .trim_end_matches('%')
+        .trim_end_matches('x')
+        .trim_start_matches('>')
+        .trim();
+    !t.is_empty()
+        && t.chars()
+            .all(|c| c.is_ascii_digit() || c == '.' || c == ',' || c == '-' || c == '/')
+}
+
+/// Formats a fractional count like the paper's `1425/1473 = 96.74%` cells.
+pub fn ratio_cell(num: usize, den: usize) -> String {
+    if den == 0 {
+        return format!("{num}/{den}");
+    }
+    let mut s = String::new();
+    let _ = write!(s, "{num}/{den}");
+    s
+}
+
+/// Formats a percentage with two decimals, like the paper.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(["Case", "Mean", "Std"]);
+        t.row(["data_leak", "1.45", "0.43"]);
+        t.row(["tc_theia_1", "3.86", "0.08"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Case"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Numeric cells right-aligned: both mean columns end at same offset.
+        assert!(lines[2].contains("1.45"));
+        assert!(lines[3].contains("3.86"));
+    }
+
+    #[test]
+    fn numeric_detection() {
+        assert!(is_numeric("3.14"));
+        assert!(is_numeric("96.74%"));
+        assert!(is_numeric("22.7x"));
+        assert!(is_numeric("1425/1473"));
+        assert!(is_numeric(">3600"));
+        assert!(!is_numeric("data_leak"));
+        assert!(!is_numeric(""));
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(ratio_cell(6, 8), "6/8");
+        assert_eq!(pct(0.9674), "96.74%");
+    }
+}

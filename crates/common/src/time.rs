@@ -1,0 +1,254 @@
+//! Timestamps, durations and datetime parsing.
+//!
+//! Audit events carry nanosecond timestamps ([`Timestamp`]); TBQL time
+//! windows (`from ... to ...`, `last 2 h`, `before[0-5 min]`) need datetime
+//! literals and unit-suffixed durations. Everything is a thin wrapper over
+//! `i64` nanoseconds since the Unix epoch so arithmetic stays branch-free.
+
+use std::fmt;
+
+/// Nanoseconds since the Unix epoch.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub i64);
+
+/// A signed span of time in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(pub i64);
+
+pub const NANOS_PER_SEC: i64 = 1_000_000_000;
+
+impl Timestamp {
+    pub const MIN: Timestamp = Timestamp(i64::MIN);
+    pub const MAX: Timestamp = Timestamp(i64::MAX);
+
+    #[inline]
+    pub fn from_secs(s: i64) -> Self {
+        Timestamp(s * NANOS_PER_SEC)
+    }
+
+    #[inline]
+    pub fn from_millis(ms: i64) -> Self {
+        Timestamp(ms * 1_000_000)
+    }
+
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// Elapsed time from `earlier` to `self`.
+    #[inline]
+    pub fn since(self, earlier: Timestamp) -> Duration {
+        Duration(self.0 - earlier.0)
+    }
+
+    #[inline]
+    pub fn plus(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_add(d.0))
+    }
+
+    #[inline]
+    pub fn minus(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_sub(d.0))
+    }
+}
+
+impl Duration {
+    pub const ZERO: Duration = Duration(0);
+
+    #[inline]
+    pub fn from_secs(s: i64) -> Self {
+        Duration(s * NANOS_PER_SEC)
+    }
+
+    #[inline]
+    pub fn from_millis(ms: i64) -> Self {
+        Duration(ms * 1_000_000)
+    }
+
+    /// Builds a duration from a number and a TBQL time unit
+    /// (`sec`/`s`, `min`/`m`, `hour`/`h`, `day`/`d`).
+    pub fn from_unit(n: i64, unit: &str) -> Option<Duration> {
+        let per = match unit {
+            "ns" => 1,
+            "us" => 1_000,
+            "ms" => 1_000_000,
+            "s" | "sec" | "second" | "seconds" => NANOS_PER_SEC,
+            "m" | "min" | "minute" | "minutes" => 60 * NANOS_PER_SEC,
+            "h" | "hour" | "hours" => 3_600 * NANOS_PER_SEC,
+            "d" | "day" | "days" => 86_400 * NANOS_PER_SEC,
+            _ => return None,
+        };
+        Some(Duration(n.checked_mul(per)?))
+    }
+
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Timestamp({})", self.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (date, ns_in_day) = civil_from_nanos(self.0);
+        let secs = ns_in_day / NANOS_PER_SEC;
+        write!(
+            f,
+            "{:04}-{:02}-{:02} {:02}:{:02}:{:02}",
+            date.0,
+            date.1,
+            date.2,
+            secs / 3600,
+            (secs / 60) % 60,
+            secs % 60
+        )
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Duration({}ns)", self.0)
+    }
+}
+
+/// Days from civil date (proleptic Gregorian), Howard Hinnant's algorithm.
+fn days_from_civil(y: i64, m: i64, d: i64) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m + 9) % 12; // Mar=0 .. Feb=11
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`]: nanos → ((y, m, d), nanos within day).
+fn civil_from_nanos(nanos: i64) -> ((i64, i64, i64), i64) {
+    let day_ns = 86_400 * NANOS_PER_SEC;
+    let days = nanos.div_euclid(day_ns);
+    let within = nanos.rem_euclid(day_ns);
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    ((y, m, d), within)
+}
+
+/// Parses a TBQL datetime literal.
+///
+/// Accepted forms: `YYYY-MM-DD`, `YYYY-MM-DD HH:MM:SS`,
+/// `YYYY-MM-DDTHH:MM:SS` (all UTC).
+pub fn parse_datetime(s: &str) -> Option<Timestamp> {
+    let s = s.trim();
+    let (date_part, time_part) = match s.split_once(|c| c == ' ' || c == 'T') {
+        Some((d, t)) => (d, Some(t)),
+        None => (s, None),
+    };
+    let mut dit = date_part.split('-');
+    let y: i64 = dit.next()?.parse().ok()?;
+    let m: i64 = dit.next()?.parse().ok()?;
+    let d: i64 = dit.next()?.parse().ok()?;
+    if dit.next().is_some() || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    let mut secs_in_day: i64 = 0;
+    if let Some(t) = time_part {
+        let mut tit = t.split(':');
+        let h: i64 = tit.next()?.parse().ok()?;
+        let mi: i64 = tit.next()?.parse().ok()?;
+        let se: i64 = match tit.next() {
+            Some(x) => x.parse().ok()?,
+            None => 0,
+        };
+        if tit.next().is_some() || h >= 24 || mi >= 60 || se >= 61 {
+            return None;
+        }
+        secs_in_day = h * 3600 + mi * 60 + se;
+    }
+    let days = days_from_civil(y, m, d);
+    Some(Timestamp(
+        days * 86_400 * NANOS_PER_SEC + secs_in_day * NANOS_PER_SEC,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_1970() {
+        assert_eq!(parse_datetime("1970-01-01"), Some(Timestamp(0)));
+        assert_eq!(
+            parse_datetime("1970-01-01 00:00:01"),
+            Some(Timestamp(NANOS_PER_SEC))
+        );
+    }
+
+    #[test]
+    fn known_dates() {
+        // 2018-04-06 15:00 UTC — the first DARPA TC case timestamp.
+        let ts = parse_datetime("2018-04-06 15:00:00").unwrap();
+        assert_eq!(ts.0 / NANOS_PER_SEC, 1_523_026_800);
+        assert_eq!(format!("{ts}"), "2018-04-06 15:00:00");
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for s in [
+            "1999-12-31 23:59:59",
+            "2000-02-29 00:00:00",
+            "2021-02-25 12:34:56",
+        ] {
+            let ts = parse_datetime(s).unwrap();
+            assert_eq!(format!("{ts}"), s);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(parse_datetime("not a date"), None);
+        assert_eq!(parse_datetime("2021-13-01"), None);
+        assert_eq!(parse_datetime("2021-01-32"), None);
+        assert_eq!(parse_datetime("2021-01-01 25:00:00"), None);
+        assert_eq!(parse_datetime("2021-01-01 00:61:00"), None);
+    }
+
+    #[test]
+    fn t_separator_accepted() {
+        assert_eq!(
+            parse_datetime("2021-02-25T01:02:03"),
+            parse_datetime("2021-02-25 01:02:03")
+        );
+    }
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(Duration::from_unit(5, "min"), Some(Duration::from_secs(300)));
+        assert_eq!(Duration::from_unit(2, "h"), Some(Duration::from_secs(7200)));
+        assert_eq!(Duration::from_unit(1, "day"), Some(Duration::from_secs(86_400)));
+        assert_eq!(Duration::from_unit(1, "fortnight"), None);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Timestamp::from_secs(100);
+        assert_eq!(t.plus(Duration::from_secs(5)), Timestamp::from_secs(105));
+        assert_eq!(t.minus(Duration::from_secs(5)), Timestamp::from_secs(95));
+        assert_eq!(
+            Timestamp::from_secs(105).since(t),
+            Duration::from_secs(5)
+        );
+    }
+}

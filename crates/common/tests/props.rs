@@ -1,0 +1,64 @@
+//! Property-based tests for the shared primitives.
+
+use proptest::prelude::*;
+use raptor_common::strdist::{containment_overlap, levenshtein, similarity};
+use raptor_common::time::{parse_datetime, Timestamp, NANOS_PER_SEC};
+
+proptest! {
+    /// Levenshtein is a metric: identity, symmetry, triangle inequality.
+    #[test]
+    fn levenshtein_metric_axioms(a in "[a-z/._]{0,12}", b in "[a-z/._]{0,12}", c in "[a-z/._]{0,12}") {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    /// Distance is bounded by the longer string's length.
+    #[test]
+    fn levenshtein_bounded(a in "[a-z]{0,16}", b in "[a-z]{0,16}") {
+        let d = levenshtein(&a, &b);
+        prop_assert!(d <= a.len().max(b.len()));
+        // And at least the length difference.
+        prop_assert!(d >= a.len().abs_diff(b.len()));
+    }
+
+    /// Similarity stays in [0, 1]; overlap too.
+    #[test]
+    fn similarity_bounds(a in "[a-z/.]{0,16}", b in "[a-z/.]{0,16}") {
+        let s = similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        let o = containment_overlap(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&o));
+    }
+
+    /// A single edit moves the distance by at most one.
+    #[test]
+    fn single_edit_changes_distance_by_at_most_one(a in "[a-z]{1,12}", ch in proptest::char::range('a', 'z')) {
+        let mut edited = a.clone();
+        edited.pop();
+        edited.push(ch);
+        prop_assert!(levenshtein(&a, &edited) <= 1);
+    }
+
+    /// Datetime display/parse round-trip over a wide range of timestamps.
+    #[test]
+    fn datetime_roundtrip(secs in 0i64..8_000_000_000i64) {
+        let ts = Timestamp(secs * NANOS_PER_SEC);
+        let text = format!("{ts}");
+        let parsed = parse_datetime(&text);
+        prop_assert_eq!(parsed, Some(ts), "text {}", text);
+    }
+
+    /// The interner resolves every symbol to the exact string interned.
+    #[test]
+    fn interner_roundtrip(strings in proptest::collection::vec("[ -~]{0,24}", 0..50)) {
+        let mut interner = raptor_common::Interner::new();
+        let syms: Vec<_> = strings.iter().map(|s| interner.intern(s)).collect();
+        for (s, sym) in strings.iter().zip(syms) {
+            prop_assert_eq!(interner.resolve(sym), s.as_str());
+        }
+        // Interning is idempotent: count distinct strings.
+        let distinct: std::collections::HashSet<&String> = strings.iter().collect();
+        prop_assert_eq!(interner.len(), distinct.len());
+    }
+}

@@ -1,0 +1,54 @@
+//! # ThreatRaptor
+//!
+//! An OSCTI-driven cyber threat hunting system over system audit logs — a
+//! from-scratch Rust reproduction of *"Enabling Efficient Cyber Threat
+//! Hunting With Cyber Threat Intelligence"* (ICDE 2021).
+//!
+//! The facade ties the workspace together:
+//!
+//! ```text
+//!  OSCTI report ──► raptor-extract ──► threat behavior graph
+//!                                            │ (query synthesis, this crate)
+//!                                            ▼
+//!  audit records ─► raptor-audit ──► raptor-engine ◄── TBQL (raptor-tbql)
+//!                   (parse+reduce)   (SQL + Cypher backends)
+//! ```
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use threatraptor::ThreatRaptor;
+//! use raptor_audit::sim::Simulator;
+//! use raptor_common::time::Timestamp;
+//!
+//! // 1. Collect audit records (here: simulated).
+//! let mut sim = Simulator::new(1, Timestamp::from_secs(0));
+//! let shell = sim.boot_process("/bin/bash", "root");
+//! let tar = sim.spawn(shell, "/bin/tar", "tar cf /tmp/out.tar");
+//! sim.read_file(tar, "/etc/passwd", 4096, 4);
+//! let records = sim.finish();
+//!
+//! // 2. Stand up ThreatRaptor over the records.
+//! let raptor = ThreatRaptor::from_records(&records).unwrap();
+//!
+//! // 3. Hunt straight from CTI text.
+//! let report = "The attacker used /bin/tar to read credentials from /etc/passwd.";
+//! let outcome = raptor.hunt(report).unwrap();
+//! assert_eq!(outcome.results.rows.len(), 1);
+//! ```
+
+pub mod raptor;
+pub mod synthesis;
+
+pub use raptor::{HuntOutcome, ThreatRaptor};
+pub use synthesis::{synthesize, SynthesisPlan};
+
+// Re-export the sub-crates so downstream users need only one dependency.
+pub use raptor_audit as audit;
+pub use raptor_common as common;
+pub use raptor_engine as engine;
+pub use raptor_extract as extract;
+pub use raptor_graphstore as graphstore;
+pub use raptor_nlp as nlp;
+pub use raptor_relstore as relstore;
+pub use raptor_tbql as tbql;

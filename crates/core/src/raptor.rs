@@ -1,0 +1,198 @@
+//! The ThreatRaptor facade.
+//!
+//! One struct that owns the loaded stores and exposes the whole pipeline:
+//! ingest audit records, extract threat behavior from OSCTI text, synthesize
+//! TBQL, execute (exact or fuzzy), or run hand-written TBQL directly
+//! ("proactive threat hunting" in the paper's terms).
+
+use raptor_audit::{reduce, LogParser, ParsedLog, SyscallRecord};
+use raptor_common::error::Result;
+use raptor_engine::exec::{Engine, EngineStats, ExecMode, ResultTable};
+use raptor_engine::fuzzy::{self, FuzzyConfig, FuzzyOutcome, QueryGraph};
+use raptor_engine::load::load;
+use raptor_engine::provenance::{build_from_stores, ProvTimings};
+use raptor_extract::{extract, ExtractionOutput, ThreatBehaviorGraph};
+use raptor_tbql::print::print_query;
+use raptor_tbql::{analyze, parse_tbql, Query};
+
+use crate::synthesis::{synthesize, SynthesisPlan};
+
+/// Everything a text-driven hunt produces.
+#[derive(Debug)]
+pub struct HuntOutcome {
+    /// The extraction output (entities, triples, graph, timings).
+    pub extraction: ExtractionOutput,
+    /// The synthesized query (AST) and its rendered text.
+    pub query: Query,
+    pub query_text: String,
+    /// Execution results.
+    pub results: ResultTable,
+    pub engine_stats: EngineStats,
+}
+
+/// The ThreatRaptor system: loaded stores + query engine.
+pub struct ThreatRaptor {
+    engine: Engine,
+}
+
+impl ThreatRaptor {
+    /// Parses raw audit records (applying the data-reduction pass with the
+    /// paper's 1 s threshold) and loads both storage backends.
+    pub fn from_records(records: &[SyscallRecord]) -> Result<Self> {
+        let mut log = LogParser::parse(records);
+        reduce::merge_events(&mut log.events, reduce::DEFAULT_THRESHOLD);
+        Self::from_log(&log)
+    }
+
+    /// Loads an already-parsed (and reduced) log.
+    pub fn from_log(log: &ParsedLog) -> Result<Self> {
+        Ok(ThreatRaptor { engine: Engine::new(load(log)?) })
+    }
+
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Extracts a threat behavior graph from OSCTI text (Algorithm 1).
+    pub fn extract_report(&self, text: &str) -> ExtractionOutput {
+        extract(text)
+    }
+
+    /// Synthesizes a TBQL query from a threat behavior graph.
+    pub fn synthesize_query(
+        &self,
+        graph: &ThreatBehaviorGraph,
+        plan: &SynthesisPlan,
+    ) -> Result<Query> {
+        synthesize(graph, plan)
+    }
+
+    /// End-to-end hunt: text → graph → TBQL → execution (exact search).
+    pub fn hunt(&self, report: &str) -> Result<HuntOutcome> {
+        self.hunt_with_plan(report, &SynthesisPlan::default())
+    }
+
+    /// End-to-end hunt with a custom synthesis plan.
+    pub fn hunt_with_plan(&self, report: &str, plan: &SynthesisPlan) -> Result<HuntOutcome> {
+        let extraction = self.extract_report(report);
+        let query = synthesize(&extraction.graph, plan)?;
+        let query_text = print_query(&query);
+        let aq = analyze(&query)?;
+        let (results, engine_stats) = self.engine.execute(&aq, ExecMode::Scheduled)?;
+        Ok(HuntOutcome { extraction, query, query_text, results, engine_stats })
+    }
+
+    /// Runs a hand-written TBQL query (proactive hunting).
+    pub fn query(&self, tbql: &str) -> Result<ResultTable> {
+        let (table, _) = self.engine.execute_text(tbql, ExecMode::Scheduled)?;
+        Ok(table)
+    }
+
+    /// Runs a TBQL query under a specific execution mode (used by the
+    /// benchmark harness for the giant-SQL / giant-Cypher baselines).
+    pub fn query_with_mode(&self, tbql: &str, mode: ExecMode) -> Result<(ResultTable, EngineStats)> {
+        self.engine.execute_text(tbql, mode)
+    }
+
+    /// Fuzzy search: aligns a TBQL query against the provenance graph using
+    /// inexact (Poirot-style) graph pattern matching. Returns the outcome
+    /// plus the loading/preprocessing timings of Table IX.
+    pub fn fuzzy_query(&self, tbql: &str, cfg: &FuzzyConfig) -> Result<(FuzzyOutcome, ProvTimings)> {
+        let q = parse_tbql(tbql)?;
+        let aq = analyze(&q)?;
+        let (prov, timings) = build_from_stores(&self.engine.stores)?;
+        let qg = QueryGraph::from_analyzed(&aq);
+        Ok((fuzzy::search(&prov, &qg, cfg), timings))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raptor_audit::sim::{generate_background, BackgroundProfile, Simulator};
+    use raptor_common::time::Timestamp;
+
+    fn system_with_fig2_attack() -> ThreatRaptor {
+        let mut sim = Simulator::new(2024, Timestamp::from_secs(1_500_000_000));
+        generate_background(
+            &mut sim,
+            &BackgroundProfile { users: 4, sessions: 40, ..Default::default() },
+        );
+        let shell = sim.boot_process("/bin/bash", "root");
+        let tar = sim.spawn(shell, "/bin/tar", "tar cf /tmp/upload.tar");
+        sim.read_file(tar, "/etc/passwd", 4096, 4);
+        sim.write_file(tar, "/tmp/upload.tar", 4096, 4);
+        sim.exit(tar);
+        let bzip = sim.spawn(shell, "/bin/bzip2", "bzip2");
+        sim.read_file(bzip, "/tmp/upload.tar", 4096, 2);
+        sim.write_file(bzip, "/tmp/upload.tar.bz2", 2048, 2);
+        sim.exit(bzip);
+        let gpg = sim.spawn(shell, "/usr/bin/gpg", "gpg");
+        sim.read_file(gpg, "/tmp/upload.tar.bz2", 2048, 2);
+        sim.write_file(gpg, "/tmp/upload", 2048, 2);
+        sim.exit(gpg);
+        let curl = sim.spawn(shell, "/usr/bin/curl", "curl");
+        sim.read_file(curl, "/tmp/upload", 2048, 2);
+        let fd = sim.connect(curl, "192.168.29.128", 443);
+        sim.send(curl, fd, 2048, 4);
+        sim.exit(curl);
+        ThreatRaptor::from_records(&sim.finish()).unwrap()
+    }
+
+    const FIG2_TEXT: &str = "\
+As a first step, the attacker used /bin/tar to read user credentials \
+from /etc/passwd. It wrote the gathered information to a file /tmp/upload.tar. \
+/bin/bzip2 read from /tmp/upload.tar and wrote to /tmp/upload.tar.bz2. \
+This corresponds to the launched process /usr/bin/gpg reading from /tmp/upload.tar.bz2. \
+/usr/bin/gpg then wrote the sensitive information to /tmp/upload. \
+Finally, the attacker used /usr/bin/curl to read the data from /tmp/upload. \
+He leaked the data back to the C2 host by using /usr/bin/curl to connect to 192.168.29.128.";
+
+    #[test]
+    fn end_to_end_hunt_finds_the_attack() {
+        let raptor = system_with_fig2_attack();
+        let outcome = raptor.hunt(FIG2_TEXT).unwrap();
+        assert_eq!(outcome.extraction.graph.edges.len(), 8);
+        assert_eq!(outcome.results.rows.len(), 1, "{:?}", outcome.results.rows);
+        let row = &outcome.results.rows[0];
+        assert!(row.contains(&"/bin/tar".to_string()));
+        assert!(row.contains(&"192.168.29.128".to_string()));
+    }
+
+    #[test]
+    fn proactive_query_without_oscti() {
+        let raptor = system_with_fig2_attack();
+        let r = raptor
+            .query(r#"proc p["%curl%"] connect ip i return p, i"#)
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][1], "192.168.29.128");
+    }
+
+    #[test]
+    fn fuzzy_query_tolerates_typos() {
+        let raptor = system_with_fig2_attack();
+        let (out, timings) = raptor
+            .fuzzy_query(
+                r#"proc p["%/usr/bin/cur1%"] connect ip i["192.168.29.128"] as e1 return p, i"#,
+                &FuzzyConfig::default(),
+            )
+            .unwrap();
+        assert!(!out.alignments.is_empty());
+        assert!(timings.loading >= 0.0);
+        // The exact search finds nothing for the typo'd IOC.
+        let exact = raptor
+            .query(r#"proc p["%/usr/bin/cur1%"] connect ip i["192.168.29.128"] as e1 return p, i"#)
+            .unwrap();
+        assert!(exact.rows.is_empty());
+    }
+
+    #[test]
+    fn hunt_with_path_plan() {
+        let raptor = system_with_fig2_attack();
+        let plan = SynthesisPlan { use_path_patterns: true, ..Default::default() };
+        let outcome = raptor.hunt_with_plan(FIG2_TEXT, &plan).unwrap();
+        assert!(outcome.query_text.contains("~>"));
+        assert_eq!(outcome.results.rows.len(), 1);
+    }
+}

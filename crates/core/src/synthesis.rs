@@ -1,0 +1,432 @@
+//! TBQL query synthesis (Section III-E).
+//!
+//! Turns a threat behavior graph into a TBQL query in four steps:
+//!
+//! 1. **Pre-synthesis screening & IOC relation mapping** — nodes whose IOC
+//!    types are not captured by the auditing component (domains, URLs,
+//!    hashes, registry keys, ...) are dropped with their edges; each
+//!    remaining edge's relation verb is mapped to a TBQL operation by rules
+//!    keyed on (verb, source type, destination type) — e.g. `download`
+//!    between two file paths ⇒ `write` (a process writes the file), but
+//!    `download` from a file path to an IP ⇒ `read` (a process reads from
+//!    the network). Unmapped relations drop their edges.
+//! 2. **TBQL pattern synthesis** — source nodes become `proc` entities,
+//!    sinks become `ip` / `file` / `proc` entities depending on IOC type and
+//!    mapped operation; attribute strings get `%` wildcards (IPs stay
+//!    exact). The default plan emits event patterns; a [`SynthesisPlan`] can
+//!    request variable-length path patterns instead.
+//! 3. **Pattern relationship synthesis** — edge sequence numbers become a
+//!    `with evtᵢ before evtⱼ` chain (omitted for path patterns).
+//! 4. **Return synthesis** — all entity ids, `distinct`, default attributes.
+
+use raptor_common::error::{Error, Result};
+use raptor_common::hash::FxHashMap;
+use raptor_extract::{GraphEdge, IocType, ThreatBehaviorGraph};
+use raptor_tbql::{
+    Arrow, AttrExpr, EntityDecl, EntityType, OpExpr, Pattern, PatternOp, Query, RelClause,
+    ReturnClause, TemporalOp, Value, Window,
+};
+
+/// Operations a synthesized pattern can carry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum MappedOp {
+    Read,
+    Write,
+    Execute,
+    Start,
+    Connect,
+    Rename,
+}
+
+impl MappedOp {
+    fn name(self) -> &'static str {
+        match self {
+            MappedOp::Read => "read",
+            MappedOp::Write => "write",
+            MappedOp::Execute => "execute",
+            MappedOp::Start => "start",
+            MappedOp::Connect => "connect",
+            MappedOp::Rename => "rename",
+        }
+    }
+}
+
+/// Is this IOC type observable by the system auditing component?
+fn captured(ty: IocType) -> bool {
+    ty.is_file_like() || ty == IocType::Ip
+}
+
+/// The IOC-relation mapping rules: (verb, src family, dst family) → op.
+/// Returns `None` when no rule matches (the edge is screened out).
+fn map_relation(verb: &str, src: IocType, dst: IocType) -> Option<MappedOp> {
+    let dst_net = dst == IocType::Ip;
+    let files = src.is_file_like() && dst.is_file_like();
+    Some(match verb {
+        // Data acquisition: to a file ⇒ the process writes it; from the
+        // network ⇒ the process reads the connection.
+        "download" | "fetch" | "retrieve" | "receive" | "pull" => {
+            if dst_net {
+                MappedOp::Read
+            } else if files {
+                MappedOp::Write
+            } else {
+                return None;
+            }
+        }
+        // Reading-flavoured verbs.
+        "read" | "open" | "access" | "scan" | "scrape" | "load" | "steal" | "gather"
+        | "collect" | "extract" | "crack" | "dump" => {
+            if dst_net {
+                MappedOp::Read
+            } else if files {
+                MappedOp::Read
+            } else {
+                return None;
+            }
+        }
+        // Writing-flavoured verbs; toward the network they are exfiltration.
+        "write" | "drop" | "save" | "store" | "copy" | "create" | "install" | "modify"
+        | "append" | "compress" | "encrypt" | "encode" | "pack" | "zip" | "inject" => {
+            if dst_net {
+                MappedOp::Write
+            } else if files {
+                MappedOp::Write
+            } else {
+                return None;
+            }
+        }
+        "upload" | "send" | "leak" | "exfiltrate" | "transfer" | "mail" => {
+            if dst_net {
+                MappedOp::Write
+            } else if files {
+                MappedOp::Write
+            } else {
+                return None;
+            }
+        }
+        // Execution: a file event by default — the paper's documented
+        // ambiguity ("run" could equally be a process-start event).
+        "execute" | "run" => {
+            if files {
+                MappedOp::Execute
+            } else {
+                return None;
+            }
+        }
+        // Process creation.
+        "launch" | "start" | "spawn" => {
+            if files {
+                MappedOp::Start
+            } else {
+                return None;
+            }
+        }
+        // Network contact.
+        "connect" | "beacon" | "visit" => {
+            if dst_net {
+                MappedOp::Connect
+            } else {
+                return None;
+            }
+        }
+        "rename" => {
+            if files {
+                MappedOp::Rename
+            } else {
+                return None;
+            }
+        }
+        _ => return None,
+    })
+}
+
+/// Synthesis configuration ("user-defined synthesis plans" in the paper).
+#[derive(Clone, Debug)]
+pub struct SynthesisPlan {
+    /// Emit variable-length event path patterns instead of event patterns
+    /// (bridges threat steps that audit logs record via intermediate
+    /// processes omitted from the OSCTI text).
+    pub use_path_patterns: bool,
+    /// Maximum path length for path patterns (None = unbounded).
+    pub path_max_len: Option<u32>,
+    /// Optional global time window added to the query.
+    pub window: Option<Window>,
+    /// Emit the temporal `with` chain (event patterns only).
+    pub temporal_chain: bool,
+}
+
+impl Default for SynthesisPlan {
+    fn default() -> Self {
+        SynthesisPlan {
+            use_path_patterns: false,
+            path_max_len: Some(3),
+            window: None,
+            temporal_chain: true,
+        }
+    }
+}
+
+/// Wraps an IOC string in `%` wildcards (IPs stay exact, as in Figure 2).
+fn attr_value(text: &str, exact: bool) -> AttrExpr {
+    let v = if exact { text.to_string() } else { format!("%{text}%") };
+    AttrExpr::Bare { negated: false, value: Value::Str(v) }
+}
+
+/// Synthesizes a TBQL query from a threat behavior graph.
+///
+/// Returns an error when screening/mapping leaves no usable edge (the paper:
+/// extraction "is not applicable if the OSCTI text ... contains little
+/// useful information").
+pub fn synthesize(graph: &ThreatBehaviorGraph, plan: &SynthesisPlan) -> Result<Query> {
+    // Step 1: screening + relation mapping.
+    struct MappedEdge<'a> {
+        edge: &'a GraphEdge,
+        op: MappedOp,
+    }
+    let mut edges: Vec<MappedEdge<'_>> = Vec::new();
+    for e in &graph.edges {
+        let src = &graph.nodes[e.src];
+        let dst = &graph.nodes[e.dst];
+        if !captured(src.ioc_type) || !captured(dst.ioc_type) {
+            continue;
+        }
+        if let Some(op) = map_relation(&e.relation, src.ioc_type, dst.ioc_type) {
+            edges.push(MappedEdge { edge: e, op });
+        }
+    }
+    if edges.is_empty() {
+        return Err(Error::config(
+            "no synthesizable edges: the threat behavior graph has no relations \
+             over auditable IOC types",
+        ));
+    }
+
+    // Step 2: entity synthesis. Each graph node gets one entity id per role
+    // kind it plays (a file IOC can act as a process when it is a source and
+    // as a file when it is a sink — e.g. a dropped-then-running implant).
+    let mut entity_ids: FxHashMap<(usize, EntityType), String> = FxHashMap::default();
+    let mut counters = (0usize, 0usize, 0usize); // proc, file, ip
+    let mut declared: FxHashMap<String, bool> = FxHashMap::default(); // id → filter emitted?
+    let mut entity_for = |node: usize, ty: EntityType| -> String {
+        if let Some(id) = entity_ids.get(&(node, ty)) {
+            return id.clone();
+        }
+        let id = match ty {
+            EntityType::Proc => {
+                counters.0 += 1;
+                format!("p{}", counters.0)
+            }
+            EntityType::File => {
+                counters.1 += 1;
+                format!("f{}", counters.1)
+            }
+            EntityType::Ip => {
+                counters.2 += 1;
+                format!("i{}", counters.2)
+            }
+        };
+        entity_ids.insert((node, ty), id.clone());
+        id
+    };
+
+    let mut patterns = Vec::with_capacity(edges.len());
+    let mut order: Vec<String> = Vec::new(); // pattern ids in seq order
+    for (k, me) in edges.iter().enumerate() {
+        let src_node = &graph.nodes[me.edge.src];
+        let dst_node = &graph.nodes[me.edge.dst];
+        // Source is always a process entity.
+        let subj_id = entity_for(me.edge.src, EntityType::Proc);
+        let subj_filter = if !declared.get(&subj_id).copied().unwrap_or(false) {
+            declared.insert(subj_id.clone(), true);
+            Some(attr_value(&src_node.text, false))
+        } else {
+            None
+        };
+        // Object kind: by IOC type and mapped operation.
+        let obj_ty = if dst_node.ioc_type == IocType::Ip {
+            EntityType::Ip
+        } else if me.op == MappedOp::Start {
+            EntityType::Proc
+        } else {
+            EntityType::File
+        };
+        let obj_id = entity_for(me.edge.dst, obj_ty);
+        let obj_filter = if !declared.get(&obj_id).copied().unwrap_or(false) {
+            declared.insert(obj_id.clone(), true);
+            Some(attr_value(&dst_node.text, obj_ty == EntityType::Ip))
+        } else {
+            None
+        };
+        let op_expr = OpExpr::Op(me.op.name().to_string());
+        let op = if plan.use_path_patterns {
+            PatternOp::Path {
+                arrow: Arrow::Fuzzy,
+                min: None,
+                max: plan.path_max_len,
+                op: Some(op_expr),
+            }
+        } else {
+            PatternOp::Event(op_expr)
+        };
+        let id = format!("evt{}", k + 1);
+        order.push(id.clone());
+        patterns.push(Pattern {
+            subject: EntityDecl { ty: EntityType::Proc, id: subj_id, filter: subj_filter },
+            op,
+            object: EntityDecl { ty: obj_ty, id: obj_id, filter: obj_filter },
+            id: Some(id),
+            event_filter: None,
+            window: None,
+        });
+    }
+
+    // Step 3: temporal chain (event patterns only).
+    let relations = if plan.temporal_chain && !plan.use_path_patterns {
+        order
+            .windows(2)
+            .map(|w| RelClause::Temporal {
+                left: w[0].clone(),
+                op: TemporalOp::Before,
+                range: None,
+                right: w[1].clone(),
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    // Step 4: return clause — all entity ids, first-appearance order.
+    let mut seen = raptor_common::FxHashSet::default();
+    let mut items = Vec::new();
+    for p in &patterns {
+        for id in [&p.subject.id, &p.object.id] {
+            if seen.insert(id.clone()) {
+                items.push(raptor_tbql::AttrRef { base: id.clone(), attr: None });
+            }
+        }
+    }
+
+    let global_filters = plan
+        .window
+        .clone()
+        .map(|w| vec![raptor_tbql::GlobalFilter::Window(w)])
+        .unwrap_or_default();
+
+    Ok(Query {
+        global_filters,
+        patterns,
+        relations,
+        ret: ReturnClause { distinct: true, items },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raptor_extract::extract;
+    use raptor_tbql::print::print_query;
+
+    const FIG2_TEXT: &str = "\
+As a first step, the attacker used /bin/tar to read user credentials \
+from /etc/passwd. It wrote the gathered information to a file /tmp/upload.tar. \
+/bin/bzip2 read from /tmp/upload.tar and wrote to /tmp/upload.tar.bz2. \
+This corresponds to the launched process /usr/bin/gpg reading from /tmp/upload.tar.bz2. \
+/usr/bin/gpg then wrote the sensitive information to /tmp/upload. \
+Finally, the attacker used /usr/bin/curl to read the data from /tmp/upload. \
+He leaked the data back to the C2 host by using /usr/bin/curl to connect to 192.168.29.128.";
+
+    #[test]
+    fn figure2_synthesis_matches_paper_structure() {
+        let out = extract(FIG2_TEXT);
+        let q = synthesize(&out.graph, &SynthesisPlan::default()).unwrap();
+        // 8 event patterns, chained with 7 before-relations, distinct return.
+        assert_eq!(q.patterns.len(), 8, "{}", print_query(&q));
+        assert_eq!(q.relations.len(), 7);
+        assert!(q.ret.distinct);
+        // Entity reuse: the tar process appears in two patterns with one
+        // filter declaration.
+        assert_eq!(q.patterns[0].subject.id, q.patterns[1].subject.id);
+        assert!(q.patterns[0].subject.filter.is_some());
+        assert!(q.patterns[1].subject.filter.is_none());
+        // The IP is exact, files are wildcarded.
+        let printed = print_query(&q);
+        assert!(printed.contains(r#"ip i1["192.168.29.128"]"#), "{printed}");
+        assert!(printed.contains(r#"["%/etc/passwd%"]"#), "{printed}");
+        // Round-trips through the parser and analyzer.
+        let reparsed = raptor_tbql::parse_tbql(&printed).unwrap();
+        raptor_tbql::analyze(&reparsed).unwrap();
+    }
+
+    #[test]
+    fn mapping_rules_match_paper_examples() {
+        use IocType::*;
+        // download between file paths ⇒ write.
+        assert_eq!(map_relation("download", FilePath, FilePath), Some(MappedOp::Write));
+        // download from file path to IP ⇒ read.
+        assert_eq!(map_relation("download", FilePath, Ip), Some(MappedOp::Read));
+        assert_eq!(map_relation("connect", FilePath, Ip), Some(MappedOp::Connect));
+        assert_eq!(map_relation("launch", FilePath, FileName), Some(MappedOp::Start));
+        assert_eq!(map_relation("run", FilePath, FilePath), Some(MappedOp::Execute));
+        // Unknown verbs map nowhere.
+        assert_eq!(map_relation("resemble", FilePath, FilePath), None);
+        // connect to a file makes no sense.
+        assert_eq!(map_relation("connect", FilePath, FilePath), None);
+    }
+
+    #[test]
+    fn screening_drops_unauditable_types() {
+        let text = "The malware /tmp/implant beacons to evil-c2.com. \
+                    It wrote the stolen data to /tmp/out.dat.";
+        let out = extract(text);
+        // Graph has a domain node, but the synthesized query must not.
+        let q = synthesize(&out.graph, &SynthesisPlan::default()).unwrap();
+        let printed = print_query(&q);
+        assert!(!printed.contains("evil-c2.com"), "{printed}");
+        assert!(printed.contains("/tmp/out.dat"), "{printed}");
+    }
+
+    #[test]
+    fn start_relation_yields_proc_object() {
+        let text = "The dropper /tmp/stage1 launched /tmp/stage2.";
+        let out = extract(text);
+        let q = synthesize(&out.graph, &SynthesisPlan::default()).unwrap();
+        assert_eq!(q.patterns.len(), 1);
+        assert_eq!(q.patterns[0].object.ty, EntityType::Proc);
+        match &q.patterns[0].op {
+            PatternOp::Event(OpExpr::Op(op)) => assert_eq!(op, "start"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn path_plan_emits_paths_without_temporal_chain() {
+        let out = extract(FIG2_TEXT);
+        let plan = SynthesisPlan { use_path_patterns: true, ..Default::default() };
+        let q = synthesize(&out.graph, &plan).unwrap();
+        assert!(q.patterns.iter().all(|p| matches!(p.op, PatternOp::Path { .. })));
+        assert!(q.relations.is_empty());
+        let printed = print_query(&q);
+        assert!(printed.contains("~>(~3)[read]"), "{printed}");
+        raptor_tbql::analyze(&raptor_tbql::parse_tbql(&printed).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn empty_graph_is_an_error() {
+        let out = extract("Nothing threatening is described here at all.");
+        assert!(synthesize(&out.graph, &SynthesisPlan::default()).is_err());
+    }
+
+    #[test]
+    fn dual_role_node_gets_two_entities() {
+        // stage2 is written as a file, then connects as a process.
+        let text = "The loader /tmp/stage1 wrote the implant /tmp/stage2. \
+                    /tmp/stage2 connected to 10.9.8.7.";
+        let out = extract(text);
+        let q = synthesize(&out.graph, &SynthesisPlan::default()).unwrap();
+        let printed = print_query(&q);
+        // stage2 appears both as file object and process subject.
+        assert!(printed.contains(r#"file f1["%/tmp/stage2%"]"#), "{printed}");
+        assert!(printed.contains(r#"proc p2["%/tmp/stage2%"]"#), "{printed}");
+        raptor_tbql::analyze(&raptor_tbql::parse_tbql(&printed).unwrap()).unwrap();
+    }
+}

@@ -1,0 +1,805 @@
+//! Query execution.
+//!
+//! Three execution paths, matching the four query variants of Table VIII:
+//!
+//! * [`ExecMode::Scheduled`] — ThreatRaptor's plan: compile each pattern to
+//!   a small SQL/Cypher data query, execute in pruning-score order with
+//!   `IN`-filter propagation, then join per-pattern matches on shared
+//!   entities, apply `with`-clause constraints, and project. (Variants (a)
+//!   and (c): event patterns run on the relational store, length-1 path
+//!   patterns on the graph store.)
+//! * [`ExecMode::GiantSql`] — one giant compiled SQL statement (variant (b)).
+//! * [`ExecMode::GiantCypher`] — one giant compiled Cypher statement
+//!   (variant (d)).
+//!
+//! All three return the same [`ResultTable`] for the same query — the
+//! backend-equivalence integration tests assert it.
+
+use raptor_common::error::{Error, Result};
+use raptor_common::hash::{FxHashMap, FxHashSet};
+use raptor_common::time::Duration;
+use raptor_graphstore::cypher::{exec as gexec, parse_cypher};
+use raptor_tbql::analyze::{AnalyzedQuery, RetItem};
+use raptor_tbql::{analyze, parse_tbql, CmpOp, PatternOp, RelClause, TemporalOp};
+
+use crate::compile::{
+    cypher_for_path_pattern, giant_cypher, giant_sql, sql_for_event_pattern, table_for_type,
+    CompileCtx, Propagation,
+};
+use crate::load::LoadedStores;
+use crate::schedule::execution_order;
+
+/// Execution strategy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExecMode {
+    Scheduled,
+    GiantSql,
+    GiantCypher,
+}
+
+/// Engine-level execution statistics.
+#[derive(Clone, Debug, Default)]
+pub struct EngineStats {
+    /// Number of data queries issued (scheduled mode).
+    pub data_queries: usize,
+    /// The compiled data-query texts, in execution order.
+    pub query_texts: Vec<String>,
+    /// Patterns whose result was empty (query short-circuited).
+    pub short_circuited: bool,
+}
+
+/// A query result: projected column names and stringly rows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResultTable {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Rows as a sorted set (order-insensitive comparison in tests).
+    pub fn sorted_rows(&self) -> Vec<Vec<String>> {
+        let mut rows = self.rows.clone();
+        rows.sort();
+        rows
+    }
+}
+
+/// One pattern match: subject/object entity ids plus (for patterns with a
+/// final hop) the event id and its timestamps.
+#[derive(Clone, Copy, Debug)]
+struct Match {
+    subj: i64,
+    obj: i64,
+    evt: i64,
+    start: i64,
+    end: i64,
+}
+
+/// The query engine over a pair of loaded stores.
+pub struct Engine {
+    pub stores: LoadedStores,
+    /// Hop cap for unbounded variable-length paths.
+    pub max_hops: u32,
+}
+
+impl Engine {
+    pub fn new(stores: LoadedStores) -> Self {
+        Engine { stores, max_hops: gexec::DEFAULT_MAX_HOPS }
+    }
+
+    /// Parses, analyzes and executes a TBQL query text.
+    pub fn execute_text(&self, tbql: &str, mode: ExecMode) -> Result<(ResultTable, EngineStats)> {
+        let q = parse_tbql(tbql)?;
+        let aq = analyze(&q)?;
+        self.execute(&aq, mode)
+    }
+
+    /// Executes an analyzed query.
+    pub fn execute(&self, aq: &AnalyzedQuery, mode: ExecMode) -> Result<(ResultTable, EngineStats)> {
+        match mode {
+            ExecMode::Scheduled => self.execute_scheduled(aq),
+            ExecMode::GiantSql => self.execute_giant_sql(aq),
+            ExecMode::GiantCypher => self.execute_giant_cypher(aq),
+        }
+    }
+
+    fn ctx<'a>(&self, aq: &'a AnalyzedQuery) -> CompileCtx<'a> {
+        CompileCtx { aq, now_ns: self.stores.now_ns }
+    }
+
+    /// Executes each pattern's data query *independently* (no propagation,
+    /// no cross-pattern join) and returns the matched event ids per pattern.
+    /// This is the hunting-evaluation view: every pattern contributes its
+    /// matches even when another pattern (e.g. an excessive synthesized one)
+    /// matches nothing. Patterns without a final hop contribute no events.
+    pub fn pattern_event_matches(
+        &self,
+        aq: &AnalyzedQuery,
+    ) -> Result<Vec<(String, Vec<i64>)>> {
+        let ctx = self.ctx(aq);
+        let mut empty = Propagation::default();
+        self.seed_entity_candidates(aq, &mut empty)?;
+        let mut out = Vec::with_capacity(aq.patterns.len());
+        for p in &aq.patterns {
+            let mut ids: Vec<i64> = if p.is_path() {
+                let cy = cypher_for_path_pattern(&ctx, p, &empty)?;
+                let parsed = parse_cypher(&cy)?;
+                let r = gexec::execute(&self.stores.graph, &parsed, self.max_hops)?;
+                r.rows
+                    .iter()
+                    .filter(|row| row.len() >= 5)
+                    .filter_map(|row| row[2].as_int())
+                    .collect()
+            } else {
+                let sql = sql_for_event_pattern(&ctx, p, &empty)?;
+                let r = self.stores.rel.query(&sql)?;
+                r.rows.iter().filter_map(|row| row[2].as_int()).collect()
+            };
+            ids.sort_unstable();
+            ids.dedup();
+            out.push((p.id.clone(), ids));
+        }
+        Ok(out)
+    }
+
+    fn execute_giant_sql(&self, aq: &AnalyzedQuery) -> Result<(ResultTable, EngineStats)> {
+        let sql = giant_sql(&self.ctx(aq))?;
+        let r = self.stores.rel.query(&sql)?;
+        let stats = EngineStats {
+            data_queries: 1,
+            query_texts: vec![sql],
+            short_circuited: false,
+        };
+        Ok((ResultTable { columns: r.columns.clone(), rows: r.rendered_rows() }, stats))
+    }
+
+    fn execute_giant_cypher(&self, aq: &AnalyzedQuery) -> Result<(ResultTable, EngineStats)> {
+        let cy = giant_cypher(&self.ctx(aq))?;
+        let parsed = parse_cypher(&cy)?;
+        let r = gexec::execute(&self.stores.graph, &parsed, self.max_hops)?;
+        let rows = r
+            .rows
+            .iter()
+            .map(|row| row.iter().map(gexec::GVal::render).collect())
+            .collect();
+        let stats =
+            EngineStats { data_queries: 1, query_texts: vec![cy], short_circuited: false };
+        Ok((ResultTable { columns: r.columns, rows }, stats))
+    }
+
+    /// Seeds the propagation table by resolving every filtered entity to its
+    /// candidate ids with one small indexed query per entity — the "parts"
+    /// with the highest pruning power always execute first.
+    fn seed_entity_candidates(&self, aq: &AnalyzedQuery, prop: &mut Propagation) -> Result<usize> {
+        let mut queries = 0usize;
+        for id in &aq.entity_order {
+            let e = &aq.entities[id];
+            let Some(filter) = &e.filter else { continue };
+            let sql = crate::compile::entity_candidate_sql(id, e.ty, filter);
+            let r = self.stores.rel.query(&sql)?;
+            queries += 1;
+            let mut ids: Vec<i64> = r.rows.iter().filter_map(|row| row[0].as_int()).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            prop.entity_ids.insert(id.clone(), ids);
+        }
+        Ok(queries)
+    }
+
+    fn execute_scheduled(&self, aq: &AnalyzedQuery) -> Result<(ResultTable, EngineStats)> {
+        let ctx = self.ctx(aq);
+        let order = execution_order(aq);
+        let mut prop = Propagation::default();
+        let mut stats = EngineStats::default();
+        stats.data_queries += self.seed_entity_candidates(aq, &mut prop)?;
+        let mut matches: Vec<Option<Vec<Match>>> = vec![None; aq.patterns.len()];
+
+        for &idx in &order {
+            let p = &aq.patterns[idx];
+            let rows: Vec<Match> = if p.is_path() {
+                let cy = cypher_for_path_pattern(&ctx, p, &prop)?;
+                stats.query_texts.push(cy.clone());
+                let parsed = parse_cypher(&cy)?;
+                let r = gexec::execute(&self.stores.graph, &parsed, self.max_hops)?;
+                r.rows
+                    .iter()
+                    .map(|row| {
+                        let subj = row[0].as_int().unwrap_or(-1);
+                        let obj = row[1].as_int().unwrap_or(-1);
+                        if row.len() >= 5 {
+                            Match {
+                                subj,
+                                obj,
+                                evt: row[2].as_int().unwrap_or(-1),
+                                start: row[3].as_int().unwrap_or(0),
+                                end: row[4].as_int().unwrap_or(0),
+                            }
+                        } else {
+                            Match { subj, obj, evt: -1, start: 0, end: 0 }
+                        }
+                    })
+                    .collect()
+            } else {
+                let sql = sql_for_event_pattern(&ctx, p, &prop)?;
+                stats.query_texts.push(sql.clone());
+                let r = self.stores.rel.query(&sql)?;
+                r.rows
+                    .iter()
+                    .map(|row| Match {
+                        subj: as_i64(&row[0]),
+                        obj: as_i64(&row[1]),
+                        evt: as_i64(&row[2]),
+                        start: as_i64(&row[3]),
+                        end: as_i64(&row[4]),
+                    })
+                    .collect()
+            };
+            stats.data_queries += 1;
+            // Propagate distinct entity ids into later data queries.
+            for (var, extract) in [
+                (&p.subject, 0usize),
+                (&p.object, 1usize),
+            ] {
+                let mut ids: Vec<i64> = rows
+                    .iter()
+                    .map(|m| if extract == 0 { m.subj } else { m.obj })
+                    .collect();
+                ids.sort_unstable();
+                ids.dedup();
+                match prop.entity_ids.get_mut(var.as_str()) {
+                    Some(existing) => {
+                        let set: FxHashSet<i64> = ids.into_iter().collect();
+                        existing.retain(|x| set.contains(x));
+                    }
+                    None => {
+                        prop.entity_ids.insert(var.clone(), ids);
+                    }
+                }
+            }
+            let empty = rows.is_empty();
+            matches[idx] = Some(rows);
+            if empty {
+                stats.short_circuited = true;
+                break;
+            }
+        }
+
+        let columns: Vec<String> = aq
+            .ret
+            .iter()
+            .map(|r| format!("{}.{}", r.base, r.attr))
+            .collect();
+        if stats.short_circuited {
+            return Ok((ResultTable { columns, rows: Vec::new() }, stats));
+        }
+
+        // --- join per-pattern matches on shared entity variables ---
+        // Tuples hold one row index per pattern.
+        let n = aq.patterns.len();
+        let pattern_rows: Vec<&Vec<Match>> =
+            matches.iter().map(|m| m.as_ref().expect("all executed")).collect();
+        // Where does entity var appear in pattern k? (as subject/object)
+        let var_positions = |k: usize| -> Vec<(&str, bool)> {
+            let p = &aq.patterns[k];
+            vec![(p.subject.as_str(), true), (p.object.as_str(), false)]
+        };
+        let mut tuples: Vec<Vec<u32>> = pattern_rows[0]
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let mut t = vec![u32::MAX; n];
+                t[0] = i as u32;
+                t
+            })
+            .collect();
+        let mut bound: Vec<usize> = vec![0];
+        for k in 1..n {
+            // Join keys: vars of pattern k already bound in earlier patterns.
+            let mut keys: Vec<(bool, usize, bool)> = Vec::new();
+            // (new_is_subject, earlier_pattern, earlier_is_subject)
+            for (var, new_is_subj) in var_positions(k) {
+                for &j in &bound {
+                    if let Some(&(_, earlier_subj)) =
+                        var_positions(j).iter().find(|(v, _)| *v == var)
+                    {
+                        keys.push((new_is_subj, j, earlier_subj));
+                        break;
+                    }
+                }
+            }
+            let key_of_new = |m: &Match| -> Vec<i64> {
+                keys.iter()
+                    .map(|&(subj, _, _)| if subj { m.subj } else { m.obj })
+                    .collect()
+            };
+            let key_of_tuple = |t: &[u32]| -> Vec<i64> {
+                keys.iter()
+                    .map(|&(_, j, earlier_subj)| {
+                        let m = &pattern_rows[j][t[j] as usize];
+                        if earlier_subj {
+                            m.subj
+                        } else {
+                            m.obj
+                        }
+                    })
+                    .collect()
+            };
+            if keys.is_empty() {
+                let mut next = Vec::with_capacity(tuples.len() * pattern_rows[k].len().max(1));
+                for t in &tuples {
+                    for (i, _) in pattern_rows[k].iter().enumerate() {
+                        let mut nt = t.clone();
+                        nt[k] = i as u32;
+                        next.push(nt);
+                    }
+                }
+                tuples = next;
+            } else {
+                let mut build: FxHashMap<Vec<i64>, Vec<u32>> = FxHashMap::default();
+                for (i, m) in pattern_rows[k].iter().enumerate() {
+                    build.entry(key_of_new(m)).or_default().push(i as u32);
+                }
+                let mut next = Vec::new();
+                for t in &tuples {
+                    if let Some(rows) = build.get(&key_of_tuple(t)) {
+                        for &i in rows {
+                            let mut nt = t.clone();
+                            nt[k] = i;
+                            next.push(nt);
+                        }
+                    }
+                }
+                tuples = next;
+            }
+            bound.push(k);
+            // Also enforce same-var-within-pattern equality (self-loops) and
+            // repeated vars inside one pattern are handled by the compiled
+            // data query itself (subject = object join on same alias).
+        }
+
+        // --- with-clause constraints ---
+        let pat_index: FxHashMap<&str, usize> =
+            aq.patterns.iter().map(|p| (p.id.as_str(), p.index)).collect();
+        for rel in &aq.relations {
+            match rel {
+                RelClause::Temporal { left, op, range, right } => {
+                    let li = pat_index[left.as_str()];
+                    let ri = pat_index[right.as_str()];
+                    let range_ns = match range {
+                        Some((lo, hi, unit)) => {
+                            let u = Duration::from_unit(1, unit).ok_or_else(|| {
+                                Error::semantic(format!("unknown time unit `{unit}`"))
+                            })?;
+                            Some((lo * u.0, hi * u.0))
+                        }
+                        None => None,
+                    };
+                    tuples.retain(|t| {
+                        let l = &pattern_rows[li][t[li] as usize];
+                        let r = &pattern_rows[ri][t[ri] as usize];
+                        temporal_holds(*op, range_ns, l.start, r.start)
+                    });
+                }
+                RelClause::Attr { left, op, right } => {
+                    // Resolve both sides' values per tuple via entity lookups.
+                    let lvar = left.base.as_str();
+                    let rvar = right.base.as_str();
+                    let lattr = left.attr.as_deref().unwrap_or_default();
+                    let rattr = right.attr.as_deref().unwrap_or_default();
+                    let lvals = self.attr_map(aq, lvar, lattr, &tuples, &pattern_rows)?;
+                    let rvals = self.attr_map(aq, rvar, rattr, &tuples, &pattern_rows)?;
+                    let lpos = self.var_slot(aq, lvar)?;
+                    let rpos = self.var_slot(aq, rvar)?;
+                    tuples.retain(|t| {
+                        let lid = id_at(&pattern_rows, t, lpos);
+                        let rid = id_at(&pattern_rows, t, rpos);
+                        match (lvals.get(&lid), rvals.get(&rid)) {
+                            (Some(a), Some(b)) => cmp_strings(a, *op, b),
+                            _ => false,
+                        }
+                    });
+                }
+            }
+        }
+
+        // --- projection ---
+        let mut lookups: FxHashMap<(String, String), FxHashMap<i64, String>> =
+            FxHashMap::default();
+        for item in &aq.ret {
+            if item.is_event {
+                continue;
+            }
+            let slot = self.var_slot(aq, &item.base)?;
+            let ids: FxHashSet<i64> =
+                tuples.iter().map(|t| id_at(&pattern_rows, t, slot)).collect();
+            let map = self.fetch_entity_attr(aq, &item.base, &item.attr, &ids)?;
+            lookups.insert((item.base.clone(), item.attr.clone()), map);
+        }
+        // Event-attribute lookups beyond start/end/id go to the events table.
+        let mut event_attr_maps: FxHashMap<(String, String), FxHashMap<i64, String>> =
+            FxHashMap::default();
+        for item in &aq.ret {
+            if !item.is_event || matches!(item.attr.as_str(), "id" | "starttime" | "endtime") {
+                continue;
+            }
+            let pi = pat_index[item.base.as_str()];
+            let ids: FxHashSet<i64> = tuples
+                .iter()
+                .map(|t| pattern_rows[pi][t[pi] as usize].evt)
+                .filter(|&e| e >= 0)
+                .collect();
+            let map = self.fetch_table_attr("events", &item.attr, &ids)?;
+            event_attr_maps.insert((item.base.clone(), item.attr.clone()), map);
+        }
+
+        let mut rows: Vec<Vec<String>> = Vec::with_capacity(tuples.len());
+        for t in &tuples {
+            let mut row = Vec::with_capacity(aq.ret.len());
+            for item in &aq.ret {
+                row.push(self.project_item(aq, item, t, &pattern_rows, &lookups, &event_attr_maps, &pat_index)?);
+            }
+            rows.push(row);
+        }
+        if aq.distinct {
+            let mut seen: FxHashSet<Vec<String>> = FxHashSet::default();
+            rows.retain(|r| seen.insert(r.clone()));
+        }
+        Ok((ResultTable { columns, rows }, stats))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn project_item(
+        &self,
+        aq: &AnalyzedQuery,
+        item: &RetItem,
+        t: &[u32],
+        pattern_rows: &[&Vec<Match>],
+        lookups: &FxHashMap<(String, String), FxHashMap<i64, String>>,
+        event_attr_maps: &FxHashMap<(String, String), FxHashMap<i64, String>>,
+        pat_index: &FxHashMap<&str, usize>,
+    ) -> Result<String> {
+        if item.is_event {
+            let pi = pat_index[item.base.as_str()];
+            let m = &pattern_rows[pi][t[pi] as usize];
+            return Ok(match item.attr.as_str() {
+                "id" => m.evt.to_string(),
+                "starttime" => m.start.to_string(),
+                "endtime" => m.end.to_string(),
+                _ => event_attr_maps
+                    .get(&(item.base.clone(), item.attr.clone()))
+                    .and_then(|map| map.get(&m.evt))
+                    .cloned()
+                    .unwrap_or_default(),
+            });
+        }
+        let slot = self.var_slot(aq, &item.base)?;
+        let id = id_at(pattern_rows, t, slot);
+        Ok(lookups
+            .get(&(item.base.clone(), item.attr.clone()))
+            .and_then(|map| map.get(&id))
+            .cloned()
+            .unwrap_or_default())
+    }
+
+    /// Finds where entity `var` is bound: (pattern index, is_subject).
+    fn var_slot(&self, aq: &AnalyzedQuery, var: &str) -> Result<(usize, bool)> {
+        for p in &aq.patterns {
+            if p.subject == var {
+                return Ok((p.index, true));
+            }
+            if p.object == var {
+                return Ok((p.index, false));
+            }
+        }
+        Err(Error::semantic(format!("entity `{var}` not bound by any pattern")))
+    }
+
+    fn attr_map(
+        &self,
+        aq: &AnalyzedQuery,
+        var: &str,
+        attr: &str,
+        tuples: &[Vec<u32>],
+        pattern_rows: &[&Vec<Match>],
+    ) -> Result<FxHashMap<i64, String>> {
+        let slot = self.var_slot(aq, var)?;
+        let ids: FxHashSet<i64> = tuples.iter().map(|t| id_at(pattern_rows, t, slot)).collect();
+        self.fetch_entity_attr(aq, var, attr, &ids)
+    }
+
+    fn fetch_entity_attr(
+        &self,
+        aq: &AnalyzedQuery,
+        var: &str,
+        attr: &str,
+        ids: &FxHashSet<i64>,
+    ) -> Result<FxHashMap<i64, String>> {
+        let ty = aq.entities[var].ty;
+        self.fetch_table_attr(table_for_type(ty), attr, ids)
+    }
+
+    fn fetch_table_attr(
+        &self,
+        table: &str,
+        attr: &str,
+        ids: &FxHashSet<i64>,
+    ) -> Result<FxHashMap<i64, String>> {
+        let mut out = FxHashMap::default();
+        if ids.is_empty() {
+            return Ok(out);
+        }
+        let mut sorted: Vec<i64> = ids.iter().copied().collect();
+        sorted.sort_unstable();
+        for chunk in sorted.chunks(4096) {
+            let list: Vec<String> = chunk.iter().map(i64::to_string).collect();
+            let sql = format!(
+                "SELECT id, {attr} FROM {table} WHERE id IN ({})",
+                list.join(", ")
+            );
+            let r = self.stores.rel.query(&sql)?;
+            for row in &r.rows {
+                if let Some(id) = row[0].as_int() {
+                    out.insert(id, row[1].render());
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn id_at(pattern_rows: &[&Vec<Match>], t: &[u32], slot: (usize, bool)) -> i64 {
+    let m = &pattern_rows[slot.0][t[slot.0] as usize];
+    if slot.1 {
+        m.subj
+    } else {
+        m.obj
+    }
+}
+
+fn as_i64(v: &raptor_relstore::OwnedValue) -> i64 {
+    v.as_int().unwrap_or(-1)
+}
+
+fn temporal_holds(op: TemporalOp, range_ns: Option<(i64, i64)>, l_start: i64, r_start: i64) -> bool {
+    let delta = r_start - l_start;
+    match op {
+        TemporalOp::Before => match range_ns {
+            Some((lo, hi)) => delta >= lo && delta <= hi && delta > 0,
+            None => delta > 0,
+        },
+        TemporalOp::After => match range_ns {
+            Some((lo, hi)) => -delta >= lo && -delta <= hi && delta < 0,
+            None => delta < 0,
+        },
+        TemporalOp::Within => match range_ns {
+            Some((lo, hi)) => delta.abs() >= lo && delta.abs() <= hi,
+            None => true,
+        },
+    }
+}
+
+fn cmp_strings(a: &str, op: CmpOp, b: &str) -> bool {
+    // Numeric comparison when both sides parse as integers.
+    let ord = match (a.parse::<i64>(), b.parse::<i64>()) {
+        (Ok(x), Ok(y)) => x.cmp(&y),
+        _ => a.cmp(b),
+    };
+    match op {
+        CmpOp::Eq => ord.is_eq(),
+        CmpOp::Ne => !ord.is_eq(),
+        CmpOp::Lt => ord.is_lt(),
+        CmpOp::Le => ord.is_le(),
+        CmpOp::Gt => ord.is_gt(),
+        CmpOp::Ge => ord.is_ge(),
+    }
+}
+
+/// Rewrites an event-pattern query into the paper's length-1 event path
+/// variant (query type (c) of Table VIII): each `proc p OP file f` becomes
+/// `proc p ->[OP] file f`, executing on the graph backend.
+pub fn to_length1_path_query(q: &raptor_tbql::Query) -> raptor_tbql::Query {
+    let mut out = q.clone();
+    for p in &mut out.patterns {
+        if let PatternOp::Event(op) = &p.op {
+            p.op = PatternOp::Path {
+                arrow: raptor_tbql::Arrow::Single,
+                min: None,
+                max: None,
+                op: Some(op.clone()),
+            };
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::load;
+    use raptor_audit::sim::Simulator;
+    use raptor_audit::LogParser;
+    use raptor_common::time::Timestamp;
+
+    /// Builds the Figure 2 data-leak scenario plus background noise.
+    fn fig2_engine() -> Engine {
+        let mut sim = Simulator::new(99, Timestamp::from_secs(1_000_000));
+        raptor_audit::sim::generate_background(
+            &mut sim,
+            &raptor_audit::sim::BackgroundProfile { users: 3, sessions: 30, ..Default::default() },
+        );
+        let shell = sim.boot_process("/bin/bash", "root");
+        let tar = sim.spawn(shell, "/bin/tar", "tar cf /tmp/upload.tar /etc/passwd");
+        sim.read_file(tar, "/etc/passwd", 4096, 4);
+        sim.write_file(tar, "/tmp/upload.tar", 4096, 4);
+        sim.exit(tar);
+        let bzip = sim.spawn(shell, "/bin/bzip2", "bzip2 /tmp/upload.tar");
+        sim.read_file(bzip, "/tmp/upload.tar", 4096, 2);
+        sim.write_file(bzip, "/tmp/upload.tar.bz2", 2048, 2);
+        sim.exit(bzip);
+        let gpg = sim.spawn(shell, "/usr/bin/gpg", "gpg -c");
+        sim.read_file(gpg, "/tmp/upload.tar.bz2", 2048, 2);
+        sim.write_file(gpg, "/tmp/upload", 2048, 2);
+        sim.exit(gpg);
+        let curl = sim.spawn(shell, "/usr/bin/curl", "curl");
+        sim.read_file(curl, "/tmp/upload", 2048, 2);
+        let fd = sim.connect(curl, "192.168.29.128", 443);
+        sim.send(curl, fd, 2048, 2);
+        sim.exit(curl);
+        let mut log = LogParser::parse(&sim.finish());
+        raptor_audit::merge_events(&mut log.events, raptor_audit::reduce::DEFAULT_THRESHOLD);
+        Engine::new(load(&log).unwrap())
+    }
+
+    #[test]
+    fn figure2_query_finds_the_attack_scheduled() {
+        let engine = fig2_engine();
+        let (r, stats) = engine
+            .execute_text(raptor_tbql::parser::FIG2_QUERY, ExecMode::Scheduled)
+            .unwrap();
+        assert!(stats.data_queries >= 8, "{stats:?}");
+        assert_eq!(r.columns.len(), 9);
+        assert_eq!(r.rows.len(), 1, "{:?}", r.rows);
+        let row = &r.rows[0];
+        assert_eq!(row[0], "/bin/tar");
+        assert_eq!(row[1], "/etc/passwd");
+        assert_eq!(row[8], "192.168.29.128");
+    }
+
+    #[test]
+    fn giant_sql_agrees_with_scheduled() {
+        let engine = fig2_engine();
+        let (a, _) = engine
+            .execute_text(raptor_tbql::parser::FIG2_QUERY, ExecMode::Scheduled)
+            .unwrap();
+        let (b, _) = engine
+            .execute_text(raptor_tbql::parser::FIG2_QUERY, ExecMode::GiantSql)
+            .unwrap();
+        assert_eq!(a.sorted_rows(), b.sorted_rows());
+    }
+
+    #[test]
+    fn giant_cypher_agrees_with_scheduled() {
+        let engine = fig2_engine();
+        let (a, _) = engine
+            .execute_text(raptor_tbql::parser::FIG2_QUERY, ExecMode::Scheduled)
+            .unwrap();
+        let (c, _) = engine
+            .execute_text(raptor_tbql::parser::FIG2_QUERY, ExecMode::GiantCypher)
+            .unwrap();
+        assert_eq!(a.sorted_rows(), c.sorted_rows());
+    }
+
+    #[test]
+    fn length1_path_variant_agrees() {
+        let engine = fig2_engine();
+        let q = parse_tbql(raptor_tbql::parser::FIG2_QUERY).unwrap();
+        let path_q = to_length1_path_query(&q);
+        let aq = analyze(&path_q).unwrap();
+        let (r, stats) = engine.execute(&aq, ExecMode::Scheduled).unwrap();
+        // All 8 data queries went to the graph backend.
+        assert!(stats.query_texts.iter().all(|t| t.starts_with("MATCH")));
+        let (a, _) = engine
+            .execute_text(raptor_tbql::parser::FIG2_QUERY, ExecMode::Scheduled)
+            .unwrap();
+        assert_eq!(a.sorted_rows(), r.sorted_rows());
+    }
+
+    #[test]
+    fn temporal_constraints_filter() {
+        let engine = fig2_engine();
+        // Reversed temporal order matches nothing.
+        let q = "proc p4[\"%/usr/bin/curl%\"] connect ip i1 as e1 \
+                 proc p1[\"%/bin/tar%\"] read file f1[\"%/etc/passwd%\"] as e2 \
+                 with e1 before e2 return p4, i1";
+        let (r, _) = engine.execute_text(q, ExecMode::Scheduled).unwrap();
+        assert!(r.rows.is_empty());
+        // Correct order matches.
+        let q = "proc p4[\"%/usr/bin/curl%\"] connect ip i1 as e1 \
+                 proc p1[\"%/bin/tar%\"] read file f1[\"%/etc/passwd%\"] as e2 \
+                 with e2 before e1 return p4, i1";
+        let (r, _) = engine.execute_text(q, ExecMode::Scheduled).unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn short_circuit_on_empty_pattern() {
+        let engine = fig2_engine();
+        let q = "proc p[\"%/bin/nonexistent%\"] read file f as e1 \
+                 proc p2 read file f2 as e2 return p, f";
+        let (r, stats) = engine.execute_text(q, ExecMode::Scheduled).unwrap();
+        assert!(r.rows.is_empty());
+        assert!(stats.short_circuited);
+        // One entity-candidate seed + the first (empty) pattern; the second
+        // pattern is skipped.
+        let pattern_queries = stats
+            .query_texts
+            .iter()
+            .filter(|t| t.contains("FROM processes") && t.contains("events"))
+            .count();
+        assert!(pattern_queries <= 1, "second pattern skipped: {stats:?}");
+    }
+
+    #[test]
+    fn variable_length_path_bridges_intermediate_steps() {
+        let engine = fig2_engine();
+        // passwd's content flows to the C2 via tar→file→bzip2→...→curl→ip.
+        // A var-length path from the tar process reaches upload.tar.bz2 in
+        // 2 hops? No: proc→file edges only go one hop; information flow
+        // through files needs file→proc edges which system events do not
+        // have (reads point proc→file). Instead test proc p ~>(1~1)[write]:
+        let q = "proc p[\"%/bin/tar%\"] ~>(1~1)[write] file f return p, f";
+        let (r, _) = engine.execute_text(q, ExecMode::Scheduled).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][1], "/tmp/upload.tar");
+    }
+
+    #[test]
+    fn attribute_relationship_joins() {
+        let engine = fig2_engine();
+        // Same user wrote upload.tar and read it (root): join on user attr.
+        let q = "proc pa write file f[\"%/tmp/upload.tar%\"] as e1 \
+                 proc pb read file f as e2 \
+                 with pa.user = pb.user return pa, pb";
+        let (r, _) = engine.execute_text(q, ExecMode::Scheduled).unwrap();
+        assert!(!r.rows.is_empty());
+        // Disjoint users filter everything out.
+        let q2 = "proc pa write file f[\"%/tmp/upload.tar%\"] as e1 \
+                  proc pb read file f as e2 \
+                  with pa.user != pb.user return pa, pb";
+        let (r2, _) = engine.execute_text(q2, ExecMode::Scheduled).unwrap();
+        assert!(r2.rows.is_empty());
+    }
+
+    #[test]
+    fn event_attribute_return() {
+        let engine = fig2_engine();
+        let q = "proc p[\"%/bin/tar%\"] read file f[\"%/etc/passwd%\"] as e1 \
+                 return e1.amount, e1.optype, p";
+        let (r, _) = engine.execute_text(q, ExecMode::Scheduled).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], "4096");
+        assert_eq!(r.rows[0][1], "read");
+    }
+
+    #[test]
+    fn windows_restrict_results() {
+        let engine = fig2_engine();
+        let q = "proc p[\"%/bin/tar%\"] read file f[\"%/etc/passwd%\"] as e1 before 10 return p, f";
+        let (r, _) = engine.execute_text(q, ExecMode::Scheduled).unwrap();
+        assert!(r.rows.is_empty(), "window before epoch+10ns excludes all");
+        let q = "proc p[\"%/bin/tar%\"] read file f[\"%/etc/passwd%\"] as e1 after 10 return p, f";
+        let (r, _) = engine.execute_text(q, ExecMode::Scheduled).unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn propagation_shrinks_later_queries() {
+        let engine = fig2_engine();
+        let (_, stats) = engine
+            .execute_text(raptor_tbql::parser::FIG2_QUERY, ExecMode::Scheduled)
+            .unwrap();
+        // Later data queries carry IN filters from earlier ones.
+        let with_in = stats.query_texts.iter().filter(|t| t.contains(".id IN (")).count();
+        assert!(with_in >= 4, "expected propagated IN filters: {:#?}", stats.query_texts);
+    }
+}

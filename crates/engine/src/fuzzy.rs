@@ -1,0 +1,510 @@
+//! Fuzzy search: Poirot-style inexact graph pattern matching.
+//!
+//! A TBQL query specifies a subgraph of system events; the fuzzy mode aligns
+//! it against the provenance graph (Section III-F):
+//!
+//! * **node alignment** — Levenshtein similarity between IOC strings in the
+//!   query and entity attributes, so typos or small IOC changes still
+//!   retrieve the right entities,
+//! * **graph alignment** — each query flow (edge) aligns to a provenance
+//!   path; its influence score decays with the number of intermediate
+//!   processes on the path (Poirot's ancestor-influence idea:
+//!   `1 / 2^(hops-1)`); an alignment's score is the average of its flows'
+//!   best influences, accepted above a threshold.
+//!
+//! The **Poirot baseline** stops after the first acceptable alignment; the
+//! **ThreatRaptor-Fuzzy** mode searches exhaustively for all of them. Both
+//! run under a time budget — exceeding it reproduces the paper's `>3600 s`
+//! rows on dense, high-alignment graphs.
+
+use std::time::{Duration as StdDuration, Instant};
+
+use raptor_common::hash::FxHashMap;
+use raptor_common::strdist::similarity;
+use raptor_tbql::analyze::AnalyzedQuery;
+use raptor_tbql::{AttrExpr, EntityType, OpExpr, PatternOp, Value};
+
+use crate::provenance::{ProvGraph, ProvKind};
+
+/// A query-graph node: one TBQL entity variable.
+#[derive(Clone, Debug)]
+pub struct QueryNode {
+    pub var: String,
+    pub kind: ProvKind,
+    /// The IOC string constraint, wildcards stripped (None = unconstrained).
+    pub needle: Option<String>,
+}
+
+/// A query-graph flow: one TBQL pattern.
+#[derive(Clone, Debug)]
+pub struct QueryFlow {
+    pub src: usize,
+    pub dst: usize,
+    /// Required operation of the flow's final hop, when the pattern pins one.
+    pub op: Option<String>,
+}
+
+/// The query graph extracted from an analyzed TBQL query.
+#[derive(Clone, Debug, Default)]
+pub struct QueryGraph {
+    pub nodes: Vec<QueryNode>,
+    pub flows: Vec<QueryFlow>,
+}
+
+fn kind_of(ty: EntityType) -> ProvKind {
+    match ty {
+        EntityType::Proc => ProvKind::Process,
+        EntityType::File => ProvKind::File,
+        EntityType::Ip => ProvKind::NetConn,
+    }
+}
+
+/// Pulls the first default-attribute string literal out of a filter.
+fn needle_of(filter: &AttrExpr) -> Option<String> {
+    match filter {
+        AttrExpr::Cmp { value: Value::Str(s), .. } => {
+            let stripped = s.trim_matches('%');
+            if stripped.is_empty() {
+                None
+            } else {
+                Some(stripped.to_string())
+            }
+        }
+        AttrExpr::And(a, b) | AttrExpr::Or(a, b) => needle_of(a).or_else(|| needle_of(b)),
+        _ => None,
+    }
+}
+
+fn single_op(e: &OpExpr) -> Option<String> {
+    match e {
+        OpExpr::Op(s) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+impl QueryGraph {
+    /// Builds the query graph from an analyzed TBQL query.
+    pub fn from_analyzed(aq: &AnalyzedQuery) -> QueryGraph {
+        let mut nodes = Vec::new();
+        let mut index: FxHashMap<&str, usize> = FxHashMap::default();
+        for id in &aq.entity_order {
+            let e = &aq.entities[id];
+            index.insert(id.as_str(), nodes.len());
+            nodes.push(QueryNode {
+                var: id.clone(),
+                kind: kind_of(e.ty),
+                needle: e.filter.as_ref().and_then(needle_of),
+            });
+        }
+        let flows = aq
+            .patterns
+            .iter()
+            .map(|p| QueryFlow {
+                src: index[p.subject.as_str()],
+                dst: index[p.object.as_str()],
+                op: match &p.op {
+                    PatternOp::Event(op) => single_op(op),
+                    PatternOp::Path { op, .. } => op.as_ref().and_then(single_op),
+                },
+            })
+            .collect();
+        QueryGraph { nodes, flows }
+    }
+}
+
+/// Search configuration.
+#[derive(Clone, Debug)]
+pub struct FuzzyConfig {
+    /// Minimum Levenshtein similarity for node alignment.
+    pub node_sim_threshold: f64,
+    /// Minimum alignment score to accept.
+    pub accept_threshold: f64,
+    /// Maximum provenance path length per flow.
+    pub max_path_len: u32,
+    /// Wall-clock budget; exceeding it aborts with `timed_out`.
+    pub budget: StdDuration,
+    /// Exhaustive (ThreatRaptor-Fuzzy) vs first-acceptable (Poirot).
+    pub exhaustive: bool,
+}
+
+impl Default for FuzzyConfig {
+    fn default() -> Self {
+        FuzzyConfig {
+            node_sim_threshold: 0.7,
+            accept_threshold: 0.6,
+            max_path_len: 3,
+            budget: StdDuration::from_secs(3600),
+            exhaustive: true,
+        }
+    }
+}
+
+/// One accepted alignment.
+#[derive(Clone, Debug)]
+pub struct Alignment {
+    /// query node index → provenance node id.
+    pub node_map: Vec<(usize, u32)>,
+    pub score: f64,
+}
+
+/// Search outcome.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzyOutcome {
+    pub alignments: Vec<Alignment>,
+    pub timed_out: bool,
+    /// Candidate seed combinations examined.
+    pub candidates_considered: usize,
+    /// Searching-phase seconds.
+    pub searching: f64,
+}
+
+/// BFS over the provenance graph: distances (in hops) from `src` up to
+/// `max_len`, optionally requiring the final hop's op to match.
+fn reachable(prov: &ProvGraph, src: u32, max_len: u32) -> FxHashMap<u32, u32> {
+    let mut dist: FxHashMap<u32, u32> = FxHashMap::default();
+    let mut frontier = vec![src];
+    dist.insert(src, 0);
+    for d in 1..=max_len {
+        let mut next = Vec::new();
+        for &n in &frontier {
+            for &eidx in &prov.out[n as usize] {
+                let e = prov.edges[eidx as usize];
+                if !dist.contains_key(&e.dst) {
+                    dist.insert(e.dst, d);
+                    next.push(e.dst);
+                }
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    dist.remove(&src);
+    dist
+}
+
+/// Influence score of a flow aligned to a path of `len` hops (Poirot's decay
+/// with the number of intermediate compromised processes).
+fn influence(len: u32) -> f64 {
+    1.0 / f64::powi(2.0, len as i32 - 1)
+}
+
+/// Runs the fuzzy search.
+pub fn search(prov: &ProvGraph, qg: &QueryGraph, cfg: &FuzzyConfig) -> FuzzyOutcome {
+    let t0 = Instant::now();
+    let mut out = FuzzyOutcome::default();
+
+    // --- node alignment: candidates per constrained query node ---
+    let mut candidates: Vec<Vec<u32>> = Vec::with_capacity(qg.nodes.len());
+    for qn in &qg.nodes {
+        let mut cands = Vec::new();
+        if let Some(needle) = &qn.needle {
+            for (i, pn) in prov.nodes.iter().enumerate() {
+                if pn.kind != qn.kind {
+                    continue;
+                }
+                let sim_ok = pn.attr.contains(needle.as_str())
+                    || similarity(needle, &pn.attr) >= cfg.node_sim_threshold
+                    || basename_similarity(needle, &pn.attr) >= cfg.node_sim_threshold;
+                if sim_ok {
+                    cands.push(i as u32);
+                }
+            }
+        }
+        candidates.push(cands);
+    }
+
+    // Constrained nodes, fewest candidates first (Poirot's seed selection).
+    let unmatchable: Vec<bool> = (0..qg.nodes.len())
+        .map(|i| qg.nodes[i].needle.is_some() && candidates[i].is_empty())
+        .collect();
+    let mut constrained: Vec<usize> = (0..qg.nodes.len())
+        .filter(|&i| qg.nodes[i].needle.is_some() && !candidates[i].is_empty())
+        .collect();
+    constrained.sort_by_key(|&i| candidates[i].len());
+    // Constrained nodes with zero candidates stay unassigned: their flows
+    // contribute zero influence but do not abort the search — Poirot aligns
+    // best-effort, and an unmatched excess pattern should not veto the rest.
+    if constrained.is_empty() {
+        out.searching = t0.elapsed().as_secs_f64();
+        return out;
+    }
+
+    // --- graph alignment: enumerate assignments recursively ---
+    struct SearchState<'a> {
+        prov: &'a ProvGraph,
+        qg: &'a QueryGraph,
+        cfg: &'a FuzzyConfig,
+        constrained: &'a [usize],
+        candidates: &'a [Vec<u32>],
+        unmatchable: &'a [bool],
+        assignment: Vec<Option<u32>>,
+        bfs_cache: FxHashMap<u32, FxHashMap<u32, u32>>,
+        out: FuzzyOutcome,
+        t0: Instant,
+    }
+
+    /// Returns true when the search should stop (budget hit or first
+    /// alignment accepted in Poirot mode).
+    fn enumerate(st: &mut SearchState<'_>, depth: usize) -> bool {
+        if st.t0.elapsed() > st.cfg.budget {
+            st.out.timed_out = true;
+            return true;
+        }
+        if depth == st.constrained.len() {
+            st.out.candidates_considered += 1;
+            if let Some(al) = score_assignment(
+                st.prov,
+                st.qg,
+                &st.assignment,
+                st.unmatchable,
+                st.cfg,
+                &mut st.bfs_cache,
+            ) {
+                st.out.alignments.push(al);
+                if !st.cfg.exhaustive {
+                    return true;
+                }
+            }
+            return false;
+        }
+        let qi = st.constrained[depth];
+        for k in 0..st.candidates[qi].len() {
+            let cand = st.candidates[qi][k];
+            // Injectivity: distinct query nodes map to distinct entities.
+            if st.assignment.iter().any(|a| *a == Some(cand)) {
+                continue;
+            }
+            st.assignment[qi] = Some(cand);
+            if enumerate(st, depth + 1) {
+                return true;
+            }
+            st.assignment[qi] = None;
+        }
+        false
+    }
+
+    let mut st = SearchState {
+        prov,
+        qg,
+        cfg,
+        constrained: &constrained,
+        candidates: &candidates,
+        unmatchable: &unmatchable,
+        assignment: vec![None; qg.nodes.len()],
+        bfs_cache: FxHashMap::default(),
+        out,
+        t0,
+    };
+    enumerate(&mut st, 0);
+    let mut out = st.out;
+
+    // Best alignments first.
+    out.alignments
+        .sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    out.searching = t0.elapsed().as_secs_f64();
+    out
+}
+
+/// Scores one assignment; returns the alignment if it clears the threshold.
+fn score_assignment(
+    prov: &ProvGraph,
+    qg: &QueryGraph,
+    assignment: &[Option<u32>],
+    unmatchable: &[bool],
+    cfg: &FuzzyConfig,
+    bfs_cache: &mut FxHashMap<u32, FxHashMap<u32, u32>>,
+) -> Option<Alignment> {
+    if qg.flows.is_empty() {
+        return None;
+    }
+    let mut total = 0.0;
+    // Unconstrained nodes bind greedily through flows.
+    let mut local: Vec<Option<u32>> = assignment.to_vec();
+    for flow in &qg.flows {
+        // A flow touching a node whose IOC string matched nothing scores
+        // zero (it must not bind greedily to an arbitrary entity).
+        if unmatchable[flow.src] || unmatchable[flow.dst] {
+            continue;
+        }
+        let src = local[flow.src];
+        let dst = local[flow.dst];
+        let inf = match (src, dst) {
+            (Some(s), Some(d)) => {
+                let dist = bfs_cache
+                    .entry(s)
+                    .or_insert_with(|| reachable(prov, s, cfg.max_path_len));
+                dist.get(&d).map(|&l| influence(l)).unwrap_or(0.0)
+            }
+            (Some(s), None) => {
+                // Bind dst to the nearest compatible reachable node.
+                let want = qg.nodes[flow.dst].kind;
+                let dist = bfs_cache
+                    .entry(s)
+                    .or_insert_with(|| reachable(prov, s, cfg.max_path_len));
+                let best = dist
+                    .iter()
+                    .filter(|(&n, _)| prov.nodes[n as usize].kind == want)
+                    .min_by_key(|(_, &l)| l);
+                match best {
+                    Some((&n, &l)) => {
+                        local[flow.dst] = Some(n);
+                        influence(l)
+                    }
+                    None => 0.0,
+                }
+            }
+            (None, Some(d)) => {
+                // Walk backwards one-ish hop: use in-edges.
+                let want = qg.nodes[flow.src].kind;
+                let mut best: Option<u32> = None;
+                for &eidx in &prov.inn[d as usize] {
+                    let e = prov.edges[eidx as usize];
+                    if prov.nodes[e.src as usize].kind == want {
+                        best = Some(e.src);
+                        break;
+                    }
+                }
+                match best {
+                    Some(n) => {
+                        local[flow.src] = Some(n);
+                        influence(1)
+                    }
+                    None => 0.0,
+                }
+            }
+            (None, None) => 0.0,
+        };
+        total += inf;
+    }
+    let score = total / qg.flows.len() as f64;
+    if score < cfg.accept_threshold {
+        return None;
+    }
+    let node_map = local
+        .iter()
+        .enumerate()
+        .filter_map(|(i, a)| a.map(|n| (i, n)))
+        .collect();
+    Some(Alignment { node_map, score })
+}
+
+/// Similarity of path basenames (a typo in a file name should not be
+/// drowned out by a long identical directory prefix).
+fn basename_similarity(a: &str, b: &str) -> f64 {
+    let base = |s: &str| s.rsplit('/').next().unwrap_or(s).to_string();
+    similarity(&base(a), &base(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::load;
+    use crate::provenance::build_from_stores;
+    use raptor_audit::sim::Simulator;
+    use raptor_audit::LogParser;
+    use raptor_common::time::Timestamp;
+    use raptor_tbql::{analyze, parse_tbql};
+
+    fn prov_with_attack() -> ProvGraph {
+        let mut sim = Simulator::new(7, Timestamp::from_secs(0));
+        raptor_audit::sim::generate_background(
+            &mut sim,
+            &raptor_audit::sim::BackgroundProfile { users: 2, sessions: 15, ..Default::default() },
+        );
+        let shell = sim.boot_process("/bin/bash", "root");
+        let tar = sim.spawn(shell, "/bin/tar", "tar");
+        sim.read_file(tar, "/etc/passwd", 4096, 2);
+        sim.write_file(tar, "/tmp/upload.tar", 4096, 2);
+        let curl = sim.spawn(shell, "/usr/bin/curl", "curl");
+        sim.read_file(curl, "/tmp/upload.tar", 4096, 1);
+        let fd = sim.connect(curl, "192.168.29.128", 443);
+        sim.send(curl, fd, 4096, 1);
+        let log = LogParser::parse(&sim.finish());
+        let stores = load(&log).unwrap();
+        build_from_stores(&stores).unwrap().0
+    }
+
+    fn qg(text: &str) -> QueryGraph {
+        QueryGraph::from_analyzed(&analyze(&parse_tbql(text).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn exact_query_aligns() {
+        let prov = prov_with_attack();
+        let q = qg(r#"proc p["%/bin/tar%"] read file f["%/etc/passwd%"] as e1
+                      proc p write file g["%/tmp/upload.tar%"] as e2
+                      return p, f, g"#);
+        let out = search(&prov, &q, &FuzzyConfig::default());
+        assert!(!out.timed_out);
+        assert!(!out.alignments.is_empty());
+        assert!(out.alignments[0].score > 0.9);
+    }
+
+    #[test]
+    fn typo_in_ioc_still_aligns() {
+        let prov = prov_with_attack();
+        // "cur1" for "curl", "passwd" misspelled: Levenshtein absorbs both.
+        let q = qg(r#"proc p["%/usr/bin/cur1%"] connect ip i["192.168.29.128"] as e1
+                      return p, i"#);
+        let out = search(&prov, &q, &FuzzyConfig::default());
+        assert!(!out.alignments.is_empty(), "typo should still align");
+    }
+
+    #[test]
+    fn wrong_query_does_not_align() {
+        let prov = prov_with_attack();
+        let q = qg(r#"proc p["%/sbin/nonexistent-tool%"] read file f["%/etc/no-such-file%"] as e1
+                      return p, f"#);
+        let out = search(&prov, &q, &FuzzyConfig::default());
+        assert!(out.alignments.is_empty());
+    }
+
+    #[test]
+    fn poirot_stops_at_first_fuzzy_is_exhaustive() {
+        let prov = prov_with_attack();
+        // An under-constrained query with multiple possible alignments.
+        let q = qg(r#"proc p["%/bin/%"] read file f as e1 return p, f"#);
+        let mut cfg = FuzzyConfig { accept_threshold: 0.5, ..Default::default() };
+        cfg.exhaustive = false;
+        let poirot = search(&prov, &q, &cfg);
+        cfg.exhaustive = true;
+        let fuzzy = search(&prov, &q, &cfg);
+        assert!(poirot.alignments.len() <= 1);
+        assert!(fuzzy.alignments.len() >= poirot.alignments.len());
+    }
+
+    #[test]
+    fn budget_exhaustion_times_out() {
+        let prov = prov_with_attack();
+        let q = qg(r#"proc p["%/bin/%"] read file f["%o%"] as e1 return p, f"#);
+        let cfg = FuzzyConfig { budget: StdDuration::from_nanos(1), ..Default::default() };
+        let out = search(&prov, &q, &cfg);
+        assert!(out.timed_out);
+    }
+
+    #[test]
+    fn multi_hop_flow_scores_lower() {
+        let prov = prov_with_attack();
+        // tar -> upload.tar is 1 hop (score 1); a flow requiring the curl
+        // intermediary would be 2 hops via (tar)->(file)<-... not reachable
+        // forward; check influence decay directly.
+        assert_eq!(influence(1), 1.0);
+        assert_eq!(influence(2), 0.5);
+        assert_eq!(influence(3), 0.25);
+    }
+
+    #[test]
+    fn query_graph_extraction() {
+        let q = qg(r#"proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"] as e1
+                      proc p1 ~>(1~3)[write] file f2 as e2
+                      return p1, f1, f2"#);
+        assert_eq!(q.nodes.len(), 3);
+        assert_eq!(q.flows.len(), 2);
+        assert_eq!(q.nodes[0].needle.as_deref(), Some("/bin/tar"));
+        assert_eq!(q.flows[0].op.as_deref(), Some("read"));
+        assert_eq!(q.flows[1].op.as_deref(), Some("write"));
+        assert!(q.nodes[2].needle.is_none());
+    }
+}

@@ -1,0 +1,33 @@
+//! The TBQL query execution engine (Section III-F).
+//!
+//! Executes analyzed TBQL queries against the two storage backends:
+//!
+//! * [`load`] — loads a parsed audit log into the relational store (entity +
+//!   event tables with hash/btree/trigram indexes) and the graph store
+//!   (entities as nodes, events as edges), replicating data across both as
+//!   the paper does,
+//! * [`compile`] — compiles each TBQL pattern into a small, semantically
+//!   equivalent SQL (event patterns) or Cypher (path patterns) data query;
+//!   also emits the *giant* whole-query SQL/Cypher used as baselines and for
+//!   the Table X conciseness comparison,
+//! * [`schedule`] — the data-query scheduling algorithm: per-pattern
+//!   *pruning scores* (constraint counts; path patterns penalized by their
+//!   maximum length), highest score first, with intermediate results
+//!   propagated into dependent patterns as `IN` filters,
+//! * [`exec`] — the [`exec::Engine`]: scheduled execution, cross-pattern
+//!   joins on shared entities, `with`-clause evaluation, projection; plus
+//!   the giant-SQL and giant-Cypher execution paths,
+//! * [`provenance`] / [`fuzzy`] — the fuzzy search mode: Poirot-style
+//!   inexact graph pattern matching with Levenshtein node alignment and
+//!   ancestor-influence scoring; the Poirot baseline stops at the first
+//!   acceptable alignment, ThreatRaptor-Fuzzy searches exhaustively.
+
+pub mod compile;
+pub mod exec;
+pub mod fuzzy;
+pub mod load;
+pub mod provenance;
+pub mod schedule;
+
+pub use exec::{Engine, ExecMode, ResultTable};
+pub use load::LoadedStores;

@@ -1,0 +1,342 @@
+//! Loading parsed audit data into the storage backends.
+//!
+//! The paper replicates data across PostgreSQL and Neo4j "which supports the
+//! execution of different types of queries and improves data availability",
+//! with indexes on key attributes (file name, process executable name,
+//! source/destination IP). This module does the same against our embedded
+//! engines, using one consistent entity id across both stores.
+
+use raptor_audit::{EntityAttrs, EntityKind, ParsedLog};
+use raptor_common::error::Result;
+use raptor_graphstore::graph::PropIns;
+use raptor_graphstore::Graph;
+use raptor_relstore::db::Ins;
+use raptor_relstore::{ColumnDef, ColumnType, Database, TableSchema};
+
+/// Both backends, loaded with the same data.
+pub struct LoadedStores {
+    pub rel: Database,
+    pub graph: Graph,
+    /// Max event end time (reference point for `last N unit` windows).
+    pub now_ns: i64,
+}
+
+/// Node labels used in the graph store.
+pub const LABEL_PROCESS: &str = "Process";
+pub const LABEL_FILE: &str = "File";
+pub const LABEL_NETCONN: &str = "NetConn";
+pub const LABEL_EVENT: &str = "EVENT";
+
+/// Table name for an entity kind.
+pub fn table_for(kind: EntityKind) -> &'static str {
+    match kind {
+        EntityKind::File => "files",
+        EntityKind::Process => "processes",
+        EntityKind::NetConn => "netconns",
+    }
+}
+
+/// Graph label for an entity kind.
+pub fn label_for(kind: EntityKind) -> &'static str {
+    match kind {
+        EntityKind::File => LABEL_FILE,
+        EntityKind::Process => LABEL_PROCESS,
+        EntityKind::NetConn => LABEL_NETCONN,
+    }
+}
+
+fn audit_schema() -> Vec<TableSchema> {
+    use ColumnType::*;
+    vec![
+        TableSchema::new(
+            "files",
+            vec![
+                ColumnDef::new("id", Int),
+                ColumnDef::new("name", Str),
+                ColumnDef::new("path", Str),
+                ColumnDef::new("user", Str),
+                ColumnDef::new("group", Str),
+                ColumnDef::new("host", Int),
+            ],
+        ),
+        TableSchema::new(
+            "processes",
+            vec![
+                ColumnDef::new("id", Int),
+                ColumnDef::new("pid", Int),
+                ColumnDef::new("exename", Str),
+                ColumnDef::new("user", Str),
+                ColumnDef::new("group", Str),
+                ColumnDef::new("cmd", Str),
+                ColumnDef::new("host", Int),
+            ],
+        ),
+        TableSchema::new(
+            "netconns",
+            vec![
+                ColumnDef::new("id", Int),
+                ColumnDef::new("srcip", Str),
+                ColumnDef::new("srcport", Int),
+                ColumnDef::new("dstip", Str),
+                ColumnDef::new("dstport", Int),
+                ColumnDef::new("protocol", Str),
+                ColumnDef::new("host", Int),
+            ],
+        ),
+        TableSchema::new(
+            "events",
+            vec![
+                ColumnDef::new("id", Int),
+                ColumnDef::new("subject", Int),
+                ColumnDef::new("object", Int),
+                ColumnDef::new("optype", Str),
+                ColumnDef::new("kind", Str),
+                ColumnDef::new("starttime", Time),
+                ColumnDef::new("endtime", Time),
+                ColumnDef::new("duration", Int),
+                ColumnDef::new("amount", Int),
+                ColumnDef::new("failcode", Int),
+                ColumnDef::new("host", Int),
+            ],
+        ),
+    ]
+}
+
+/// Loads a parsed log into both stores and builds the indexes.
+pub fn load(log: &ParsedLog) -> Result<LoadedStores> {
+    let mut rel = Database::new();
+    for schema in audit_schema() {
+        rel.create_table(schema)?;
+    }
+
+    let mut graph = Graph::new();
+    let mut now_ns = i64::MIN;
+
+    // Entities. Graph node ids coincide with entity ids because entities are
+    // inserted in id order into an empty graph.
+    for e in &log.entities {
+        let id = e.id.index() as i64;
+        match &e.attrs {
+            EntityAttrs::File(f) => {
+                rel.insert(
+                    "files",
+                    &[
+                        Ins::Int(id),
+                        Ins::Str(&f.name),
+                        Ins::Str(&f.path),
+                        Ins::Str(&f.user),
+                        Ins::Str(&f.group),
+                        Ins::Int(e.host as i64),
+                    ],
+                )?;
+                graph.add_node(
+                    LABEL_FILE,
+                    &[
+                        ("id", PropIns::Int(id)),
+                        ("name", PropIns::Str(&f.name)),
+                        ("path", PropIns::Str(&f.path)),
+                        ("user", PropIns::Str(&f.user)),
+                        ("group", PropIns::Str(&f.group)),
+                        ("host", PropIns::Int(e.host as i64)),
+                    ],
+                );
+            }
+            EntityAttrs::Process(p) => {
+                rel.insert(
+                    "processes",
+                    &[
+                        Ins::Int(id),
+                        Ins::Int(p.pid as i64),
+                        Ins::Str(&p.exename),
+                        Ins::Str(&p.user),
+                        Ins::Str(&p.group),
+                        Ins::Str(&p.cmd),
+                        Ins::Int(e.host as i64),
+                    ],
+                )?;
+                graph.add_node(
+                    LABEL_PROCESS,
+                    &[
+                        ("id", PropIns::Int(id)),
+                        ("pid", PropIns::Int(p.pid as i64)),
+                        ("exename", PropIns::Str(&p.exename)),
+                        ("user", PropIns::Str(&p.user)),
+                        ("group", PropIns::Str(&p.group)),
+                        ("cmd", PropIns::Str(&p.cmd)),
+                        ("host", PropIns::Int(e.host as i64)),
+                    ],
+                );
+            }
+            EntityAttrs::NetConn(n) => {
+                rel.insert(
+                    "netconns",
+                    &[
+                        Ins::Int(id),
+                        Ins::Str(&n.src_ip),
+                        Ins::Int(n.src_port as i64),
+                        Ins::Str(&n.dst_ip),
+                        Ins::Int(n.dst_port as i64),
+                        Ins::Str(n.protocol.name()),
+                        Ins::Int(e.host as i64),
+                    ],
+                )?;
+                graph.add_node(
+                    LABEL_NETCONN,
+                    &[
+                        ("id", PropIns::Int(id)),
+                        ("srcip", PropIns::Str(&n.src_ip)),
+                        ("srcport", PropIns::Int(n.src_port as i64)),
+                        ("dstip", PropIns::Str(&n.dst_ip)),
+                        ("dstport", PropIns::Int(n.dst_port as i64)),
+                        ("protocol", PropIns::Str(n.protocol.name())),
+                        ("host", PropIns::Int(e.host as i64)),
+                    ],
+                );
+            }
+        }
+    }
+
+    // Events.
+    for ev in &log.events {
+        now_ns = now_ns.max(ev.end.0);
+        rel.insert(
+            "events",
+            &[
+                Ins::Int(ev.id.index() as i64),
+                Ins::Int(ev.subject.index() as i64),
+                Ins::Int(ev.object.index() as i64),
+                Ins::Str(ev.op.name()),
+                Ins::Str(ev.kind.name()),
+                Ins::Int(ev.start.0),
+                Ins::Int(ev.end.0),
+                Ins::Int(ev.duration().0),
+                Ins::Int(ev.amount as i64),
+                Ins::Int(ev.fail_code as i64),
+                Ins::Int(ev.host as i64),
+            ],
+        )?;
+        let src = raptor_graphstore::NodeId(ev.subject.0);
+        let dst = raptor_graphstore::NodeId(ev.object.0);
+        graph.add_edge(
+            src,
+            dst,
+            LABEL_EVENT,
+            &[
+                ("id", PropIns::Int(ev.id.index() as i64)),
+                ("optype", PropIns::Str(ev.op.name())),
+                ("starttime", PropIns::Int(ev.start.0)),
+                ("endtime", PropIns::Int(ev.end.0)),
+                ("amount", PropIns::Int(ev.amount as i64)),
+                ("failcode", PropIns::Int(ev.fail_code as i64)),
+                ("host", PropIns::Int(ev.host as i64)),
+            ],
+        )?;
+    }
+
+    // Indexes on key attributes (paper Section III-B), plus id lookups for
+    // scheduler propagation.
+    for (table, col) in [
+        ("files", "id"),
+        ("files", "name"),
+        ("processes", "id"),
+        ("processes", "exename"),
+        ("netconns", "id"),
+        ("netconns", "dstip"),
+        ("netconns", "srcip"),
+        ("events", "id"),
+        ("events", "subject"),
+        ("events", "object"),
+        ("events", "optype"),
+    ] {
+        rel.create_hash_index(table, col)?;
+    }
+    for (table, col) in [("files", "name"), ("processes", "exename"), ("netconns", "dstip")] {
+        rel.create_trigram_index(table, col)?;
+    }
+    rel.create_btree_index("events", "starttime")?;
+
+    for (label, key) in [
+        (LABEL_PROCESS, "exename"),
+        (LABEL_PROCESS, "id"),
+        (LABEL_FILE, "name"),
+        (LABEL_FILE, "id"),
+        (LABEL_NETCONN, "dstip"),
+        (LABEL_NETCONN, "id"),
+    ] {
+        graph.create_node_index(label, key);
+    }
+
+    if now_ns == i64::MIN {
+        now_ns = 0;
+    }
+    Ok(LoadedStores { rel, graph, now_ns })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raptor_audit::sim::Simulator;
+    use raptor_audit::LogParser;
+    use raptor_common::time::Timestamp;
+
+    fn sample_log() -> ParsedLog {
+        let mut sim = Simulator::new(5, Timestamp::from_secs(1000));
+        let shell = sim.boot_process("/bin/bash", "root");
+        let tar = sim.spawn(shell, "/bin/tar", "tar cf /tmp/upload.tar");
+        sim.read_file(tar, "/etc/passwd", 4096, 4);
+        sim.write_file(tar, "/tmp/upload.tar", 4096, 2);
+        let curl = sim.spawn(shell, "/usr/bin/curl", "curl");
+        let fd = sim.connect(curl, "192.168.29.128", 443);
+        sim.send(curl, fd, 1024, 2);
+        sim.exit(curl);
+        sim.exit(tar);
+        LogParser::parse(&sim.finish())
+    }
+
+    #[test]
+    fn both_stores_consistent() {
+        let log = sample_log();
+        let stores = load(&log).unwrap();
+        // Same number of entities as rows across entity tables.
+        let n_rel: i64 = ["files", "processes", "netconns"]
+            .iter()
+            .map(|t| stores.rel.query_count(&format!("SELECT COUNT(*) FROM {t}")).unwrap())
+            .sum();
+        assert_eq!(n_rel as usize, log.entities.len());
+        assert_eq!(stores.graph.node_count(), log.entities.len());
+        assert_eq!(
+            stores.rel.query_count("SELECT COUNT(*) FROM events").unwrap() as usize,
+            log.events.len()
+        );
+        assert_eq!(stores.graph.edge_count(), log.events.len());
+    }
+
+    #[test]
+    fn indexed_lookup_works_in_both() {
+        let stores = load(&sample_log()).unwrap();
+        let r = stores
+            .rel
+            .query("SELECT id FROM processes WHERE exename LIKE '%/bin/tar%'")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert!(r.stats.index_scans >= 1);
+        let sym = stores.graph.dict().get("/bin/tar").unwrap();
+        let nodes = stores
+            .graph
+            .indexed_nodes(LABEL_PROCESS, "exename", raptor_graphstore::PropValue::Str(sym))
+            .unwrap();
+        assert_eq!(nodes.len(), 1);
+        // Same entity id across stores.
+        let rel_id = r.rows[0][0].as_int().unwrap();
+        let g_id = stores.graph.node_prop(nodes[0], "id").unwrap();
+        assert_eq!(g_id, raptor_graphstore::PropValue::Int(rel_id));
+    }
+
+    #[test]
+    fn now_is_max_end_time() {
+        let log = sample_log();
+        let stores = load(&log).unwrap();
+        let max_end = log.events.iter().map(|e| e.end.0).max().unwrap();
+        assert_eq!(stores.now_ns, max_end);
+    }
+}

@@ -1,0 +1,205 @@
+//! The in-memory provenance graph used by the fuzzy search mode.
+//!
+//! The paper's fuzzy execution has three phases (Table IX): *loading* all
+//! system entities and events from the database into memory, *preprocessing*
+//! them into a provenance graph, and *searching* for alignments. This module
+//! implements the first two; [`crate::fuzzy`] implements the third.
+
+use std::time::Instant;
+
+use raptor_common::error::Result;
+use raptor_relstore::Value;
+
+use crate::load::LoadedStores;
+
+/// Entity kind of a provenance node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProvKind {
+    Process,
+    File,
+    NetConn,
+}
+
+/// A provenance node: one system entity with its identifying attribute.
+#[derive(Clone, Debug)]
+pub struct ProvNode {
+    pub kind: ProvKind,
+    /// The default identifying attribute (exename / name / dstip).
+    pub attr: String,
+}
+
+/// A provenance edge: one system event.
+#[derive(Clone, Copy, Debug)]
+pub struct ProvEdge {
+    pub src: u32,
+    pub dst: u32,
+    /// Operation name index into [`ProvGraph::ops`].
+    pub op: u16,
+    pub start: i64,
+}
+
+/// Phase timings (seconds).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProvTimings {
+    pub loading: f64,
+    pub preprocessing: f64,
+}
+
+/// The provenance graph.
+#[derive(Debug, Default)]
+pub struct ProvGraph {
+    pub nodes: Vec<ProvNode>,
+    pub edges: Vec<ProvEdge>,
+    pub out: Vec<Vec<u32>>,
+    pub inn: Vec<Vec<u32>>,
+    /// Distinct operation names.
+    pub ops: Vec<String>,
+}
+
+impl ProvGraph {
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Average out-degree (the density metric the paper uses to explain the
+    /// tc_theia timeouts).
+    pub fn avg_degree(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        self.edges.len() as f64 / self.nodes.len() as f64
+    }
+
+    fn op_index(&mut self, name: &str) -> u16 {
+        if let Some(i) = self.ops.iter().position(|o| o == name) {
+            return i as u16;
+        }
+        self.ops.push(name.to_string());
+        (self.ops.len() - 1) as u16
+    }
+}
+
+/// Loads entities and events out of the relational store (phase 1) and
+/// builds the provenance graph (phase 2).
+pub fn build_from_stores(stores: &LoadedStores) -> Result<(ProvGraph, ProvTimings)> {
+    let mut g = ProvGraph::default();
+    let dict = stores.rel.dict();
+
+    // --- loading: pull all rows into memory ---
+    let t0 = Instant::now();
+    struct RawEvent {
+        subj: i64,
+        obj: i64,
+        op: String,
+        start: i64,
+    }
+    let mut max_id: i64 = -1;
+    let mut raw_nodes: Vec<(i64, ProvKind, String)> = Vec::new();
+    for (table, kind, attr_col) in [
+        ("processes", ProvKind::Process, "exename"),
+        ("files", ProvKind::File, "name"),
+        ("netconns", ProvKind::NetConn, "dstip"),
+    ] {
+        let t = stores
+            .rel
+            .table(table)
+            .ok_or_else(|| raptor_common::Error::storage(format!("missing table {table}")))?;
+        let id_col = t.schema.require_column("id")?;
+        let a_col = t.schema.require_column(attr_col)?;
+        for (_, row) in t.iter() {
+            let id = match row[id_col] {
+                Value::Int(i) => i,
+                _ => continue,
+            };
+            let attr = match row[a_col] {
+                Value::Str(s) => dict.resolve(s).to_string(),
+                _ => String::new(),
+            };
+            max_id = max_id.max(id);
+            raw_nodes.push((id, kind, attr));
+        }
+    }
+    let events_table = stores
+        .rel
+        .table("events")
+        .ok_or_else(|| raptor_common::Error::storage("missing table events"))?;
+    let (sc, oc, opc, stc) = (
+        events_table.schema.require_column("subject")?,
+        events_table.schema.require_column("object")?,
+        events_table.schema.require_column("optype")?,
+        events_table.schema.require_column("starttime")?,
+    );
+    let mut raw_events: Vec<RawEvent> = Vec::with_capacity(events_table.len());
+    for (_, row) in events_table.iter() {
+        let (Value::Int(subj), Value::Int(obj), Value::Str(op), Value::Int(start)) =
+            (row[sc], row[oc], row[opc], row[stc])
+        else {
+            continue;
+        };
+        raw_events.push(RawEvent { subj, obj, op: dict.resolve(op).to_string(), start });
+    }
+    let loading = t0.elapsed().as_secs_f64();
+
+    // --- preprocessing: build the graph ---
+    let t1 = Instant::now();
+    let n = (max_id + 1).max(0) as usize;
+    g.nodes = vec![ProvNode { kind: ProvKind::File, attr: String::new() }; n];
+    for (id, kind, attr) in raw_nodes {
+        g.nodes[id as usize] = ProvNode { kind, attr };
+    }
+    g.out = vec![Vec::new(); n];
+    g.inn = vec![Vec::new(); n];
+    for e in raw_events {
+        if e.subj < 0 || e.obj < 0 || e.subj as usize >= n || e.obj as usize >= n {
+            continue;
+        }
+        let op = g.op_index(&e.op);
+        let idx = g.edges.len() as u32;
+        g.edges.push(ProvEdge { src: e.subj as u32, dst: e.obj as u32, op, start: e.start });
+        g.out[e.subj as usize].push(idx);
+        g.inn[e.obj as usize].push(idx);
+    }
+    let preprocessing = t1.elapsed().as_secs_f64();
+
+    Ok((g, ProvTimings { loading, preprocessing }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::load;
+    use raptor_audit::sim::Simulator;
+    use raptor_audit::LogParser;
+    use raptor_common::time::Timestamp;
+
+    #[test]
+    fn builds_from_stores() {
+        let mut sim = Simulator::new(11, Timestamp::from_secs(0));
+        let shell = sim.boot_process("/bin/bash", "root");
+        let tar = sim.spawn(shell, "/bin/tar", "tar");
+        sim.read_file(tar, "/etc/passwd", 100, 1);
+        let fd = sim.connect(tar, "1.2.3.4", 80);
+        sim.send(tar, fd, 10, 1);
+        let log = LogParser::parse(&sim.finish());
+        let stores = load(&log).unwrap();
+        let (g, t) = build_from_stores(&stores).unwrap();
+        assert_eq!(g.node_count(), log.entities.len());
+        assert_eq!(g.edge_count(), log.events.len());
+        assert!(t.loading >= 0.0 && t.preprocessing >= 0.0);
+        // tar has outgoing edges; passwd has incoming.
+        let tar_node = g
+            .nodes
+            .iter()
+            .position(|x| x.attr == "/bin/tar" && x.kind == ProvKind::Process)
+            .unwrap();
+        assert!(!g.out[tar_node].is_empty());
+        let passwd = g.nodes.iter().position(|x| x.attr == "/etc/passwd").unwrap();
+        assert!(!g.inn[passwd].is_empty());
+        assert!(g.avg_degree() > 0.0);
+        assert!(g.ops.iter().any(|o| o == "read"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Data-query scheduling (Section III-F).
+//!
+//! "For each TBQL pattern, ThreatRaptor computes a pruning score by counting
+//! the number of constraints declared; a TBQL pattern with more constraints
+//! has a higher score. For a variable-length event path pattern, we
+//! additionally consider the length of the path ...; a pattern with a
+//! smaller maximum path length has a higher score. Then ... if two TBQL
+//! patterns have dependencies (e.g., connected by the same system entity),
+//! ThreatRaptor will first execute the data query whose associated pattern
+//! has a higher pruning score, and then use the execution results to
+//! constrain the execution of the other data query."
+
+use raptor_tbql::analyze::{AnalyzedQuery, APattern};
+use raptor_tbql::{AttrExpr, Arrow, OpExpr, PatternOp};
+
+/// Counts constraint atoms in an attribute expression.
+fn attr_atoms(e: &AttrExpr) -> i64 {
+    match e {
+        AttrExpr::Bare { .. } | AttrExpr::Cmp { .. } | AttrExpr::InSet { .. } => 1,
+        AttrExpr::And(a, b) | AttrExpr::Or(a, b) => attr_atoms(a) + attr_atoms(b),
+    }
+}
+
+fn op_atoms(e: &OpExpr) -> i64 {
+    match e {
+        OpExpr::Op(_) => 1,
+        OpExpr::Not(i) => op_atoms(i),
+        OpExpr::And(a, b) | OpExpr::Or(a, b) => op_atoms(a) + op_atoms(b),
+    }
+}
+
+/// Hop count assumed for unbounded paths when scoring.
+const UNBOUNDED_PATH_LEN: u32 = 16;
+
+/// The pruning score of a pattern within its query.
+pub fn pruning_score(aq: &AnalyzedQuery, p: &APattern) -> i64 {
+    let mut constraints = 0i64;
+    for var in [&p.subject, &p.object] {
+        if let Some(f) = &aq.entities[var.as_str()].filter {
+            constraints += attr_atoms(f);
+        }
+    }
+    match &p.op {
+        PatternOp::Event(op) => constraints += op_atoms(op),
+        PatternOp::Path { op, .. } => {
+            if let Some(op) = op {
+                constraints += op_atoms(op);
+            }
+        }
+    }
+    if let Some(f) = &p.event_filter {
+        constraints += attr_atoms(f);
+    }
+    if p.window.is_some() {
+        constraints += 1;
+    }
+    constraints += aq.global_windows.len() as i64;
+
+    // Constraints dominate; path length is the penalty term.
+    let length_penalty = match &p.op {
+        PatternOp::Event(_) => 0,
+        PatternOp::Path { arrow: Arrow::Single, .. } => 1,
+        PatternOp::Path { max, .. } => max.unwrap_or(UNBOUNDED_PATH_LEN) as i64,
+    };
+    constraints * 100 - length_penalty
+}
+
+/// Execution order: pattern indices sorted by descending pruning score
+/// (ties break toward query order, keeping runs deterministic).
+pub fn execution_order(aq: &AnalyzedQuery) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..aq.patterns.len()).collect();
+    order.sort_by_key(|&i| (-pruning_score(aq, &aq.patterns[i]), i));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raptor_tbql::{analyze, parse_tbql};
+
+    fn analyzed(text: &str) -> AnalyzedQuery {
+        analyze(&parse_tbql(text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn more_constraints_scores_higher() {
+        let aq = analyzed(
+            r#"proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"] as e1
+               proc p2 read file f2 as e2
+               return f1"#,
+        );
+        let s1 = pruning_score(&aq, &aq.patterns[0]);
+        let s2 = pruning_score(&aq, &aq.patterns[1]);
+        assert!(s1 > s2, "{s1} vs {s2}");
+        assert_eq!(execution_order(&aq), vec![0, 1]);
+    }
+
+    #[test]
+    fn shorter_paths_score_higher() {
+        let aq = analyzed(
+            r#"proc p1["%x%"] ~>(~2)[read] file f1 as e1
+               proc p2["%x%"] ~>(~8)[read] file f2 as e2
+               return f1"#,
+        );
+        assert!(pruning_score(&aq, &aq.patterns[0]) > pruning_score(&aq, &aq.patterns[1]));
+    }
+
+    #[test]
+    fn unbounded_path_scores_lowest() {
+        let aq = analyzed(
+            r#"proc p1["%x%"] ~>[read] file f1 as e1
+               proc p2["%x%"] ~>(~4)[read] file f2 as e2
+               return f1"#,
+        );
+        assert_eq!(execution_order(&aq), vec![1, 0]);
+    }
+
+    #[test]
+    fn event_beats_path_at_equal_constraints() {
+        let aq = analyzed(
+            r#"proc p1["%x%"] ~>(~4)[read] file f1 as e1
+               proc p2["%x%"] read file f2 as e2
+               return f1"#,
+        );
+        assert_eq!(execution_order(&aq), vec![1, 0]);
+    }
+
+    #[test]
+    fn shared_entity_filter_counts_for_both_patterns() {
+        // p is filtered once but constrains both patterns that use it.
+        let aq = analyzed(
+            r#"proc p["%tar%"] read file f1 as e1
+               proc p write file f2 as e2
+               proc q read file f3 as e3
+               return f1"#,
+        );
+        assert!(pruning_score(&aq, &aq.patterns[1]) > pruning_score(&aq, &aq.patterns[2]));
+    }
+
+    #[test]
+    fn order_is_deterministic_under_ties() {
+        let aq = analyzed(
+            r#"proc a read file b as e1
+               proc c read file d as e2
+               return b"#,
+        );
+        assert_eq!(execution_order(&aq), vec![0, 1]);
+    }
+}

@@ -1,0 +1,12 @@
+fn main() {
+    let text = "\
+As a first step, the attacker used /bin/tar to read user credentials \
+from /etc/passwd. It wrote the gathered information to a file /tmp/upload.tar. \
+/bin/bzip2 read from /tmp/upload.tar and wrote to /tmp/upload.tar.bz2. \
+This corresponds to the launched process /usr/bin/gpg reading from /tmp/upload.tar.bz2. \
+/usr/bin/gpg then wrote the sensitive information to /tmp/upload. \
+Finally, the attacker used /usr/bin/curl to read the data from /tmp/upload. \
+He leaked the data back to the C2 host by using /usr/bin/curl to connect to 192.168.29.128.";
+    let out = raptor_extract::extract(text);
+    println!("{}", out.graph.render());
+}

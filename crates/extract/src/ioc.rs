@@ -1,0 +1,451 @@
+//! IOC recognition.
+//!
+//! Hand-written scanners (extending the coverage of the open-source
+//! ioc-parser the paper started from — e.g. distinguishing Linux and Windows
+//! file paths) recognize the IOC types below, with byte-exact spans so the
+//! protection step can splice them out. Common defangings are normalized:
+//! `hxxp` → `http`, `[.]`/`(.)`/`[dot]` → `.`.
+
+use serde::{Deserialize, Serialize};
+
+/// IOC types recognized by the scanners.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum IocType {
+    /// Absolute Unix path (`/etc/passwd`).
+    FilePath,
+    /// Windows path (`C:\Users\x\evil.exe` or UNC).
+    WinFilePath,
+    /// Bare file name with a known extension (`MsgApp-instr.apk`).
+    FileName,
+    /// IPv4, optionally with a CIDR suffix.
+    Ip,
+    Domain,
+    Url,
+    Email,
+    /// MD5 / SHA-1 / SHA-256 hex digest.
+    Hash,
+    Cve,
+    /// Windows registry key.
+    Registry,
+}
+
+impl IocType {
+    pub fn name(self) -> &'static str {
+        match self {
+            IocType::FilePath => "filepath",
+            IocType::WinFilePath => "winfilepath",
+            IocType::FileName => "filename",
+            IocType::Ip => "ip",
+            IocType::Domain => "domain",
+            IocType::Url => "url",
+            IocType::Email => "email",
+            IocType::Hash => "hash",
+            IocType::Cve => "cve",
+            IocType::Registry => "registry",
+        }
+    }
+
+    /// Is this IOC type file-like (usable as a file/process entity)?
+    pub fn is_file_like(self) -> bool {
+        matches!(self, IocType::FilePath | IocType::WinFilePath | IocType::FileName)
+    }
+
+    /// Is this IOC type network-like (usable as a network entity)?
+    pub fn is_network_like(self) -> bool {
+        matches!(self, IocType::Ip | IocType::Domain | IocType::Url)
+    }
+}
+
+/// One recognized IOC.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct IocMatch {
+    /// Byte span in the source text.
+    pub start: usize,
+    pub end: usize,
+    /// Normalized (refanged) text.
+    pub text: String,
+    pub ioc_type: IocType,
+}
+
+const FILE_EXTENSIONS: &[&str] = &[
+    "7z", "apk", "bat", "bin", "bz2", "cfg", "conf", "dat", "deb", "dll", "doc", "docx", "elf",
+    "exe", "gz", "htm", "html", "img", "iso", "jar", "jpg", "js", "json", "log", "msi", "o",
+    "pdf", "php", "png", "ps1", "py", "rar", "rpm", "sh", "so", "sys", "tar", "tgz", "tmp",
+    "txt", "vbs", "xls", "xlsx", "xml", "yaml", "yml", "zip",
+];
+
+const TLDS: &[&str] = &[
+    "biz", "cc", "club", "cn", "co", "com", "de", "edu", "fr", "gov", "info", "io", "ir", "jp",
+    "kr", "me", "mil", "net", "nl", "onion", "online", "org", "ru", "site", "su", "top", "tv",
+    "uk", "us", "ws", "xyz",
+];
+
+fn is_ioc_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, b'.' | b'_' | b'-' | b'/' | b'\\' | b':' | b'@' | b'%' | b'~' | b'+' | b'=' | b'&' | b'?' | b'#' | b'[' | b']' | b'(' | b')')
+}
+
+/// Refangs a candidate: `[.]`, `(.)`, `[dot]`, `(dot)` → `.`; `hxxp` → `http`.
+fn refang(s: &str) -> String {
+    let mut out = s.replace("[.]", ".").replace("(.)", ".");
+    out = out.replace("[dot]", ".").replace("(dot)", ".");
+    if out.to_ascii_lowercase().starts_with("hxxp") {
+        let rest = &out[4..];
+        let scheme = if out.starts_with('H') { "HTTP" } else { "http" };
+        out = format!("{scheme}{rest}");
+    }
+    out
+}
+
+fn trim_trailing(s: &str) -> &str {
+    s.trim_end_matches(|c: char| matches!(c, '.' | ',' | ';' | ':' | ')' | ']' | '?' | '!' | '\'' | '"'))
+}
+
+/// Scans `text` for IOCs, returning non-overlapping matches in text order.
+pub fn scan_iocs(text: &str) -> Vec<IocMatch> {
+    let bytes = text.as_bytes();
+    let mut out: Vec<IocMatch> = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        // Candidate spans start at an IOC char preceded by a boundary.
+        if !is_ioc_char(bytes[i]) || (i > 0 && is_ioc_char(bytes[i - 1])) {
+            i += 1;
+            continue;
+        }
+        // Maximal candidate run.
+        let mut j = i;
+        while j < bytes.len() && is_ioc_char(bytes[j]) {
+            j += 1;
+        }
+        let raw = &text[i..j];
+        let trimmed = trim_trailing(raw);
+        if trimmed.is_empty() {
+            i = j;
+            continue;
+        }
+        let refanged = refang(trimmed);
+        if let Some((ty, norm)) = classify(&refanged) {
+            out.push(IocMatch {
+                start: i,
+                end: i + trimmed.len(),
+                text: norm,
+                ioc_type: ty,
+            });
+        }
+        i = j;
+    }
+    out
+}
+
+/// Classifies one boundary-trimmed, refanged candidate.
+fn classify(s: &str) -> Option<(IocType, String)> {
+    if s.len() < 2 {
+        return None;
+    }
+    if let Some(v) = try_url(s) {
+        return Some((IocType::Url, v));
+    }
+    if let Some(v) = try_email(s) {
+        return Some((IocType::Email, v));
+    }
+    if let Some(v) = try_registry(s) {
+        return Some((IocType::Registry, v));
+    }
+    if let Some(v) = try_cve(s) {
+        return Some((IocType::Cve, v));
+    }
+    if let Some(v) = try_ip(s) {
+        return Some((IocType::Ip, v));
+    }
+    if let Some(v) = try_hash(s) {
+        return Some((IocType::Hash, v));
+    }
+    if let Some(v) = try_win_path(s) {
+        return Some((IocType::WinFilePath, v));
+    }
+    if let Some(v) = try_unix_path(s) {
+        return Some((IocType::FilePath, v));
+    }
+    if let Some((ty, v)) = try_dotted_name(s) {
+        return Some((ty, v));
+    }
+    None
+}
+
+fn try_url(s: &str) -> Option<String> {
+    let lower = s.to_ascii_lowercase();
+    for scheme in ["http://", "https://", "ftp://"] {
+        if lower.starts_with(scheme) && s.len() > scheme.len() + 2 {
+            return Some(s.to_string());
+        }
+    }
+    None
+}
+
+fn try_email(s: &str) -> Option<String> {
+    let at = s.find('@')?;
+    let (local, domain) = (&s[..at], &s[at + 1..]);
+    if local.is_empty() || domain.is_empty() {
+        return None;
+    }
+    let local_ok = local
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'%' | b'+' | b'-'));
+    if !local_ok || !domain.contains('.') {
+        return None;
+    }
+    let domain_ok = domain
+        .split('.')
+        .all(|l| !l.is_empty() && l.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-'));
+    if domain_ok {
+        Some(s.to_string())
+    } else {
+        None
+    }
+}
+
+fn try_registry(s: &str) -> Option<String> {
+    let upper = s.to_ascii_uppercase();
+    for prefix in ["HKEY_", "HKLM\\", "HKCU\\", "HKCR\\", "HKU\\"] {
+        if upper.starts_with(prefix) && s.contains('\\') {
+            return Some(s.to_string());
+        }
+    }
+    None
+}
+
+fn try_cve(s: &str) -> Option<String> {
+    let upper = s.to_ascii_uppercase();
+    let rest = upper.strip_prefix("CVE-")?;
+    let (year, num) = rest.split_once('-')?;
+    if year.len() == 4
+        && year.bytes().all(|b| b.is_ascii_digit())
+        && (1..=7).contains(&num.len())
+        && num.bytes().all(|b| b.is_ascii_digit())
+    {
+        Some(upper)
+    } else {
+        None
+    }
+}
+
+fn try_ip(s: &str) -> Option<String> {
+    let (addr, cidr) = match s.split_once('/') {
+        Some((a, c)) => (a, Some(c)),
+        None => (s, None),
+    };
+    let mut octets = 0;
+    for part in addr.split('.') {
+        let n: u32 = part.parse().ok()?;
+        if n > 255 || part.is_empty() || part.len() > 3 {
+            return None;
+        }
+        octets += 1;
+    }
+    if octets != 4 {
+        return None;
+    }
+    if let Some(c) = cidr {
+        let bits: u32 = c.parse().ok()?;
+        if bits > 32 {
+            return None;
+        }
+    }
+    Some(s.to_string())
+}
+
+fn try_hash(s: &str) -> Option<String> {
+    let is_hex = s.bytes().all(|b| b.is_ascii_hexdigit());
+    let has_alpha = s.bytes().any(|b| b.is_ascii_alphabetic());
+    let has_digit = s.bytes().any(|b| b.is_ascii_digit());
+    if is_hex && has_alpha && has_digit && matches!(s.len(), 32 | 40 | 64) {
+        Some(s.to_ascii_lowercase())
+    } else {
+        None
+    }
+}
+
+fn try_win_path(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let drive = bytes.len() > 3
+        && bytes[0].is_ascii_alphabetic()
+        && bytes[1] == b':'
+        && bytes[2] == b'\\';
+    let unc = s.starts_with("\\\\") && s.len() > 4;
+    if (drive || unc) && !s.ends_with('\\') {
+        Some(s.to_string())
+    } else {
+        None
+    }
+}
+
+fn try_unix_path(s: &str) -> Option<String> {
+    if !s.starts_with('/') || s.len() < 3 || s.contains("//") {
+        return None;
+    }
+    let ok = s
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'/' | b'.' | b'_' | b'-' | b'+' | b'~'));
+    let has_alpha = s.bytes().any(|b| b.is_ascii_alphabetic());
+    if ok && has_alpha && !s.ends_with('/') {
+        Some(s.to_string())
+    } else {
+        None
+    }
+}
+
+/// `name.ext` → FileName if `ext` is a known file extension;
+/// `host.tld` → Domain if the last label is a known TLD.
+fn try_dotted_name(s: &str) -> Option<(IocType, String)> {
+    if !s.contains('.') || s.contains('/') || s.contains('\\') || s.contains(':') {
+        return None;
+    }
+    let labels: Vec<&str> = s.split('.').collect();
+    if labels.iter().any(|l| l.is_empty()) {
+        return None;
+    }
+    let last = labels.last().unwrap().to_ascii_lowercase();
+    let body_ok = |allow_underscore: bool| {
+        labels.iter().all(|l| {
+            l.bytes().all(|b| {
+                b.is_ascii_alphanumeric() || b == b'-' || (allow_underscore && b == b'_')
+            })
+        })
+    };
+    if FILE_EXTENSIONS.contains(&last.as_str()) && body_ok(true) {
+        return Some((IocType::FileName, s.to_string()));
+    }
+    // Reverse-DNS package names (Android process executables, e.g.
+    // `com.android.defcontainer`) — the ClearScope cases need these.
+    let first = labels[0].to_ascii_lowercase();
+    if matches!(first.as_str(), "com" | "org" | "net" | "io")
+        && labels.len() >= 3
+        && !TLDS.contains(&last.as_str())
+        && body_ok(true)
+    {
+        return Some((IocType::FileName, s.to_string()));
+    }
+    if TLDS.contains(&last.as_str()) && labels.len() >= 2 && body_ok(false) {
+        // Domains need an alphabetic character somewhere before the TLD.
+        if s.bytes().any(|b| b.is_ascii_alphabetic()) {
+            return Some((IocType::Domain, s.to_ascii_lowercase()));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(text: &str) -> Vec<(String, IocType)> {
+        scan_iocs(text).into_iter().map(|m| (m.text, m.ioc_type)).collect()
+    }
+
+    #[test]
+    fn figure2_text_iocs() {
+        // The exact IOC inventory of the paper's Figure 2 demo text.
+        let text = "the attacker used /bin/tar to read user credentials from /etc/passwd. \
+                    It wrote the gathered information to a file /tmp/upload.tar. \
+                    /bin/bzip2 read from /tmp/upload.tar and wrote to /tmp/upload.tar.bz2. \
+                    /usr/bin/gpg then wrote the sensitive information to /tmp/upload. \
+                    using /usr/bin/curl to connect to 192.168.29.128.";
+        let found = scan(text);
+        let texts: Vec<&str> = found.iter().map(|(t, _)| t.as_str()).collect();
+        for expected in [
+            "/bin/tar", "/etc/passwd", "/tmp/upload.tar", "/bin/bzip2", "/tmp/upload.tar.bz2",
+            "/usr/bin/gpg", "/tmp/upload", "/usr/bin/curl", "192.168.29.128",
+        ] {
+            assert!(texts.contains(&expected), "missing {expected}: {texts:?}");
+        }
+        // The IP classifies as Ip, the paths as FilePath.
+        assert!(found.iter().any(|(t, ty)| t == "192.168.29.128" && *ty == IocType::Ip));
+        assert!(found.iter().all(|(t, ty)| t != "/etc/passwd" || *ty == IocType::FilePath));
+    }
+
+    #[test]
+    fn ip_with_cidr_and_bounds() {
+        assert_eq!(scan("botnet at 192.168.29.128/32 detected"), vec![("192.168.29.128/32".to_string(), IocType::Ip)]);
+        assert!(scan("version 1.2.3.4.5 is fine").is_empty(), "five octets is not an IP");
+        assert!(scan("300.1.2.3 invalid").is_empty());
+        assert!(scan("1.2.3.4/33 invalid").is_empty());
+    }
+
+    #[test]
+    fn windows_paths_distinguished_from_linux() {
+        let found = scan(r"It dropped C:\Users\victim\evil.exe and /tmp/evil.sh on hosts.");
+        assert!(found.contains(&(r"C:\Users\victim\evil.exe".to_string(), IocType::WinFilePath)));
+        assert!(found.contains(&("/tmp/evil.sh".to_string(), IocType::FilePath)));
+    }
+
+    #[test]
+    fn filename_vs_domain() {
+        let found = scan("The dropper MsgApp-instr.apk beacons to evil-c2.com today.");
+        assert!(found.contains(&("MsgApp-instr.apk".to_string(), IocType::FileName)));
+        assert!(found.contains(&("evil-c2.com".to_string(), IocType::Domain)));
+        // "upload.tar" is a filename, never a domain ("tar" is an extension).
+        assert_eq!(scan("see upload.tar here"), vec![("upload.tar".to_string(), IocType::FileName)]);
+    }
+
+    #[test]
+    fn urls_and_emails() {
+        let found = scan("Phishing from admin@evil-c2.com links http://evil-c2.com/payload.bin today");
+        assert!(found.contains(&("admin@evil-c2.com".to_string(), IocType::Email)));
+        assert!(found.contains(&("http://evil-c2.com/payload.bin".to_string(), IocType::Url)));
+    }
+
+    #[test]
+    fn defanged_forms_normalized() {
+        let found = scan("C2 at hxxp://evil[.]com/x and 192[.]168[.]29[.]128 observed");
+        assert!(found.contains(&("http://evil.com/x".to_string(), IocType::Url)));
+        assert!(found.contains(&("192.168.29.128".to_string(), IocType::Ip)));
+    }
+
+    #[test]
+    fn hashes_and_cves() {
+        let found = scan(
+            "Sample d41d8cd98f00b204e9800998ecf8427e exploits CVE-2014-6271 badly",
+        );
+        assert!(found.contains(&("d41d8cd98f00b204e9800998ecf8427e".to_string(), IocType::Hash)));
+        assert!(found.contains(&("CVE-2014-6271".to_string(), IocType::Cve)));
+        // 31 hex chars is not a hash.
+        assert!(scan("d41d8cd98f00b204e9800998ecf8427 x").iter().all(|(_, t)| *t != IocType::Hash));
+    }
+
+    #[test]
+    fn registry_keys() {
+        let found = scan(r"persists via HKEY_LOCAL_MACHINE\Software\Run\Evil key");
+        assert_eq!(found, vec![(r"HKEY_LOCAL_MACHINE\Software\Run\Evil".to_string(), IocType::Registry)]);
+    }
+
+    #[test]
+    fn sentence_final_punctuation_trimmed() {
+        let found = scan("read from /etc/passwd.");
+        assert_eq!(found, vec![("/etc/passwd".to_string(), IocType::FilePath)]);
+        let found = scan("connect to 192.168.29.128.");
+        assert_eq!(found, vec![("192.168.29.128".to_string(), IocType::Ip)]);
+    }
+
+    #[test]
+    fn ordinary_prose_yields_nothing() {
+        assert!(scan("The attacker attempted lateral movement and/or persistence.").is_empty());
+        assert!(scan("This is a test. Only text here, e.g. nothing.").is_empty());
+        assert!(scan("").is_empty());
+    }
+
+    #[test]
+    fn spans_are_byte_accurate() {
+        let text = "read /etc/passwd now";
+        let m = &scan_iocs(text)[0];
+        assert_eq!(&text[m.start..m.end], "/etc/passwd");
+    }
+
+    #[test]
+    fn type_helpers() {
+        assert!(IocType::FilePath.is_file_like());
+        assert!(IocType::FileName.is_file_like());
+        assert!(!IocType::Ip.is_file_like());
+        assert!(IocType::Ip.is_network_like());
+        assert!(IocType::Domain.is_network_like());
+        assert!(!IocType::Registry.is_network_like());
+    }
+}

@@ -1,0 +1,36 @@
+//! Threat behavior extraction (Algorithm 1 of the paper).
+//!
+//! Turns unstructured OSCTI report text into a structured *threat behavior
+//! graph* whose nodes are IOCs and whose edges are IOC relations with
+//! sequence numbers. The pipeline is unsupervised and rule-based:
+//!
+//! 1.  block segmentation ([`pipeline`]),
+//! 2.  IOC recognition ([`ioc`]) and **IOC protection** ([`protect`]),
+//! 3.  sentence segmentation (via `raptor-nlp`),
+//! 4.  dependency parsing (via `raptor-nlp`), then protection removal,
+//! 5.  tree annotation ([`annotate`]: IOC nodes, candidate relation verbs,
+//!     pronouns),
+//! 6.  tree simplification ([`annotate`]),
+//! 7.  within-block coreference resolution ([`coref`]),
+//! 8.  cross-block IOC scan & merge ([`merge`]),
+//! 9.  dependency-path (LCA) relation extraction ([`relation`]),
+//! 10. threat behavior graph construction ([`graph`]).
+//!
+//! [`openie`] implements the two general information-extraction baselines
+//! of Table V (clause-based triple extractors, run with and without IOC
+//! protection) — general tools whose tokenization shatters IOCs, which is
+//! exactly what the paper measures them doing.
+
+pub mod annotate;
+pub mod coref;
+pub mod graph;
+pub mod ioc;
+pub mod merge;
+pub mod openie;
+pub mod pipeline;
+pub mod protect;
+pub mod relation;
+
+pub use graph::{GraphEdge, GraphNode, ThreatBehaviorGraph};
+pub use ioc::{scan_iocs, IocMatch, IocType};
+pub use pipeline::{extract, ExtractionOutput, IocEntity, IocRelationTriple};

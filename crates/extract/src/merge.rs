@@ -1,0 +1,167 @@
+//! Cross-block IOC scan & merge (Step 8 of Algorithm 1).
+//!
+//! The same IOC often appears in different surface forms across blocks —
+//! "upload.tar" in one paragraph, "/tmp/upload.tar" in another. Merging
+//! combines character-level overlap with n-gram vector similarity (the
+//! paper uses word vectors; see DESIGN.md §1), with a file-name guard:
+//! paths merge only when their basenames agree, so `/tmp/upload.tar` and
+//! `/tmp/upload.tar.bz2` stay distinct nodes.
+
+use raptor_nlp::vector;
+
+use crate::ioc::IocType;
+use crate::pipeline::IocEntity;
+
+/// Similarity thresholds (combined rule, both must clear).
+const OVERLAP_MIN: f64 = 0.8;
+const COSINE_MIN: f32 = 0.55;
+
+fn basename(path: &str) -> &str {
+    path.rsplit(['/', '\\']).next().unwrap_or(path)
+}
+
+fn same_family(a: &IocType, b: &IocType) -> bool {
+    a == b
+        || (a.is_file_like() && b.is_file_like())
+        || (a.is_network_like() && b.is_network_like())
+}
+
+/// Should two IOCs merge into one node?
+pub fn should_merge(a: &IocEntity, b: &IocEntity) -> bool {
+    if !same_family(&a.ioc_type, &b.ioc_type) {
+        return false;
+    }
+    if a.text == b.text {
+        return true;
+    }
+    if a.ioc_type.is_file_like() && b.ioc_type.is_file_like() {
+        // File identity lives in the basename: "/tmp/upload.tar" merges with
+        // "upload.tar" but never with "/tmp/upload.tar.bz2".
+        if !basename(&a.text).eq_ignore_ascii_case(basename(&b.text)) {
+            return false;
+        }
+        // One must be a path-suffix of the other (or a bare name).
+        let (short, long) = if a.text.len() <= b.text.len() { (&a.text, &b.text) } else { (&b.text, &a.text) };
+        return long.ends_with(short.as_str());
+    }
+    // Network / other types: strict-ish textual agreement.
+    let overlap = raptor_common::strdist::containment_overlap(&a.text, &b.text);
+    let cos = vector::similarity(&a.text, &b.text);
+    overlap >= OVERLAP_MIN && cos >= COSINE_MIN && {
+        // IP addresses never merge unless equal (each address is a distinct
+        // indicator); CIDR forms merge with their base address.
+        if a.ioc_type == IocType::Ip && b.ioc_type == IocType::Ip {
+            let strip = |s: &str| s.split('/').next().unwrap_or(s).to_string();
+            strip(&a.text) == strip(&b.text)
+        } else {
+            true
+        }
+    }
+}
+
+/// Merges a flat entity list into canonical groups. Returns, per input
+/// entity, the id of its group, plus the canonical (longest) text and type
+/// of each group.
+pub fn merge(entities: &[IocEntity]) -> (Vec<usize>, Vec<(String, IocType)>) {
+    let mut group_of: Vec<usize> = Vec::with_capacity(entities.len());
+    let mut canon: Vec<(String, IocType)> = Vec::new();
+    let mut members: Vec<Vec<usize>> = Vec::new();
+    for (i, e) in entities.iter().enumerate() {
+        let mut found = None;
+        'outer: for (g, mem) in members.iter().enumerate() {
+            for &m in mem {
+                if should_merge(e, &entities[m]) {
+                    found = Some(g);
+                    break 'outer;
+                }
+            }
+        }
+        match found {
+            Some(g) => {
+                group_of.push(g);
+                members[g].push(i);
+                // Canonical form: the longest text wins (paths beat names).
+                if e.text.len() > canon[g].0.len() {
+                    canon[g] = (e.text.clone(), e.ioc_type);
+                }
+            }
+            None => {
+                group_of.push(canon.len());
+                members.push(vec![i]);
+                canon.push((e.text.clone(), e.ioc_type));
+            }
+        }
+    }
+    (group_of, canon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ent(text: &str, ty: IocType) -> IocEntity {
+        IocEntity { text: text.to_string(), ioc_type: ty, block: 0, offset: 0 }
+    }
+
+    #[test]
+    fn basename_variants_merge() {
+        assert!(should_merge(
+            &ent("/tmp/upload.tar", IocType::FilePath),
+            &ent("upload.tar", IocType::FileName)
+        ));
+    }
+
+    #[test]
+    fn distinct_files_never_merge() {
+        assert!(!should_merge(
+            &ent("/tmp/upload.tar", IocType::FilePath),
+            &ent("/tmp/upload.tar.bz2", IocType::FilePath)
+        ));
+        assert!(!should_merge(
+            &ent("/etc/passwd", IocType::FilePath),
+            &ent("/etc/shadow", IocType::FilePath)
+        ));
+        // Same basename, different directories: textual suffix rule blocks.
+        assert!(!should_merge(
+            &ent("/tmp/x/evil.sh", IocType::FilePath),
+            &ent("/var/y/evil.sh", IocType::FilePath)
+        ));
+    }
+
+    #[test]
+    fn exact_duplicates_merge() {
+        assert!(should_merge(&ent("/bin/tar", IocType::FilePath), &ent("/bin/tar", IocType::FilePath)));
+        assert!(should_merge(&ent("192.168.29.128", IocType::Ip), &ent("192.168.29.128", IocType::Ip)));
+    }
+
+    #[test]
+    fn different_ips_never_merge() {
+        assert!(!should_merge(&ent("192.168.29.128", IocType::Ip), &ent("192.168.29.129", IocType::Ip)));
+        // CIDR form merges with its base address.
+        assert!(should_merge(&ent("192.168.29.128", IocType::Ip), &ent("192.168.29.128/32", IocType::Ip)));
+    }
+
+    #[test]
+    fn cross_type_families() {
+        // A file never merges with an IP.
+        assert!(!should_merge(&ent("/tmp/upload", IocType::FilePath), &ent("10.0.0.1", IocType::Ip)));
+    }
+
+    #[test]
+    fn merge_groups_and_canonical_forms() {
+        let ents = vec![
+            ent("/tmp/upload.tar", IocType::FilePath),
+            ent("upload.tar", IocType::FileName),
+            ent("/tmp/upload.tar.bz2", IocType::FilePath),
+            ent("192.168.29.128", IocType::Ip),
+            ent("/tmp/upload.tar", IocType::FilePath),
+        ];
+        let (groups, canon) = merge(&ents);
+        assert_eq!(groups[0], groups[1], "name merges into path");
+        assert_eq!(groups[0], groups[4], "duplicate merges");
+        assert_ne!(groups[0], groups[2], "bz2 stays separate");
+        assert_ne!(groups[0], groups[3]);
+        assert_eq!(canon[groups[0]].0, "/tmp/upload.tar");
+        assert_eq!(canon.len(), 3);
+    }
+}

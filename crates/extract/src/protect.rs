@@ -1,0 +1,131 @@
+//! IOC protection (Step 2 of Algorithm 1).
+//!
+//! Replaces every recognized IOC with the dummy word `something` and keeps a
+//! replacement record, so the generic NLP stages (sentence segmentation,
+//! tokenization, tagging, parsing) see ordinary prose. After parsing, the
+//! record aligns the dummy tokens back to their original IOCs — the paper's
+//! "RemoveIocProtection" step.
+
+use crate::ioc::IocMatch;
+
+/// The dummy word IOCs are replaced with. The paper uses lowercase
+/// "something"; we capitalize so that an IOC *opening* a sentence
+/// ("/bin/bzip2 read from ...") still lets the next segmenter see a
+/// sentence-initial capital. Tagging is unaffected (the lexicon matches
+/// case-insensitively).
+pub const DUMMY: &str = "Something";
+
+/// Replacement record: where in the protected text each IOC sits.
+#[derive(Clone, Debug)]
+pub struct ReplacementRecord {
+    /// For each replaced IOC, in text order: (byte offset of the dummy word
+    /// in the protected text, index into the IOC list).
+    pub slots: Vec<(usize, usize)>,
+}
+
+/// Output of protection.
+#[derive(Clone, Debug)]
+pub struct ProtectedText {
+    pub text: String,
+    pub record: ReplacementRecord,
+}
+
+/// Protects `text`, replacing each IOC span with [`DUMMY`].
+///
+/// `iocs` must be non-overlapping and sorted by start offset (as
+/// [`crate::ioc::scan_iocs`] returns them).
+pub fn protect(text: &str, iocs: &[IocMatch]) -> ProtectedText {
+    let mut out = String::with_capacity(text.len());
+    let mut slots = Vec::with_capacity(iocs.len());
+    let mut cursor = 0usize;
+    for (idx, m) in iocs.iter().enumerate() {
+        debug_assert!(m.start >= cursor, "IOC matches must be sorted and disjoint");
+        out.push_str(&text[cursor..m.start]);
+        slots.push((out.len(), idx));
+        out.push_str(DUMMY);
+        cursor = m.end;
+    }
+    out.push_str(&text[cursor..]);
+    ProtectedText { text: out, record: ReplacementRecord { slots } }
+}
+
+impl ReplacementRecord {
+    /// If a token span `[start, end)` in the protected text is exactly one
+    /// of the dummy slots, returns the IOC index it replaced.
+    pub fn ioc_at(&self, start: usize, end: usize) -> Option<usize> {
+        if end - start != DUMMY.len() {
+            return None;
+        }
+        // slots are sorted by offset; binary search.
+        self.slots
+            .binary_search_by_key(&start, |&(off, _)| off)
+            .ok()
+            .map(|i| self.slots[i].1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ioc::scan_iocs;
+
+    #[test]
+    fn protection_roundtrip() {
+        let text = "the attacker used /bin/tar to read from /etc/passwd.";
+        let iocs = scan_iocs(text);
+        assert_eq!(iocs.len(), 2);
+        let p = protect(text, &iocs);
+        assert_eq!(p.text, "the attacker used Something to read from Something.");
+        assert_eq!(p.record.slots.len(), 2);
+        // Each slot maps back to its IOC.
+        let (off0, idx0) = p.record.slots[0];
+        assert_eq!(&p.text[off0..off0 + DUMMY.len()], DUMMY);
+        assert_eq!(iocs[idx0].text, "/bin/tar");
+        assert_eq!(p.record.ioc_at(off0, off0 + DUMMY.len()), Some(0));
+    }
+
+    #[test]
+    fn non_slot_spans_return_none() {
+        let text = "read /etc/passwd now";
+        let iocs = scan_iocs(text);
+        let p = protect(text, &iocs);
+        // "read" is not a slot.
+        assert_eq!(p.record.ioc_at(0, 4), None);
+        // Off-by-one around the slot.
+        let (off, _) = p.record.slots[0];
+        assert_eq!(p.record.ioc_at(off + 1, off + 1 + DUMMY.len()), None);
+    }
+
+    #[test]
+    fn no_iocs_is_identity() {
+        let text = "ordinary prose without indicators.";
+        let p = protect(text, &[]);
+        assert_eq!(p.text, text);
+        assert!(p.record.slots.is_empty());
+    }
+
+    #[test]
+    fn adjacent_iocs() {
+        let text = "/bin/tar /etc/passwd";
+        let iocs = scan_iocs(text);
+        let p = protect(text, &iocs);
+        assert_eq!(p.text, "Something Something");
+        assert_eq!(p.record.ioc_at(0, 9), Some(0));
+        assert_eq!(p.record.ioc_at(10, 19), Some(1));
+    }
+
+    #[test]
+    fn protected_text_parses_cleanly() {
+        // End-to-end sanity: protection makes the sentence parseable.
+        let text = "The attacker used /bin/tar to read user credentials from /etc/passwd.";
+        let iocs = scan_iocs(text);
+        let p = protect(text, &iocs);
+        let sents = raptor_nlp::sentence::sentences(&p.text);
+        assert_eq!(sents.len(), 1);
+        let mut toks = raptor_nlp::tokenize::tokenize(sents[0], 0);
+        raptor_nlp::pos::tag(&mut toks);
+        let dummies: Vec<_> = toks.iter().filter(|t| t.text == DUMMY).collect();
+        assert_eq!(dummies.len(), 2);
+        assert!(dummies.iter().all(|t| t.pos == raptor_nlp::PosTag::Noun));
+    }
+}

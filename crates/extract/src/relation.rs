@@ -1,0 +1,321 @@
+//! Dependency-path (LCA) IOC relation extraction (Step 9 of Algorithm 1).
+//!
+//! For every ordered pair of IOC-ish nodes (IOC tokens plus coreference-
+//! resolved pronouns/generic NPs) in a tree, the extractor checks whether
+//! the pair stands in a subject–object relation by examining the labels on
+//! the two dependency paths from their LCA (plus the root→LCA part for verb
+//! selection), then picks the candidate relation verb *closest to the
+//! object* and lemmatizes it. A token only becomes the relation verb if it
+//! is both on the curated keyword list and structurally on the pair's path.
+
+use raptor_nlp::DepLabel;
+
+use crate::annotate::AnnTree;
+
+/// One extracted triple, with block/tree provenance for ordering.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RawTriple {
+    /// Block-level IOC index of the subject.
+    pub subj: usize,
+    /// Lemmatized relation verb.
+    pub verb: String,
+    /// Block-level IOC index of the object.
+    pub obj: usize,
+    /// Byte offset of the relation verb in the block's protected text
+    /// (drives sequence numbering).
+    pub verb_offset: usize,
+}
+
+/// Verbs whose direct object is an instrument acting as the subject of a
+/// following infinitive ("used X to read Y").
+const USE_VERBS: &[&str] = &["employ", "leverage", "use", "utilize"];
+
+/// Prepositions that introduce the object of a dobj/pobj pair
+/// ("downloaded X **from** Y", "transferred X **to** Y").
+const OBJECT_PREPS: &[&str] = &["against", "at", "from", "into", "onto", "to", "toward", "towards"];
+
+/// The IOC-ish node set of a tree: real IOC tokens plus coref-resolved ones.
+fn ioc_nodes(t: &AnnTree) -> Vec<(usize, usize)> {
+    let mut v: Vec<(usize, usize)> = t
+        .ioc_of
+        .iter()
+        .map(|(&tok, &ioc)| (tok, ioc))
+        .chain(t.coref.iter().map(|(&tok, &ioc)| (tok, ioc)))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// Strips leading clause-link labels (Conj/Xcomp/Acl/RelCl) and trailing
+/// Conj runs, leaving the grammatical-function core of a path.
+fn core_labels(labels: &[DepLabel]) -> &[DepLabel] {
+    let mut s = 0usize;
+    while s < labels.len()
+        && matches!(
+            labels[s],
+            DepLabel::Conj | DepLabel::Xcomp | DepLabel::Acl | DepLabel::RelCl
+        )
+    {
+        s += 1;
+    }
+    let mut e = labels.len();
+    while e > s && labels[e - 1] == DepLabel::Conj {
+        e -= 1;
+    }
+    &labels[s..e]
+}
+
+/// The lowercased text of the first node on the LCA→node path (the
+/// preposition of a `[Prep, Pobj]` path).
+fn first_path_token<'a>(t: &'a AnnTree, lca: usize, node: usize) -> Option<&'a str> {
+    t.tree.nodes_from(lca, node).first().map(|&i| t.tokens[i].lower.as_str())
+}
+
+fn lemma_at(t: &AnnTree, i: usize) -> String {
+    raptor_nlp::lemma::lemmatize_verb(&t.tokens[i].lower)
+}
+
+/// Is `a` on the subject side of the pair?
+fn subject_side(t: &AnnTree, lca: usize, a: usize, la: &[DepLabel], lb: &[DepLabel]) -> bool {
+    // Active subject.
+    if la == [DepLabel::Nsubj] {
+        return true;
+    }
+    // Gerund clause: A is the LCA itself, B hangs off an acl.
+    if la.is_empty() && lb.first() == Some(&DepLabel::Acl) {
+        return true;
+    }
+    // Passive agent: "was downloaded by A".
+    if la == [DepLabel::Prep, DepLabel::Pobj] && first_path_token(t, lca, a) == Some("by") {
+        return true;
+    }
+    // Instrument: "used A to <verb> B".
+    if la == [DepLabel::Dobj]
+        && lb.first() == Some(&DepLabel::Xcomp)
+        && USE_VERBS.contains(&lemma_at(t, lca).as_str())
+    {
+        return true;
+    }
+    false
+}
+
+/// Is `b` on the object side of the pair?
+fn object_side(t: &AnnTree, lca: usize, b: usize, lb: &[DepLabel]) -> bool {
+    let core = core_labels(lb);
+    match core {
+        [DepLabel::Dobj] | [DepLabel::NsubjPass] | [DepLabel::Dep] => true,
+        [DepLabel::Prep, DepLabel::Pobj] => {
+            // Any preposition except the agentive "by".
+            let path = t.tree.nodes_from(lca, b);
+            // The Prep node is the first whose label is Prep.
+            let prep = path
+                .iter()
+                .find(|&&i| t.tree.nodes[i].label == DepLabel::Prep)
+                .map(|&i| t.tokens[i].lower.as_str());
+            prep != Some("by")
+        }
+        _ => false,
+    }
+}
+
+/// The dobj/pobj pattern: "downloaded A from B", "transferred A to B".
+fn dobj_pobj_pair(t: &AnnTree, lca: usize, la: &[DepLabel], lb: &[DepLabel], b: usize) -> bool {
+    if core_labels(la) != [DepLabel::Dobj] {
+        return false;
+    }
+    if core_labels(lb) != [DepLabel::Prep, DepLabel::Pobj] {
+        return false;
+    }
+    let path = t.tree.nodes_from(lca, b);
+    let prep = path
+        .iter()
+        .find(|&&i| t.tree.nodes[i].label == DepLabel::Prep)
+        .map(|&i| t.tokens[i].lower.as_str());
+    prep.is_some_and(|p| OBJECT_PREPS.contains(&p))
+}
+
+/// Selects the relation verb for a pair: candidate verbs on the LCA→B path
+/// (nearest to B first), then the LCA itself, then the root→LCA path
+/// (nearest to the LCA first). Returns `(token index, lemma)`.
+fn select_verb(t: &AnnTree, lca: usize, b: usize) -> Option<(usize, String)> {
+    let mut candidates: Vec<usize> = Vec::new();
+    let b_path = t.tree.nodes_from(lca, b);
+    candidates.extend(b_path.iter().rev().copied());
+    candidates.push(lca);
+    let mut up = t.tree.path_to_root(lca);
+    up.retain(|&x| x != lca);
+    candidates.extend(up);
+    for c in candidates {
+        if t.verb_candidates.contains(&c) {
+            return Some((c, t.verb_lemma[&c].clone()));
+        }
+    }
+    None
+}
+
+/// Extracts all triples from one annotated tree.
+pub fn extract_from_tree(t: &AnnTree) -> Vec<RawTriple> {
+    if !t.active {
+        return Vec::new();
+    }
+    let nodes = ioc_nodes(t);
+    let mut out: Vec<RawTriple> = Vec::new();
+    for &(a_tok, a_ioc) in &nodes {
+        for &(b_tok, b_ioc) in &nodes {
+            if a_tok == b_tok {
+                continue;
+            }
+            let lca = t.tree.lca(a_tok, b_tok);
+            let la = t.tree.labels_from(lca, a_tok);
+            let lb = t.tree.labels_from(lca, b_tok);
+            let subj_obj = subject_side(t, lca, a_tok, &la, &lb)
+                && object_side(t, lca, b_tok, &lb);
+            let dobj_pobj = dobj_pobj_pair(t, lca, &la, &lb, b_tok);
+            if !subj_obj && !dobj_pobj {
+                continue;
+            }
+            let Some((verb_tok, verb)) = select_verb(t, lca, b_tok) else {
+                continue;
+            };
+            let triple = RawTriple {
+                subj: a_ioc,
+                verb,
+                obj: b_ioc,
+                verb_offset: t.tokens[verb_tok].start,
+            };
+            if !out
+                .iter()
+                .any(|x| x.subj == triple.subj && x.obj == triple.obj && x.verb == triple.verb)
+            {
+                out.push(triple);
+            }
+        }
+    }
+    out
+}
+
+/// Extracts triples from all trees of one block.
+pub fn extract_from_block(trees: &[AnnTree]) -> Vec<RawTriple> {
+    let mut out = Vec::new();
+    for t in trees {
+        out.extend(extract_from_tree(t));
+    }
+    out.sort_by_key(|r| r.verb_offset);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::annotate;
+    use crate::coref;
+    use crate::ioc::{scan_iocs, IocType};
+    use crate::protect::protect;
+    use raptor_nlp::{dep, pos, sentence, tokenize};
+
+    fn extract_block(text: &str) -> (Vec<RawTriple>, Vec<String>) {
+        let iocs = scan_iocs(text);
+        let types: Vec<IocType> = iocs.iter().map(|m| m.ioc_type).collect();
+        let texts: Vec<String> = iocs.iter().map(|m| m.text.clone()).collect();
+        let p = protect(text, &iocs);
+        let mut trees = Vec::new();
+        for span in sentence::segment(&p.text) {
+            let mut toks = tokenize::tokenize(&p.text[span.start..span.end], span.start);
+            pos::tag(&mut toks);
+            let tree = dep::parse(&toks);
+            trees.push(annotate(toks, tree, Some(&p.record), &[]));
+        }
+        coref::resolve(&mut trees, &types);
+        (extract_from_block(&trees), texts)
+    }
+
+    fn as_strings(triples: &[RawTriple], texts: &[String]) -> Vec<(String, String, String)> {
+        triples
+            .iter()
+            .map(|t| (texts[t.subj].clone(), t.verb.clone(), texts[t.obj].clone()))
+            .collect()
+    }
+
+    #[test]
+    fn instrument_relation() {
+        let (triples, texts) =
+            extract_block("The attacker used /bin/tar to read user credentials from /etc/passwd.");
+        assert_eq!(
+            as_strings(&triples, &texts),
+            vec![("/bin/tar".to_string(), "read".to_string(), "/etc/passwd".to_string())]
+        );
+    }
+
+    #[test]
+    fn coref_subject_relation() {
+        let (triples, texts) = extract_block(
+            "The attacker used /bin/tar to read user credentials from /etc/passwd. \
+             It wrote the gathered information to a file /tmp/upload.tar.",
+        );
+        let s = as_strings(&triples, &texts);
+        assert!(s.contains(&("/bin/tar".to_string(), "read".to_string(), "/etc/passwd".to_string())));
+        assert!(s.contains(&("/bin/tar".to_string(), "write".to_string(), "/tmp/upload.tar".to_string())), "{s:?}");
+    }
+
+    #[test]
+    fn coordinated_verbs() {
+        let (triples, texts) = extract_block(
+            "/bin/bzip2 read from /tmp/upload.tar and wrote to /tmp/upload.tar.bz2.",
+        );
+        let s = as_strings(&triples, &texts);
+        assert!(s.contains(&("/bin/bzip2".to_string(), "read".to_string(), "/tmp/upload.tar".to_string())), "{s:?}");
+        assert!(s.contains(&("/bin/bzip2".to_string(), "write".to_string(), "/tmp/upload.tar.bz2".to_string())), "{s:?}");
+        // The two file IOCs must not relate to each other.
+        assert_eq!(s.len(), 2, "{s:?}");
+    }
+
+    #[test]
+    fn gerund_clause_relation() {
+        let (triples, texts) = extract_block(
+            "This corresponds to the launched process /usr/bin/gpg reading from /tmp/upload.tar.bz2.",
+        );
+        let s = as_strings(&triples, &texts);
+        assert!(s.contains(&("/usr/bin/gpg".to_string(), "read".to_string(), "/tmp/upload.tar.bz2".to_string())), "{s:?}");
+    }
+
+    #[test]
+    fn passive_agent_relation() {
+        let (triples, texts) =
+            extract_block("/tmp/payload.bin was downloaded by /usr/bin/curl.");
+        let s = as_strings(&triples, &texts);
+        assert!(s.contains(&("/usr/bin/curl".to_string(), "download".to_string(), "/tmp/payload.bin".to_string())), "{s:?}");
+    }
+
+    #[test]
+    fn dobj_pobj_relation() {
+        let (triples, texts) =
+            extract_block("The attacker downloaded /tmp/john.zip from 192.168.29.128.");
+        let s = as_strings(&triples, &texts);
+        assert!(s.contains(&("/tmp/john.zip".to_string(), "download".to_string(), "192.168.29.128".to_string())), "{s:?}");
+    }
+
+    #[test]
+    fn connect_via_using() {
+        let (triples, texts) = extract_block(
+            "He leaked the data by using /usr/bin/curl to connect to 192.168.29.128.",
+        );
+        let s = as_strings(&triples, &texts);
+        assert!(s.contains(&("/usr/bin/curl".to_string(), "connect".to_string(), "192.168.29.128".to_string())), "{s:?}");
+    }
+
+    #[test]
+    fn non_keyword_verbs_produce_nothing() {
+        let (triples, _) = extract_block("/bin/tar resembles /bin/gtar in many ways.");
+        assert!(triples.is_empty());
+    }
+
+    #[test]
+    fn ordering_by_verb_offset() {
+        let (triples, _) = extract_block(
+            "/bin/bzip2 read from /tmp/upload.tar and wrote to /tmp/upload.tar.bz2.",
+        );
+        assert!(triples.windows(2).all(|w| w[0].verb_offset <= w[1].verb_offset));
+        assert_eq!(triples[0].verb, "read");
+        assert_eq!(triples[1].verb, "write");
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests: variable-length path semantics against a
+//! brute-force oracle on random DAG-ish graphs.
+
+use proptest::prelude::*;
+use raptor_common::FxHashSet;
+use raptor_graphstore::cypher::exec::execute;
+use raptor_graphstore::cypher::parse_cypher;
+use raptor_graphstore::graph::PropIns;
+use raptor_graphstore::{Graph, NodeId};
+
+/// All nodes reachable from `src` within `[min, max]` hops, using
+/// edge-distinct walks (the executor's uniqueness rule), brute force.
+fn oracle_reachable(
+    edges: &[(usize, usize)],
+    src: usize,
+    min: u32,
+    max: u32,
+) -> FxHashSet<usize> {
+    let mut out = FxHashSet::default();
+    let mut stack: Vec<(usize, u32, Vec<usize>)> = vec![(src, 0, Vec::new())];
+    while let Some((n, d, used)) = stack.pop() {
+        if d >= min && d > 0 {
+            out.insert(n);
+        }
+        if d == max {
+            continue;
+        }
+        for (ei, &(a, b)) in edges.iter().enumerate() {
+            if a == n && !used.contains(&ei) {
+                let mut u2 = used.clone();
+                u2.push(ei);
+                stack.push((b, d + 1, u2));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn var_length_matches_oracle(
+        n in 2usize..8,
+        edges in proptest::collection::vec((0usize..8, 0usize..8), 0..14),
+        min in 1u32..3,
+        extra in 0u32..3,
+    ) {
+        let edges: Vec<(usize, usize)> =
+            edges.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+        let max = min + extra;
+        let mut g = Graph::new();
+        for i in 0..n {
+            g.add_node("N", &[("name", PropIns::Str(&format!("n{i}")))]);
+        }
+        for &(a, b) in &edges {
+            g.add_edge(NodeId(a as u32), NodeId(b as u32), "E", &[]).unwrap();
+        }
+        let src = 0usize;
+        let q = parse_cypher(&format!(
+            "MATCH (x {{name: 'n{src}'}})-[:E*{min}..{max}]->(y) RETURN DISTINCT y.name"
+        )).unwrap();
+        let r = execute(&g, &q, 16).unwrap();
+        let got: FxHashSet<String> =
+            r.rows.iter().map(|row| row[0].render()).collect();
+        let want: FxHashSet<String> = oracle_reachable(&edges, src, min, max)
+            .into_iter()
+            .map(|i| format!("n{i}"))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Fixed single-hop pattern agrees with direct adjacency.
+    #[test]
+    fn single_hop_matches_adjacency(
+        n in 2usize..8,
+        edges in proptest::collection::vec((0usize..8, 0usize..8), 0..14),
+    ) {
+        let edges: Vec<(usize, usize)> =
+            edges.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+        let mut g = Graph::new();
+        for i in 0..n {
+            g.add_node("N", &[("name", PropIns::Str(&format!("n{i}")))]);
+        }
+        for &(a, b) in &edges {
+            g.add_edge(NodeId(a as u32), NodeId(b as u32), "E", &[]).unwrap();
+        }
+        let q = parse_cypher("MATCH (x)-[:E]->(y) RETURN x.name, y.name").unwrap();
+        let r = execute(&g, &q, 16).unwrap();
+        // Row multiset equals the edge multiset.
+        let mut got: Vec<(String, String)> = r
+            .rows
+            .iter()
+            .map(|row| (row[0].render(), row[1].render()))
+            .collect();
+        got.sort();
+        let mut want: Vec<(String, String)> = edges
+            .iter()
+            .map(|&(a, b)| (format!("n{a}"), format!("n{b}")))
+            .collect();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,147 @@
+//! Lemmatization.
+//!
+//! Maps inflected verb forms back to their base form so extracted relation
+//! verbs are canonical ("wrote" → "write", "downloads" → "download").
+//! Irregular table first, then suffix stripping with doubled-consonant and
+//! silent-e restoration, validated against the verb lexicon when possible.
+
+use crate::pos::VERB_LEXICON;
+
+const IRREGULARS: &[(&str, &str)] = &[
+    ("began", "begin"),
+    ("brought", "bring"),
+    ("built", "build"),
+    ("came", "come"),
+    ("did", "do"),
+    ("found", "find"),
+    ("gave", "give"),
+    ("got", "get"),
+    ("had", "have"),
+    ("held", "hold"),
+    ("hid", "hide"),
+    ("kept", "keep"),
+    ("left", "leave"),
+    ("made", "make"),
+    ("ran", "run"),
+    ("sent", "send"),
+    ("sought", "seek"),
+    ("stole", "steal"),
+    ("took", "take"),
+    ("was", "be"),
+    ("went", "go"),
+    ("were", "be"),
+    ("wrote", "write"),
+];
+
+fn in_lexicon(s: &str) -> bool {
+    VERB_LEXICON.binary_search(&s).is_ok()
+}
+
+/// Lemmatizes a (lowercased) verb form.
+pub fn lemmatize_verb(lower: &str) -> String {
+    if let Ok(i) = IRREGULARS.binary_search_by_key(&lower, |&(w, _)| w) {
+        return IRREGULARS[i].1.to_string();
+    }
+    if in_lexicon(lower) {
+        return lower.to_string();
+    }
+    // -ies → -y ("copies" → "copy")
+    if let Some(stem) = lower.strip_suffix("ies") {
+        let cand = format!("{stem}y");
+        if in_lexicon(&cand) {
+            return cand;
+        }
+    }
+    // -es / -s ("executes" → "execute", "downloads" → "download")
+    for suf in ["es", "s"] {
+        if let Some(stem) = lower.strip_suffix(suf) {
+            if in_lexicon(stem) {
+                return stem.to_string();
+            }
+        }
+    }
+    // -ed / -ing with silent-e and doubled-consonant restoration.
+    for suf in ["ed", "ing"] {
+        if let Some(stem) = lower.strip_suffix(suf) {
+            if in_lexicon(stem) {
+                return stem.to_string();
+            }
+            let with_e = format!("{stem}e");
+            if in_lexicon(&with_e) {
+                return with_e;
+            }
+            if stem.len() >= 2 {
+                let b = stem.as_bytes();
+                if b[b.len() - 1] == b[b.len() - 2] {
+                    let undoubled = &stem[..stem.len() - 1];
+                    if in_lexicon(undoubled) {
+                        return undoubled.to_string();
+                    }
+                }
+            }
+            // Unknown verb: best-effort strip anyway ("beaconed" → "beacon").
+            if stem.len() >= 3 {
+                return stem.to_string();
+            }
+        }
+    }
+    lower.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn irregular_table_is_sorted() {
+        let mut sorted = IRREGULARS.to_vec();
+        sorted.sort_by_key(|&(w, _)| w);
+        assert_eq!(sorted, IRREGULARS);
+    }
+
+    #[test]
+    fn irregulars() {
+        assert_eq!(lemmatize_verb("wrote"), "write");
+        assert_eq!(lemmatize_verb("ran"), "run");
+        assert_eq!(lemmatize_verb("stole"), "steal");
+        assert_eq!(lemmatize_verb("sent"), "send");
+    }
+
+    #[test]
+    fn regular_suffixes() {
+        assert_eq!(lemmatize_verb("downloads"), "download");
+        assert_eq!(lemmatize_verb("downloaded"), "download");
+        assert_eq!(lemmatize_verb("downloading"), "download");
+        assert_eq!(lemmatize_verb("executes"), "execute");
+        assert_eq!(lemmatize_verb("executed"), "execute");
+        assert_eq!(lemmatize_verb("reads"), "read");
+        assert_eq!(lemmatize_verb("copies"), "copy");
+    }
+
+    #[test]
+    fn silent_e_restoration() {
+        assert_eq!(lemmatize_verb("used"), "use");
+        assert_eq!(lemmatize_verb("using"), "use");
+        assert_eq!(lemmatize_verb("compressed"), "compress");
+        assert_eq!(lemmatize_verb("leveraged"), "leverage");
+        assert_eq!(lemmatize_verb("encrypted"), "encrypt");
+    }
+
+    #[test]
+    fn doubled_consonant() {
+        assert_eq!(lemmatize_verb("dropped"), "drop");
+        assert_eq!(lemmatize_verb("scanning"), "scan");
+    }
+
+    #[test]
+    fn base_forms_pass_through() {
+        assert_eq!(lemmatize_verb("read"), "read");
+        assert_eq!(lemmatize_verb("connect"), "connect");
+    }
+
+    #[test]
+    fn unknown_words_best_effort() {
+        assert_eq!(lemmatize_verb("beaconed"), "beacon");
+        assert_eq!(lemmatize_verb("frobnicate"), "frobnicate");
+    }
+}

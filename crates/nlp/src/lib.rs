@@ -1,0 +1,33 @@
+//! A deterministic NLP stack for OSCTI prose.
+//!
+//! The paper builds its threat-behavior extraction pipeline on spaCy:
+//! sentence segmentation, tokenization, POS tags, a pretrained dependency
+//! parser, word vectors, and lemmatization. The Rust NLP ecosystem has no
+//! equivalent pretrained stack, so this crate implements a rule/lexicon-based
+//! replacement tuned to the register OSCTI reports are written in — simple
+//! declarative English ("The attacker used X to read Y from Z") — which is
+//! exactly the text the pipeline sees *after IOC protection* has replaced
+//! every IOC with a dummy noun (DESIGN.md §1 documents the substitution).
+//!
+//! Components:
+//!
+//! * [`tokenize`] — rule-based word/punctuation tokenizer,
+//! * [`sentence`] — sentence segmentation with an abbreviation list,
+//! * [`pos`] — lexicon + morphology + context-repair POS tagger,
+//! * [`lemma`] — irregular-table + suffix-stripping lemmatizer,
+//! * [`dep`] — a deterministic dependency parser producing UD-style trees
+//!   (nsubj/dobj/prep/pobj/xcomp/conj/acl/...), with LCA and path utilities
+//!   used by relation extraction,
+//! * [`vector`] — hashed character-n-gram embeddings with cosine similarity
+//!   (the word-vector substitute used for IOC merging).
+
+pub mod dep;
+pub mod lemma;
+pub mod pos;
+pub mod sentence;
+pub mod tokenize;
+pub mod vector;
+
+pub use dep::{DepLabel, DepNode, DepTree};
+pub use pos::{PosTag, VerbForm};
+pub use tokenize::Token;

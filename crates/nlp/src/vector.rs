@@ -1,0 +1,106 @@
+//! Hashed character-n-gram embeddings.
+//!
+//! The paper merges IOCs that appear in different surface forms using "both
+//! the character-level overlap and the semantic similarity of word vectors"
+//! (Step 8 of Algorithm 1, using spaCy's vectors). Pretrained embeddings are
+//! unavailable here, and IOC "semantics" are dominated by lexical shape
+//! (paths, hostnames, hashes), so the substitute is a hashed character
+//! trigram/quadgram bag projected into a fixed-dimension vector with cosine
+//! similarity. Related strings ("upload.tar" vs "/tmp/upload.tar.bz2") score
+//! high; unrelated IOCs score near zero.
+
+const DIM: usize = 128;
+
+/// A dense fixed-dimension embedding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Embedding(pub [f32; DIM]);
+
+fn hash_ngram(gram: &[u8], seed: u64) -> usize {
+    // FNV-1a with a seed twist; cheap and deterministic.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ seed;
+    for &b in gram {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    (h % DIM as u64) as usize
+}
+
+/// Embeds a string as a normalized bag of character 3- and 4-grams.
+pub fn embed(s: &str) -> Embedding {
+    let mut v = [0f32; DIM];
+    let lower = s.to_lowercase();
+    let bytes = lower.as_bytes();
+    for n in [3usize, 4] {
+        if bytes.len() < n {
+            continue;
+        }
+        for w in bytes.windows(n) {
+            v[hash_ngram(w, n as u64)] += 1.0;
+        }
+    }
+    // Whole-word unigram channel keeps very short strings representable.
+    if bytes.len() < 3 && !bytes.is_empty() {
+        v[hash_ngram(bytes, 7)] += 1.0;
+    }
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in &mut v {
+            *x /= norm;
+        }
+    }
+    Embedding(v)
+}
+
+/// Cosine similarity of two embeddings (vectors are pre-normalized, so this
+/// is a dot product). Range `[0, 1]` for count vectors.
+pub fn cosine(a: &Embedding, b: &Embedding) -> f32 {
+    a.0.iter().zip(b.0.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Convenience: cosine similarity of two strings.
+pub fn similarity(a: &str, b: &str) -> f32 {
+    cosine(&embed(a), &embed(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_score_one() {
+        let s = similarity("/tmp/upload.tar", "/tmp/upload.tar");
+        assert!((s - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn related_iocs_score_high() {
+        assert!(similarity("upload.tar", "/tmp/upload.tar") > 0.6);
+        assert!(similarity("/tmp/upload.tar", "/tmp/upload.tar.bz2") > 0.6);
+        assert!(similarity("john.zip", "/tmp/john.zip") > 0.5);
+    }
+
+    #[test]
+    fn unrelated_iocs_score_low() {
+        assert!(similarity("/etc/passwd", "192.168.29.128") < 0.2);
+        assert!(similarity("/bin/tar", "/usr/bin/gpg") < 0.5);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert!((similarity("VPNFilter", "vpnfilter") - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn short_strings_do_not_panic() {
+        assert!(similarity("a", "a") > 0.99);
+        assert_eq!(similarity("", "abc"), 0.0);
+        assert_eq!(similarity("", ""), 0.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        for (a, b) in [("/bin/tar", "/bin/bzip2"), ("x", "xyz"), ("abc", "abcd")] {
+            assert!((similarity(a, b) - similarity(b, a)).abs() < 1e-6);
+        }
+    }
+}

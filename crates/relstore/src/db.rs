@@ -1,0 +1,391 @@
+//! The database facade.
+//!
+//! Owns the string dictionary, tables and indexes, and exposes the public
+//! API: DDL ([`Database::create_table`], `create_*_index`), inserts, and
+//! [`Database::query`] for the SQL subset.
+
+use raptor_common::error::{Error, Result};
+use raptor_common::hash::FxHashMap;
+use raptor_common::intern::Interner;
+
+use crate::exec::{execute, ExecStats};
+use crate::index::{BTreeIndex, HashIndex, TrigramIndex};
+use crate::plan::{plan_select, SchemaProvider};
+use crate::schema::TableSchema;
+use crate::sql::parse_select;
+use crate::table::Table;
+use crate::value::{OwnedValue, Value};
+
+/// A value being inserted (strings are interned on the way in).
+#[derive(Clone, Copy, Debug)]
+pub enum Ins<'a> {
+    Int(i64),
+    Str(&'a str),
+    Null,
+}
+
+/// A query result: projected column names, materialized rows, and execution
+/// counters.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<OwnedValue>>,
+    pub stats: ExecStats,
+}
+
+impl QueryResult {
+    /// Renders rows as display strings (column order preserved).
+    pub fn rendered_rows(&self) -> Vec<Vec<String>> {
+        self.rows
+            .iter()
+            .map(|r| r.iter().map(OwnedValue::render).collect())
+            .collect()
+    }
+}
+
+/// The embedded relational database.
+#[derive(Default)]
+pub struct Database {
+    dict: Interner,
+    tables: FxHashMap<String, Table>,
+    hash_indexes: FxHashMap<(String, String), HashIndex>,
+    btree_indexes: FxHashMap<(String, String), BTreeIndex>,
+    trigram_indexes: FxHashMap<(String, String), TrigramIndex>,
+}
+
+impl SchemaProvider for Database {
+    fn schema(&self, table: &str) -> Option<&TableSchema> {
+        self.tables.get(table).map(|t| &t.schema)
+    }
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn dict(&self) -> &Interner {
+        &self.dict
+    }
+
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    pub(crate) fn hash_index(&self, table: &str, col: &str) -> Option<&HashIndex> {
+        self.hash_indexes.get(&(table.to_string(), col.to_string()))
+    }
+
+    pub(crate) fn btree_index(&self, table: &str, col: &str) -> Option<&BTreeIndex> {
+        self.btree_indexes.get(&(table.to_string(), col.to_string()))
+    }
+
+    pub(crate) fn trigram_index(&self, table: &str, col: &str) -> Option<&TrigramIndex> {
+        self.trigram_indexes.get(&(table.to_string(), col.to_string()))
+    }
+
+    /// Creates an empty table.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<()> {
+        if self.tables.contains_key(&schema.name) {
+            return Err(Error::storage(format!("table `{}` already exists", schema.name)));
+        }
+        self.tables.insert(schema.name.clone(), Table::new(schema));
+        Ok(())
+    }
+
+    fn check_col(&self, table: &str, col: &str) -> Result<usize> {
+        let t = self
+            .tables
+            .get(table)
+            .ok_or_else(|| Error::storage(format!("unknown table `{table}`")))?;
+        t.schema.require_column(col)
+    }
+
+    /// Creates a hash (equality) index. Rows already present are indexed.
+    pub fn create_hash_index(&mut self, table: &str, col: &str) -> Result<()> {
+        let ci = self.check_col(table, col)?;
+        let mut idx = HashIndex::default();
+        for (rid, row) in self.tables[table].iter() {
+            idx.insert(row[ci], rid);
+        }
+        self.hash_indexes.insert((table.to_string(), col.to_string()), idx);
+        Ok(())
+    }
+
+    /// Creates a B-tree (range) index over an integer/time column.
+    pub fn create_btree_index(&mut self, table: &str, col: &str) -> Result<()> {
+        let ci = self.check_col(table, col)?;
+        let mut idx = BTreeIndex::default();
+        for (rid, row) in self.tables[table].iter() {
+            if let Value::Int(k) = row[ci] {
+                idx.insert(k, rid);
+            }
+        }
+        self.btree_indexes.insert((table.to_string(), col.to_string()), idx);
+        Ok(())
+    }
+
+    /// Creates a trigram index over a string column (used together with a
+    /// hash index on the same column to accelerate `LIKE '%lit%'`).
+    pub fn create_trigram_index(&mut self, table: &str, col: &str) -> Result<()> {
+        let ci = self.check_col(table, col)?;
+        let mut idx = TrigramIndex::default();
+        for (_, row) in self.tables[table].iter() {
+            if let Value::Str(s) = row[ci] {
+                idx.add_sym(s, &self.dict);
+            }
+        }
+        self.trigram_indexes.insert((table.to_string(), col.to_string()), idx);
+        Ok(())
+    }
+
+    /// Inserts one row, maintaining all indexes on the table.
+    pub fn insert(&mut self, table: &str, row: &[Ins<'_>]) -> Result<()> {
+        let values: Vec<Value> = row
+            .iter()
+            .map(|v| match v {
+                Ins::Int(i) => Value::Int(*i),
+                Ins::Str(s) => Value::Str(self.dict.intern(s)),
+                Ins::Null => Value::Null,
+            })
+            .collect();
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| Error::storage(format!("unknown table `{table}`")))?;
+        let rid = t.insert(&values)?;
+        let schema = t.schema.clone();
+        for (ci, cdef) in schema.columns.iter().enumerate() {
+            let key = (table.to_string(), cdef.name.clone());
+            if let Some(idx) = self.hash_indexes.get_mut(&key) {
+                idx.insert(values[ci], rid);
+            }
+            if let Some(idx) = self.btree_indexes.get_mut(&key) {
+                if let Value::Int(k) = values[ci] {
+                    idx.insert(k, rid);
+                }
+            }
+            if let Some(idx) = self.trigram_indexes.get_mut(&key) {
+                if let Value::Str(s) = values[ci] {
+                    idx.add_sym(s, &self.dict);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses, plans and executes a SELECT.
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        let sel = parse_select(sql)?;
+        let plan = plan_select(self, &sel)?;
+        let (core, stats) = execute(self, &plan)?;
+        Ok(QueryResult { columns: core.columns, rows: core.rows, stats })
+    }
+
+    /// Convenience: runs a `SELECT COUNT(*) ...` and returns the count.
+    pub fn query_count(&self, sql: &str) -> Result<i64> {
+        let r = self.query(sql)?;
+        r.rows
+            .first()
+            .and_then(|row| row.first())
+            .and_then(OwnedValue::as_int)
+            .ok_or_else(|| Error::execution("query did not return a count"))
+    }
+
+    /// Total rows across all tables (for stats displays).
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, ColumnType};
+
+    fn db_with_audit_shape() -> Database {
+        let mut db = Database::new();
+        db.create_table(TableSchema::new(
+            "processes",
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("pid", ColumnType::Int),
+                ColumnDef::new("exename", ColumnType::Str),
+            ],
+        ))
+        .unwrap();
+        db.create_table(TableSchema::new(
+            "files",
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("name", ColumnType::Str),
+            ],
+        ))
+        .unwrap();
+        db.create_table(TableSchema::new(
+            "events",
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("subject", ColumnType::Int),
+                ColumnDef::new("object", ColumnType::Int),
+                ColumnDef::new("optype", ColumnType::Str),
+                ColumnDef::new("starttime", ColumnType::Time),
+            ],
+        ))
+        .unwrap();
+        // Entities.
+        db.insert("processes", &[Ins::Int(0), Ins::Int(100), Ins::Str("/bin/tar")]).unwrap();
+        db.insert("processes", &[Ins::Int(1), Ins::Int(101), Ins::Str("/bin/bzip2")]).unwrap();
+        db.insert("processes", &[Ins::Int(2), Ins::Int(102), Ins::Str("/usr/bin/curl")]).unwrap();
+        db.insert("files", &[Ins::Int(3), Ins::Str("/etc/passwd")]).unwrap();
+        db.insert("files", &[Ins::Int(4), Ins::Str("/tmp/upload.tar")]).unwrap();
+        // tar reads /etc/passwd, writes /tmp/upload.tar; bzip2 reads it.
+        db.insert("events", &[Ins::Int(0), Ins::Int(0), Ins::Int(3), Ins::Str("read"), Ins::Int(100)]).unwrap();
+        db.insert("events", &[Ins::Int(1), Ins::Int(0), Ins::Int(4), Ins::Str("write"), Ins::Int(200)]).unwrap();
+        db.insert("events", &[Ins::Int(2), Ins::Int(1), Ins::Int(4), Ins::Str("read"), Ins::Int(300)]).unwrap();
+        db
+    }
+
+    #[test]
+    fn single_table_filter() {
+        let db = db_with_audit_shape();
+        let r = db.query("SELECT exename FROM processes WHERE exename LIKE '%tar%'").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0].render(), "/bin/tar");
+    }
+
+    #[test]
+    fn three_way_join_event_pattern() {
+        let db = db_with_audit_shape();
+        let r = db
+            .query(
+                "SELECT p.exename, f.name FROM processes p, events e, files f \
+                 WHERE e.subject = p.id AND e.object = f.id AND e.optype = 'read' \
+                 AND p.exename LIKE '%/bin/tar%'",
+            )
+            .unwrap();
+        assert_eq!(r.rendered_rows(), vec![vec!["/bin/tar".to_string(), "/etc/passwd".to_string()]]);
+    }
+
+    #[test]
+    fn temporal_residual_between_event_copies() {
+        let db = db_with_audit_shape();
+        // tar's read happens before tar's write: self-join on events.
+        let r = db
+            .query(
+                "SELECT e1.id, e2.id FROM events e1, events e2 \
+                 WHERE e1.subject = e2.subject AND e1.optype = 'read' \
+                 AND e2.optype = 'write' AND e1.starttime < e2.starttime",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], OwnedValue::Int(0));
+        assert_eq!(r.rows[0][1], OwnedValue::Int(1));
+    }
+
+    #[test]
+    fn distinct_order_limit() {
+        let db = db_with_audit_shape();
+        let r = db
+            .query("SELECT DISTINCT optype FROM events ORDER BY optype LIMIT 2")
+            .unwrap();
+        assert_eq!(r.rendered_rows(), vec![vec!["read".to_string()], vec!["write".to_string()]]);
+    }
+
+    #[test]
+    fn count_star() {
+        let db = db_with_audit_shape();
+        assert_eq!(db.query_count("SELECT COUNT(*) FROM events").unwrap(), 3);
+        assert_eq!(
+            db.query_count("SELECT COUNT(*) FROM events WHERE optype = 'read'").unwrap(),
+            2
+        );
+    }
+
+    #[test]
+    fn indexes_accelerate_without_changing_results() {
+        let mut db = db_with_audit_shape();
+        let slow = db.query("SELECT id FROM events WHERE optype = 'read'").unwrap();
+        assert_eq!(slow.stats.full_scans, 1);
+        db.create_hash_index("events", "optype").unwrap();
+        let fast = db.query("SELECT id FROM events WHERE optype = 'read'").unwrap();
+        assert_eq!(fast.stats.index_scans, 1);
+        assert_eq!(slow.rows, fast.rows);
+    }
+
+    #[test]
+    fn trigram_like_acceleration() {
+        let mut db = db_with_audit_shape();
+        db.create_hash_index("processes", "exename").unwrap();
+        db.create_trigram_index("processes", "exename").unwrap();
+        let r = db.query("SELECT id FROM processes WHERE exename LIKE '%curl%'").unwrap();
+        assert_eq!(r.stats.index_scans, 1);
+        assert_eq!(r.rows, vec![vec![OwnedValue::Int(2)]]);
+    }
+
+    #[test]
+    fn btree_range_acceleration() {
+        let mut db = db_with_audit_shape();
+        db.create_btree_index("events", "starttime").unwrap();
+        let r = db.query("SELECT id FROM events WHERE starttime >= 200").unwrap();
+        assert_eq!(r.stats.index_scans, 1);
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn in_list_filter() {
+        let db = db_with_audit_shape();
+        let r = db.query("SELECT exename FROM processes WHERE id IN (0, 2)").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        let r = db
+            .query("SELECT exename FROM processes WHERE exename IN ('/bin/tar', 'missing')")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn unknown_string_literal_matches_nothing() {
+        let db = db_with_audit_shape();
+        let r = db.query("SELECT id FROM processes WHERE exename = '/bin/nonexistent'").unwrap();
+        assert!(r.rows.is_empty());
+        // ...but != matches everything.
+        let r = db.query("SELECT id FROM processes WHERE exename != '/bin/nonexistent'").unwrap();
+        assert_eq!(r.rows.len(), 3);
+    }
+
+    #[test]
+    fn or_and_not_combinations() {
+        let db = db_with_audit_shape();
+        let r = db
+            .query(
+                "SELECT id FROM events WHERE optype = 'write' OR (optype = 'read' AND starttime >= 300)",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        let r = db.query("SELECT id FROM events WHERE NOT optype = 'read'").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        let r = db.query("SELECT id FROM events WHERE optype NOT IN ('read')").unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn cartesian_join_without_equi_key() {
+        let db = db_with_audit_shape();
+        let r = db.query("SELECT p.id, f.id FROM processes p, files f").unwrap();
+        assert_eq!(r.rows.len(), 6);
+    }
+
+    #[test]
+    fn ddl_errors() {
+        let mut db = db_with_audit_shape();
+        assert!(db
+            .create_table(TableSchema::new("events", vec![]))
+            .unwrap_err()
+            .to_string()
+            .contains("already exists"));
+        assert!(db.create_hash_index("nope", "x").is_err());
+        assert!(db.create_hash_index("events", "nope").is_err());
+        assert!(db.insert("nope", &[]).is_err());
+        assert!(db.insert("files", &[Ins::Int(0)]).is_err());
+    }
+}

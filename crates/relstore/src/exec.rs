@@ -1,0 +1,536 @@
+//! Query execution.
+//!
+//! Pipeline: per-alias **scan** (access-path selection + residual filter) →
+//! left-deep **joins** in FROM order (hash join when an equi conjunct links
+//! the new alias to bound ones, nested-loop otherwise; residual conjuncts
+//! apply as soon as their aliases are bound) → projection → DISTINCT →
+//! ORDER BY → LIMIT.
+//!
+//! Scans pick the cheapest applicable access path per pushed-down conjunct:
+//! hash-index point/IN lookups, B-tree ranges for integer comparisons,
+//! trigram candidate pruning for `LIKE '%lit%'`. Every path re-verifies the
+//! full predicate, so index choice is purely a performance decision.
+
+use raptor_common::error::{Error, Result};
+use raptor_common::hash::FxHashMap;
+use raptor_common::intern::Interner;
+
+use crate::db::Database;
+use crate::like::{containment_literal, like_match};
+use crate::plan::{QueryPlan, ScanPlan};
+use crate::sql::ast::{ColRef, CmpOp, Expr, Literal, Projection};
+use crate::table::{RowId, Table};
+use crate::value::{OwnedValue, Value};
+
+/// Execution counters, surfaced for benchmarks and ablations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Rows touched by scans (before residual filtering).
+    pub rows_scanned: usize,
+    /// Tuples materialized across all join steps.
+    pub tuples_built: usize,
+    /// Scans that used an index access path.
+    pub index_scans: usize,
+    /// Scans that fell back to a full table scan.
+    pub full_scans: usize,
+}
+
+/// A bound column: (alias slot, column index).
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    alias: usize,
+    col: usize,
+}
+
+/// Expression with names resolved to slots; literals stay as-is (string
+/// equality resolves through the dictionary at eval time via a cached Sym).
+#[derive(Clone, Debug)]
+enum BExpr {
+    CmpLit { slot: Slot, op: CmpOp, lit: BLit },
+    CmpCol { left: Slot, op: CmpOp, right: Slot },
+    Like { slot: Slot, pattern: String, negated: bool },
+    InList { slot: Slot, set: Vec<BLit>, negated: bool },
+    And(Box<BExpr>, Box<BExpr>),
+    Or(Box<BExpr>, Box<BExpr>),
+    Not(Box<BExpr>),
+}
+
+#[derive(Clone, Debug)]
+enum BLit {
+    Int(i64),
+    /// Raw string plus its interned handle if the dictionary has it.
+    Str(String, Option<raptor_common::Sym>),
+}
+
+struct Binder<'a> {
+    /// alias → slot index
+    slots: FxHashMap<&'a str, usize>,
+    /// slot → table
+    tables: Vec<&'a Table>,
+    dict: &'a Interner,
+}
+
+impl<'a> Binder<'a> {
+    fn bind_col(&self, c: &ColRef) -> Result<Slot> {
+        let q = c.qualifier.as_deref().ok_or_else(|| {
+            Error::semantic(format!("internal: unresolved column `{}`", c.column))
+        })?;
+        let &alias = self
+            .slots
+            .get(q)
+            .ok_or_else(|| Error::semantic(format!("unknown alias `{q}`")))?;
+        let col = self.tables[alias].schema.require_column(&c.column)?;
+        Ok(Slot { alias, col })
+    }
+
+    fn bind_lit(&self, l: &Literal) -> BLit {
+        match l {
+            Literal::Int(i) => BLit::Int(*i),
+            Literal::Str(s) => BLit::Str(s.clone(), self.dict.get(s)),
+        }
+    }
+
+    fn bind(&self, e: &Expr) -> Result<BExpr> {
+        Ok(match e {
+            Expr::CmpLit { col, op, lit } => BExpr::CmpLit {
+                slot: self.bind_col(col)?,
+                op: *op,
+                lit: self.bind_lit(lit),
+            },
+            Expr::CmpCol { left, op, right } => BExpr::CmpCol {
+                left: self.bind_col(left)?,
+                op: *op,
+                right: self.bind_col(right)?,
+            },
+            Expr::Like { col, pattern, negated } => BExpr::Like {
+                slot: self.bind_col(col)?,
+                pattern: pattern.clone(),
+                negated: *negated,
+            },
+            Expr::InList { col, list, negated } => BExpr::InList {
+                slot: self.bind_col(col)?,
+                set: list.iter().map(|l| self.bind_lit(l)).collect(),
+                negated: *negated,
+            },
+            Expr::And(a, b) => BExpr::And(Box::new(self.bind(a)?), Box::new(self.bind(b)?)),
+            Expr::Or(a, b) => BExpr::Or(Box::new(self.bind(a)?), Box::new(self.bind(b)?)),
+            Expr::Not(inner) => BExpr::Not(Box::new(self.bind(inner)?)),
+        })
+    }
+}
+
+fn cmp_values(v: Value, op: CmpOp, lit: &BLit, dict: &Interner) -> bool {
+    use std::cmp::Ordering::*;
+    let ord = match (v, lit) {
+        (Value::Int(a), BLit::Int(b)) => a.cmp(b),
+        (Value::Str(s), BLit::Str(raw, cached)) => {
+            // Fast path: equality through the dictionary handle.
+            if matches!(op, CmpOp::Eq | CmpOp::Ne) {
+                let eq = match cached {
+                    Some(sym) => s == *sym,
+                    None => false, // literal not in dictionary ⇒ no row equals it
+                };
+                return if matches!(op, CmpOp::Eq) { eq } else { !eq };
+            }
+            dict.resolve(s).cmp(raw.as_str())
+        }
+        // Type mismatch or NULL: no comparison holds (SQL-ish semantics).
+        _ => return false,
+    };
+    match op {
+        CmpOp::Eq => ord == Equal,
+        CmpOp::Ne => ord != Equal,
+        CmpOp::Lt => ord == Less,
+        CmpOp::Le => ord != Greater,
+        CmpOp::Gt => ord == Greater,
+        CmpOp::Ge => ord != Less,
+    }
+}
+
+fn eval(e: &BExpr, tuple: &[RowId], tables: &[&Table], dict: &Interner) -> bool {
+    match e {
+        BExpr::CmpLit { slot, op, lit } => {
+            let v = tables[slot.alias].cell(tuple[slot.alias], slot.col);
+            cmp_values(v, *op, lit, dict)
+        }
+        BExpr::CmpCol { left, op, right } => {
+            let a = tables[left.alias].cell(tuple[left.alias], left.col);
+            let b = tables[right.alias].cell(tuple[right.alias], right.col);
+            if a.is_null() || b.is_null() {
+                return false;
+            }
+            let ord = a.cmp_with(b, dict);
+            match op {
+                CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+                CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+                CmpOp::Lt => ord == std::cmp::Ordering::Less,
+                CmpOp::Le => ord != std::cmp::Ordering::Greater,
+                CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+                CmpOp::Ge => ord != std::cmp::Ordering::Less,
+            }
+        }
+        BExpr::Like { slot, pattern, negated } => {
+            let v = tables[slot.alias].cell(tuple[slot.alias], slot.col);
+            let m = match v {
+                Value::Str(s) => like_match(pattern, dict.resolve(s)),
+                _ => false,
+            };
+            m != *negated
+        }
+        BExpr::InList { slot, set, negated } => {
+            let v = tables[slot.alias].cell(tuple[slot.alias], slot.col);
+            let m = set.iter().any(|l| cmp_values(v, CmpOp::Eq, l, dict));
+            m != *negated
+        }
+        BExpr::And(a, b) => {
+            eval(a, tuple, tables, dict) && eval(b, tuple, tables, dict)
+        }
+        BExpr::Or(a, b) => eval(a, tuple, tables, dict) || eval(b, tuple, tables, dict),
+        BExpr::Not(inner) => !eval(inner, tuple, tables, dict),
+    }
+}
+
+/// Chooses an index access path for one pushed-down conjunct, if possible.
+/// Returns candidate row ids (a superset of matches among which the full
+/// predicate is re-verified), or `None` if no index applies.
+fn access_path(db: &Database, scan: &ScanPlan, conjunct: &Expr) -> Option<Vec<RowId>> {
+    match conjunct {
+        Expr::CmpLit { col, op: CmpOp::Eq, lit } => {
+            let idx = db.hash_index(&scan.table, &col.column)?;
+            let key = match lit {
+                Literal::Int(i) => Value::Int(*i),
+                Literal::Str(s) => Value::Str(db.dict().get(s)?),
+            };
+            Some(idx.get(key).to_vec())
+        }
+        Expr::InList { col, list, negated: false } => {
+            let idx = db.hash_index(&scan.table, &col.column)?;
+            let mut rows = Vec::new();
+            for lit in list {
+                let key = match lit {
+                    Literal::Int(i) => Value::Int(*i),
+                    Literal::Str(s) => match db.dict().get(s) {
+                        Some(sym) => Value::Str(sym),
+                        None => continue,
+                    },
+                };
+                rows.extend_from_slice(idx.get(key));
+            }
+            rows.sort_unstable();
+            rows.dedup();
+            Some(rows)
+        }
+        Expr::CmpLit { col, op, lit: Literal::Int(i) } => {
+            let idx = db.btree_index(&scan.table, &col.column)?;
+            let (lo, hi) = match op {
+                CmpOp::Lt => (i64::MIN, i - 1),
+                CmpOp::Le => (i64::MIN, *i),
+                CmpOp::Gt => (i + 1, i64::MAX),
+                CmpOp::Ge => (*i, i64::MAX),
+                _ => return None,
+            };
+            Some(idx.range(lo, hi))
+        }
+        Expr::Like { col, pattern, negated: false } => {
+            let lit = containment_literal(pattern)?;
+            let tri = db.trigram_index(&scan.table, &col.column)?;
+            let candidates = tri.candidates(&lit)?;
+            // Verify the LIKE on the (small) dictionary, then fan out to rows.
+            let hash = db.hash_index(&scan.table, &col.column)?;
+            let mut rows = Vec::new();
+            for sym in candidates {
+                if like_match(pattern, db.dict().resolve(sym)) {
+                    rows.extend_from_slice(hash.get(Value::Str(sym)));
+                }
+            }
+            rows.sort_unstable();
+            rows.dedup();
+            Some(rows)
+        }
+        _ => None,
+    }
+}
+
+/// Runs one scan: pick the most selective index path among the pushed-down
+/// conjuncts, then re-verify the whole predicate.
+fn run_scan(db: &Database, scan: &ScanPlan, stats: &mut ExecStats) -> Result<Vec<RowId>> {
+    let table = db
+        .table(&scan.table)
+        .ok_or_else(|| Error::storage(format!("unknown table `{}`", scan.table)))?;
+    let binder = Binder {
+        slots: std::iter::once((scan.alias.as_str(), 0usize)).collect(),
+        tables: vec![table],
+        dict: db.dict(),
+    };
+
+    let candidates: Vec<RowId> = match &scan.predicate {
+        Some(pred) => {
+            // Try every top-level conjunct; keep the smallest candidate set.
+            let mut best: Option<Vec<RowId>> = None;
+            for conjunct in pred.clone().conjuncts() {
+                if let Some(rows) = access_path(db, scan, &conjunct) {
+                    if best.as_ref().map_or(true, |b| rows.len() < b.len()) {
+                        best = Some(rows);
+                    }
+                }
+            }
+            match best {
+                Some(rows) => {
+                    stats.index_scans += 1;
+                    rows
+                }
+                None => {
+                    stats.full_scans += 1;
+                    (0..table.len() as RowId).collect()
+                }
+            }
+        }
+        None => {
+            stats.full_scans += 1;
+            (0..table.len() as RowId).collect()
+        }
+    };
+    stats.rows_scanned += candidates.len();
+
+    match &scan.predicate {
+        Some(pred) => {
+            let bound = binder.bind(pred)?;
+            let tables = [table];
+            Ok(candidates
+                .into_iter()
+                .filter(|&r| eval(&bound, &[r], &tables, db.dict()))
+                .collect())
+        }
+        None => Ok(candidates),
+    }
+}
+
+/// An equi-join key extracted from a residual conjunct.
+struct EquiKey {
+    bound: Slot,
+    new: Slot,
+}
+
+/// Executes a plan, returning projected rows.
+pub fn execute(db: &Database, plan: &QueryPlan) -> Result<(QueryResultCore, ExecStats)> {
+    let mut stats = ExecStats::default();
+    let tables: Vec<&Table> = plan
+        .scans
+        .iter()
+        .map(|s| {
+            db.table(&s.table)
+                .ok_or_else(|| Error::storage(format!("unknown table `{}`", s.table)))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let binder = Binder {
+        slots: plan
+            .scans
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.alias.as_str(), i))
+            .collect(),
+        tables: tables.clone(),
+        dict: db.dict(),
+    };
+
+    // Bind residuals once; track which are already applied.
+    let residual_bound: Vec<(BExpr, Vec<usize>)> = plan
+        .residuals
+        .iter()
+        .map(|r| {
+            let b = binder.bind(r)?;
+            let mut cols = Vec::new();
+            r.collect_cols(&mut cols);
+            let mut slots: Vec<usize> = cols
+                .iter()
+                .map(|c| binder.slots[c.qualifier.as_deref().unwrap()])
+                .collect();
+            slots.sort_unstable();
+            slots.dedup();
+            Ok((b, slots))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let mut residual_done = vec![false; residual_bound.len()];
+
+    // Left-deep pipeline. Tuples hold one RowId per bound alias, and a
+    // sentinel for not-yet-bound aliases.
+    const UNBOUND: RowId = RowId::MAX;
+    let nslots = plan.scans.len();
+    let mut tuples: Vec<Vec<RowId>> = vec![];
+    let mut bound_slots: Vec<usize> = Vec::new();
+
+    for (slot, scan) in plan.scans.iter().enumerate() {
+        let rows = run_scan(db, scan, &mut stats)?;
+        if slot == 0 {
+            tuples = rows
+                .into_iter()
+                .map(|r| {
+                    let mut t = vec![UNBOUND; nslots];
+                    t[0] = r;
+                    t
+                })
+                .collect();
+        } else {
+            // Find equi-join keys connecting `slot` to already-bound slots.
+            let mut keys: Vec<EquiKey> = Vec::new();
+            for (i, (b, slots)) in residual_bound.iter().enumerate() {
+                if residual_done[i] {
+                    continue;
+                }
+                if let BExpr::CmpCol { left, op: CmpOp::Eq, right } = b {
+                    let connects = |a: &Slot, b: &Slot| {
+                        a.alias == slot && bound_slots.contains(&b.alias)
+                    };
+                    if connects(right, left) {
+                        keys.push(EquiKey { bound: *left, new: *right });
+                        residual_done[i] = true;
+                    } else if connects(left, right) {
+                        keys.push(EquiKey { bound: *right, new: *left });
+                        residual_done[i] = true;
+                    }
+                }
+                let _ = slots;
+            }
+            if keys.is_empty() {
+                // Cartesian extension (rare: disconnected patterns).
+                let mut next = Vec::with_capacity(tuples.len() * rows.len().max(1));
+                for t in &tuples {
+                    for &r in &rows {
+                        let mut nt = t.clone();
+                        nt[slot] = r;
+                        next.push(nt);
+                    }
+                }
+                tuples = next;
+            } else {
+                // Hash join: build on the new scan's rows.
+                let mut build: FxHashMap<Vec<Value>, Vec<RowId>> = FxHashMap::default();
+                for &r in &rows {
+                    let key: Vec<Value> =
+                        keys.iter().map(|k| tables[slot].cell(r, k.new.col)).collect();
+                    build.entry(key).or_default().push(r);
+                }
+                let mut next = Vec::new();
+                for t in &tuples {
+                    let key: Vec<Value> = keys
+                        .iter()
+                        .map(|k| tables[k.bound.alias].cell(t[k.bound.alias], k.bound.col))
+                        .collect();
+                    if let Some(matches) = build.get(&key) {
+                        for &r in matches {
+                            let mut nt = t.clone();
+                            nt[slot] = r;
+                            next.push(nt);
+                        }
+                    }
+                }
+                tuples = next;
+            }
+        }
+        bound_slots.push(slot);
+        stats.tuples_built += tuples.len();
+
+        // Apply any residual whose slots are now all bound.
+        for (i, (b, slots)) in residual_bound.iter().enumerate() {
+            if residual_done[i] {
+                continue;
+            }
+            if slots.iter().all(|s| bound_slots.contains(s)) {
+                tuples.retain(|t| eval(b, t, &tables, db.dict()));
+                residual_done[i] = true;
+            }
+        }
+        if tuples.is_empty() {
+            // Early exit: nothing downstream can resurrect rows, but we must
+            // keep slot bookkeeping consistent; simply continue (cheap).
+        }
+    }
+
+    // Projection.
+    let mut out_cols = Vec::new();
+    let mut proj_slots: Vec<Option<Slot>> = Vec::new();
+    for p in &plan.projections {
+        match p {
+            Projection::Col(c) => {
+                out_cols.push(c.to_string());
+                proj_slots.push(Some(binder.bind_col(c)?));
+            }
+            Projection::CountStar => {
+                out_cols.push("count".to_string());
+                proj_slots.push(None);
+            }
+        }
+    }
+
+    let count_star = plan.projections.iter().any(|p| matches!(p, Projection::CountStar));
+    let mut rows: Vec<Vec<Value>> = if count_star {
+        vec![vec![Value::Int(tuples.len() as i64)]]
+    } else {
+        tuples
+            .iter()
+            .map(|t| {
+                proj_slots
+                    .iter()
+                    .map(|s| {
+                        let s = s.expect("CountStar handled above");
+                        tables[s.alias].cell(t[s.alias], s.col)
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+
+    if plan.distinct && !count_star {
+        let mut seen: raptor_common::FxHashSet<Vec<Value>> = Default::default();
+        rows.retain(|r| seen.insert(r.clone()));
+    }
+
+    if !plan.order_by.is_empty() && !count_star {
+        let order_slots: Vec<Slot> = plan
+            .order_by
+            .iter()
+            .map(|c| binder.bind_col(c))
+            .collect::<Result<Vec<_>>>()?;
+        // ORDER BY columns must appear in the projection for sorting of
+        // projected rows; otherwise sort tuples first. For the audit
+        // workloads ORDER BY is always on projected columns, so sort rows by
+        // locating each order column among projections.
+        let mut sort_keys = Vec::new();
+        for os in &order_slots {
+            let pos = proj_slots
+                .iter()
+                .position(|p| matches!(p, Some(s) if s.alias == os.alias && s.col == os.col))
+                .ok_or_else(|| {
+                    Error::semantic("ORDER BY column must appear in the SELECT list")
+                })?;
+            sort_keys.push(pos);
+        }
+        rows.sort_by(|a, b| {
+            for &k in &sort_keys {
+                let ord = a[k].cmp_with(b[k], db.dict());
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    if let Some(n) = plan.limit {
+        rows.truncate(n);
+    }
+
+    let owned: Vec<Vec<OwnedValue>> = rows
+        .into_iter()
+        .map(|r| r.into_iter().map(|v| OwnedValue::from_value(v, db.dict())).collect())
+        .collect();
+
+    Ok((QueryResultCore { columns: out_cols, rows: owned }, stats))
+}
+
+/// Columns + materialized rows (wrapped by [`crate::db::QueryResult`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryResultCore {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<OwnedValue>>,
+}

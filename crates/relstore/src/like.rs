@@ -1,0 +1,129 @@
+//! SQL `LIKE` pattern semantics.
+//!
+//! TBQL attribute filters use `%`-wildcards ("`%` matches any character
+//! sequence", Section III-D), and compiled SQL data queries carry them into
+//! `LIKE` predicates. This module implements `LIKE` matching (`%` = any run,
+//! `_` = any single character, no escape syntax — audit strings never need
+//! one) and extracts the longest literal run from a pattern so the trigram
+//! index can prune candidates.
+
+/// Returns whether `text` matches the SQL LIKE `pattern`.
+///
+/// Iterative two-pointer algorithm with backtracking over the last `%` —
+/// O(n·m) worst case, linear on patterns without `%`.
+pub fn like_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let mut star: Option<usize> = None;
+    let mut star_ti = 0usize;
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some(pi);
+            star_ti = ti;
+            pi += 1;
+        } else if let Some(s) = star {
+            // Backtrack: let the last % absorb one more character.
+            pi = s + 1;
+            star_ti += 1;
+            ti = star_ti;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// The longest literal (wildcard-free) run in a LIKE pattern, used as a
+/// necessary-substring filter: any match of the pattern must contain this
+/// run *if* the run is bracketed by `%` on both sides (the common
+/// `%literal%` shape compiled from TBQL). Returns `None` when no usable run
+/// exists (pattern too short or not `%`-bracketed).
+pub fn containment_literal(pattern: &str) -> Option<String> {
+    // Only the simple shapes are accelerated: %lit%, %lit, lit%.
+    if pattern.contains('_') {
+        return None;
+    }
+    let runs: Vec<&str> = pattern.split('%').filter(|r| !r.is_empty()).collect();
+    if runs.len() != 1 {
+        return None;
+    }
+    let run = runs[0];
+    if run.len() < 3 {
+        // Shorter than one trigram: the index cannot help.
+        return None;
+    }
+    // If the pattern has no leading %, matches must start with the run; the
+    // trigram filter (containment) is still sound, just less tight.
+    Some(run.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_without_wildcards() {
+        assert!(like_match("/bin/tar", "/bin/tar"));
+        assert!(!like_match("/bin/tar", "/bin/tar "));
+        assert!(!like_match("/bin/tar", "/bin/ta"));
+    }
+
+    #[test]
+    fn percent_wildcards() {
+        assert!(like_match("%/bin/tar%", "/bin/tar"));
+        assert!(like_match("%/bin/tar%", "/usr/bin/tar"));
+        assert!(like_match("%upload%", "/tmp/upload.tar.bz2"));
+        assert!(like_match("%.tar", "/tmp/upload.tar"));
+        assert!(like_match("/tmp/%", "/tmp/upload.tar"));
+        assert!(!like_match("%passwd%", "/etc/shadow"));
+        assert!(like_match("%", ""));
+        assert!(like_match("%%", "anything"));
+    }
+
+    #[test]
+    fn underscore_wildcard() {
+        assert!(like_match("/tmp/upload.ta_", "/tmp/upload.tar"));
+        assert!(!like_match("/tmp/upload.ta_", "/tmp/upload.t"));
+        assert!(like_match("_%", "x"));
+        assert!(!like_match("_", ""));
+    }
+
+    #[test]
+    fn multiple_percents_backtrack() {
+        assert!(like_match("%a%b%", "xxaxxbxx"));
+        assert!(!like_match("%a%b%", "xxbxxaxx"));
+        assert!(like_match("%ab%ab%", "ababab"));
+    }
+
+    #[test]
+    fn literal_extraction() {
+        assert_eq!(containment_literal("%/bin/tar%"), Some("/bin/tar".into()));
+        assert_eq!(containment_literal("%curl%"), Some("curl".into()));
+        assert_eq!(containment_literal("/tmp/%"), Some("/tmp/".into()));
+        // Two runs: not accelerated.
+        assert_eq!(containment_literal("%a%bcd%"), None);
+        // Underscore: not accelerated.
+        assert_eq!(containment_literal("%ab_d%"), None);
+        // Too short for a trigram.
+        assert_eq!(containment_literal("%ab%"), None);
+        assert_eq!(containment_literal("%%"), None);
+    }
+
+    #[test]
+    fn extraction_is_sound() {
+        // Every text matching the pattern must contain the literal.
+        let cases = [("%/etc/passwd%", "/etc/passwd"), ("%upload%", "xx upload yy")];
+        for (pat, text) in cases {
+            assert!(like_match(pat, text));
+            let lit = containment_literal(pat).unwrap();
+            assert!(text.contains(&lit));
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Table schemas and the catalog.
+
+use raptor_common::error::{Error, Result};
+
+/// Column type. `Time` is an `i64` nanosecond timestamp — kept distinct from
+/// `Int` only for schema documentation; storage and comparisons are identical.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ColumnType {
+    Int,
+    Str,
+    Time,
+}
+
+/// One column definition.
+#[derive(Clone, Debug)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: ColumnType,
+}
+
+impl ColumnDef {
+    pub fn new(name: &str, ty: ColumnType) -> Self {
+        ColumnDef { name: name.to_string(), ty }
+    }
+}
+
+/// A table schema: ordered column definitions.
+#[derive(Clone, Debug)]
+pub struct TableSchema {
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+}
+
+impl TableSchema {
+    pub fn new(name: &str, columns: Vec<ColumnDef>) -> Self {
+        TableSchema { name: name.to_string(), columns }
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Index of a column, as an error if missing.
+    pub fn require_column(&self, name: &str) -> Result<usize> {
+        self.column_index(name).ok_or_else(|| {
+            Error::storage(format!("unknown column `{}` in table `{}`", name, self.name))
+        })
+    }
+
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_lookup() {
+        let s = TableSchema::new(
+            "events",
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("optype", ColumnType::Str),
+                ColumnDef::new("starttime", ColumnType::Time),
+            ],
+        );
+        assert_eq!(s.column_index("optype"), Some(1));
+        assert_eq!(s.column_index("nope"), None);
+        assert!(s.require_column("starttime").is_ok());
+        let err = s.require_column("nope").unwrap_err();
+        assert!(err.to_string().contains("unknown column"));
+        assert_eq!(s.arity(), 3);
+    }
+}

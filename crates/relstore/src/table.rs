@@ -1,0 +1,115 @@
+//! Row-major table storage.
+//!
+//! Rows live in one flat `Vec<Value>` (`arity` cells per row) for locality;
+//! a row id is its ordinal. Tables are append-only — audit stores never
+//! update or delete, which keeps indexes simple and scans dense.
+
+use raptor_common::error::{Error, Result};
+
+use crate::schema::TableSchema;
+use crate::value::Value;
+
+/// Row id inside one table.
+pub type RowId = u32;
+
+/// Append-only row-major table.
+#[derive(Debug)]
+pub struct Table {
+    pub schema: TableSchema,
+    data: Vec<Value>,
+}
+
+impl Table {
+    pub fn new(schema: TableSchema) -> Self {
+        Table { schema, data: Vec::new() }
+    }
+
+    pub fn len(&self) -> usize {
+        if self.schema.arity() == 0 {
+            return 0;
+        }
+        self.data.len() / self.schema.arity()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends a row; returns its id.
+    pub fn insert(&mut self, row: &[Value]) -> Result<RowId> {
+        if row.len() != self.schema.arity() {
+            return Err(Error::storage(format!(
+                "arity mismatch inserting into `{}`: got {}, want {}",
+                self.schema.name,
+                row.len(),
+                self.schema.arity()
+            )));
+        }
+        let id = self.len() as RowId;
+        self.data.extend_from_slice(row);
+        Ok(id)
+    }
+
+    /// Borrows a row.
+    #[inline]
+    pub fn row(&self, id: RowId) -> &[Value] {
+        let a = self.schema.arity();
+        let start = id as usize * a;
+        &self.data[start..start + a]
+    }
+
+    /// One cell.
+    #[inline]
+    pub fn cell(&self, id: RowId, col: usize) -> Value {
+        self.data[id as usize * self.schema.arity() + col]
+    }
+
+    /// Iterates `(RowId, &[Value])`.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &[Value])> {
+        let a = self.schema.arity();
+        self.data
+            .chunks_exact(a)
+            .enumerate()
+            .map(|(i, row)| (i as RowId, row))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, ColumnType};
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "t",
+            vec![ColumnDef::new("a", ColumnType::Int), ColumnDef::new("b", ColumnType::Int)],
+        )
+    }
+
+    #[test]
+    fn insert_and_read() {
+        let mut t = Table::new(schema());
+        let r0 = t.insert(&[Value::Int(1), Value::Int(2)]).unwrap();
+        let r1 = t.insert(&[Value::Int(3), Value::Int(4)]).unwrap();
+        assert_eq!((r0, r1), (0, 1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.row(1), &[Value::Int(3), Value::Int(4)]);
+        assert_eq!(t.cell(0, 1), Value::Int(2));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut t = Table::new(schema());
+        assert!(t.insert(&[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn iter_visits_all_rows() {
+        let mut t = Table::new(schema());
+        for i in 0..10 {
+            t.insert(&[Value::Int(i), Value::Int(i * 2)]).unwrap();
+        }
+        let collected: Vec<i64> = t.iter().map(|(_, r)| r[1].as_int().unwrap()).collect();
+        assert_eq!(collected, (0..10).map(|i| i * 2).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests: LIKE semantics vs a reference matcher, index paths
+//! vs full scans, and executor correctness against a naive evaluator.
+
+use proptest::prelude::*;
+use raptor_relstore::db::Ins;
+use raptor_relstore::like::{containment_literal, like_match};
+use raptor_relstore::{ColumnDef, ColumnType, Database, TableSchema};
+
+/// Reference LIKE via dynamic programming (independent implementation).
+fn like_reference(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    let mut dp = vec![vec![false; t.len() + 1]; p.len() + 1];
+    dp[0][0] = true;
+    for i in 1..=p.len() {
+        if p[i - 1] == '%' {
+            dp[i][0] = dp[i - 1][0];
+        }
+        for j in 1..=t.len() {
+            dp[i][j] = match p[i - 1] {
+                '%' => dp[i - 1][j] || dp[i][j - 1],
+                '_' => dp[i - 1][j - 1],
+                c => dp[i - 1][j - 1] && c == t[j - 1],
+            };
+        }
+    }
+    dp[p.len()][t.len()]
+}
+
+proptest! {
+    /// The iterative matcher agrees with the DP reference on random
+    /// pattern/text pairs over a small alphabet (wildcards included).
+    #[test]
+    fn like_matches_reference(pattern in "[ab%_]{0,10}", text in "[ab]{0,10}") {
+        prop_assert_eq!(like_match(&pattern, &text), like_reference(&pattern, &text));
+    }
+
+    /// Any extracted containment literal is truly necessary: texts matching
+    /// the pattern always contain the literal.
+    #[test]
+    fn containment_literal_is_sound(pattern in "%[abc]{3,8}%", text in "[abc]{0,16}") {
+        if let Some(lit) = containment_literal(&pattern) {
+            if like_match(&pattern, &text) {
+                prop_assert!(text.contains(&lit));
+            }
+        }
+    }
+
+    /// Index-accelerated LIKE returns exactly the same rows as a full scan.
+    #[test]
+    fn trigram_path_equals_full_scan(
+        names in proptest::collection::vec("[a-d/]{1,12}", 1..60),
+        needle in "[a-d/]{3,6}",
+    ) {
+        let mut plain = Database::new();
+        let mut indexed = Database::new();
+        for db in [&mut plain, &mut indexed] {
+            db.create_table(TableSchema::new(
+                "files",
+                vec![ColumnDef::new("id", ColumnType::Int), ColumnDef::new("name", ColumnType::Str)],
+            )).unwrap();
+        }
+        indexed.create_hash_index("files", "name").unwrap();
+        indexed.create_trigram_index("files", "name").unwrap();
+        for (i, n) in names.iter().enumerate() {
+            plain.insert("files", &[Ins::Int(i as i64), Ins::Str(n)]).unwrap();
+            indexed.insert("files", &[Ins::Int(i as i64), Ins::Str(n)]).unwrap();
+        }
+        let sql = format!("SELECT id FROM files WHERE name LIKE '%{needle}%' ORDER BY id");
+        let a = plain.query(&sql).unwrap();
+        let b = indexed.query(&sql).unwrap();
+        prop_assert_eq!(a.rows, b.rows);
+        prop_assert!(b.stats.index_scans >= 1 || b.stats.full_scans >= 1);
+    }
+
+    /// Hash-index equality returns exactly the rows a scan-and-filter finds.
+    #[test]
+    fn hash_index_equals_scan(
+        vals in proptest::collection::vec(0i64..20, 1..80),
+        probe in 0i64..20,
+    ) {
+        let mut db = Database::new();
+        db.create_table(TableSchema::new(
+            "t",
+            vec![ColumnDef::new("id", ColumnType::Int), ColumnDef::new("v", ColumnType::Int)],
+        )).unwrap();
+        db.create_hash_index("t", "v").unwrap();
+        for (i, v) in vals.iter().enumerate() {
+            db.insert("t", &[Ins::Int(i as i64), Ins::Int(*v)]).unwrap();
+        }
+        let got = db.query(&format!("SELECT id FROM t WHERE v = {probe} ORDER BY id")).unwrap();
+        let want: Vec<i64> = vals
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v == probe)
+            .map(|(i, _)| i as i64)
+            .collect();
+        let got_ids: Vec<i64> = got.rows.iter().filter_map(|r| r[0].as_int()).collect();
+        prop_assert_eq!(got_ids, want);
+    }
+
+    /// Join results agree with a naive nested-loop oracle on random data.
+    #[test]
+    fn hash_join_equals_nested_loop(
+        left in proptest::collection::vec(0i64..8, 1..30),
+        right in proptest::collection::vec(0i64..8, 1..30),
+    ) {
+        let mut db = Database::new();
+        db.create_table(TableSchema::new(
+            "l",
+            vec![ColumnDef::new("id", ColumnType::Int), ColumnDef::new("k", ColumnType::Int)],
+        )).unwrap();
+        db.create_table(TableSchema::new(
+            "r",
+            vec![ColumnDef::new("id", ColumnType::Int), ColumnDef::new("k", ColumnType::Int)],
+        )).unwrap();
+        for (i, k) in left.iter().enumerate() {
+            db.insert("l", &[Ins::Int(i as i64), Ins::Int(*k)]).unwrap();
+        }
+        for (i, k) in right.iter().enumerate() {
+            db.insert("r", &[Ins::Int(i as i64), Ins::Int(*k)]).unwrap();
+        }
+        let got = db
+            .query("SELECT l.id, r.id FROM l, r WHERE l.k = r.k ORDER BY l.id, r.id")
+            .unwrap();
+        let mut want = Vec::new();
+        for (i, lk) in left.iter().enumerate() {
+            for (j, rk) in right.iter().enumerate() {
+                if lk == rk {
+                    want.push((i as i64, j as i64));
+                }
+            }
+        }
+        want.sort_unstable();
+        let got_pairs: Vec<(i64, i64)> = got
+            .rows
+            .iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+        prop_assert_eq!(got_pairs, want);
+    }
+}

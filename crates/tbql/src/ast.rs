@@ -1,0 +1,259 @@
+//! TBQL abstract syntax (mirrors Grammar 1).
+
+use raptor_common::time::Timestamp;
+
+/// Entity types: `file`, `proc`, `ip`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EntityType {
+    File,
+    Proc,
+    Ip,
+}
+
+impl EntityType {
+    pub fn keyword(self) -> &'static str {
+        match self {
+            EntityType::File => "file",
+            EntityType::Proc => "proc",
+            EntityType::Ip => "ip",
+        }
+    }
+
+    /// Default attribute for the syntactic sugar (paper Section III-D).
+    pub fn default_attribute(self) -> &'static str {
+        match self {
+            EntityType::File => "name",
+            EntityType::Proc => "exename",
+            EntityType::Ip => "dstip",
+        }
+    }
+}
+
+/// A literal value in filters.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Value {
+    Int(i64),
+    Str(String),
+}
+
+/// Comparison operators (`⟨bop⟩`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// `id` or `id.attr` (the `⟨attr⟩` rule).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct AttrRef {
+    pub base: String,
+    pub attr: Option<String>,
+}
+
+impl std::fmt::Display for AttrRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.attr {
+            Some(a) => write!(f, "{}.{}", self.base, a),
+            None => f.write_str(&self.base),
+        }
+    }
+}
+
+/// Attribute filter expressions (`⟨attr_exp⟩`).
+#[derive(Clone, PartialEq, Debug)]
+pub enum AttrExpr {
+    /// `attr bop val`
+    Cmp { attr: AttrRef, op: CmpOp, value: Value },
+    /// `'!'? val` — default-attribute sugar.
+    Bare { negated: bool, value: Value },
+    /// `attr ['not'] 'in' (v, ...)`
+    InSet { attr: AttrRef, negated: bool, set: Vec<Value> },
+    And(Box<AttrExpr>, Box<AttrExpr>),
+    Or(Box<AttrExpr>, Box<AttrExpr>),
+}
+
+/// Operation expressions (`⟨op_exp⟩`): `read`, `!read`, `read || write`, ...
+#[derive(Clone, PartialEq, Debug)]
+pub enum OpExpr {
+    Op(String),
+    Not(Box<OpExpr>),
+    And(Box<OpExpr>, Box<OpExpr>),
+    Or(Box<OpExpr>, Box<OpExpr>),
+}
+
+impl OpExpr {
+    /// All operation names mentioned.
+    pub fn op_names(&self) -> Vec<&str> {
+        match self {
+            OpExpr::Op(s) => vec![s.as_str()],
+            OpExpr::Not(e) => e.op_names(),
+            OpExpr::And(a, b) | OpExpr::Or(a, b) => {
+                let mut v = a.op_names();
+                v.extend(b.op_names());
+                v
+            }
+        }
+    }
+}
+
+/// An entity declaration (`⟨entity⟩`).
+#[derive(Clone, PartialEq, Debug)]
+pub struct EntityDecl {
+    pub ty: EntityType,
+    pub id: String,
+    pub filter: Option<AttrExpr>,
+}
+
+/// `->` (length-1, Neo4j-executed) vs `~>` (variable-length).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Arrow {
+    /// `->`: exactly one hop.
+    Single,
+    /// `~>`: variable length.
+    Fuzzy,
+}
+
+/// The operation half of a pattern: event (`⟨op_exp⟩`) or path (`⟨op_path⟩`).
+#[derive(Clone, PartialEq, Debug)]
+pub enum PatternOp {
+    Event(OpExpr),
+    Path {
+        arrow: Arrow,
+        /// `(m~n)` bounds; `None` bounds are open.
+        min: Option<u32>,
+        max: Option<u32>,
+        /// Final-hop operation constraint (`[read]`).
+        op: Option<OpExpr>,
+    },
+}
+
+/// Time windows (`⟨wind⟩`).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Window {
+    FromTo(Timestamp, Timestamp),
+    At(Timestamp),
+    Before(Timestamp),
+    After(Timestamp),
+    Last { n: i64, unit: String },
+}
+
+/// One TBQL pattern (`⟨patt⟩`).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Pattern {
+    pub subject: EntityDecl,
+    pub op: PatternOp,
+    pub object: EntityDecl,
+    /// `as evtN`
+    pub id: Option<String>,
+    /// Event-level filter after the id: `as evt1[amount > 100]`.
+    pub event_filter: Option<AttrExpr>,
+    pub window: Option<Window>,
+}
+
+impl Pattern {
+    pub fn is_path(&self) -> bool {
+        matches!(self.op, PatternOp::Path { .. })
+    }
+}
+
+/// Temporal operators in the `with` clause.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TemporalOp {
+    Before,
+    After,
+    Within,
+}
+
+impl TemporalOp {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TemporalOp::Before => "before",
+            TemporalOp::After => "after",
+            TemporalOp::Within => "within",
+        }
+    }
+}
+
+/// `with` clause items (`⟨rel⟩`).
+#[derive(Clone, PartialEq, Debug)]
+pub enum RelClause {
+    /// `with evt1 before[0-5 min] evt2`
+    Temporal {
+        left: String,
+        op: TemporalOp,
+        /// Optional `[lo-hi unit]` bound on the gap.
+        range: Option<(i64, i64, String)>,
+        right: String,
+    },
+    /// `with p1.pid = p2.pid`
+    Attr { left: AttrRef, op: CmpOp, right: AttrRef },
+}
+
+/// Global filters (`⟨global_filter⟩`).
+#[derive(Clone, PartialEq, Debug)]
+pub enum GlobalFilter {
+    Attr(AttrExpr),
+    Window(Window),
+}
+
+/// The `return` clause.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ReturnClause {
+    pub distinct: bool,
+    pub items: Vec<AttrRef>,
+}
+
+/// A complete TBQL query.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Query {
+    pub global_filters: Vec<GlobalFilter>,
+    pub patterns: Vec<Pattern>,
+    pub relations: Vec<RelClause>,
+    pub ret: ReturnClause,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_expr_names() {
+        let e = OpExpr::Or(
+            Box::new(OpExpr::Op("read".into())),
+            Box::new(OpExpr::Not(Box::new(OpExpr::Op("write".into())))),
+        );
+        assert_eq!(e.op_names(), vec!["read", "write"]);
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        assert_eq!(EntityType::File.default_attribute(), "name");
+        assert_eq!(EntityType::Proc.default_attribute(), "exename");
+        assert_eq!(EntityType::Ip.default_attribute(), "dstip");
+    }
+
+    #[test]
+    fn attr_ref_display() {
+        let a = AttrRef { base: "p1".into(), attr: Some("pid".into()) };
+        assert_eq!(a.to_string(), "p1.pid");
+        let b = AttrRef { base: "p1".into(), attr: None };
+        assert_eq!(b.to_string(), "p1");
+    }
+}

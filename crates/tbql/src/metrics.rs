@@ -1,0 +1,66 @@
+//! Conciseness metrics (Table X).
+//!
+//! The paper compares query languages by counting characters (excluding
+//! whitespace and comments) and words. These helpers apply to any query
+//! text — TBQL, SQL or Cypher — so one implementation scores all four
+//! variants.
+
+/// Characters excluding whitespace and comments (`--`, `//` to end of line).
+pub fn char_count(query: &str) -> usize {
+    strip_comments(query)
+        .chars()
+        .filter(|c| !c.is_whitespace())
+        .count()
+}
+
+/// Whitespace-separated words (after comment stripping).
+pub fn word_count(query: &str) -> usize {
+    strip_comments(query).split_whitespace().count()
+}
+
+fn strip_comments(query: &str) -> String {
+    let mut out = String::with_capacity(query.len());
+    for line in query.lines() {
+        let cut = line.find("--").or_else(|| line.find("//")).unwrap_or(line.len());
+        out.push_str(&line[..cut]);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_ignore_whitespace() {
+        assert_eq!(char_count("a b  c\n d"), 4);
+        assert_eq!(word_count("a b  c\n d"), 4);
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let q = "SELECT x -- the column\nFROM t // table";
+        assert_eq!(word_count(q), 4);
+        assert_eq!(char_count(q), "SELECTxFROMt".len());
+    }
+
+    #[test]
+    fn tbql_shorter_than_sql_on_figure2_style_query() {
+        let tbql = r#"proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"] as evt1
+return distinct p1, f1"#;
+        let sql = "SELECT DISTINCT p1.exename, f1.name \
+                   FROM processes p1, events evt1, files f1 \
+                   WHERE evt1.subject = p1.id AND evt1.object = f1.id \
+                   AND evt1.optype = 'read' AND p1.exename LIKE '%/bin/tar%' \
+                   AND f1.name LIKE '%/etc/passwd%'";
+        assert!(char_count(tbql) < char_count(sql));
+        assert!(word_count(tbql) < word_count(sql));
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(char_count(""), 0);
+        assert_eq!(word_count(""), 0);
+    }
+}

@@ -1,0 +1,595 @@
+//! Recursive-descent TBQL parser (Grammar 1).
+
+use raptor_common::error::{Error, Result};
+use raptor_common::time::{parse_datetime, Timestamp};
+
+use crate::ast::*;
+use crate::lexer::{lex, Token, TokenKind};
+
+const ENTITY_KEYWORDS: [&str; 3] = ["file", "proc", "ip"];
+const WINDOW_KEYWORDS: [&str; 5] = ["from", "at", "before", "after", "last"];
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_word(&self, w: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Word(x) if x == w)
+    }
+
+    fn eat_word(&mut self, w: &str) -> bool {
+        if self.at_word(w) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn at_symbol(&self, s: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Symbol(sym) if *sym == s)
+    }
+
+    fn eat_symbol(&mut self, s: &str) -> bool {
+        if self.at_symbol(s) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, s: &str) -> Result<()> {
+        if self.eat_symbol(s) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("expected `{s}`")))
+        }
+    }
+
+    fn unexpected(&self, want: &str) -> Error {
+        Error::syntax(
+            format!("{want}, found {}", self.peek().kind.describe()),
+            self.peek().offset,
+        )
+    }
+
+    fn word(&mut self) -> Result<String> {
+        match self.peek().kind.clone() {
+            TokenKind::Word(w) => {
+                self.advance();
+                Ok(w)
+            }
+            _ => Err(self.unexpected("expected identifier")),
+        }
+    }
+
+    fn int(&mut self) -> Result<i64> {
+        match self.peek().kind.clone() {
+            TokenKind::Int(n) => {
+                self.advance();
+                Ok(n)
+            }
+            _ => Err(self.unexpected("expected integer")),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek().kind.clone() {
+            TokenKind::Int(n) => {
+                self.advance();
+                Ok(Value::Int(n))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(Value::Str(s))
+            }
+            _ => Err(self.unexpected("expected value")),
+        }
+    }
+
+    fn datetime(&mut self) -> Result<Timestamp> {
+        match self.peek().kind.clone() {
+            TokenKind::Str(s) => {
+                let offset = self.peek().offset;
+                self.advance();
+                parse_datetime(&s)
+                    .ok_or_else(|| Error::syntax(format!("invalid datetime `{s}`"), offset))
+            }
+            TokenKind::Int(n) => {
+                self.advance();
+                Ok(Timestamp(n))
+            }
+            _ => Err(self.unexpected("expected datetime")),
+        }
+    }
+
+    fn at_entity_type(&self) -> bool {
+        matches!(&self.peek().kind, TokenKind::Word(w) if ENTITY_KEYWORDS.contains(&w.as_str()))
+    }
+
+    fn at_window(&self) -> bool {
+        matches!(&self.peek().kind, TokenKind::Word(w) if WINDOW_KEYWORDS.contains(&w.as_str()))
+    }
+
+    fn window(&mut self) -> Result<Window> {
+        if self.eat_word("from") {
+            let a = self.datetime()?;
+            if !self.eat_word("to") {
+                return Err(self.unexpected("expected `to`"));
+            }
+            let b = self.datetime()?;
+            return Ok(Window::FromTo(a, b));
+        }
+        if self.eat_word("at") {
+            return Ok(Window::At(self.datetime()?));
+        }
+        if self.eat_word("before") {
+            return Ok(Window::Before(self.datetime()?));
+        }
+        if self.eat_word("after") {
+            return Ok(Window::After(self.datetime()?));
+        }
+        if self.eat_word("last") {
+            let n = self.int()?;
+            let unit = self.word()?;
+            return Ok(Window::Last { n, unit });
+        }
+        Err(self.unexpected("expected time window"))
+    }
+
+    // --- attribute expressions ---
+
+    fn attr_expr(&mut self) -> Result<AttrExpr> {
+        let mut left = self.attr_and()?;
+        while self.eat_symbol("||") {
+            let right = self.attr_and()?;
+            left = AttrExpr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn attr_and(&mut self) -> Result<AttrExpr> {
+        let mut left = self.attr_primary()?;
+        while self.eat_symbol("&&") {
+            let right = self.attr_primary()?;
+            left = AttrExpr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn attr_primary(&mut self) -> Result<AttrExpr> {
+        if self.eat_symbol("(") {
+            let e = self.attr_expr()?;
+            self.expect_symbol(")")?;
+            return Ok(e);
+        }
+        if self.eat_symbol("!") {
+            let v = self.value()?;
+            return Ok(AttrExpr::Bare { negated: true, value: v });
+        }
+        match self.peek().kind.clone() {
+            TokenKind::Str(_) | TokenKind::Int(_) => {
+                let v = self.value()?;
+                Ok(AttrExpr::Bare { negated: false, value: v })
+            }
+            TokenKind::Word(_) => {
+                let base = self.word()?;
+                let attr = if self.eat_symbol(".") {
+                    AttrRef { base, attr: Some(self.word()?) }
+                } else {
+                    AttrRef { base, attr: None }
+                };
+                // `not in`, `in`, or comparison.
+                let negated = self.eat_word("not");
+                if self.eat_word("in") {
+                    self.expect_symbol("(")?;
+                    let mut set = vec![self.value()?];
+                    while self.eat_symbol(",") {
+                        set.push(self.value()?);
+                    }
+                    self.expect_symbol(")")?;
+                    return Ok(AttrExpr::InSet { attr, negated, set });
+                }
+                if negated {
+                    return Err(self.unexpected("expected `in` after `not`"));
+                }
+                let op = self.cmp_op()?;
+                let value = self.value()?;
+                Ok(AttrExpr::Cmp { attr, op, value })
+            }
+            _ => Err(self.unexpected("expected attribute expression")),
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp> {
+        let op = match &self.peek().kind {
+            TokenKind::Symbol("=") => CmpOp::Eq,
+            TokenKind::Symbol("!=") => CmpOp::Ne,
+            TokenKind::Symbol("<") => CmpOp::Lt,
+            TokenKind::Symbol("<=") => CmpOp::Le,
+            TokenKind::Symbol(">") => CmpOp::Gt,
+            TokenKind::Symbol(">=") => CmpOp::Ge,
+            _ => return Err(self.unexpected("expected comparison operator")),
+        };
+        self.advance();
+        Ok(op)
+    }
+
+    // --- operation expressions ---
+
+    fn op_expr(&mut self) -> Result<OpExpr> {
+        let mut left = self.op_and()?;
+        while self.eat_symbol("||") {
+            let right = self.op_and()?;
+            left = OpExpr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn op_and(&mut self) -> Result<OpExpr> {
+        let mut left = self.op_primary()?;
+        while self.eat_symbol("&&") {
+            let right = self.op_primary()?;
+            left = OpExpr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn op_primary(&mut self) -> Result<OpExpr> {
+        if self.eat_symbol("!") {
+            return Ok(OpExpr::Not(Box::new(self.op_primary()?)));
+        }
+        if self.eat_symbol("(") {
+            let e = self.op_expr()?;
+            self.expect_symbol(")")?;
+            return Ok(e);
+        }
+        Ok(OpExpr::Op(self.word()?))
+    }
+
+    // --- entities and patterns ---
+
+    fn entity(&mut self) -> Result<EntityDecl> {
+        let ty = match self.word()?.as_str() {
+            "file" => EntityType::File,
+            "proc" => EntityType::Proc,
+            "ip" => EntityType::Ip,
+            other => {
+                return Err(self.unexpected(&format!(
+                    "expected entity type (file/proc/ip), found `{other}`"
+                )))
+            }
+        };
+        let id = self.word()?;
+        let filter = if self.eat_symbol("[") {
+            let f = self.attr_expr()?;
+            self.expect_symbol("]")?;
+            Some(f)
+        } else {
+            None
+        };
+        Ok(EntityDecl { ty, id, filter })
+    }
+
+    fn pattern(&mut self) -> Result<Pattern> {
+        let subject = self.entity()?;
+        let op = if self.at_symbol("~>") || self.at_symbol("->") {
+            let arrow = if self.eat_symbol("~>") {
+                Arrow::Fuzzy
+            } else {
+                self.expect_symbol("->")?;
+                Arrow::Single
+            };
+            // Optional length bounds `(m~n)` / `(m~)` / `(~n)` / `(n)`.
+            let (mut min, mut max) = (None, None);
+            if self.eat_symbol("(") {
+                if let TokenKind::Int(_) = self.peek().kind {
+                    min = Some(self.int()? as u32);
+                }
+                if self.eat_symbol("~") {
+                    if let TokenKind::Int(_) = self.peek().kind {
+                        max = Some(self.int()? as u32);
+                    }
+                } else {
+                    max = min; // `(n)` = exactly n
+                }
+                self.expect_symbol(")")?;
+            }
+            // Optional final-hop operation `[op_exp]`.
+            let op = if self.eat_symbol("[") {
+                let e = self.op_expr()?;
+                self.expect_symbol("]")?;
+                Some(e)
+            } else {
+                None
+            };
+            PatternOp::Path { arrow, min, max, op }
+        } else {
+            PatternOp::Event(self.op_expr()?)
+        };
+        let object = self.entity()?;
+        let (id, event_filter) = if self.eat_word("as") {
+            let id = self.word()?;
+            let f = if self.eat_symbol("[") {
+                let f = self.attr_expr()?;
+                self.expect_symbol("]")?;
+                Some(f)
+            } else {
+                None
+            };
+            (Some(id), f)
+        } else {
+            (None, None)
+        };
+        // A pattern-level window must not swallow the `with` clause's ids;
+        // window keywords here are only `from/at/last` plus `before/after`
+        // *followed by a datetime-looking token*.
+        let window = if self.at_window() && !self.window_is_rel_clause() {
+            Some(self.window()?)
+        } else {
+            None
+        };
+        Ok(Pattern { subject, op, object, id, event_filter, window })
+    }
+
+    /// Disambiguates `before`/`after` at pattern end: they open a window
+    /// only when followed by a datetime (string/int); in `with` clauses they
+    /// sit between two identifiers — but `with` is consumed separately, so
+    /// here only the datetime form can occur. Kept for safety.
+    fn window_is_rel_clause(&self) -> bool {
+        if self.at_word("before") || self.at_word("after") {
+            !matches!(
+                self.peek2().map(|t| &t.kind),
+                Some(TokenKind::Str(_)) | Some(TokenKind::Int(_))
+            )
+        } else {
+            false
+        }
+    }
+
+    fn rel_clause_item(&mut self) -> Result<RelClause> {
+        let base = self.word()?;
+        if self.eat_symbol(".") {
+            // Attribute relationship: `p1.pid = p2.pid`.
+            let attr = self.word()?;
+            let op = self.cmp_op()?;
+            let rbase = self.word()?;
+            self.expect_symbol(".")?;
+            let rattr = self.word()?;
+            return Ok(RelClause::Attr {
+                left: AttrRef { base, attr: Some(attr) },
+                op,
+                right: AttrRef { base: rbase, attr: Some(rattr) },
+            });
+        }
+        let op = if self.eat_word("before") {
+            TemporalOp::Before
+        } else if self.eat_word("after") {
+            TemporalOp::After
+        } else if self.eat_word("within") {
+            TemporalOp::Within
+        } else {
+            return Err(self.unexpected("expected `before`, `after` or `within`"));
+        };
+        let range = if self.eat_symbol("[") {
+            let lo = self.int()?;
+            self.expect_symbol("-")?;
+            let hi = self.int()?;
+            let unit = self.word()?;
+            self.expect_symbol("]")?;
+            Some((lo, hi, unit))
+        } else {
+            None
+        };
+        let right = self.word()?;
+        Ok(RelClause::Temporal { left: base, op, range, right })
+    }
+
+    fn return_clause(&mut self) -> Result<ReturnClause> {
+        if !self.eat_word("return") {
+            return Err(self.unexpected("expected `return`"));
+        }
+        let distinct = self.eat_word("distinct");
+        let mut items = Vec::new();
+        loop {
+            let base = self.word()?;
+            let attr = if self.eat_symbol(".") { Some(self.word()?) } else { None };
+            items.push(AttrRef { base, attr });
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        Ok(ReturnClause { distinct, items })
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        let mut global_filters = Vec::new();
+        // Global filters come before the first pattern.
+        while !self.at_entity_type() {
+            if self.at_window() {
+                global_filters.push(GlobalFilter::Window(self.window()?));
+            } else if matches!(
+                self.peek().kind,
+                TokenKind::Word(_) | TokenKind::Str(_) | TokenKind::Int(_)
+            ) && !self.at_word("return")
+                && !self.at_word("with")
+            {
+                global_filters.push(GlobalFilter::Attr(self.attr_expr()?));
+            } else {
+                break;
+            }
+        }
+        let mut patterns = Vec::new();
+        while self.at_entity_type() {
+            patterns.push(self.pattern()?);
+        }
+        if patterns.is_empty() {
+            return Err(self.unexpected("expected at least one pattern"));
+        }
+        let mut relations = Vec::new();
+        if self.eat_word("with") {
+            relations.push(self.rel_clause_item()?);
+            while self.eat_symbol(",") {
+                relations.push(self.rel_clause_item()?);
+            }
+        }
+        let ret = self.return_clause()?;
+        if !matches!(self.peek().kind, TokenKind::Eof) {
+            return Err(self.unexpected("expected end of query"));
+        }
+        Ok(Query { global_filters, patterns, relations, ret })
+    }
+}
+
+/// Parses one TBQL query.
+pub fn parse_tbql(text: &str) -> Result<Query> {
+    let tokens = lex(text)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.query()
+}
+
+/// The Figure 2 query, used in tests and docs across the workspace.
+pub const FIG2_QUERY: &str = r#"proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"] as evt1
+proc p1 write file f2["%/tmp/upload.tar%"] as evt2
+proc p2["%/bin/bzip2%"] read file f2 as evt3
+proc p2 write file f3["%/tmp/upload.tar.bz2%"] as evt4
+proc p3["%/usr/bin/gpg%"] read file f3 as evt5
+proc p3 write file f4["%/tmp/upload%"] as evt6
+proc p4["%/usr/bin/curl%"] read file f4 as evt7
+proc p4 connect ip i1["192.168.29.128"] as evt8
+with evt1 before evt2, evt2 before evt3, evt3 before evt4, evt4 before evt5,
+evt5 before evt6, evt6 before evt7, evt7 before evt8
+return distinct p1, f1, f2, p2, f3, p3, f4, p4, i1"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_query_parses() {
+        let q = parse_tbql(FIG2_QUERY).unwrap();
+        assert_eq!(q.patterns.len(), 8);
+        assert_eq!(q.relations.len(), 7);
+        assert!(q.ret.distinct);
+        assert_eq!(q.ret.items.len(), 9);
+        // Entity reuse: p1 appears in two patterns, filtered once.
+        assert_eq!(q.patterns[0].subject.id, "p1");
+        assert_eq!(q.patterns[1].subject.id, "p1");
+        assert!(q.patterns[0].subject.filter.is_some());
+        assert!(q.patterns[1].subject.filter.is_none());
+        // evt8 is a connect to ip.
+        assert_eq!(q.patterns[7].object.ty, EntityType::Ip);
+    }
+
+    #[test]
+    fn op_expressions() {
+        let q = parse_tbql(r#"proc p[pid = 1 && exename = "%chrome.exe%"] read || write file f return f"#).unwrap();
+        match &q.patterns[0].op {
+            PatternOp::Event(OpExpr::Or(a, b)) => {
+                assert_eq!(**a, OpExpr::Op("read".into()));
+                assert_eq!(**b, OpExpr::Op("write".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+        let q = parse_tbql("proc p !read && !write file f return f").unwrap();
+        assert!(matches!(&q.patterns[0].op, PatternOp::Event(OpExpr::And(_, _))));
+    }
+
+    #[test]
+    fn path_patterns_all_forms() {
+        let cases: [(&str, Option<u32>, Option<u32>, bool); 6] = [
+            ("proc p ~>[read] file f return f", None, None, true),
+            ("proc p ~>(2~4)[read] file f return f", Some(2), Some(4), true),
+            ("proc p ~>(2~)[read] file f return f", Some(2), None, true),
+            ("proc p ~>(~4)[read] file f return f", None, Some(4), true),
+            ("proc p ~> file f return f", None, None, false),
+            ("proc p ->[read] file f return f", None, None, true),
+        ];
+        for (text, want_min, want_max, has_op) in cases {
+            let q = parse_tbql(text).unwrap();
+            match &q.patterns[0].op {
+                PatternOp::Path { min, max, op, .. } => {
+                    assert_eq!(*min, want_min, "{text}");
+                    assert_eq!(*max, want_max, "{text}");
+                    assert_eq!(op.is_some(), has_op, "{text}");
+                }
+                other => panic!("{text}: {other:?}"),
+            }
+        }
+        // Arrow type distinguishes execution backend.
+        let q = parse_tbql("proc p ->[read] file f return f").unwrap();
+        assert!(matches!(&q.patterns[0].op, PatternOp::Path { arrow: Arrow::Single, .. }));
+    }
+
+    #[test]
+    fn windows() {
+        let q = parse_tbql(r#"proc p read file f from "2018-04-06 15:00:00" to "2018-04-06 16:00:00" return f"#).unwrap();
+        assert!(matches!(q.patterns[0].window, Some(Window::FromTo(_, _))));
+        let q = parse_tbql("proc p read file f last 2 h return f").unwrap();
+        assert!(matches!(q.patterns[0].window, Some(Window::Last { n: 2, .. })));
+        let q = parse_tbql(r#"last 1 day proc p read file f return f"#).unwrap();
+        assert_eq!(q.global_filters.len(), 1);
+    }
+
+    #[test]
+    fn temporal_with_range() {
+        let q = parse_tbql("proc p read file f as e1 proc p write file g as e2 with e1 before[0-5 min] e2 return f").unwrap();
+        match &q.relations[0] {
+            RelClause::Temporal { left, op, range, right } => {
+                assert_eq!(left, "e1");
+                assert_eq!(*op, TemporalOp::Before);
+                assert_eq!(range, &Some((0, 5, "min".to_string())));
+                assert_eq!(right, "e2");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn attribute_relationship() {
+        let q = parse_tbql("proc p1 read file f proc p2 write file g with p1.pid = p2.pid return f").unwrap();
+        assert!(matches!(&q.relations[0], RelClause::Attr { .. }));
+    }
+
+    #[test]
+    fn in_set_filter() {
+        let q = parse_tbql(r#"proc p[exename in ("%a%", "%b%")] read file f[name not in ("%c%")] return f"#).unwrap();
+        let pf = q.patterns[0].subject.filter.as_ref().unwrap();
+        assert!(matches!(pf, AttrExpr::InSet { negated: false, .. }));
+        let ff = q.patterns[0].object.filter.as_ref().unwrap();
+        assert!(matches!(ff, AttrExpr::InSet { negated: true, .. }));
+    }
+
+    #[test]
+    fn event_filter_after_as() {
+        let q = parse_tbql("proc p read file f as e1[amount > 1024] return f").unwrap();
+        assert!(q.patterns[0].event_filter.is_some());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_tbql("return f").is_err(), "no patterns");
+        assert!(parse_tbql("proc p read file f").is_err(), "no return");
+        assert!(parse_tbql("proc p read return f").is_err(), "missing object");
+        assert!(parse_tbql("widget w read file f return f").is_err());
+    }
+}

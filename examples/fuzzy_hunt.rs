@@ -1,0 +1,56 @@
+//! Fuzzy search: hunting with a drifted CTI report.
+//!
+//! The report names `/usr/bin/cur1` (a typo) and an outdated C2 address.
+//! Exact search finds nothing; the fuzzy mode (Poirot-style inexact graph
+//! pattern matching) still aligns the query graph with the provenance graph.
+//!
+//! ```text
+//! cargo run --release -p threatraptor --example fuzzy_hunt
+//! ```
+
+use raptor_audit::sim::{generate_background, BackgroundProfile, Simulator};
+use raptor_common::time::Timestamp;
+use raptor_engine::fuzzy::FuzzyConfig;
+use threatraptor::ThreatRaptor;
+
+fn main() {
+    let mut sim = Simulator::new(5, Timestamp::from_secs(1_523_000_000));
+    generate_background(
+        &mut sim,
+        &BackgroundProfile { users: 8, sessions: 100, ..Default::default() },
+    );
+    let shell = sim.boot_process("/bin/bash", "www-data");
+    let tar = sim.spawn(shell, "/bin/tar", "tar");
+    sim.read_file(tar, "/etc/passwd", 4_096, 4);
+    sim.write_file(tar, "/tmp/upload.tar", 4_096, 4);
+    let curl = sim.spawn(shell, "/usr/bin/curl", "curl");
+    sim.read_file(curl, "/tmp/upload.tar", 4_096, 2);
+    let fd = sim.connect(curl, "192.168.29.128", 443);
+    sim.send(curl, fd, 4_096, 4);
+    let raptor = ThreatRaptor::from_records(&sim.finish()).expect("load");
+
+    // The analyst's query, written from a drifted report ("cur1" typo).
+    let q = r#"proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"] as e1
+              proc p2["%/usr/bin/cur1%"] read file f2["%/tmp/upload.tar%"] as e2
+              proc p2 connect ip i1["192.168.29.128"] as e3
+              return p1, f1, p2, f2, i1"#;
+
+    println!("== exact search ==");
+    let exact = raptor.query(q).expect("exact");
+    println!("{} row(s)", exact.rows.len());
+
+    println!("\n== fuzzy search (Levenshtein node alignment) ==");
+    let (out, timings) = raptor.fuzzy_query(q, &FuzzyConfig::default()).expect("fuzzy");
+    println!(
+        "loading {:.3}s, preprocessing {:.3}s, searching {:.3}s",
+        timings.loading, timings.preprocessing, out.searching
+    );
+    println!(
+        "{} alignment(s), best score {:.2}",
+        out.alignments.len(),
+        out.alignments.first().map(|a| a.score).unwrap_or(0.0)
+    );
+    if let Some(best) = out.alignments.first() {
+        println!("best alignment binds {} query nodes", best.node_map.len());
+    }
+}

@@ -1,0 +1,61 @@
+//! Proactive threat hunting with hand-written TBQL — no OSCTI report.
+//!
+//! The analyst queries the audit store directly, exercising windows,
+//! operation expressions, variable-length paths and temporal chains.
+//!
+//! ```text
+//! cargo run --release -p threatraptor --example proactive_hunt
+//! ```
+
+use raptor_audit::sim::{generate_background, BackgroundProfile, Simulator};
+use raptor_common::time::Timestamp;
+use threatraptor::ThreatRaptor;
+
+fn main() {
+    let mut sim = Simulator::new(99, Timestamp::from_secs(1_523_000_000));
+    generate_background(
+        &mut sim,
+        &BackgroundProfile { users: 10, sessions: 120, ..Default::default() },
+    );
+    // A quiet credential-access chain the analyst suspects but has no
+    // report for: a shell-spawned tool reads the shadow file and pushes
+    // something out.
+    let shell = sim.boot_process("/bin/bash", "intern");
+    let tool = sim.spawn(shell, "/opt/helper/syncd", "syncd --once");
+    sim.read_file(tool, "/etc/shadow", 16_384, 2);
+    let fd = sim.connect(tool, "203.0.113.77", 8443);
+    sim.send(tool, fd, 16_384, 4);
+    sim.exit(tool);
+    let raptor = ThreatRaptor::from_records(&sim.finish()).expect("load");
+
+    // Hypothesis 1: anything reading /etc/shadow that is not a known tool.
+    let q1 = r#"proc p[exename not in ("%/usr/bin/passwd%", "%/usr/sbin/sshd%")]
+               read file f["%/etc/shadow%"] as e1
+               return distinct p, p.user, f"#;
+    let r1 = raptor.query(q1).expect("q1");
+    println!("== readers of /etc/shadow ==");
+    for row in &r1.rows {
+        println!("{}", row.join("  |  "));
+    }
+
+    // Hypothesis 2: the same process also talked to the network afterwards.
+    let q2 = r#"proc p read file f["%/etc/shadow%"] as e1
+               proc p write ip i as e2
+               with e1 before e2
+               return distinct p, i, i.dstport"#;
+    let r2 = raptor.query(q2).expect("q2");
+    println!("\n== shadow readers that then exfiltrated ==");
+    for row in &r2.rows {
+        println!("{}", row.join("  |  "));
+    }
+
+    // Hypothesis 3: variable-length reachability — does any data path of at
+    // most 3 events lead from the suspicious tool to a network connection?
+    let q3 = r#"proc p["%/opt/helper/syncd%"] ~>(~3) ip i
+               return distinct p, i"#;
+    let r3 = raptor.query(q3).expect("q3");
+    println!("\n== 3-hop reachability from the tool to the network ==");
+    for row in &r3.rows {
+        println!("{}", row.join("  |  "));
+    }
+}

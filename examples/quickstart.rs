@@ -1,0 +1,76 @@
+//! Quickstart: the paper's Figure 2 demo, end to end.
+//!
+//! Simulates the data-leak attack inside benign background noise, feeds the
+//! CTI report text to ThreatRaptor, and prints every intermediate artifact:
+//! the threat behavior graph, the synthesized TBQL query, and the matched
+//! system activities.
+//!
+//! ```text
+//! cargo run --release -p threatraptor --example quickstart
+//! ```
+
+use raptor_audit::sim::{generate_background, BackgroundProfile, Simulator};
+use raptor_common::time::Timestamp;
+use threatraptor::ThreatRaptor;
+
+const REPORT: &str = "\
+After the lateral movement stage, the attacker attempts to steal valuable assets \
+from the host. As a first step, the attacker used /bin/tar to read user credentials \
+from /etc/passwd. It wrote the gathered information to a file /tmp/upload.tar. \
+/bin/bzip2 read from /tmp/upload.tar and wrote to /tmp/upload.tar.bz2. \
+This corresponds to the launched process /usr/bin/gpg reading from /tmp/upload.tar.bz2. \
+/usr/bin/gpg then wrote the sensitive information to /tmp/upload. \
+Finally, the attacker used /usr/bin/curl to read the data from /tmp/upload. \
+He leaked the gathered sensitive information back to the attacker C2 host by \
+using /usr/bin/curl to connect to 192.168.29.128.";
+
+fn main() {
+    // --- 1. collect audit records (simulated testbed) ---
+    let mut sim = Simulator::new(7, Timestamp::from_secs(1_523_026_800));
+    generate_background(
+        &mut sim,
+        &BackgroundProfile { users: 15, sessions: 150, ..Default::default() },
+    );
+    let shell = sim.boot_process("/bin/bash", "www-data");
+    let tar = sim.spawn(shell, "/bin/tar", "tar cf /tmp/upload.tar /etc/passwd");
+    sim.read_file(tar, "/etc/passwd", 65_536, 4);
+    sim.write_file(tar, "/tmp/upload.tar", 65_536, 4);
+    sim.exit(tar);
+    let bzip = sim.spawn(shell, "/bin/bzip2", "bzip2 /tmp/upload.tar");
+    sim.read_file(bzip, "/tmp/upload.tar", 65_536, 4);
+    sim.write_file(bzip, "/tmp/upload.tar.bz2", 32_768, 4);
+    sim.exit(bzip);
+    let gpg = sim.spawn(shell, "/usr/bin/gpg", "gpg -c /tmp/upload.tar.bz2");
+    sim.read_file(gpg, "/tmp/upload.tar.bz2", 32_768, 4);
+    sim.write_file(gpg, "/tmp/upload", 32_768, 4);
+    sim.exit(gpg);
+    let curl = sim.spawn(shell, "/usr/bin/curl", "curl -T /tmp/upload");
+    sim.read_file(curl, "/tmp/upload", 32_768, 4);
+    let fd = sim.connect(curl, "192.168.29.128", 443);
+    sim.send(curl, fd, 32_768, 8);
+    sim.exit(curl);
+    let records = sim.finish();
+    println!("collected {} raw audit records", records.len());
+
+    // --- 2. parse + reduce + load both storage backends ---
+    let raptor = ThreatRaptor::from_records(&records).expect("load");
+
+    // --- 3. hunt straight from the CTI report ---
+    let outcome = raptor.hunt(REPORT).expect("hunt");
+
+    println!("\n=== threat behavior graph ===");
+    print!("{}", outcome.extraction.graph.render());
+
+    println!("\n=== synthesized TBQL query ===");
+    println!("{}", outcome.query_text);
+
+    println!("\n=== matched system activities ===");
+    println!("{}", outcome.results.columns.join("  |  "));
+    for row in &outcome.results.rows {
+        println!("{}", row.join("  |  "));
+    }
+    println!(
+        "\n({} data queries executed by the scheduler)",
+        outcome.engine_stats.data_queries
+    );
+}

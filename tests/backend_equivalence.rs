@@ -1,0 +1,92 @@
+//! Cross-backend equivalence: the scheduled plan, the giant-SQL plan and
+//! the giant-Cypher plan must return identical result sets for the same
+//! query — the paper's "all these four types of queries search for the same
+//! system behaviors and return the same results".
+
+use threatraptor::audit::sim::{generate_background, BackgroundProfile, Simulator};
+use threatraptor::common::time::Timestamp;
+use threatraptor::engine::exec::{to_length1_path_query, ExecMode};
+use threatraptor::tbql::print::print_query;
+use threatraptor::ThreatRaptor;
+
+fn system() -> ThreatRaptor {
+    let mut sim = Simulator::new(77, Timestamp::from_secs(1_500_000_000));
+    generate_background(
+        &mut sim,
+        &BackgroundProfile { users: 6, sessions: 80, ..Default::default() },
+    );
+    let shell = sim.boot_process("/bin/bash", "root");
+    let tar = sim.spawn(shell, "/bin/tar", "tar");
+    sim.read_file(tar, "/etc/passwd", 4096, 4);
+    sim.write_file(tar, "/tmp/upload.tar", 4096, 4);
+    sim.exit(tar);
+    let curl = sim.spawn(shell, "/usr/bin/curl", "curl");
+    sim.read_file(curl, "/tmp/upload.tar", 4096, 2);
+    let fd = sim.connect(curl, "192.168.29.128", 443);
+    sim.send(curl, fd, 4096, 4);
+    sim.exit(curl);
+    ThreatRaptor::from_records(&sim.finish()).unwrap()
+}
+
+const QUERIES: &[&str] = &[
+    r#"proc p["%/bin/tar%"] read file f["%/etc/passwd%"] as e1 return p, f"#,
+    r#"proc p["%/bin/tar%"] read file f1["%/etc/passwd%"] as e1
+       proc p write file f2["%/tmp/upload.tar%"] as e2
+       with e1 before e2
+       return distinct p, f1, f2"#,
+    r#"proc p1["%tar%"] write file f["%upload%"] as e1
+       proc p2["%curl%"] read file f as e2
+       proc p2 connect ip i as e3
+       with e1 before e2, e2 before e3
+       return distinct p1, p2, f, i"#,
+    r#"proc p read || write file f["%/tmp/upload.tar%"] as e1 return distinct p, f"#,
+];
+
+#[test]
+fn scheduled_equals_giant_sql() {
+    let raptor = system();
+    for q in QUERIES {
+        let (a, _) = raptor.query_with_mode(q, ExecMode::Scheduled).unwrap();
+        let (b, _) = raptor.query_with_mode(q, ExecMode::GiantSql).unwrap();
+        assert_eq!(a.sorted_rows(), b.sorted_rows(), "query: {q}");
+        assert!(!a.rows.is_empty(), "query should match: {q}");
+    }
+}
+
+#[test]
+fn scheduled_equals_giant_cypher() {
+    let raptor = system();
+    for q in QUERIES {
+        let (a, _) = raptor.query_with_mode(q, ExecMode::Scheduled).unwrap();
+        let (c, _) = raptor.query_with_mode(q, ExecMode::GiantCypher).unwrap();
+        assert_eq!(a.sorted_rows(), c.sorted_rows(), "query: {q}");
+    }
+}
+
+#[test]
+fn event_patterns_equal_length1_paths() {
+    // Variant (c): the same query rewritten with `->[op]` syntax runs on
+    // the graph backend and must agree.
+    let raptor = system();
+    for q in QUERIES {
+        let parsed = threatraptor::tbql::parse_tbql(q).unwrap();
+        let path_q = print_query(&to_length1_path_query(&parsed));
+        let (a, _) = raptor.query_with_mode(q, ExecMode::Scheduled).unwrap();
+        let (p, stats) = raptor.query_with_mode(&path_q, ExecMode::Scheduled).unwrap();
+        assert_eq!(a.sorted_rows(), p.sorted_rows(), "query: {q}");
+        assert!(
+            stats.query_texts.iter().any(|t| t.starts_with("MATCH")),
+            "path variant must hit the graph backend"
+        );
+    }
+}
+
+#[test]
+fn negative_queries_empty_everywhere() {
+    let raptor = system();
+    let q = r#"proc p["%/bin/absent%"] read file f as e1 return p, f"#;
+    for mode in [ExecMode::Scheduled, ExecMode::GiantSql, ExecMode::GiantCypher] {
+        let (r, _) = raptor.query_with_mode(q, mode).unwrap();
+        assert!(r.rows.is_empty(), "{mode:?}");
+    }
+}

@@ -1,0 +1,88 @@
+//! End-to-end integration: for benchmark cases, the full pipeline (scenario
+//! → extraction → synthesis → hunting) reproduces the Table V / VI shapes.
+
+use raptor_cases::metrics::PrF1;
+use raptor_cases::{all_cases, build_case};
+use threatraptor::common::hash::FxHashSet;
+use threatraptor::{synthesize, SynthesisPlan, ThreatRaptor};
+
+/// Small noise scale keeps the suite fast; ground truth is noise-invariant.
+const SCALE: f64 = 0.1;
+
+fn hunt_counts(case_id: &str) -> (usize, usize, usize) {
+    let spec = all_cases().into_iter().find(|c| c.id == case_id).unwrap();
+    let built = build_case(spec, SCALE, 42);
+    let raptor = ThreatRaptor::from_log(&built.log).unwrap();
+    let out = threatraptor::extract::extract(spec.report);
+    let q = synthesize(&out.graph, &SynthesisPlan::default()).unwrap();
+    let aq = threatraptor::tbql::analyze(&q).unwrap();
+    let matches = raptor.engine().pattern_event_matches(&aq).unwrap();
+    let found: FxHashSet<i64> = matches.into_iter().flat_map(|(_, ids)| ids).collect();
+    let tp = found.intersection(&built.gt_event_ids).count();
+    (tp, found.len(), built.gt_event_ids.len())
+}
+
+#[test]
+fn data_leak_reproduces_the_papers_6_of_8() {
+    let (tp, found, gt) = hunt_counts("data_leak");
+    assert_eq!((tp, found, gt), (6, 6, 8), "precision 6/6, recall 6/8");
+}
+
+#[test]
+fn trace_1_loses_the_fork_only_starts() {
+    let (tp, found, gt) = hunt_counts("tc_trace_1");
+    assert_eq!((tp, found, gt), (39, 39, 76));
+}
+
+#[test]
+fn fivedirections_3_finds_nothing_due_to_ioc_drift() {
+    let (tp, found, gt) = hunt_counts("tc_fivedirections_3");
+    assert_eq!((tp, found), (0, 0));
+    assert_eq!(gt, 3);
+}
+
+#[test]
+fn clean_cases_reach_full_recall() {
+    for (id, expected) in [
+        ("tc_clearscope_1", 6),
+        ("tc_theia_1", 3),
+        ("tc_trace_2", 7),
+        ("vpnfilter", 178),
+    ] {
+        let (tp, found, gt) = hunt_counts(id);
+        assert_eq!(tp, expected, "{id}");
+        assert_eq!(found, expected, "{id}: precision must be 100%");
+        assert_eq!(gt, expected, "{id}");
+    }
+}
+
+#[test]
+fn aggregate_hunting_matches_paper_shape() {
+    // Totals over all 18 cases: perfect precision, ~97% recall
+    // (paper: 1425/1425 and 1425/1473 = 96.74%).
+    let (mut tp, mut found, mut gt) = (0, 0, 0);
+    for c in all_cases() {
+        let (t, f, g) = hunt_counts(c.id);
+        tp += t;
+        found += f;
+        gt += g;
+    }
+    assert_eq!(tp, found, "no false positives anywhere");
+    let recall = tp as f64 / gt as f64;
+    assert!(recall > 0.95 && recall < 1.0, "recall {recall}");
+}
+
+#[test]
+fn extraction_beats_both_baselines_in_aggregate() {
+    let mut ours = PrF1::default();
+    let mut baseline = PrF1::default();
+    for c in all_cases() {
+        let out = threatraptor::extract::extract(c.report);
+        let texts: Vec<String> = out.entities.iter().map(|e| e.text.clone()).collect();
+        ours.add(raptor_cases::score_entities(&texts, c.gt_entities));
+        let b = threatraptor::extract::openie::run_baseline(c.report, false, false);
+        baseline.add(raptor_cases::score_entities(&b.entities, c.gt_entities));
+    }
+    assert!(ours.f1() > 0.9, "ThreatRaptor entity F1 {}", ours.f1());
+    assert!(baseline.f1() < 0.2, "baseline entity F1 {}", baseline.f1());
+}

@@ -1,0 +1,81 @@
+//! Fuzzy-mode integration: when IOCs drift between report and logs, exact
+//! search fails but the fuzzy mode recovers the attack — the paper's
+//! recommended workflow (Section V, Limitations).
+
+use raptor_cases::{all_cases, build_case};
+use threatraptor::engine::fuzzy::FuzzyConfig;
+use threatraptor::{synthesize, SynthesisPlan, ThreatRaptor};
+
+/// tc_trace_4's C2 moved from .128 (report) to .143 (logs): exact search
+/// misses the beacon, fuzzy still aligns the rest of the chain.
+#[test]
+fn trace4_drifted_c2_recovered_by_fuzzy() {
+    let spec = all_cases().into_iter().find(|c| c.id == "tc_trace_4").unwrap();
+    let built = build_case(spec, 0.1, 42);
+    let raptor = ThreatRaptor::from_log(&built.log).unwrap();
+    let out = threatraptor::extract::extract(spec.report);
+    let q = synthesize(&out.graph, &SynthesisPlan::default()).unwrap();
+    let text = threatraptor::tbql::print::print_query(&q);
+
+    // Exact: the full conjunctive query finds nothing (beacon missing).
+    let exact = raptor.query(&text).unwrap();
+    assert!(exact.rows.is_empty());
+
+    // Fuzzy: alignments exist (the write + the drifted entities align).
+    let cfg = FuzzyConfig { accept_threshold: 0.3, ..Default::default() };
+    let (fuzzy, _) = raptor.fuzzy_query(&text, &cfg).unwrap();
+    assert!(!fuzzy.alignments.is_empty(), "fuzzy should align the remaining chain");
+}
+
+#[test]
+fn poirot_returns_at_most_one_fuzzy_returns_all() {
+    let spec = all_cases().into_iter().find(|c| c.id == "tc_theia_4").unwrap();
+    let built = build_case(spec, 0.1, 42);
+    let raptor = ThreatRaptor::from_log(&built.log).unwrap();
+    let out = threatraptor::extract::extract(spec.report);
+    let q = synthesize(&out.graph, &SynthesisPlan::default()).unwrap();
+    let text = threatraptor::tbql::print::print_query(&q);
+
+    let poirot_cfg = FuzzyConfig { exhaustive: false, ..Default::default() };
+    let (poirot, _) = raptor.fuzzy_query(&text, &poirot_cfg).unwrap();
+    let (fuzzy, _) = raptor.fuzzy_query(&text, &FuzzyConfig::default()).unwrap();
+    assert!(poirot.alignments.len() <= 1);
+    // theia_4 scans 420 files: the document node has hundreds of valid
+    // alignments; exhaustive search must enumerate far more than one.
+    assert!(
+        fuzzy.alignments.len() > poirot.alignments.len(),
+        "fuzzy {} vs poirot {}",
+        fuzzy.alignments.len(),
+        poirot.alignments.len()
+    );
+}
+
+#[test]
+fn budget_exhaustion_reports_timeout() {
+    let spec = all_cases().into_iter().find(|c| c.id == "data_leak").unwrap();
+    let built = build_case(spec, 0.1, 42);
+    let raptor = ThreatRaptor::from_log(&built.log).unwrap();
+    let out = threatraptor::extract::extract(spec.report);
+    let q = synthesize(&out.graph, &SynthesisPlan::default()).unwrap();
+    let text = threatraptor::tbql::print::print_query(&q);
+    let cfg = FuzzyConfig { budget: std::time::Duration::from_nanos(1), ..Default::default() };
+    let (outc, _) = raptor.fuzzy_query(&text, &cfg).unwrap();
+    assert!(outc.timed_out);
+}
+
+#[test]
+fn fuzzy_scores_rank_exact_match_first() {
+    let spec = all_cases().into_iter().find(|c| c.id == "data_leak").unwrap();
+    let built = build_case(spec, 0.1, 42);
+    let raptor = ThreatRaptor::from_log(&built.log).unwrap();
+    let out = threatraptor::extract::extract(spec.report);
+    let q = synthesize(&out.graph, &SynthesisPlan::default()).unwrap();
+    let text = threatraptor::tbql::print::print_query(&q);
+    let cfg = FuzzyConfig { accept_threshold: 0.3, ..Default::default() };
+    let (outc, _) = raptor.fuzzy_query(&text, &cfg).unwrap();
+    assert!(!outc.alignments.is_empty());
+    // Alignments come back best-first.
+    for w in outc.alignments.windows(2) {
+        assert!(w[0].score >= w[1].score);
+    }
+}

@@ -1,0 +1,77 @@
+//! Synthesis round-trips: every benchmark case's synthesized query prints,
+//! reparses, analyzes, and compiles to all backends; the printer/parser
+//! round-trip also holds property-style over the case corpus.
+
+use raptor_cases::all_cases;
+use threatraptor::engine::compile::{giant_cypher, giant_sql, CompileCtx};
+use threatraptor::tbql::print::print_query;
+use threatraptor::tbql::{analyze, parse_tbql};
+use threatraptor::{synthesize, SynthesisPlan};
+
+#[test]
+fn every_case_synthesizes_and_roundtrips() {
+    for case in all_cases() {
+        let out = threatraptor::extract::extract(case.report);
+        let q = synthesize(&out.graph, &SynthesisPlan::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", case.id));
+        let text = print_query(&q);
+        let reparsed = parse_tbql(&text).unwrap_or_else(|e| panic!("{}: {e}\n{text}", case.id));
+        assert_eq!(q, reparsed, "{}: printer/parser round-trip", case.id);
+        let aq = analyze(&reparsed).unwrap_or_else(|e| panic!("{}: {e}\n{text}", case.id));
+        // Compiles into both giant forms.
+        let ctx = CompileCtx { aq: &aq, now_ns: 0 };
+        let sql = giant_sql(&ctx).unwrap_or_else(|e| panic!("{}: {e}", case.id));
+        threatraptor::relstore::sql::parse_select(&sql)
+            .unwrap_or_else(|e| panic!("{}: giant SQL invalid: {e}\n{sql}", case.id));
+        let cy = giant_cypher(&ctx).unwrap_or_else(|e| panic!("{}: {e}", case.id));
+        threatraptor::graphstore::cypher::parse_cypher(&cy)
+            .unwrap_or_else(|e| panic!("{}: giant Cypher invalid: {e}\n{cy}", case.id));
+    }
+}
+
+#[test]
+fn path_plan_synthesizes_for_every_case() {
+    let plan = SynthesisPlan { use_path_patterns: true, ..Default::default() };
+    for case in all_cases() {
+        let out = threatraptor::extract::extract(case.report);
+        let q = synthesize(&out.graph, &plan).unwrap_or_else(|e| panic!("{}: {e}", case.id));
+        assert!(q.relations.is_empty(), "{}: paths carry no temporal chain", case.id);
+        let text = print_query(&q);
+        analyze(&parse_tbql(&text).unwrap()).unwrap_or_else(|e| panic!("{}: {e}\n{text}", case.id));
+    }
+}
+
+#[test]
+fn synthesized_queries_preserve_sequence_order() {
+    // The `with` chain must follow the threat behavior graph's sequence
+    // numbers (Step 3 of synthesis).
+    for case in all_cases() {
+        let out = threatraptor::extract::extract(case.report);
+        let q = synthesize(&out.graph, &SynthesisPlan::default()).unwrap();
+        for (i, rel) in q.relations.iter().enumerate() {
+            match rel {
+                threatraptor::tbql::RelClause::Temporal { left, op, right, .. } => {
+                    assert_eq!(*op, threatraptor::tbql::TemporalOp::Before, "{}", case.id);
+                    assert_eq!(left, &format!("evt{}", i + 1), "{}", case.id);
+                    assert_eq!(right, &format!("evt{}", i + 2), "{}", case.id);
+                }
+                other => panic!("{}: unexpected relation {other:?}", case.id),
+            }
+        }
+    }
+}
+
+#[test]
+fn screening_never_leaks_unauditable_iocs() {
+    for case in all_cases() {
+        let out = threatraptor::extract::extract(case.report);
+        let Ok(q) = synthesize(&out.graph, &SynthesisPlan::default()) else { continue };
+        let text = print_query(&q);
+        for (ioc, ty) in case.gt_entities {
+            use raptor_extract::IocType::*;
+            if matches!(ty, Domain | Url | Email | Hash | Cve | Registry) {
+                assert!(!text.contains(ioc), "{}: {ioc} leaked into query\n{text}", case.id);
+            }
+        }
+    }
+}
