@@ -206,8 +206,15 @@ pub fn to_text_line(r: &SyscallRecord) -> String {
     };
     format!(
         "{} h{} {} {} {}:{} {}({}) = {}",
-        r.ts.0, r.host, r.pid, r.exe, r.user, r.group,
-        r.call.name(), args, r.ret
+        r.ts.0,
+        r.host,
+        r.pid,
+        r.exe,
+        r.user,
+        r.group,
+        r.call.name(),
+        args,
+        r.ret
     )
 }
 
@@ -244,9 +251,21 @@ mod tests {
                 },
                 0,
             ),
-            base(Syscall::Execve, SyscallArgs::Exec { path: "/bin/ls".into(), cmdline: "ls -la".into() }, 0),
-            base(Syscall::Fork, SyscallArgs::Spawn { child_pid: 778, child_exe: "/bin/bash".into() }, 778),
-            base(Syscall::Rename, SyscallArgs::Rename { old: "/tmp/a".into(), new: "/tmp/b".into() }, 0),
+            base(
+                Syscall::Execve,
+                SyscallArgs::Exec { path: "/bin/ls".into(), cmdline: "ls -la".into() },
+                0,
+            ),
+            base(
+                Syscall::Fork,
+                SyscallArgs::Spawn { child_pid: 778, child_exe: "/bin/bash".into() },
+                778,
+            ),
+            base(
+                Syscall::Rename,
+                SyscallArgs::Rename { old: "/tmp/a".into(), new: "/tmp/b".into() },
+                0,
+            ),
             base(Syscall::Exit, SyscallArgs::Exit, 0),
         ]
     }

@@ -86,11 +86,7 @@ impl Default for LogParser {
 
 impl LogParser {
     pub fn new() -> Self {
-        LogParser {
-            log: ParsedLog::default(),
-            procs: FxHashMap::default(),
-            keep_failed: true,
-        }
+        LogParser { log: ParsedLog::default(), procs: FxHashMap::default(), keep_failed: true }
     }
 
     /// Parses an entire batch of records.
@@ -190,13 +186,11 @@ impl LogParser {
                     lp.fds.remove(fd);
                 });
             }
-            (Syscall::Socket, SyscallArgs::Socket { fd, protocol }) => {
-                if !r.failed() {
-                    let proto = *protocol;
-                    self.with_proc(r, |lp| {
-                        lp.fds.insert(*fd, FdTarget::UnconnectedSocket(proto));
-                    });
-                }
+            (Syscall::Socket, SyscallArgs::Socket { fd, protocol }) if !r.failed() => {
+                let proto = *protocol;
+                self.with_proc(r, |lp| {
+                    lp.fds.insert(*fd, FdTarget::UnconnectedSocket(proto));
+                });
             }
             (Syscall::Connect, SyscallArgs::Connect { fd, src_ip, src_port, dst_ip, dst_port }) => {
                 let proto = match self.fd_target(r, *fd) {
@@ -268,11 +262,8 @@ impl LogParser {
                     if new_proc != subject {
                         self.emit(r, subject, new_proc, Operation::Start, EventKind::Process, 0);
                     }
-                    let fds = self
-                        .procs
-                        .remove(&(r.host, r.pid))
-                        .map(|lp| lp.fds)
-                        .unwrap_or_default();
+                    let fds =
+                        self.procs.remove(&(r.host, r.pid)).map(|lp| lp.fds).unwrap_or_default();
                     self.procs.insert((r.host, r.pid), LiveProcess { entity: new_proc, fds });
                 }
             }
@@ -289,11 +280,8 @@ impl LogParser {
                 });
                 let child = self.log.intern_entity(r.host, attrs);
                 // Child inherits the parent's fd table (as fork does).
-                let inherited = self
-                    .procs
-                    .get(&(r.host, r.pid))
-                    .map(|lp| lp.fds.clone())
-                    .unwrap_or_default();
+                let inherited =
+                    self.procs.get(&(r.host, r.pid)).map(|lp| lp.fds.clone()).unwrap_or_default();
                 self.procs
                     .insert((r.host, *child_pid), LiveProcess { entity: child, fds: inherited });
                 self.emit(r, subject, child, Operation::Start, EventKind::Process, 0);
@@ -329,7 +317,14 @@ mod tests {
     use crate::syscall::Protocol;
     use raptor_common::time::{Duration, Timestamp};
 
-    fn rec(ts: i64, pid: u32, exe: &str, call: Syscall, args: SyscallArgs, ret: i64) -> SyscallRecord {
+    fn rec(
+        ts: i64,
+        pid: u32,
+        exe: &str,
+        call: Syscall,
+        args: SyscallArgs,
+        ret: i64,
+    ) -> SyscallRecord {
         SyscallRecord {
             ts: Timestamp::from_secs(ts),
             latency: Duration::from_millis(1),
@@ -347,7 +342,14 @@ mod tests {
     #[test]
     fn open_read_close_produces_one_file_event() {
         let records = vec![
-            rec(1, 10, "/bin/tar", Syscall::Open, SyscallArgs::Open { path: "/etc/passwd".into(), fd: 3 }, 3),
+            rec(
+                1,
+                10,
+                "/bin/tar",
+                Syscall::Open,
+                SyscallArgs::Open { path: "/etc/passwd".into(), fd: 3 },
+                3,
+            ),
             rec(2, 10, "/bin/tar", Syscall::Read, SyscallArgs::Io { fd: 3 }, 4096),
             rec(3, 10, "/bin/tar", Syscall::Close, SyscallArgs::Close { fd: 3 }, 0),
         ];
@@ -357,20 +359,21 @@ mod tests {
         assert_eq!(e.op, Operation::Read);
         assert_eq!(e.kind, EventKind::File);
         assert_eq!(e.amount, 4096);
-        assert_eq!(
-            log.entity(e.subject).attrs.get("exename").as_deref(),
-            Some("/bin/tar")
-        );
-        assert_eq!(
-            log.entity(e.object).attrs.get("name").as_deref(),
-            Some("/etc/passwd")
-        );
+        assert_eq!(log.entity(e.subject).attrs.get("exename").as_deref(), Some("/bin/tar"));
+        assert_eq!(log.entity(e.object).attrs.get("name").as_deref(), Some("/etc/passwd"));
     }
 
     #[test]
     fn reads_after_close_are_dropped() {
         let records = vec![
-            rec(1, 10, "/bin/cat", Syscall::Open, SyscallArgs::Open { path: "/tmp/a".into(), fd: 3 }, 3),
+            rec(
+                1,
+                10,
+                "/bin/cat",
+                Syscall::Open,
+                SyscallArgs::Open { path: "/tmp/a".into(), fd: 3 },
+                3,
+            ),
             rec(2, 10, "/bin/cat", Syscall::Close, SyscallArgs::Close { fd: 3 }, 0),
             rec(3, 10, "/bin/cat", Syscall::Read, SyscallArgs::Io { fd: 3 }, 100),
         ];
@@ -381,11 +384,28 @@ mod tests {
     #[test]
     fn socket_connect_send_is_network_write() {
         let records = vec![
-            rec(1, 20, "/usr/bin/curl", Syscall::Socket, SyscallArgs::Socket { fd: 4, protocol: Protocol::Tcp }, 4),
-            rec(2, 20, "/usr/bin/curl", Syscall::Connect, SyscallArgs::Connect {
-                fd: 4, src_ip: "10.0.0.5".into(), src_port: 51000,
-                dst_ip: "192.168.29.128".into(), dst_port: 443,
-            }, 0),
+            rec(
+                1,
+                20,
+                "/usr/bin/curl",
+                Syscall::Socket,
+                SyscallArgs::Socket { fd: 4, protocol: Protocol::Tcp },
+                4,
+            ),
+            rec(
+                2,
+                20,
+                "/usr/bin/curl",
+                Syscall::Connect,
+                SyscallArgs::Connect {
+                    fd: 4,
+                    src_ip: "10.0.0.5".into(),
+                    src_port: 51000,
+                    dst_ip: "192.168.29.128".into(),
+                    dst_port: 443,
+                },
+                0,
+            ),
             rec(3, 20, "/usr/bin/curl", Syscall::Sendto, SyscallArgs::Io { fd: 4 }, 1500),
         ];
         let log = LogParser::parse(&records);
@@ -401,11 +421,17 @@ mod tests {
 
     #[test]
     fn execve_creates_new_process_entity_and_two_events() {
-        let records = vec![
-            rec(1, 30, "/bin/bash", Syscall::Execve, SyscallArgs::Exec {
-                path: "/usr/bin/gpg".into(), cmdline: "gpg -c upload.tar.bz2".into(),
-            }, 0),
-        ];
+        let records = vec![rec(
+            1,
+            30,
+            "/bin/bash",
+            Syscall::Execve,
+            SyscallArgs::Exec {
+                path: "/usr/bin/gpg".into(),
+                cmdline: "gpg -c upload.tar.bz2".into(),
+            },
+            0,
+        )];
         let log = LogParser::parse(&records);
         // Execute (file) + Start (process).
         assert_eq!(log.events.len(), 2);
@@ -423,8 +449,22 @@ mod tests {
     #[test]
     fn fork_inherits_fds() {
         let records = vec![
-            rec(1, 40, "/bin/bash", Syscall::Open, SyscallArgs::Open { path: "/tmp/x".into(), fd: 5 }, 5),
-            rec(2, 40, "/bin/bash", Syscall::Fork, SyscallArgs::Spawn { child_pid: 41, child_exe: "/bin/bash".into() }, 41),
+            rec(
+                1,
+                40,
+                "/bin/bash",
+                Syscall::Open,
+                SyscallArgs::Open { path: "/tmp/x".into(), fd: 5 },
+                5,
+            ),
+            rec(
+                2,
+                40,
+                "/bin/bash",
+                Syscall::Fork,
+                SyscallArgs::Spawn { child_pid: 41, child_exe: "/bin/bash".into() },
+                41,
+            ),
             rec(3, 41, "/bin/bash", Syscall::Write, SyscallArgs::Io { fd: 5 }, 64),
         ];
         let log = LogParser::parse(&records);
@@ -439,7 +479,14 @@ mod tests {
     fn entities_are_deduplicated() {
         let mut records = Vec::new();
         for i in 0..10 {
-            records.push(rec(i, 50, "/bin/cat", Syscall::Open, SyscallArgs::Open { path: "/etc/passwd".into(), fd: 3 }, 3));
+            records.push(rec(
+                i,
+                50,
+                "/bin/cat",
+                Syscall::Open,
+                SyscallArgs::Open { path: "/etc/passwd".into(), fd: 3 },
+                3,
+            ));
             records.push(rec(i, 50, "/bin/cat", Syscall::Read, SyscallArgs::Io { fd: 3 }, 100));
             records.push(rec(i, 50, "/bin/cat", Syscall::Close, SyscallArgs::Close { fd: 3 }, 0));
         }
@@ -452,8 +499,22 @@ mod tests {
     #[test]
     fn failed_calls_keep_fail_code() {
         let records = vec![
-            rec(1, 60, "/bin/cat", Syscall::Open, SyscallArgs::Open { path: "/etc/shadow".into(), fd: -1 }, -13),
-            rec(2, 60, "/bin/cat", Syscall::Execve, SyscallArgs::Exec { path: "/bin/ls".into(), cmdline: "ls".into() }, -13),
+            rec(
+                1,
+                60,
+                "/bin/cat",
+                Syscall::Open,
+                SyscallArgs::Open { path: "/etc/shadow".into(), fd: -1 },
+                -13,
+            ),
+            rec(
+                2,
+                60,
+                "/bin/cat",
+                Syscall::Execve,
+                SyscallArgs::Exec { path: "/bin/ls".into(), cmdline: "ls".into() },
+                -13,
+            ),
         ];
         let log = LogParser::parse(&records);
         // Failed open emits nothing (no fd), failed execve emits the file
@@ -465,9 +526,7 @@ mod tests {
 
     #[test]
     fn exit_emits_end_event() {
-        let records = vec![
-            rec(1, 70, "/bin/sleep", Syscall::Exit, SyscallArgs::Exit, 0),
-        ];
+        let records = vec![rec(1, 70, "/bin/sleep", Syscall::Exit, SyscallArgs::Exit, 0)];
         let log = LogParser::parse(&records);
         assert_eq!(log.events.len(), 1);
         assert_eq!(log.events[0].op, Operation::End);
@@ -476,7 +535,14 @@ mod tests {
 
     #[test]
     fn hosts_partition_entities() {
-        let mut r1 = rec(1, 80, "/bin/cat", Syscall::Open, SyscallArgs::Open { path: "/tmp/f".into(), fd: 3 }, 3);
+        let mut r1 = rec(
+            1,
+            80,
+            "/bin/cat",
+            Syscall::Open,
+            SyscallArgs::Open { path: "/tmp/f".into(), fd: 3 },
+            3,
+        );
         let mut r2 = r1.clone();
         r2.host = 1;
         r1.host = 0;

@@ -81,7 +81,15 @@ mod tests {
     use crate::event::EventKind;
     use raptor_common::time::Timestamp;
 
-    fn evt(id: u32, subj: u32, obj: u32, op: Operation, start_ms: i64, end_ms: i64, amount: u64) -> SystemEvent {
+    fn evt(
+        id: u32,
+        subj: u32,
+        obj: u32,
+        op: Operation,
+        start_ms: i64,
+        end_ms: i64,
+        amount: u64,
+    ) -> SystemEvent {
         SystemEvent {
             id: EventId(id),
             subject: EntityId(subj),

@@ -173,7 +173,12 @@ impl Simulator {
             p.next_fd += 1;
             fd
         };
-        self.push(pid.0, Syscall::Open, SyscallArgs::Open { path: path.to_string(), fd }, fd as i64);
+        self.push(
+            pid.0,
+            Syscall::Open,
+            SyscallArgs::Open { path: path.to_string(), fd },
+            fd as i64,
+        );
         fd
     }
 
@@ -220,7 +225,12 @@ impl Simulator {
             p.next_fd += 1;
             fd
         };
-        self.push(pid.0, Syscall::Socket, SyscallArgs::Socket { fd, protocol: Protocol::Tcp }, fd as i64);
+        self.push(
+            pid.0,
+            Syscall::Socket,
+            SyscallArgs::Socket { fd, protocol: Protocol::Tcp },
+            fd as i64,
+        );
         let src_port = self.next_src_port;
         self.next_src_port = self.next_src_port.wrapping_add(1).max(40000);
         self.push(
@@ -313,9 +323,8 @@ const BENIGN_TOOLS: &[(&str, &str)] = &[
 /// exits. Mirrors the "file manipulation, text editing, and software
 /// development" mix from the paper's testbed.
 pub fn generate_background(sim: &mut Simulator, profile: &BackgroundProfile) {
-    let shells: Vec<Pid> = (0..profile.users)
-        .map(|u| sim.boot_process("/bin/bash", &format!("user{u}")))
-        .collect();
+    let shells: Vec<Pid> =
+        (0..profile.users).map(|u| sim.boot_process("/bin/bash", &format!("user{u}"))).collect();
     for s in 0..profile.sessions {
         let u = sim.rng().gen_range(0..profile.users);
         let shell = shells[u];
@@ -341,7 +350,8 @@ pub fn generate_background(sim: &mut Simulator, profile: &BackgroundProfile) {
             sim.write_file(p, &format!("/home/user{u}/work/build/out{s}.o"), 32_768, 4);
         }
         if cmd == "firefox" || cmd == "git" || cmd == "ssh" {
-            let ip = format!("151.101.{}.{}", sim.rng().gen_range(0..64), sim.rng().gen_range(1..255));
+            let ip =
+                format!("151.101.{}.{}", sim.rng().gen_range(0..64), sim.rng().gen_range(1..255));
             let _ = ip; // deterministic pool below keeps ip count bounded
             let pool_ip = format!(
                 "151.101.{}.{}",
@@ -393,7 +403,10 @@ mod tests {
     #[test]
     fn records_are_time_ordered() {
         let mut sim = Simulator::new(7, Timestamp::from_secs(0));
-        generate_background(&mut sim, &BackgroundProfile { users: 3, sessions: 20, ..Default::default() });
+        generate_background(
+            &mut sim,
+            &BackgroundProfile { users: 3, sessions: 20, ..Default::default() },
+        );
         let records = sim.finish();
         assert!(records.windows(2).all(|w| w[0].ts <= w[1].ts));
     }
@@ -401,7 +414,10 @@ mod tests {
     #[test]
     fn background_parses_into_entities_and_events() {
         let mut sim = Simulator::new(7, Timestamp::from_secs(0));
-        generate_background(&mut sim, &BackgroundProfile { users: 5, sessions: 50, ..Default::default() });
+        generate_background(
+            &mut sim,
+            &BackgroundProfile { users: 5, sessions: 50, ..Default::default() },
+        );
         let records = sim.finish();
         let log = LogParser::parse(&records);
         assert!(log.events.len() > 100, "events: {}", log.events.len());
@@ -416,7 +432,10 @@ mod tests {
     #[test]
     fn scripted_attack_records_interleave_with_noise() {
         let mut sim = Simulator::new(1, Timestamp::from_secs(0));
-        generate_background(&mut sim, &BackgroundProfile { users: 2, sessions: 10, ..Default::default() });
+        generate_background(
+            &mut sim,
+            &BackgroundProfile { users: 2, sessions: 10, ..Default::default() },
+        );
         // The Figure 2 data-leak chain.
         let shell = sim.boot_process("/bin/bash", "root");
         let tar = sim.spawn(shell, "/bin/tar", "tar");

@@ -127,7 +127,10 @@ impl Syscall {
             Syscall::Execve => &[ProcessToFile, ProcessToProcess],
             Syscall::Rename => &[ProcessToFile],
             Syscall::Fork | Syscall::Clone | Syscall::Exit => &[ProcessToProcess],
-            Syscall::Sendto | Syscall::Sendmsg | Syscall::Recvfrom | Syscall::Recvmsg
+            Syscall::Sendto
+            | Syscall::Sendmsg
+            | Syscall::Recvfrom
+            | Syscall::Recvmsg
             | Syscall::Connect => &[ProcessToNetwork],
             Syscall::Open | Syscall::Close | Syscall::Socket => &[],
         }
@@ -154,13 +157,7 @@ pub enum SyscallArgs {
     /// `socket() = fd`
     Socket { fd: i32, protocol: Protocol },
     /// `connect(fd, dst)` — the auditing layer records the full 5-tuple.
-    Connect {
-        fd: i32,
-        src_ip: String,
-        src_port: u16,
-        dst_ip: String,
-        dst_port: u16,
-    },
+    Connect { fd: i32, src_ip: String, src_port: u16, dst_ip: String, dst_port: u16 },
     /// `exit()`
     Exit,
 }
@@ -234,7 +231,14 @@ mod tests {
     fn table1_categories() {
         use EventCategory::*;
         // ProcessToFile row of Table I.
-        for c in [Syscall::Read, Syscall::Readv, Syscall::Write, Syscall::Writev, Syscall::Execve, Syscall::Rename] {
+        for c in [
+            Syscall::Read,
+            Syscall::Readv,
+            Syscall::Write,
+            Syscall::Writev,
+            Syscall::Execve,
+            Syscall::Rename,
+        ] {
             assert!(c.categories().contains(&ProcessToFile), "{c:?}");
         }
         // ProcessToProcess row.
@@ -242,7 +246,15 @@ mod tests {
             assert!(c.categories().contains(&ProcessToProcess), "{c:?}");
         }
         // ProcessToNetwork row.
-        for c in [Syscall::Read, Syscall::Readv, Syscall::Recvfrom, Syscall::Recvmsg, Syscall::Sendto, Syscall::Write, Syscall::Writev] {
+        for c in [
+            Syscall::Read,
+            Syscall::Readv,
+            Syscall::Recvfrom,
+            Syscall::Recvmsg,
+            Syscall::Sendto,
+            Syscall::Write,
+            Syscall::Writev,
+        ] {
             assert!(c.categories().contains(&ProcessToNetwork), "{c:?}");
         }
         // Bookkeeping calls map to no event category directly.

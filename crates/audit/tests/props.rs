@@ -17,16 +17,27 @@ fn arb_args() -> impl Strategy<Value = (Syscall, SyscallArgs)> {
         (0..64i32).prop_map(|fd| (Syscall::Sendto, SyscallArgs::Io { fd })),
         ("[ -~]{1,40}", "[ -~]{0,40}")
             .prop_map(|(p, c)| (Syscall::Execve, SyscallArgs::Exec { path: p, cmdline: c })),
-        (1u32..99999, "[ -~]{1,30}")
-            .prop_map(|(pid, exe)| (Syscall::Fork, SyscallArgs::Spawn { child_pid: pid, child_exe: exe })),
+        (1u32..99999, "[ -~]{1,30}").prop_map(|(pid, exe)| (
+            Syscall::Fork,
+            SyscallArgs::Spawn { child_pid: pid, child_exe: exe }
+        )),
         ("[ -~]{1,30}", "[ -~]{1,30}")
             .prop_map(|(a, b)| (Syscall::Rename, SyscallArgs::Rename { old: a, new: b })),
         (0..64i32, proptest::bool::ANY).prop_map(|(fd, udp)| {
-            (Syscall::Socket, SyscallArgs::Socket { fd, protocol: if udp { Protocol::Udp } else { Protocol::Tcp } })
+            (
+                Syscall::Socket,
+                SyscallArgs::Socket {
+                    fd,
+                    protocol: if udp { Protocol::Udp } else { Protocol::Tcp },
+                },
+            )
         }),
         (0..64i32, "[0-9.]{7,15}", 1u16.., "[0-9.]{7,15}", 1u16..).prop_map(
             |(fd, si, sp, di, dp)| {
-                (Syscall::Connect, SyscallArgs::Connect { fd, src_ip: si, src_port: sp, dst_ip: di, dst_port: dp })
+                (
+                    Syscall::Connect,
+                    SyscallArgs::Connect { fd, src_ip: si, src_port: sp, dst_ip: di, dst_port: dp },
+                )
             }
         ),
         Just((Syscall::Exit, SyscallArgs::Exit)),

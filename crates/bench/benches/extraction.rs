@@ -29,7 +29,9 @@ fn bench_extraction(c: &mut Criterion) {
 fn bench_stages(c: &mut Criterion) {
     let text = report();
     let mut g = c.benchmark_group("extraction_stages");
-    g.bench_function("ioc_scan", |b| b.iter(|| raptor_extract::scan_iocs(std::hint::black_box(text))));
+    g.bench_function("ioc_scan", |b| {
+        b.iter(|| raptor_extract::scan_iocs(std::hint::black_box(text)))
+    });
     let iocs = raptor_extract::scan_iocs(text);
     g.bench_function("protect", |b| {
         b.iter(|| raptor_extract::protect::protect(std::hint::black_box(text), &iocs))

@@ -14,9 +14,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--scale" => {
-                cfg.noise_scale = args.next().and_then(|v| v.parse().ok()).unwrap_or(1.0)
-            }
+            "--scale" => cfg.noise_scale = args.next().and_then(|v| v.parse().ok()).unwrap_or(1.0),
             "--rounds" => cfg.rounds = args.next().and_then(|v| v.parse().ok()).unwrap_or(20),
             "--budget" => {
                 cfg.fuzzy_budget_secs = args.next().and_then(|v| v.parse().ok()).unwrap_or(60.0)
@@ -47,8 +45,7 @@ fn main() {
     if want("table5") {
         println!("{}", table5());
     }
-    let needs_evals =
-        ["table6", "table7", "table8", "table9", "table10"].iter().any(|t| want(t));
+    let needs_evals = ["table6", "table7", "table8", "table9", "table10"].iter().any(|t| want(t));
     if needs_evals {
         eprintln!("# building 18 scenarios (scale {}) ...", cfg.noise_scale);
         let evals = run_all(&cfg);

@@ -63,11 +63,8 @@ pub fn score_threatraptor_extraction(spec: &CaseSpec, ioc_protection: bool) -> E
     let out = extract_with_options(spec.report, ioc_protection);
     let seconds = t0.elapsed().as_secs_f64();
     let entity_texts: Vec<String> = out.entities.iter().map(|e| e.text.clone()).collect();
-    let triples: Vec<(String, String, String)> = out
-        .triples
-        .iter()
-        .map(|t| (t.subj.clone(), t.verb.clone(), t.obj.clone()))
-        .collect();
+    let triples: Vec<(String, String, String)> =
+        out.triples.iter().map(|t| (t.subj.clone(), t.verb.clone(), t.obj.clone())).collect();
     ExtractScores {
         entity: score_entities(&entity_texts, spec.gt_entities),
         relation: score_relations(&triples, spec.gt_relations),
@@ -80,11 +77,8 @@ pub fn score_openie(spec: &CaseSpec, protection: bool, exhaustive: bool) -> Extr
     let t0 = Instant::now();
     let out = openie::run_baseline(spec.report, protection, exhaustive);
     let seconds = t0.elapsed().as_secs_f64();
-    let triples: Vec<(String, String, String)> = out
-        .triples
-        .iter()
-        .map(|t| (t.subj.clone(), t.verb.clone(), t.obj.clone()))
-        .collect();
+    let triples: Vec<(String, String, String)> =
+        out.triples.iter().map(|t| (t.subj.clone(), t.verb.clone(), t.obj.clone())).collect();
     ExtractScores {
         entity: score_entities(&out.entities, spec.gt_entities),
         relation: score_relations(&triples, spec.gt_relations),
@@ -147,10 +141,8 @@ pub struct QueryVariants {
 pub fn query_variants(eval: &CaseEval) -> QueryVariants {
     let q = raptor_tbql::parse_tbql(&eval.tbql).expect("reparse");
     let aq = raptor_tbql::analyze(&q).expect("analyze");
-    let ctx = raptor_engine::compile::CompileCtx {
-        aq: &aq,
-        now_ns: eval.raptor.engine().stores.now_ns,
-    };
+    let ctx =
+        raptor_engine::compile::CompileCtx { aq: &aq, now_ns: eval.raptor.engine().stores.now_ns };
     let sql = raptor_engine::compile::giant_sql(&ctx).expect("giant sql");
     let cypher = raptor_engine::compile::giant_cypher(&ctx).expect("giant cypher");
     let path_q = raptor_engine::exec::to_length1_path_query(&q);

@@ -95,9 +95,8 @@ pub fn table5() -> String {
         ("OpenIE5-style", Box::new(|c| score_openie(c, false, true))),
         ("OpenIE5-style + IOC Protection", Box::new(|c| score_openie(c, true, true))),
     ];
-    let mut t = TextTable::new([
-        "Approach", "Ent. P", "Ent. R", "Ent. F1", "Rel. P", "Rel. R", "Rel. F1",
-    ]);
+    let mut t =
+        TextTable::new(["Approach", "Ent. P", "Ent. R", "Ent. F1", "Rel. P", "Rel. R", "Rel. F1"]);
     for (name, f) in &approaches {
         let mut ent = PrF1::default();
         let mut rel = PrF1::default();
@@ -124,10 +123,7 @@ pub fn table5() -> String {
 
 /// Runs the full per-case evaluation once (shared by Tables VI–X).
 pub fn run_all(cfg: &HarnessConfig) -> Vec<CaseEval> {
-    all_cases()
-        .into_iter()
-        .map(|c| evaluate_case(c, cfg.noise_scale, cfg.seed))
-        .collect()
+    all_cases().into_iter().map(|c| evaluate_case(c, cfg.noise_scale, cfg.seed)).collect()
 }
 
 /// Table VI: threat-hunting precision and recall per case.
@@ -156,7 +152,12 @@ pub fn table6(evals: &[CaseEval]) -> String {
 /// query synthesis — plus the Open IE baselines' extraction times.
 pub fn table7(evals: &[CaseEval]) -> String {
     let mut t = TextTable::new([
-        "Case", "Text->E.&R.", "E.&R.->Graph", "Graph->TBQL", "Stanford-style", "OpenIE5-style",
+        "Case",
+        "Text->E.&R.",
+        "E.&R.->Graph",
+        "Graph->TBQL",
+        "Stanford-style",
+        "OpenIE5-style",
     ]);
     let mut sums = [0f64; 5];
     for e in evals {
@@ -200,8 +201,15 @@ fn mean_std(samples: &[f64]) -> (f64, f64) {
 /// Table VIII: query execution time of the four variants, `rounds` rounds.
 pub fn table8(evals: &[CaseEval], cfg: &HarnessConfig) -> String {
     let mut t = TextTable::new([
-        "Case", "TBQL mean", "TBQL std", "SQL mean", "SQL std",
-        "TBQL(path) mean", "TBQL(path) std", "Cypher mean", "Cypher std",
+        "Case",
+        "TBQL mean",
+        "TBQL std",
+        "SQL mean",
+        "SQL std",
+        "TBQL(path) mean",
+        "TBQL(path) std",
+        "Cypher mean",
+        "Cypher std",
     ]);
     let mut totals = [0f64; 4];
     for e in evals {
@@ -215,9 +223,8 @@ pub fn table8(evals: &[CaseEval], cfg: &HarnessConfig) -> String {
             (&v.tbql_path, ExecMode::Scheduled, 2),
             (&v.tbql_path, ExecMode::GiantCypher, 3),
         ] {
-            let samples: Vec<f64> = (0..cfg.rounds)
-                .map(|_| time_execution(&e.raptor, text, mode))
-                .collect();
+            let samples: Vec<f64> =
+                (0..cfg.rounds).map(|_| time_execution(&e.raptor, text, mode)).collect();
             let (m, s) = mean_std(&samples);
             totals[slot] += m;
             cols.push(format!("{m:.4}"));
@@ -248,8 +255,15 @@ pub fn table8(evals: &[CaseEval], cfg: &HarnessConfig) -> String {
 /// (first-acceptable), with loading / preprocessing / searching phases.
 pub fn table9(evals: &[CaseEval], cfg: &HarnessConfig) -> String {
     let mut t = TextTable::new([
-        "Case", "Fz load", "Fz prep", "Fz search", "Fz aligns",
-        "Po load", "Po prep", "Po search", "Po aligns",
+        "Case",
+        "Fz load",
+        "Fz prep",
+        "Fz search",
+        "Fz aligns",
+        "Po load",
+        "Po prep",
+        "Po search",
+        "Po aligns",
     ]);
     for e in evals {
         let q = raptor_tbql::parse_tbql(&e.tbql).expect("reparse");
@@ -257,8 +271,7 @@ pub fn table9(evals: &[CaseEval], cfg: &HarnessConfig) -> String {
         let qg = QueryGraph::from_analyzed(&aq);
         let mut row = vec![e.case.id.to_string()];
         for exhaustive in [true, false] {
-            let (prov, timings) =
-                build_from_stores(&e.raptor.engine().stores).expect("provenance");
+            let (prov, timings) = build_from_stores(&e.raptor.engine().stores).expect("provenance");
             let fcfg = FuzzyConfig {
                 budget: StdDuration::from_secs_f64(cfg.fuzzy_budget_secs),
                 exhaustive,
@@ -286,8 +299,16 @@ pub fn table9(evals: &[CaseEval], cfg: &HarnessConfig) -> String {
 /// Table X: conciseness of the four query variants.
 pub fn table10(evals: &[CaseEval]) -> String {
     let mut t = TextTable::new([
-        "Case", "# Patterns", "TBQL chars", "TBQL words", "SQL chars", "SQL words",
-        "TBQL(path) chars", "TBQL(path) words", "Cypher chars", "Cypher words",
+        "Case",
+        "# Patterns",
+        "TBQL chars",
+        "TBQL words",
+        "SQL chars",
+        "SQL words",
+        "TBQL(path) chars",
+        "TBQL(path) words",
+        "Cypher chars",
+        "Cypher words",
     ]);
     let mut sums = [0usize; 9];
     for e in evals {

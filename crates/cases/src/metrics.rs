@@ -75,11 +75,7 @@ pub fn score_relations(
     let mut tp = 0usize;
     let mut used = vec![false; gold.len()];
     for p in predicted {
-        if let Some(i) = gold
-            .iter()
-            .enumerate()
-            .position(|(i, g)| !used[i] && matches(p, g))
-        {
+        if let Some(i) = gold.iter().enumerate().position(|(i, g)| !used[i] && matches(p, g)) {
             used[i] = true;
             tp += 1;
         }
@@ -108,19 +104,21 @@ mod tests {
 
     #[test]
     fn entity_scoring() {
-        let predicted = vec!["/bin/tar".to_string(), "/etc/passwd".to_string(), "bogus".to_string()];
-        let gold = [("/bin/tar", raptor_extract::IocType::FilePath), ("/etc/passwd", raptor_extract::IocType::FilePath), ("/tmp/missing", raptor_extract::IocType::FilePath)];
+        let predicted =
+            vec!["/bin/tar".to_string(), "/etc/passwd".to_string(), "bogus".to_string()];
+        let gold = [
+            ("/bin/tar", raptor_extract::IocType::FilePath),
+            ("/etc/passwd", raptor_extract::IocType::FilePath),
+            ("/tmp/missing", raptor_extract::IocType::FilePath),
+        ];
         let m = score_entities(&predicted, &gold);
         assert_eq!(m, PrF1 { tp: 2, fp: 1, fn_: 1 });
     }
 
     #[test]
     fn relation_scoring_with_canonical_prefixes() {
-        let predicted = vec![(
-            "/tmp/upload.tar".to_string(),
-            "read".to_string(),
-            "/etc/passwd".to_string(),
-        )];
+        let predicted =
+            vec![("/tmp/upload.tar".to_string(), "read".to_string(), "/etc/passwd".to_string())];
         // Gold labelled the bare name; canonical form carries the path.
         let gold = [("upload.tar", "read", "/etc/passwd")];
         assert_eq!(score_relations(&predicted, &gold), PrF1 { tp: 1, fp: 0, fn_: 0 });

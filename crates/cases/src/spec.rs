@@ -43,10 +43,7 @@ pub struct BuiltCase {
 pub fn build_case(spec: &'static CaseSpec, noise_scale: f64, seed: u64) -> BuiltCase {
     let mut sim = Simulator::new(seed, Timestamp::from_secs(1_523_000_000));
     let sessions = ((spec.noise_sessions as f64) * noise_scale).max(1.0) as usize;
-    generate_background(
-        &mut sim,
-        &BackgroundProfile { users: 15, sessions, ..Default::default() },
-    );
+    generate_background(&mut sim, &BackgroundProfile { users: 15, sessions, ..Default::default() });
     // The attack starts after a quiet gap, as a real intrusion would.
     sim.advance(raptor_common::time::Duration::from_secs(30));
     (spec.attack)(&mut sim);
@@ -81,10 +78,8 @@ mod tests {
 
     #[test]
     fn gt_resolution_matches_substrings() {
-        let spec = crate::catalog::all_cases()
-            .into_iter()
-            .find(|c| c.id == "tc_clearscope_3")
-            .unwrap();
+        let spec =
+            crate::catalog::all_cases().into_iter().find(|c| c.id == "tc_clearscope_3").unwrap();
         let built = build_case(spec, 0.1, 7);
         assert!(!built.gt_event_ids.is_empty());
         // Every GT event involves an attack IOC.
@@ -97,10 +92,8 @@ mod tests {
 
     #[test]
     fn noise_scale_changes_log_size() {
-        let spec = crate::catalog::all_cases()
-            .into_iter()
-            .find(|c| c.id == "tc_clearscope_3")
-            .unwrap();
+        let spec =
+            crate::catalog::all_cases().into_iter().find(|c| c.id == "tc_clearscope_3").unwrap();
         let small = build_case(spec, 0.1, 7);
         let large = build_case(spec, 1.0, 7);
         assert!(large.log.events.len() > small.log.events.len());

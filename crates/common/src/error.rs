@@ -56,19 +56,11 @@ pub struct Error {
 
 impl Error {
     pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
-        Error {
-            kind,
-            message: message.into(),
-            offset: None,
-        }
+        Error { kind, message: message.into(), offset: None }
     }
 
     pub fn at(kind: ErrorKind, message: impl Into<String>, offset: usize) -> Self {
-        Error {
-            kind,
-            message: message.into(),
-            offset: Some(offset),
-        }
+        Error { kind, message: message.into(), offset: Some(offset) }
     }
 
     pub fn syntax(message: impl Into<String>, offset: usize) -> Self {

@@ -72,10 +72,7 @@ impl Interner {
     /// storage layer to evaluate `LIKE` over the dictionary instead of over
     /// every row.
     pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
-        self.strings
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (Sym(i as u32), s.as_ref()))
+        self.strings.iter().enumerate().map(|(i, s)| (Sym(i as u32), s.as_ref()))
     }
 }
 

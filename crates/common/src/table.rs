@@ -15,10 +15,7 @@ pub struct TextTable {
 
 impl TextTable {
     pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
-        TextTable {
-            header: header.into_iter().map(Into::into).collect(),
-            rows: Vec::new(),
-        }
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
     }
 
     pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
@@ -76,14 +73,9 @@ impl TextTable {
 }
 
 fn is_numeric(s: &str) -> bool {
-    let t = s
-        .trim_end_matches('%')
-        .trim_end_matches('x')
-        .trim_start_matches('>')
-        .trim();
+    let t = s.trim_end_matches('%').trim_end_matches('x').trim_start_matches('>').trim();
     !t.is_empty()
-        && t.chars()
-            .all(|c| c.is_ascii_digit() || c == '.' || c == ',' || c == '-' || c == '/')
+        && t.chars().all(|c| c.is_ascii_digit() || c == '.' || c == ',' || c == '-' || c == '/')
 }
 
 /// Formats a fractional count like the paper's `1425/1473 = 96.74%` cells.

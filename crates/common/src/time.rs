@@ -152,7 +152,7 @@ fn civil_from_nanos(nanos: i64) -> ((i64, i64, i64), i64) {
 /// `YYYY-MM-DDTHH:MM:SS` (all UTC).
 pub fn parse_datetime(s: &str) -> Option<Timestamp> {
     let s = s.trim();
-    let (date_part, time_part) = match s.split_once(|c| c == ' ' || c == 'T') {
+    let (date_part, time_part) = match s.split_once([' ', 'T']) {
         Some((d, t)) => (d, Some(t)),
         None => (s, None),
     };
@@ -178,9 +178,7 @@ pub fn parse_datetime(s: &str) -> Option<Timestamp> {
         secs_in_day = h * 3600 + mi * 60 + se;
     }
     let days = days_from_civil(y, m, d);
-    Some(Timestamp(
-        days * 86_400 * NANOS_PER_SEC + secs_in_day * NANOS_PER_SEC,
-    ))
+    Some(Timestamp(days * 86_400 * NANOS_PER_SEC + secs_in_day * NANOS_PER_SEC))
 }
 
 #[cfg(test)]
@@ -190,10 +188,7 @@ mod tests {
     #[test]
     fn epoch_is_1970() {
         assert_eq!(parse_datetime("1970-01-01"), Some(Timestamp(0)));
-        assert_eq!(
-            parse_datetime("1970-01-01 00:00:01"),
-            Some(Timestamp(NANOS_PER_SEC))
-        );
+        assert_eq!(parse_datetime("1970-01-01 00:00:01"), Some(Timestamp(NANOS_PER_SEC)));
     }
 
     #[test]
@@ -206,11 +201,7 @@ mod tests {
 
     #[test]
     fn display_roundtrip() {
-        for s in [
-            "1999-12-31 23:59:59",
-            "2000-02-29 00:00:00",
-            "2021-02-25 12:34:56",
-        ] {
+        for s in ["1999-12-31 23:59:59", "2000-02-29 00:00:00", "2021-02-25 12:34:56"] {
             let ts = parse_datetime(s).unwrap();
             assert_eq!(format!("{ts}"), s);
         }
@@ -227,10 +218,7 @@ mod tests {
 
     #[test]
     fn t_separator_accepted() {
-        assert_eq!(
-            parse_datetime("2021-02-25T01:02:03"),
-            parse_datetime("2021-02-25 01:02:03")
-        );
+        assert_eq!(parse_datetime("2021-02-25T01:02:03"), parse_datetime("2021-02-25 01:02:03"));
     }
 
     #[test]
@@ -246,9 +234,6 @@ mod tests {
         let t = Timestamp::from_secs(100);
         assert_eq!(t.plus(Duration::from_secs(5)), Timestamp::from_secs(105));
         assert_eq!(t.minus(Duration::from_secs(5)), Timestamp::from_secs(95));
-        assert_eq!(
-            Timestamp::from_secs(105).since(t),
-            Duration::from_secs(5)
-        );
+        assert_eq!(Timestamp::from_secs(105).since(t), Duration::from_secs(5));
     }
 }

@@ -90,14 +90,22 @@ impl ThreatRaptor {
 
     /// Runs a TBQL query under a specific execution mode (used by the
     /// benchmark harness for the giant-SQL / giant-Cypher baselines).
-    pub fn query_with_mode(&self, tbql: &str, mode: ExecMode) -> Result<(ResultTable, EngineStats)> {
+    pub fn query_with_mode(
+        &self,
+        tbql: &str,
+        mode: ExecMode,
+    ) -> Result<(ResultTable, EngineStats)> {
         self.engine.execute_text(tbql, mode)
     }
 
     /// Fuzzy search: aligns a TBQL query against the provenance graph using
     /// inexact (Poirot-style) graph pattern matching. Returns the outcome
     /// plus the loading/preprocessing timings of Table IX.
-    pub fn fuzzy_query(&self, tbql: &str, cfg: &FuzzyConfig) -> Result<(FuzzyOutcome, ProvTimings)> {
+    pub fn fuzzy_query(
+        &self,
+        tbql: &str,
+        cfg: &FuzzyConfig,
+    ) -> Result<(FuzzyOutcome, ProvTimings)> {
         let q = parse_tbql(tbql)?;
         let aq = analyze(&q)?;
         let (prov, timings) = build_from_stores(&self.engine.stores)?;
@@ -162,9 +170,7 @@ He leaked the data back to the C2 host by using /usr/bin/curl to connect to 192.
     #[test]
     fn proactive_query_without_oscti() {
         let raptor = system_with_fig2_attack();
-        let r = raptor
-            .query(r#"proc p["%curl%"] connect ip i return p, i"#)
-            .unwrap();
+        let r = raptor.query(r#"proc p["%curl%"] connect ip i return p, i"#).unwrap();
         assert_eq!(r.rows.len(), 1);
         assert_eq!(r.rows[0][1], "192.168.29.128");
     }

@@ -75,67 +75,29 @@ fn map_relation(verb: &str, src: IocType, dst: IocType) -> Option<MappedOp> {
         }
         // Reading-flavoured verbs.
         "read" | "open" | "access" | "scan" | "scrape" | "load" | "steal" | "gather"
-        | "collect" | "extract" | "crack" | "dump" => {
-            if dst_net {
-                MappedOp::Read
-            } else if files {
-                MappedOp::Read
-            } else {
-                return None;
-            }
+        | "collect" | "extract" | "crack" | "dump"
+            if dst_net || files =>
+        {
+            MappedOp::Read
         }
         // Writing-flavoured verbs; toward the network they are exfiltration.
         "write" | "drop" | "save" | "store" | "copy" | "create" | "install" | "modify"
-        | "append" | "compress" | "encrypt" | "encode" | "pack" | "zip" | "inject" => {
-            if dst_net {
-                MappedOp::Write
-            } else if files {
-                MappedOp::Write
-            } else {
-                return None;
-            }
+        | "append" | "compress" | "encrypt" | "encode" | "pack" | "zip" | "inject"
+            if dst_net || files =>
+        {
+            MappedOp::Write
         }
-        "upload" | "send" | "leak" | "exfiltrate" | "transfer" | "mail" => {
-            if dst_net {
-                MappedOp::Write
-            } else if files {
-                MappedOp::Write
-            } else {
-                return None;
-            }
+        "upload" | "send" | "leak" | "exfiltrate" | "transfer" | "mail" if dst_net || files => {
+            MappedOp::Write
         }
         // Execution: a file event by default — the paper's documented
         // ambiguity ("run" could equally be a process-start event).
-        "execute" | "run" => {
-            if files {
-                MappedOp::Execute
-            } else {
-                return None;
-            }
-        }
+        "execute" | "run" if files => MappedOp::Execute,
         // Process creation.
-        "launch" | "start" | "spawn" => {
-            if files {
-                MappedOp::Start
-            } else {
-                return None;
-            }
-        }
+        "launch" | "start" | "spawn" if files => MappedOp::Start,
         // Network contact.
-        "connect" | "beacon" | "visit" => {
-            if dst_net {
-                MappedOp::Connect
-            } else {
-                return None;
-            }
-        }
-        "rename" => {
-            if files {
-                MappedOp::Rename
-            } else {
-                return None;
-            }
-        }
+        "connect" | "beacon" | "visit" if dst_net => MappedOp::Connect,
+        "rename" if files => MappedOp::Rename,
         _ => return None,
     })
 }
@@ -306,18 +268,10 @@ pub fn synthesize(graph: &ThreatBehaviorGraph, plan: &SynthesisPlan) -> Result<Q
         }
     }
 
-    let global_filters = plan
-        .window
-        .clone()
-        .map(|w| vec![raptor_tbql::GlobalFilter::Window(w)])
-        .unwrap_or_default();
+    let global_filters =
+        plan.window.clone().map(|w| vec![raptor_tbql::GlobalFilter::Window(w)]).unwrap_or_default();
 
-    Ok(Query {
-        global_filters,
-        patterns,
-        relations,
-        ret: ReturnClause { distinct: true, items },
-    })
+    Ok(Query { global_filters, patterns, relations, ret: ReturnClause { distinct: true, items } })
 }
 
 #[cfg(test)]

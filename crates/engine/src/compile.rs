@@ -16,8 +16,10 @@ use std::fmt::Write as _;
 use raptor_common::error::{Error, Result};
 use raptor_common::hash::FxHashMap;
 use raptor_common::time::Duration;
-use raptor_tbql::analyze::{AnalyzedQuery, APattern};
-use raptor_tbql::{AttrExpr, CmpOp, EntityType, OpExpr, PatternOp, RelClause, TemporalOp, Value, Window};
+use raptor_tbql::analyze::{APattern, AnalyzedQuery};
+use raptor_tbql::{
+    AttrExpr, CmpOp, EntityType, OpExpr, PatternOp, RelClause, TemporalOp, Value, Window,
+};
 
 /// Compilation context.
 pub struct CompileCtx<'a> {
@@ -27,13 +29,49 @@ pub struct CompileCtx<'a> {
 }
 
 /// Entity ids propagated from already-executed patterns (scheduler state).
+///
+/// Candidate sets are kept **sorted and distinct**: the `MAX_IN_LIST` cap
+/// then measures distinct ids, and compiled `IN` lists (text or typed) are
+/// deterministic for a given result set.
 #[derive(Default, Debug)]
 pub struct Propagation {
-    pub entity_ids: FxHashMap<String, Vec<i64>>,
+    entity_ids: FxHashMap<String, Vec<i64>>,
 }
 
-/// Caps the size of propagated `IN` lists; beyond this the filter costs more
-/// than it prunes.
+impl Propagation {
+    /// Replaces the candidate set for `var` (ids are deduped + sorted).
+    pub fn set(&mut self, var: impl Into<String>, mut ids: Vec<i64>) {
+        ids.sort_unstable();
+        ids.dedup();
+        self.entity_ids.insert(var.into(), ids);
+    }
+
+    /// Narrows `var` to the intersection with `ids`; sets it when absent.
+    pub fn intersect(&mut self, var: &str, ids: Vec<i64>) {
+        match self.entity_ids.get_mut(var) {
+            Some(existing) => {
+                let set: raptor_common::FxHashSet<i64> = ids.into_iter().collect();
+                existing.retain(|x| set.contains(x));
+            }
+            None => self.set(var, ids),
+        }
+    }
+
+    /// The candidate set for `var`, if any (sorted, distinct).
+    pub fn get(&self, var: &str) -> Option<&[i64]> {
+        self.entity_ids.get(var).map(Vec::as_slice)
+    }
+
+    /// The candidate set for `var` when it is small enough to be worth an
+    /// `IN` filter — beyond [`MAX_IN_LIST`] distinct ids the filter costs
+    /// more than it prunes.
+    pub fn in_list(&self, var: &str) -> Option<&[i64]> {
+        self.get(var).filter(|ids| ids.len() <= MAX_IN_LIST)
+    }
+}
+
+/// Caps the size of propagated `IN` lists (distinct ids); beyond this the
+/// filter costs more than it prunes.
 pub const MAX_IN_LIST: usize = 4096;
 
 pub fn table_for_type(ty: EntityType) -> &'static str {
@@ -91,11 +129,7 @@ fn attr_to_sql(alias: &str, e: &AttrExpr) -> String {
                     Value::Str(s) => sql_str(s),
                 })
                 .collect();
-            format!(
-                "{col} {}IN ({})",
-                if *negated { "NOT " } else { "" },
-                vals.join(", ")
-            )
+            format!("{col} {}IN ({})", if *negated { "NOT " } else { "" }, vals.join(", "))
         }
         AttrExpr::And(a, b) => format!("({} AND {})", attr_to_sql(alias, a), attr_to_sql(alias, b)),
         AttrExpr::Or(a, b) => format!("({} OR {})", attr_to_sql(alias, a), attr_to_sql(alias, b)),
@@ -144,11 +178,7 @@ fn render_id_list(ids: &[i64]) -> String {
 /// The entity-candidate resolution query the scheduler runs first for every
 /// filtered entity (one small indexed lookup per entity).
 pub fn entity_candidate_sql(id: &str, ty: EntityType, filter: &AttrExpr) -> String {
-    format!(
-        "SELECT {id}.id FROM {} {id} WHERE {}",
-        table_for_type(ty),
-        attr_to_sql(id, filter)
-    )
+    format!("SELECT {id}.id FROM {} {id} WHERE {}", table_for_type(ty), attr_to_sql(id, filter))
 }
 
 /// Compiles one event pattern into a small SQL data query.
@@ -195,11 +225,9 @@ pub fn sql_for_event_pattern(
     // importantly — the event columns, so the events scan runs through the
     // subject/object hash indexes instead of the (much larger) optype index.
     for (var, alias, evt_col) in [(s, s, "subject"), (o, o, "object")] {
-        if let Some(ids) = prop.entity_ids.get(var.as_str()) {
-            if ids.len() <= MAX_IN_LIST {
-                push(in_list_sql(alias, ids));
-                push(format!("{e}.{evt_col} IN ({})", render_id_list(ids)));
-            }
+        if let Some(ids) = prop.in_list(var.as_str()) {
+            push(in_list_sql(alias, ids));
+            push(format!("{e}.{evt_col} IN ({})", render_id_list(ids)));
         }
     }
     Ok(sql)
@@ -217,9 +245,7 @@ fn attr_to_cypher(var: &str, e: &AttrExpr) -> String {
         AttrExpr::Cmp { attr, op, value } => {
             let prop = format!("{var}.{}", attr.attr.as_deref().unwrap_or(&attr.base));
             match (op, value) {
-                (CmpOp::Eq, Value::Str(s)) if s.contains('%') => {
-                    str_pred_cypher(&prop, s, false)
-                }
+                (CmpOp::Eq, Value::Str(s)) if s.contains('%') => str_pred_cypher(&prop, s, false),
                 (CmpOp::Ne, Value::Str(s)) if s.contains('%') => str_pred_cypher(&prop, s, true),
                 (_, Value::Str(s)) => {
                     let op_str = if *op == CmpOp::Ne { "<>" } else { op.as_str() };
@@ -355,11 +381,8 @@ fn path_fragment(
     o_node: &str,
     conds: &mut Vec<String>,
 ) -> String {
-    let (lo, hi) = if arrow == raptor_tbql::Arrow::Single {
-        (1, Some(1))
-    } else {
-        (min.unwrap_or(1), max)
-    };
+    let (lo, hi) =
+        if arrow == raptor_tbql::Arrow::Single { (1, Some(1)) } else { (min.unwrap_or(1), max) };
     let hi_text = hi.map(|m| m.to_string()).unwrap_or_default();
     match op {
         Some(op) if lo == 1 && hi == Some(1) => {
@@ -370,10 +393,7 @@ fn path_fragment(
             conds.push(op_to_cypher(&p.id, op));
             let plo = lo.saturating_sub(1);
             let phi = hi.map(|m| (m.saturating_sub(1)).to_string()).unwrap_or_default();
-            format!(
-                "{s_node}-[:EVENT*{plo}..{phi}]->(_m{})-[{}:EVENT]->{o_node}",
-                p.index, p.id
-            )
+            format!("{s_node}-[:EVENT*{plo}..{phi}]->(_m{})-[{}:EVENT]->{o_node}", p.index, p.id)
         }
         None if lo == 1 && hi == Some(1) => {
             format!("{s_node}-[{}:EVENT]->{o_node}", p.id)
@@ -395,10 +415,8 @@ pub fn cypher_for_path_pattern(
     let mut conds = Vec::new();
     let frag = cypher_pattern_fragment(ctx, p, &mut conds)?;
     for var in [&p.subject, &p.object] {
-        if let Some(ids) = prop.entity_ids.get(var.as_str()) {
-            if ids.len() <= MAX_IN_LIST {
-                conds.push(format!("{var}.id IN [{}]", render_id_list(ids)));
-            }
+        if let Some(ids) = prop.in_list(var.as_str()) {
+            conds.push(format!("{var}.id IN [{}]", render_id_list(ids)));
         }
     }
     let mut q = format!("MATCH {frag}");
@@ -431,16 +449,9 @@ pub fn giant_sql(ctx: &CompileCtx<'_>) -> Result<String> {
         ));
     }
     // SELECT: return items.
-    let items: Vec<String> = aq
-        .ret
-        .iter()
-        .map(|r| format!("{}.{}", r.base, r.attr))
-        .collect();
-    let mut sql = format!(
-        "SELECT {}{}",
-        if aq.distinct { "DISTINCT " } else { "" },
-        items.join(", ")
-    );
+    let items: Vec<String> = aq.ret.iter().map(|r| format!("{}.{}", r.base, r.attr)).collect();
+    let mut sql =
+        format!("SELECT {}{}", if aq.distinct { "DISTINCT " } else { "" }, items.join(", "));
     // FROM: each entity once, each pattern's event once.
     let mut from: Vec<String> = Vec::new();
     for id in &aq.entity_order {
@@ -551,18 +562,188 @@ pub fn giant_cypher(ctx: &CompileCtx<'_>) -> Result<String> {
     if !conds.is_empty() {
         let _ = write!(q, " WHERE {}", conds.join(" AND "));
     }
-    let items: Vec<String> = aq
-        .ret
-        .iter()
-        .map(|r| format!("{}.{}", r.base, r.attr))
-        .collect();
-    let _ = write!(
-        q,
-        " RETURN {}{}",
-        if aq.distinct { "DISTINCT " } else { "" },
-        items.join(", ")
-    );
+    let items: Vec<String> = aq.ret.iter().map(|r| format!("{}.{}", r.base, r.attr)).collect();
+    let _ = write!(q, " RETURN {}{}", if aq.distinct { "DISTINCT " } else { "" }, items.join(", "));
     Ok(q)
+}
+
+// --- typed requests (the scheduled executor's parse-free path) ---
+
+pub fn class_for_type(ty: EntityType) -> raptor_storage::EntityClass {
+    match ty {
+        EntityType::File => raptor_storage::EntityClass::File,
+        EntityType::Proc => raptor_storage::EntityClass::Process,
+        EntityType::Ip => raptor_storage::EntityClass::NetConn,
+    }
+}
+
+fn storage_cmp_op(op: CmpOp) -> raptor_storage::CmpOp {
+    match op {
+        CmpOp::Eq => raptor_storage::CmpOp::Eq,
+        CmpOp::Ne => raptor_storage::CmpOp::Ne,
+        CmpOp::Lt => raptor_storage::CmpOp::Lt,
+        CmpOp::Le => raptor_storage::CmpOp::Le,
+        CmpOp::Gt => raptor_storage::CmpOp::Gt,
+        CmpOp::Ge => raptor_storage::CmpOp::Ge,
+    }
+}
+
+fn storage_value(v: &Value) -> raptor_storage::Value {
+    match v {
+        Value::Int(i) => raptor_storage::Value::Int(*i),
+        Value::Str(s) => raptor_storage::Value::Str(s.clone()),
+    }
+}
+
+/// Lowers a TBQL attribute expression to a typed predicate (same semantics
+/// as [`attr_to_sql`]: `=`/`!=` against a `%` pattern means LIKE).
+pub fn attr_pred(e: &AttrExpr) -> raptor_storage::Pred {
+    use raptor_storage::Pred;
+    match e {
+        AttrExpr::Bare { .. } => unreachable!("analyzer desugars bare values"),
+        AttrExpr::Cmp { attr, op, value } => {
+            let attr = attr.attr.as_deref().unwrap_or(&attr.base).to_string();
+            match (op, value) {
+                (CmpOp::Eq, Value::Str(s)) if s.contains('%') => {
+                    Pred::Like { attr, pattern: s.clone(), negated: false }
+                }
+                (CmpOp::Ne, Value::Str(s)) if s.contains('%') => {
+                    Pred::Like { attr, pattern: s.clone(), negated: true }
+                }
+                _ => Pred::Cmp { attr, op: storage_cmp_op(*op), value: storage_value(value) },
+            }
+        }
+        AttrExpr::InSet { attr, negated, set } => Pred::InSet {
+            attr: attr.attr.as_deref().unwrap_or(&attr.base).to_string(),
+            negated: *negated,
+            values: set.iter().map(storage_value).collect(),
+        },
+        AttrExpr::And(a, b) => Pred::And(Box::new(attr_pred(a)), Box::new(attr_pred(b))),
+        AttrExpr::Or(a, b) => Pred::Or(Box::new(attr_pred(a)), Box::new(attr_pred(b))),
+    }
+}
+
+fn op_pred(e: &OpExpr) -> raptor_storage::Pred {
+    use raptor_storage::Pred;
+    match e {
+        OpExpr::Op(name) => Pred::Cmp {
+            attr: "optype".to_string(),
+            op: raptor_storage::CmpOp::Eq,
+            value: raptor_storage::Value::Str(name.clone()),
+        },
+        OpExpr::Not(inner) => Pred::Not(Box::new(op_pred(inner))),
+        OpExpr::And(a, b) => Pred::And(Box::new(op_pred(a)), Box::new(op_pred(b))),
+        OpExpr::Or(a, b) => Pred::Or(Box::new(op_pred(a)), Box::new(op_pred(b))),
+    }
+}
+
+fn window_pred(w: &Window, now_ns: i64) -> Result<raptor_storage::Pred> {
+    use raptor_storage::{CmpOp as SOp, Pred, Value as SVal};
+    let cmp =
+        |attr: &str, op: SOp, v: i64| Pred::Cmp { attr: attr.to_string(), op, value: SVal::Int(v) };
+    Ok(match w {
+        Window::FromTo(a, b) => Pred::And(
+            Box::new(cmp("starttime", SOp::Ge, a.0)),
+            Box::new(cmp("starttime", SOp::Le, b.0)),
+        ),
+        Window::At(t) => Pred::And(
+            Box::new(cmp("starttime", SOp::Le, t.0)),
+            Box::new(cmp("endtime", SOp::Ge, t.0)),
+        ),
+        Window::Before(t) => cmp("starttime", SOp::Lt, t.0),
+        Window::After(t) => cmp("starttime", SOp::Gt, t.0),
+        Window::Last { n, unit } => {
+            let d = Duration::from_unit(*n, unit)
+                .ok_or_else(|| Error::semantic(format!("unknown time unit `{unit}`")))?;
+            cmp("starttime", SOp::Ge, now_ns.saturating_sub(d.0))
+        }
+    })
+}
+
+/// The typed form of [`entity_candidate_sql`].
+pub fn entity_candidate_request(
+    ty: EntityType,
+    filter: &AttrExpr,
+) -> (raptor_storage::EntityClass, raptor_storage::Pred) {
+    (class_for_type(ty), attr_pred(filter))
+}
+
+fn entity_sel(ctx: &CompileCtx<'_>, var: &str, prop: &Propagation) -> raptor_storage::EntitySel {
+    let e = &ctx.aq.entities[var];
+    raptor_storage::EntitySel {
+        class: class_for_type(e.ty),
+        filter: e.filter.as_ref().map(attr_pred),
+        id_in: prop.in_list(var).map(<[i64]>::to_vec),
+    }
+}
+
+/// Conjunction of the pattern's event-level predicates: operation, event
+/// filter, per-pattern window, global windows.
+fn event_conjuncts(
+    ctx: &CompileCtx<'_>,
+    p: &APattern,
+    op: Option<&OpExpr>,
+) -> Result<Vec<raptor_storage::Pred>> {
+    let mut preds = Vec::new();
+    if let Some(op) = op {
+        preds.push(op_pred(op));
+    }
+    if let Some(f) = &p.event_filter {
+        preds.push(attr_pred(f));
+    }
+    if let Some(w) = &p.window {
+        preds.push(window_pred(w, ctx.now_ns)?);
+    }
+    for w in &ctx.aq.global_windows {
+        preds.push(window_pred(w, ctx.now_ns)?);
+    }
+    Ok(preds)
+}
+
+/// Builds the typed request for one event pattern — the parse-free
+/// counterpart of [`sql_for_event_pattern`].
+pub fn event_pattern_request(
+    ctx: &CompileCtx<'_>,
+    p: &APattern,
+    prop: &Propagation,
+) -> Result<raptor_storage::EventPatternQuery> {
+    let PatternOp::Event(op) = &p.op else {
+        return Err(Error::semantic("path patterns build path requests, not event requests"));
+    };
+    Ok(raptor_storage::EventPatternQuery {
+        subject: entity_sel(ctx, &p.subject, prop),
+        object: entity_sel(ctx, &p.object, prop),
+        event_pred: raptor_storage::Pred::and(event_conjuncts(ctx, p, Some(op))?),
+        subject_is_object: p.subject == p.object,
+    })
+}
+
+/// Builds the typed request for one path pattern — the parse-free
+/// counterpart of [`cypher_for_path_pattern`].
+pub fn path_pattern_request(
+    ctx: &CompileCtx<'_>,
+    p: &APattern,
+    prop: &Propagation,
+    hop_cap: u32,
+) -> Result<raptor_storage::PathPatternQuery> {
+    let PatternOp::Path { arrow, min, max, op } = &p.op else {
+        return Err(Error::semantic("event patterns build event requests, not path requests"));
+    };
+    let (min_hops, max_hops) =
+        if *arrow == raptor_tbql::Arrow::Single { (1, Some(1)) } else { (min.unwrap_or(1), *max) };
+    // Mirrors the text compiler: path patterns constrain only the final
+    // hop's operation (event filters and windows apply to event patterns).
+    let final_hop_pred = op.as_ref().map(op_pred);
+    Ok(raptor_storage::PathPatternQuery {
+        subject: entity_sel(ctx, &p.subject, prop),
+        object: entity_sel(ctx, &p.object, prop),
+        min_hops,
+        max_hops,
+        hop_cap,
+        final_hop_pred,
+        want_event: p.has_final_hop(),
+        subject_is_object: p.subject == p.object,
+    })
 }
 
 fn cypher_pattern_fragment_no_entity_filters(
@@ -608,12 +789,10 @@ mod tests {
 
     #[test]
     fn event_pattern_sql_shape() {
-        let (aq, now) = ctx_for(
-            r#"proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"] as evt1 return p1, f1"#,
-        );
+        let (aq, now) =
+            ctx_for(r#"proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"] as evt1 return p1, f1"#);
         let ctx = CompileCtx { aq: &aq, now_ns: now };
-        let sql =
-            sql_for_event_pattern(&ctx, &aq.patterns[0], &Propagation::default()).unwrap();
+        let sql = sql_for_event_pattern(&ctx, &aq.patterns[0], &Propagation::default()).unwrap();
         assert!(sql.contains("FROM processes p1, events evt1, files f1"), "{sql}");
         assert!(sql.contains("evt1.subject = p1.id"), "{sql}");
         assert!(sql.contains("evt1.optype = 'read'"), "{sql}");
@@ -629,7 +808,7 @@ mod tests {
         let (aq, now) = ctx_for("proc p read file f as e1 return p, f");
         let ctx = CompileCtx { aq: &aq, now_ns: now };
         let mut prop = Propagation::default();
-        prop.entity_ids.insert("p".to_string(), vec![3, 5, 9]);
+        prop.set("p", vec![3, 5, 9]);
         let sql = sql_for_event_pattern(&ctx, &aq.patterns[0], &prop).unwrap();
         assert!(sql.contains("p.id IN (3, 5, 9)"), "{sql}");
     }
@@ -639,9 +818,65 @@ mod tests {
         let (aq, now) = ctx_for("proc p read file f as e1 return p, f");
         let ctx = CompileCtx { aq: &aq, now_ns: now };
         let mut prop = Propagation::default();
-        prop.entity_ids.insert("p".to_string(), (0..(MAX_IN_LIST as i64 + 1)).collect());
+        prop.set("p", (0..(MAX_IN_LIST as i64 + 1)).collect());
         let sql = sql_for_event_pattern(&ctx, &aq.patterns[0], &prop).unwrap();
         assert!(!sql.contains("IN ("), "{sql}");
+    }
+
+    #[test]
+    fn propagated_ids_deduped_and_sorted() {
+        let (aq, now) = ctx_for("proc p read file f as e1 return p, f");
+        let ctx = CompileCtx { aq: &aq, now_ns: now };
+        let mut prop = Propagation::default();
+        // Unsorted with duplicates: the emitted IN list must be canonical.
+        prop.set("p", vec![9, 3, 5, 3, 9, 9]);
+        let sql = sql_for_event_pattern(&ctx, &aq.patterns[0], &prop).unwrap();
+        assert!(sql.contains("p.id IN (3, 5, 9)"), "{sql}");
+        // The cap measures *distinct* ids: MAX_IN_LIST copies of one id fit.
+        let mut dups: Vec<i64> = vec![7; MAX_IN_LIST + 100];
+        dups.push(8);
+        prop.set("p", dups);
+        let sql = sql_for_event_pattern(&ctx, &aq.patterns[0], &prop).unwrap();
+        assert!(sql.contains("p.id IN (7, 8)"), "{sql}");
+    }
+
+    #[test]
+    fn propagation_intersects() {
+        let mut prop = Propagation::default();
+        prop.set("p", vec![1, 2, 3, 4]);
+        prop.intersect("p", vec![4, 2, 9]);
+        assert_eq!(prop.get("p"), Some(&[2, 4][..]));
+        prop.intersect("q", vec![5, 5, 1]);
+        assert_eq!(prop.get("q"), Some(&[1, 5][..]));
+    }
+
+    #[test]
+    fn typed_event_request_mirrors_sql() {
+        let (aq, now) =
+            ctx_for(r#"proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"] as evt1 return p1, f1"#);
+        let ctx = CompileCtx { aq: &aq, now_ns: now };
+        let mut prop = Propagation::default();
+        prop.set("p1", vec![3, 5]);
+        let req = event_pattern_request(&ctx, &aq.patterns[0], &prop).unwrap();
+        assert_eq!(req.subject.class, raptor_storage::EntityClass::Process);
+        assert_eq!(req.object.class, raptor_storage::EntityClass::File);
+        assert_eq!(req.subject.id_in.as_deref(), Some(&[3, 5][..]));
+        assert!(matches!(
+            req.subject.filter,
+            Some(raptor_storage::Pred::Like { ref pattern, negated: false, .. })
+                if pattern == "%/bin/tar%"
+        ));
+        assert!(req.event_pred.is_some());
+    }
+
+    #[test]
+    fn typed_path_request_shape() {
+        let (aq, now) = ctx_for(r#"proc p["%tar%"] ~>(2~4)[read] file f as e1 return p, f"#);
+        let ctx = CompileCtx { aq: &aq, now_ns: now };
+        let req = path_pattern_request(&ctx, &aq.patterns[0], &Propagation::default(), 8).unwrap();
+        assert_eq!((req.min_hops, req.max_hops, req.hop_cap), (2, Some(4), 8));
+        assert!(!req.want_event, "variable-length paths bind no single event");
+        assert!(req.final_hop_pred.is_some());
     }
 
     #[test]

@@ -169,8 +169,8 @@ fn reachable(prov: &ProvGraph, src: u32, max_len: u32) -> FxHashMap<u32, u32> {
         for &n in &frontier {
             for &eidx in &prov.out[n as usize] {
                 let e = prov.edges[eidx as usize];
-                if !dist.contains_key(&e.dst) {
-                    dist.insert(e.dst, d);
+                if let std::collections::hash_map::Entry::Vacant(slot) = dist.entry(e.dst) {
+                    slot.insert(d);
                     next.push(e.dst);
                 }
             }
@@ -273,7 +273,7 @@ pub fn search(prov: &ProvGraph, qg: &QueryGraph, cfg: &FuzzyConfig) -> FuzzyOutc
         for k in 0..st.candidates[qi].len() {
             let cand = st.candidates[qi][k];
             // Injectivity: distinct query nodes map to distinct entities.
-            if st.assignment.iter().any(|a| *a == Some(cand)) {
+            if st.assignment.contains(&Some(cand)) {
                 continue;
             }
             st.assignment[qi] = Some(cand);
@@ -332,17 +332,15 @@ fn score_assignment(
         let dst = local[flow.dst];
         let inf = match (src, dst) {
             (Some(s), Some(d)) => {
-                let dist = bfs_cache
-                    .entry(s)
-                    .or_insert_with(|| reachable(prov, s, cfg.max_path_len));
+                let dist =
+                    bfs_cache.entry(s).or_insert_with(|| reachable(prov, s, cfg.max_path_len));
                 dist.get(&d).map(|&l| influence(l)).unwrap_or(0.0)
             }
             (Some(s), None) => {
                 // Bind dst to the nearest compatible reachable node.
                 let want = qg.nodes[flow.dst].kind;
-                let dist = bfs_cache
-                    .entry(s)
-                    .or_insert_with(|| reachable(prov, s, cfg.max_path_len));
+                let dist =
+                    bfs_cache.entry(s).or_insert_with(|| reachable(prov, s, cfg.max_path_len));
                 let best = dist
                     .iter()
                     .filter(|(&n, _)| prov.nodes[n as usize].kind == want)
@@ -382,11 +380,7 @@ fn score_assignment(
     if score < cfg.accept_threshold {
         return None;
     }
-    let node_map = local
-        .iter()
-        .enumerate()
-        .filter_map(|(i, a)| a.map(|n| (i, n)))
-        .collect();
+    let node_map = local.iter().enumerate().filter_map(|(i, a)| a.map(|n| (i, n))).collect();
     Some(Alignment { node_map, score })
 }
 
@@ -486,7 +480,7 @@ mod tests {
 
     #[test]
     fn multi_hop_flow_scores_lower() {
-        let prov = prov_with_attack();
+        let _prov = prov_with_attack();
         // tar -> upload.tar is 1 hop (score 1); a flow requiring the curl
         // intermediary would be 2 hops via (tar)->(file)<-... not reachable
         // forward; check influence decay directly.

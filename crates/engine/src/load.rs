@@ -314,10 +314,8 @@ mod tests {
     #[test]
     fn indexed_lookup_works_in_both() {
         let stores = load(&sample_log()).unwrap();
-        let r = stores
-            .rel
-            .query("SELECT id FROM processes WHERE exename LIKE '%/bin/tar%'")
-            .unwrap();
+        let r =
+            stores.rel.query("SELECT id FROM processes WHERE exename LIKE '%/bin/tar%'").unwrap();
         assert_eq!(r.rows.len(), 1);
         assert!(r.stats.index_scans >= 1);
         let sym = stores.graph.dict().get("/bin/tar").unwrap();

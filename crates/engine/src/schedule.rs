@@ -10,8 +10,8 @@
 //! has a higher pruning score, and then use the execution results to
 //! constrain the execution of the other data query."
 
-use raptor_tbql::analyze::{AnalyzedQuery, APattern};
-use raptor_tbql::{AttrExpr, Arrow, OpExpr, PatternOp};
+use raptor_tbql::analyze::{APattern, AnalyzedQuery};
+use raptor_tbql::{Arrow, AttrExpr, OpExpr, PatternOp};
 
 /// Counts constraint atoms in an attribute expression.
 fn attr_atoms(e: &AttrExpr) -> i64 {

@@ -17,11 +17,47 @@ use crate::protect::ReplacementRecord;
 /// Curated candidate IOC-relation verbs (lemmas). Only verbs on this list
 /// can become relation edges — both coverage and precision come from here.
 pub const RELATION_VERBS: &[&str] = &[
-    "access", "beacon", "compress", "connect", "copy", "crack", "create", "decrypt", "delete",
-    "download", "drop", "dump", "encrypt", "execute", "exfiltrate", "extract", "fetch", "gather",
-    "inject", "install", "launch", "leak", "load", "modify", "open", "read", "receive", "rename",
-    "retrieve", "run", "save", "scan", "send", "spawn", "start", "steal", "store", "transfer", "upload",
-    "visit", "write",
+    "access",
+    "beacon",
+    "compress",
+    "connect",
+    "copy",
+    "crack",
+    "create",
+    "decrypt",
+    "delete",
+    "download",
+    "drop",
+    "dump",
+    "encrypt",
+    "execute",
+    "exfiltrate",
+    "extract",
+    "fetch",
+    "gather",
+    "inject",
+    "install",
+    "launch",
+    "leak",
+    "load",
+    "modify",
+    "open",
+    "read",
+    "receive",
+    "rename",
+    "retrieve",
+    "run",
+    "save",
+    "scan",
+    "send",
+    "spawn",
+    "start",
+    "steal",
+    "store",
+    "transfer",
+    "upload",
+    "visit",
+    "write",
 ];
 
 /// Subject pronouns eligible for IOC coreference. Human pronouns (he/she/

@@ -14,9 +14,27 @@ use crate::ioc::IocType;
 
 /// Generic noun heads that corefer with file-like IOCs (tools, binaries).
 const FILE_LIKE_NOUNS: &[&str] = &[
-    "archive", "attachment", "backdoor", "binary", "cracker", "dropper", "executable",
-    "extension", "file", "image", "implant", "installer", "loader", "malware", "package",
-    "payload", "program", "sample", "script", "tool", "utility",
+    "archive",
+    "attachment",
+    "backdoor",
+    "binary",
+    "cracker",
+    "dropper",
+    "executable",
+    "extension",
+    "file",
+    "image",
+    "implant",
+    "installer",
+    "loader",
+    "malware",
+    "package",
+    "payload",
+    "program",
+    "sample",
+    "script",
+    "tool",
+    "utility",
 ];
 
 /// Generic noun heads that corefer with network-like IOCs.
@@ -60,9 +78,7 @@ fn agents_of(t: &AnnTree, ioc_types: &[IocType]) -> Vec<Agent> {
                 Some(instrument)
             }
             // Head noun of a gerund clause ("process X reading from ...").
-            _ => t
-                .tree
-                .nodes[tok]
+            _ => t.tree.nodes[tok]
                 .children
                 .iter()
                 .any(|&c| t.tree.nodes[c].label == DepLabel::Acl)
@@ -89,6 +105,7 @@ fn agents_of(t: &AnnTree, ioc_types: &[IocType]) -> Vec<Agent> {
 /// type of block-level IOC `i`.
 pub fn resolve(trees: &mut [AnnTree], ioc_types: &[IocType]) {
     let mut history: Vec<Agent> = Vec::new();
+    #[allow(clippy::needless_range_loop)]
     for t_idx in 0..trees.len() {
         // Resolve this tree's anaphors against history (previous sentences).
         let mut links: Vec<(usize, usize)> = Vec::new();
@@ -193,11 +210,7 @@ mod tests {
         let t2 = &trees[1];
         // "malware" subject → /tmp/vpnfilter (IOC 0); the IP is not a
         // candidate antecedent for a file-like noun.
-        assert!(
-            t2.coref.values().any(|&v| v == 0),
-            "coref: {:?}",
-            t2.coref
-        );
+        assert!(t2.coref.values().any(|&v| v == 0), "coref: {:?}", t2.coref);
     }
 
     #[test]

@@ -49,10 +49,7 @@ impl ThreatBehaviorGraph {
             .collect();
         let mut edges: Vec<GraphEdge> = Vec::new();
         for (src, relation, dst) in ordered_triples.iter().cloned() {
-            if edges
-                .iter()
-                .any(|e| e.src == src && e.dst == dst && e.relation == relation)
-            {
+            if edges.iter().any(|e| e.src == src && e.dst == dst && e.relation == relation) {
                 continue;
             }
             let seq = edges.len() as u32 + 1;
@@ -81,10 +78,7 @@ impl ThreatBehaviorGraph {
         for e in &self.edges {
             out.push_str(&format!(
                 "{}. {} -[{}]-> {}\n",
-                e.seq,
-                self.nodes[e.src].text,
-                e.relation,
-                self.nodes[e.dst].text
+                e.seq, self.nodes[e.src].text, e.relation, self.nodes[e.dst].text
             ));
         }
         out
@@ -128,10 +122,8 @@ mod tests {
 
     #[test]
     fn render_is_ordered() {
-        let canon = vec![
-            ("a".to_string(), IocType::FileName),
-            ("b".to_string(), IocType::FileName),
-        ];
+        let canon =
+            vec![("a".to_string(), IocType::FileName), ("b".to_string(), IocType::FileName)];
         let g = ThreatBehaviorGraph::build(canon, &[(0, "read".to_string(), 1)]);
         assert_eq!(g.render(), "1. a -[read]-> b\n");
     }

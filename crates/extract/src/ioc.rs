@@ -69,9 +69,9 @@ pub struct IocMatch {
 
 const FILE_EXTENSIONS: &[&str] = &[
     "7z", "apk", "bat", "bin", "bz2", "cfg", "conf", "dat", "deb", "dll", "doc", "docx", "elf",
-    "exe", "gz", "htm", "html", "img", "iso", "jar", "jpg", "js", "json", "log", "msi", "o",
-    "pdf", "php", "png", "ps1", "py", "rar", "rpm", "sh", "so", "sys", "tar", "tgz", "tmp",
-    "txt", "vbs", "xls", "xlsx", "xml", "yaml", "yml", "zip",
+    "exe", "gz", "htm", "html", "img", "iso", "jar", "jpg", "js", "json", "log", "msi", "o", "pdf",
+    "php", "png", "ps1", "py", "rar", "rpm", "sh", "so", "sys", "tar", "tgz", "tmp", "txt", "vbs",
+    "xls", "xlsx", "xml", "yaml", "yml", "zip",
 ];
 
 const TLDS: &[&str] = &[
@@ -81,7 +81,27 @@ const TLDS: &[&str] = &[
 ];
 
 fn is_ioc_char(c: u8) -> bool {
-    c.is_ascii_alphanumeric() || matches!(c, b'.' | b'_' | b'-' | b'/' | b'\\' | b':' | b'@' | b'%' | b'~' | b'+' | b'=' | b'&' | b'?' | b'#' | b'[' | b']' | b'(' | b')')
+    c.is_ascii_alphanumeric()
+        || matches!(
+            c,
+            b'.' | b'_'
+                | b'-'
+                | b'/'
+                | b'\\'
+                | b':'
+                | b'@'
+                | b'%'
+                | b'~'
+                | b'+'
+                | b'='
+                | b'&'
+                | b'?'
+                | b'#'
+                | b'['
+                | b']'
+                | b'('
+                | b')'
+        )
 }
 
 /// Refangs a candidate: `[.]`, `(.)`, `[dot]`, `(dot)` → `.`; `hxxp` → `http`.
@@ -97,7 +117,7 @@ fn refang(s: &str) -> String {
 }
 
 fn trim_trailing(s: &str) -> &str {
-    s.trim_end_matches(|c: char| matches!(c, '.' | ',' | ';' | ':' | ')' | ']' | '?' | '!' | '\'' | '"'))
+    s.trim_end_matches(['.', ',', ';', ':', ')', ']', '?', '!', '\'', '"'])
 }
 
 /// Scans `text` for IOCs, returning non-overlapping matches in text order.
@@ -124,12 +144,7 @@ pub fn scan_iocs(text: &str) -> Vec<IocMatch> {
         }
         let refanged = refang(trimmed);
         if let Some((ty, norm)) = classify(&refanged) {
-            out.push(IocMatch {
-                start: i,
-                end: i + trimmed.len(),
-                text: norm,
-                ioc_type: ty,
-            });
+            out.push(IocMatch { start: i, end: i + trimmed.len(), text: norm, ioc_type: ty });
         }
         i = j;
     }
@@ -266,10 +281,8 @@ fn try_hash(s: &str) -> Option<String> {
 
 fn try_win_path(s: &str) -> Option<String> {
     let bytes = s.as_bytes();
-    let drive = bytes.len() > 3
-        && bytes[0].is_ascii_alphabetic()
-        && bytes[1] == b':'
-        && bytes[2] == b'\\';
+    let drive =
+        bytes.len() > 3 && bytes[0].is_ascii_alphabetic() && bytes[1] == b':' && bytes[2] == b'\\';
     let unc = s.starts_with("\\\\") && s.len() > 4;
     if (drive || unc) && !s.ends_with('\\') {
         Some(s.to_string())
@@ -306,9 +319,8 @@ fn try_dotted_name(s: &str) -> Option<(IocType, String)> {
     let last = labels.last().unwrap().to_ascii_lowercase();
     let body_ok = |allow_underscore: bool| {
         labels.iter().all(|l| {
-            l.bytes().all(|b| {
-                b.is_ascii_alphanumeric() || b == b'-' || (allow_underscore && b == b'_')
-            })
+            l.bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'-' || (allow_underscore && b == b'_'))
         })
     };
     if FILE_EXTENSIONS.contains(&last.as_str()) && body_ok(true) {
@@ -352,8 +364,15 @@ mod tests {
         let found = scan(text);
         let texts: Vec<&str> = found.iter().map(|(t, _)| t.as_str()).collect();
         for expected in [
-            "/bin/tar", "/etc/passwd", "/tmp/upload.tar", "/bin/bzip2", "/tmp/upload.tar.bz2",
-            "/usr/bin/gpg", "/tmp/upload", "/usr/bin/curl", "192.168.29.128",
+            "/bin/tar",
+            "/etc/passwd",
+            "/tmp/upload.tar",
+            "/bin/bzip2",
+            "/tmp/upload.tar.bz2",
+            "/usr/bin/gpg",
+            "/tmp/upload",
+            "/usr/bin/curl",
+            "192.168.29.128",
         ] {
             assert!(texts.contains(&expected), "missing {expected}: {texts:?}");
         }
@@ -364,7 +383,10 @@ mod tests {
 
     #[test]
     fn ip_with_cidr_and_bounds() {
-        assert_eq!(scan("botnet at 192.168.29.128/32 detected"), vec![("192.168.29.128/32".to_string(), IocType::Ip)]);
+        assert_eq!(
+            scan("botnet at 192.168.29.128/32 detected"),
+            vec![("192.168.29.128/32".to_string(), IocType::Ip)]
+        );
         assert!(scan("version 1.2.3.4.5 is fine").is_empty(), "five octets is not an IP");
         assert!(scan("300.1.2.3 invalid").is_empty());
         assert!(scan("1.2.3.4/33 invalid").is_empty());
@@ -383,12 +405,16 @@ mod tests {
         assert!(found.contains(&("MsgApp-instr.apk".to_string(), IocType::FileName)));
         assert!(found.contains(&("evil-c2.com".to_string(), IocType::Domain)));
         // "upload.tar" is a filename, never a domain ("tar" is an extension).
-        assert_eq!(scan("see upload.tar here"), vec![("upload.tar".to_string(), IocType::FileName)]);
+        assert_eq!(
+            scan("see upload.tar here"),
+            vec![("upload.tar".to_string(), IocType::FileName)]
+        );
     }
 
     #[test]
     fn urls_and_emails() {
-        let found = scan("Phishing from admin@evil-c2.com links http://evil-c2.com/payload.bin today");
+        let found =
+            scan("Phishing from admin@evil-c2.com links http://evil-c2.com/payload.bin today");
         assert!(found.contains(&("admin@evil-c2.com".to_string(), IocType::Email)));
         assert!(found.contains(&("http://evil-c2.com/payload.bin".to_string(), IocType::Url)));
     }
@@ -402,9 +428,7 @@ mod tests {
 
     #[test]
     fn hashes_and_cves() {
-        let found = scan(
-            "Sample d41d8cd98f00b204e9800998ecf8427e exploits CVE-2014-6271 badly",
-        );
+        let found = scan("Sample d41d8cd98f00b204e9800998ecf8427e exploits CVE-2014-6271 badly");
         assert!(found.contains(&("d41d8cd98f00b204e9800998ecf8427e".to_string(), IocType::Hash)));
         assert!(found.contains(&("CVE-2014-6271".to_string(), IocType::Cve)));
         // 31 hex chars is not a hash.
@@ -414,7 +438,10 @@ mod tests {
     #[test]
     fn registry_keys() {
         let found = scan(r"persists via HKEY_LOCAL_MACHINE\Software\Run\Evil key");
-        assert_eq!(found, vec![(r"HKEY_LOCAL_MACHINE\Software\Run\Evil".to_string(), IocType::Registry)]);
+        assert_eq!(
+            found,
+            vec![(r"HKEY_LOCAL_MACHINE\Software\Run\Evil".to_string(), IocType::Registry)]
+        );
     }
 
     #[test]

@@ -21,9 +21,7 @@ fn basename(path: &str) -> &str {
 }
 
 fn same_family(a: &IocType, b: &IocType) -> bool {
-    a == b
-        || (a.is_file_like() && b.is_file_like())
-        || (a.is_network_like() && b.is_network_like())
+    a == b || (a.is_file_like() && b.is_file_like()) || (a.is_network_like() && b.is_network_like())
 }
 
 /// Should two IOCs merge into one node?
@@ -41,7 +39,8 @@ pub fn should_merge(a: &IocEntity, b: &IocEntity) -> bool {
             return false;
         }
         // One must be a path-suffix of the other (or a bare name).
-        let (short, long) = if a.text.len() <= b.text.len() { (&a.text, &b.text) } else { (&b.text, &a.text) };
+        let (short, long) =
+            if a.text.len() <= b.text.len() { (&a.text, &b.text) } else { (&b.text, &a.text) };
         return long.ends_with(short.as_str());
     }
     // Network / other types: strict-ish textual agreement.
@@ -130,21 +129,36 @@ mod tests {
 
     #[test]
     fn exact_duplicates_merge() {
-        assert!(should_merge(&ent("/bin/tar", IocType::FilePath), &ent("/bin/tar", IocType::FilePath)));
-        assert!(should_merge(&ent("192.168.29.128", IocType::Ip), &ent("192.168.29.128", IocType::Ip)));
+        assert!(should_merge(
+            &ent("/bin/tar", IocType::FilePath),
+            &ent("/bin/tar", IocType::FilePath)
+        ));
+        assert!(should_merge(
+            &ent("192.168.29.128", IocType::Ip),
+            &ent("192.168.29.128", IocType::Ip)
+        ));
     }
 
     #[test]
     fn different_ips_never_merge() {
-        assert!(!should_merge(&ent("192.168.29.128", IocType::Ip), &ent("192.168.29.129", IocType::Ip)));
+        assert!(!should_merge(
+            &ent("192.168.29.128", IocType::Ip),
+            &ent("192.168.29.129", IocType::Ip)
+        ));
         // CIDR form merges with its base address.
-        assert!(should_merge(&ent("192.168.29.128", IocType::Ip), &ent("192.168.29.128/32", IocType::Ip)));
+        assert!(should_merge(
+            &ent("192.168.29.128", IocType::Ip),
+            &ent("192.168.29.128/32", IocType::Ip)
+        ));
     }
 
     #[test]
     fn cross_type_families() {
         // A file never merges with an IP.
-        assert!(!should_merge(&ent("/tmp/upload", IocType::FilePath), &ent("10.0.0.1", IocType::Ip)));
+        assert!(!should_merge(
+            &ent("/tmp/upload", IocType::FilePath),
+            &ent("10.0.0.1", IocType::Ip)
+        ));
     }
 
     #[test]

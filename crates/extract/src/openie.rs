@@ -36,15 +36,15 @@ fn noun_chunks(tokens: &[tokenize::Token]) -> Vec<(usize, usize, String)> {
         if matches!(tokens[i].pos, PosTag::Noun | PosTag::Propn | PosTag::Pron) {
             let start = i;
             while i < tokens.len()
-                && matches!(tokens[i].pos, PosTag::Noun | PosTag::Propn | PosTag::Num | PosTag::Pron)
+                && matches!(
+                    tokens[i].pos,
+                    PosTag::Noun | PosTag::Propn | PosTag::Num | PosTag::Pron
+                )
             {
                 i += 1;
             }
-            let text = tokens[start..i]
-                .iter()
-                .map(|t| t.text.as_str())
-                .collect::<Vec<_>>()
-                .join(" ");
+            let text =
+                tokens[start..i].iter().map(|t| t.text.as_str()).collect::<Vec<_>>().join(" ");
             out.push((start, i, text));
         } else {
             i += 1;
@@ -98,16 +98,10 @@ fn extract_clauses(text: &str) -> OpenIeOutput {
         }
         let verb = toks[v].lower.clone();
         // object: first chunk starting after the verb (within 4 tokens).
-        if let Some((_, _, otext)) = chunks
-            .iter()
-            .skip(ci + 1)
-            .find(|(ostart, _, _)| *ostart > v && *ostart <= v + 4)
+        if let Some((_, _, otext)) =
+            chunks.iter().skip(ci + 1).find(|(ostart, _, _)| *ostart > v && *ostart <= v + 4)
         {
-            triples.push(IocRelationTriple {
-                subj: ctext.clone(),
-                verb,
-                obj: otext.clone(),
-            });
+            triples.push(IocRelationTriple { subj: ctext.clone(), verb, obj: otext.clone() });
         }
     }
     OpenIeOutput { entities, triples }
@@ -141,18 +135,16 @@ pub fn run_baseline(document: &str, protection: bool, exhaustive: bool) -> OpenI
             if r == 0 {
                 block_out = candidate;
             } else if exhaustive {
-                block_out
-                    .triples
-                    .retain(|t| candidate.triples.iter().any(|c| c.verb == t.verb) || !candidate.triples.is_empty());
+                block_out.triples.retain(|t| {
+                    candidate.triples.iter().any(|c| c.verb == t.verb)
+                        || !candidate.triples.is_empty()
+                });
             }
         }
         // Restore protected placeholders in order of appearance.
         let queue: std::collections::VecDeque<String> = ioc_texts.iter().cloned().collect();
-        block_out.entities = block_out
-            .entities
-            .iter()
-            .map(|e| restore(e, &mut queue.clone()))
-            .collect();
+        block_out.entities =
+            block_out.entities.iter().map(|e| restore(e, &mut queue.clone())).collect();
         let mut tq: std::collections::VecDeque<String> = ioc_texts.into_iter().collect();
         block_out.triples = block_out
             .triples
@@ -180,8 +172,11 @@ mod tests {
     fn raw_baseline_shatters_iocs() {
         let out = run_baseline(TEXT, false, false);
         // No extracted entity equals a full path IOC.
-        assert!(out.entities.iter().all(|e| e != "/bin/tar" && e != "/etc/passwd"),
-            "{:?}", out.entities);
+        assert!(
+            out.entities.iter().all(|e| e != "/bin/tar" && e != "/etc/passwd"),
+            "{:?}",
+            out.entities
+        );
         // It still extracts *something* (generic NPs).
         assert!(!out.entities.is_empty());
     }

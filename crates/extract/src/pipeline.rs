@@ -58,11 +58,7 @@ pub struct ExtractionOutput {
 
 /// Splits a document into blocks (paragraphs separated by blank lines).
 pub fn segment_blocks(document: &str) -> Vec<&str> {
-    document
-        .split("\n\n")
-        .map(str::trim)
-        .filter(|b| !b.is_empty())
-        .collect()
+    document.split("\n\n").map(str::trim).filter(|b| !b.is_empty()).collect()
 }
 
 struct BlockResult {
@@ -146,12 +142,7 @@ pub fn extract_with_options(document: &str, ioc_protection: bool) -> ExtractionO
     let mut raw_triples: Vec<(usize, String, usize, (usize, usize))> = Vec::new();
     for (bi, br) in block_results.iter().enumerate() {
         for t in relation::extract_from_block(&br.trees) {
-            raw_triples.push((
-                base[bi] + t.subj,
-                t.verb,
-                base[bi] + t.obj,
-                (bi, t.verb_offset),
-            ));
+            raw_triples.push((base[bi] + t.subj, t.verb, base[bi] + t.obj, (bi, t.verb_offset)));
         }
     }
     raw_triples.sort_by_key(|&(_, _, _, ord)| ord);
@@ -170,10 +161,8 @@ pub fn extract_with_options(document: &str, ioc_protection: bool) -> ExtractionO
     // Scan & merge across blocks, then build the graph.
     let t1 = Instant::now();
     let (group_of, canon) = merge::merge(&all_iocs);
-    let ordered: Vec<(usize, String, usize)> = raw_triples
-        .iter()
-        .map(|(s, v, o, _)| (group_of[*s], v.clone(), group_of[*o]))
-        .collect();
+    let ordered: Vec<(usize, String, usize)> =
+        raw_triples.iter().map(|(s, v, o, _)| (group_of[*s], v.clone(), group_of[*o])).collect();
     let graph = ThreatBehaviorGraph::build(canon, &ordered);
     let triples: Vec<IocRelationTriple> = graph
         .edges
@@ -186,12 +175,7 @@ pub fn extract_with_options(document: &str, ioc_protection: bool) -> ExtractionO
         .collect();
     let er_to_graph = t1.elapsed().as_secs_f64();
 
-    ExtractionOutput {
-        entities,
-        triples,
-        graph,
-        timing: ExtractTiming { text_to_er, er_to_graph },
-    }
+    ExtractionOutput { entities, triples, graph, timing: ExtractTiming { text_to_er, er_to_graph } }
 }
 
 #[cfg(test)]
@@ -227,11 +211,21 @@ He leaked the gathered sensitive information back to the attacker C2 host by usi
         let curl = find("/usr/bin/curl");
         let ip = find("192.168.29.128");
         for (name, n) in [
-            ("tar", tar), ("passwd", passwd), ("uptar", uptar), ("bzip", bzip),
-            ("bz2", bz2), ("gpg", gpg), ("upload", upload), ("curl", curl), ("ip", ip),
+            ("tar", tar),
+            ("passwd", passwd),
+            ("uptar", uptar),
+            ("bzip", bzip),
+            ("bz2", bz2),
+            ("gpg", gpg),
+            ("upload", upload),
+            ("curl", curl),
+            ("ip", ip),
         ] {
-            assert!(n.is_some(), "node {name} missing; nodes: {:?}",
-                g.nodes.iter().map(|n| &n.text).collect::<Vec<_>>());
+            assert!(
+                n.is_some(),
+                "node {name} missing; nodes: {:?}",
+                g.nodes.iter().map(|n| &n.text).collect::<Vec<_>>()
+            );
         }
         let has_edge = |s: Option<usize>, rel: &str, d: Option<usize>| {
             g.edges.iter().any(|e| Some(e.src) == s && Some(e.dst) == d && e.relation == rel)
@@ -294,12 +288,7 @@ He leaked the gathered sensitive information back to the attacker C2 host by usi
                    Later /bin/bzip2 read from /tmp/upload.tar again.";
         let out = extract(doc);
         // "upload.tar" and "/tmp/upload.tar" become one node.
-        let count = out
-            .graph
-            .nodes
-            .iter()
-            .filter(|n| n.text.contains("upload.tar"))
-            .count();
+        let count = out.graph.nodes.iter().filter(|n| n.text.contains("upload.tar")).count();
         assert_eq!(count, 1, "{:?}", out.graph.nodes);
     }
 }

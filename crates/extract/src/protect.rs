@@ -57,10 +57,7 @@ impl ReplacementRecord {
             return None;
         }
         // slots are sorted by offset; binary search.
-        self.slots
-            .binary_search_by_key(&start, |&(off, _)| off)
-            .ok()
-            .map(|i| self.slots[i].1)
+        self.slots.binary_search_by_key(&start, |&(off, _)| off).ok().map(|i| self.slots[i].1)
     }
 }
 

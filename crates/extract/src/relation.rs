@@ -51,10 +51,7 @@ fn ioc_nodes(t: &AnnTree) -> Vec<(usize, usize)> {
 fn core_labels(labels: &[DepLabel]) -> &[DepLabel] {
     let mut s = 0usize;
     while s < labels.len()
-        && matches!(
-            labels[s],
-            DepLabel::Conj | DepLabel::Xcomp | DepLabel::Acl | DepLabel::RelCl
-        )
+        && matches!(labels[s], DepLabel::Conj | DepLabel::Xcomp | DepLabel::Acl | DepLabel::RelCl)
     {
         s += 1;
     }
@@ -67,7 +64,7 @@ fn core_labels(labels: &[DepLabel]) -> &[DepLabel] {
 
 /// The lowercased text of the first node on the LCA→node path (the
 /// preposition of a `[Prep, Pobj]` path).
-fn first_path_token<'a>(t: &'a AnnTree, lca: usize, node: usize) -> Option<&'a str> {
+fn first_path_token(t: &AnnTree, lca: usize, node: usize) -> Option<&str> {
     t.tree.nodes_from(lca, node).first().map(|&i| t.tokens[i].lower.as_str())
 }
 
@@ -168,8 +165,7 @@ pub fn extract_from_tree(t: &AnnTree) -> Vec<RawTriple> {
             let lca = t.tree.lca(a_tok, b_tok);
             let la = t.tree.labels_from(lca, a_tok);
             let lb = t.tree.labels_from(lca, b_tok);
-            let subj_obj = subject_side(t, lca, a_tok, &la, &lb)
-                && object_side(t, lca, b_tok, &lb);
+            let subj_obj = subject_side(t, lca, a_tok, &la, &lb) && object_side(t, lca, b_tok, &lb);
             let dobj_pobj = dobj_pobj_pair(t, lca, &la, &lb, b_tok);
             if !subj_obj && !dobj_pobj {
                 continue;
@@ -177,12 +173,8 @@ pub fn extract_from_tree(t: &AnnTree) -> Vec<RawTriple> {
             let Some((verb_tok, verb)) = select_verb(t, lca, b_tok) else {
                 continue;
             };
-            let triple = RawTriple {
-                subj: a_ioc,
-                verb,
-                obj: b_ioc,
-                verb_offset: t.tokens[verb_tok].start,
-            };
+            let triple =
+                RawTriple { subj: a_ioc, verb, obj: b_ioc, verb_offset: t.tokens[verb_tok].start };
             if !out
                 .iter()
                 .any(|x| x.subj == triple.subj && x.obj == triple.obj && x.verb == triple.verb)
@@ -253,18 +245,42 @@ mod tests {
              It wrote the gathered information to a file /tmp/upload.tar.",
         );
         let s = as_strings(&triples, &texts);
-        assert!(s.contains(&("/bin/tar".to_string(), "read".to_string(), "/etc/passwd".to_string())));
-        assert!(s.contains(&("/bin/tar".to_string(), "write".to_string(), "/tmp/upload.tar".to_string())), "{s:?}");
+        assert!(s.contains(&(
+            "/bin/tar".to_string(),
+            "read".to_string(),
+            "/etc/passwd".to_string()
+        )));
+        assert!(
+            s.contains(&(
+                "/bin/tar".to_string(),
+                "write".to_string(),
+                "/tmp/upload.tar".to_string()
+            )),
+            "{s:?}"
+        );
     }
 
     #[test]
     fn coordinated_verbs() {
-        let (triples, texts) = extract_block(
-            "/bin/bzip2 read from /tmp/upload.tar and wrote to /tmp/upload.tar.bz2.",
-        );
+        let (triples, texts) =
+            extract_block("/bin/bzip2 read from /tmp/upload.tar and wrote to /tmp/upload.tar.bz2.");
         let s = as_strings(&triples, &texts);
-        assert!(s.contains(&("/bin/bzip2".to_string(), "read".to_string(), "/tmp/upload.tar".to_string())), "{s:?}");
-        assert!(s.contains(&("/bin/bzip2".to_string(), "write".to_string(), "/tmp/upload.tar.bz2".to_string())), "{s:?}");
+        assert!(
+            s.contains(&(
+                "/bin/bzip2".to_string(),
+                "read".to_string(),
+                "/tmp/upload.tar".to_string()
+            )),
+            "{s:?}"
+        );
+        assert!(
+            s.contains(&(
+                "/bin/bzip2".to_string(),
+                "write".to_string(),
+                "/tmp/upload.tar.bz2".to_string()
+            )),
+            "{s:?}"
+        );
         // The two file IOCs must not relate to each other.
         assert_eq!(s.len(), 2, "{s:?}");
     }
@@ -275,15 +291,28 @@ mod tests {
             "This corresponds to the launched process /usr/bin/gpg reading from /tmp/upload.tar.bz2.",
         );
         let s = as_strings(&triples, &texts);
-        assert!(s.contains(&("/usr/bin/gpg".to_string(), "read".to_string(), "/tmp/upload.tar.bz2".to_string())), "{s:?}");
+        assert!(
+            s.contains(&(
+                "/usr/bin/gpg".to_string(),
+                "read".to_string(),
+                "/tmp/upload.tar.bz2".to_string()
+            )),
+            "{s:?}"
+        );
     }
 
     #[test]
     fn passive_agent_relation() {
-        let (triples, texts) =
-            extract_block("/tmp/payload.bin was downloaded by /usr/bin/curl.");
+        let (triples, texts) = extract_block("/tmp/payload.bin was downloaded by /usr/bin/curl.");
         let s = as_strings(&triples, &texts);
-        assert!(s.contains(&("/usr/bin/curl".to_string(), "download".to_string(), "/tmp/payload.bin".to_string())), "{s:?}");
+        assert!(
+            s.contains(&(
+                "/usr/bin/curl".to_string(),
+                "download".to_string(),
+                "/tmp/payload.bin".to_string()
+            )),
+            "{s:?}"
+        );
     }
 
     #[test]
@@ -291,7 +320,14 @@ mod tests {
         let (triples, texts) =
             extract_block("The attacker downloaded /tmp/john.zip from 192.168.29.128.");
         let s = as_strings(&triples, &texts);
-        assert!(s.contains(&("/tmp/john.zip".to_string(), "download".to_string(), "192.168.29.128".to_string())), "{s:?}");
+        assert!(
+            s.contains(&(
+                "/tmp/john.zip".to_string(),
+                "download".to_string(),
+                "192.168.29.128".to_string()
+            )),
+            "{s:?}"
+        );
     }
 
     #[test]
@@ -300,7 +336,14 @@ mod tests {
             "He leaked the data by using /usr/bin/curl to connect to 192.168.29.128.",
         );
         let s = as_strings(&triples, &texts);
-        assert!(s.contains(&("/usr/bin/curl".to_string(), "connect".to_string(), "192.168.29.128".to_string())), "{s:?}");
+        assert!(
+            s.contains(&(
+                "/usr/bin/curl".to_string(),
+                "connect".to_string(),
+                "192.168.29.128".to_string()
+            )),
+            "{s:?}"
+        );
     }
 
     #[test]
@@ -311,9 +354,8 @@ mod tests {
 
     #[test]
     fn ordering_by_verb_offset() {
-        let (triples, _) = extract_block(
-            "/bin/bzip2 read from /tmp/upload.tar and wrote to /tmp/upload.tar.bz2.",
-        );
+        let (triples, _) =
+            extract_block("/bin/bzip2 read from /tmp/upload.tar and wrote to /tmp/upload.tar.bz2.");
         assert!(triples.windows(2).all(|w| w[0].verb_offset <= w[1].verb_offset));
         assert_eq!(triples[0].verb, "read");
         assert_eq!(triples[1].verb, "write");

@@ -64,11 +64,22 @@ pub enum COp {
 #[derive(Clone, PartialEq, Debug)]
 pub enum CExpr {
     /// `a.x op lit` or `a.x op b.y`
-    Cmp { left: PropRef, op: COp, right: CmpRhs },
+    Cmp {
+        left: PropRef,
+        op: COp,
+        right: CmpRhs,
+    },
     /// `a.x CONTAINS 'lit'` / `STARTS WITH` / `ENDS WITH`
-    StrPred { left: PropRef, kind: StrPredKind, needle: String },
+    StrPred {
+        left: PropRef,
+        kind: StrPredKind,
+        needle: String,
+    },
     /// `a.x IN [lit, ...]`
-    InList { left: PropRef, list: Vec<CLit> },
+    InList {
+        left: PropRef,
+        list: Vec<CLit>,
+    },
     And(Box<CExpr>, Box<CExpr>),
     Or(Box<CExpr>, Box<CExpr>),
     Not(Box<CExpr>),

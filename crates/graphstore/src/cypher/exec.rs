@@ -234,9 +234,7 @@ fn eval_where(g: &Graph, e: &CExpr, binding: &[BindVal], vars: &VarTable) -> boo
                     CLit::Str(s) => match g.dict().get(s) {
                         Some(sym) => PropValue::Str(sym),
                         // Unseen string: only `<>` holds, and only for strings.
-                        None => {
-                            return matches!(op, COp::Ne) && matches!(lv, PropValue::Str(_))
-                        }
+                        None => return matches!(op, COp::Ne) && matches!(lv, PropValue::Str(_)),
                     },
                 },
                 CmpRhs::Prop(p) => {
@@ -283,9 +281,7 @@ fn eval_where(g: &Graph, e: &CExpr, binding: &[BindVal], vars: &VarTable) -> boo
             let Some(v) = prop_value_of(g, binding[ls], &left.prop) else { return false };
             list.iter().any(|lit| lit_to_prop(g, lit) == Some(v))
         }
-        CExpr::And(a, b) => {
-            eval_where(g, a, binding, vars) && eval_where(g, b, binding, vars)
-        }
+        CExpr::And(a, b) => eval_where(g, a, binding, vars) && eval_where(g, b, binding, vars),
         CExpr::Or(a, b) => eval_where(g, a, binding, vars) || eval_where(g, b, binding, vars),
         CExpr::Not(inner) => !eval_where(g, inner, binding, vars),
     }
@@ -319,11 +315,7 @@ pub fn execute(g: &Graph, q: &CypherQuery, max_hops: u32) -> Result<CypherResult
     let nslots = vars.count;
 
     // Split WHERE into conjuncts; each applies once all its vars are bound.
-    let conjuncts: Vec<CExpr> = q
-        .where_clause
-        .clone()
-        .map(|w| w.conjuncts())
-        .unwrap_or_default();
+    let conjuncts: Vec<CExpr> = q.where_clause.clone().map(|w| w.conjuncts()).unwrap_or_default();
     for c in &conjuncts {
         for v in c.vars() {
             vars.lookup(v)?; // fail fast on unknown vars
@@ -383,15 +375,7 @@ pub fn execute(g: &Graph, q: &CypherQuery, max_hops: u32) -> Result<CypherResult
                 bindings.push(nb);
                 cursors.push(n);
             }
-            extend_path(
-                g,
-                path,
-                &mut bindings,
-                cursors,
-                &vars,
-                max_hops,
-                &mut stats,
-            )?;
+            extend_path(g, path, &mut bindings, cursors, &vars, max_hops, &mut stats)?;
             if let Some(v) = &path.start.var {
                 if !bound_names.contains(v) {
                     bound_names.push(v.clone());
@@ -517,15 +501,16 @@ fn extend_path(
                     // which compiled `~>(1~n)` prefixes rely on.
                     let mut stack: Vec<(NodeId, u32, Vec<EdgeId>)> = vec![(cur, 0, Vec::new())];
                     while let Some((n, depth, used)) = stack.pop() {
-                        if depth >= min && (depth > 0 || min == 0) {
-                            if target_ok(g, b, node_slot, n, node) {
-                                let mut nb = b.clone();
-                                if let Some(s) = node_slot {
-                                    nb[s] = BindVal::Node(n);
-                                }
-                                next_bindings.push(nb);
-                                next_cursors.push(n);
+                        if depth >= min
+                            && (depth > 0 || min == 0)
+                            && target_ok(g, b, node_slot, n, node)
+                        {
+                            let mut nb = b.clone();
+                            if let Some(s) = node_slot {
+                                nb[s] = BindVal::Node(n);
                             }
+                            next_bindings.push(nb);
+                            next_cursors.push(n);
                         }
                         if depth == max {
                             continue;
@@ -601,7 +586,14 @@ mod tests {
     fn fig2_graph() -> Graph {
         let mut g = Graph::new();
         let mk_proc = |g: &mut Graph, exe: &str, pid: i64| {
-            g.add_node("Process", &[("exename", PropIns::Str(exe)), ("pid", PropIns::Int(pid)), ("id", PropIns::Int(pid))])
+            g.add_node(
+                "Process",
+                &[
+                    ("exename", PropIns::Str(exe)),
+                    ("pid", PropIns::Int(pid)),
+                    ("id", PropIns::Int(pid)),
+                ],
+            )
         };
         let mk_file = |g: &mut Graph, name: &str, id: i64| {
             g.add_node("File", &[("name", PropIns::Str(name)), ("id", PropIns::Int(id))])
@@ -614,11 +606,20 @@ mod tests {
         let uptar = mk_file(&mut g, "/tmp/upload.tar", 201);
         let upbz2 = mk_file(&mut g, "/tmp/upload.tar.bz2", 202);
         let upload = mk_file(&mut g, "/tmp/upload", 203);
-        let ip = g.add_node("NetConn", &[("dstip", PropIns::Str("192.168.29.128")), ("id", PropIns::Int(300))]);
+        let ip = g.add_node(
+            "NetConn",
+            &[("dstip", PropIns::Str("192.168.29.128")), ("id", PropIns::Int(300))],
+        );
         let mut t = 0;
         let mut ev = |g: &mut Graph, s, d, op: &str| {
             t += 100;
-            g.add_edge(s, d, "EVENT", &[("optype", PropIns::Str(op)), ("starttime", PropIns::Int(t))]).unwrap();
+            g.add_edge(
+                s,
+                d,
+                "EVENT",
+                &[("optype", PropIns::Str(op)), ("starttime", PropIns::Int(t))],
+            )
+            .unwrap();
         };
         ev(&mut g, tar, passwd, "read");
         ev(&mut g, tar, uptar, "write");
@@ -662,11 +663,14 @@ mod tests {
              WHERE p1.exename CONTAINS 'tar' AND p2.exename CONTAINS 'bzip2' \
              RETURN p1.exename, p2.exename, f.name",
         );
-        assert_eq!(rows, vec![vec![
-            "/bin/tar".to_string(),
-            "/bin/bzip2".to_string(),
-            "/tmp/upload.tar".to_string()
-        ]]);
+        assert_eq!(
+            rows,
+            vec![vec![
+                "/bin/tar".to_string(),
+                "/bin/bzip2".to_string(),
+                "/tmp/upload.tar".to_string()
+            ]]
+        );
     }
 
     #[test]
@@ -760,7 +764,8 @@ mod tests {
     #[test]
     fn varlen_rel_binding_rejected() {
         let g = fig2_graph();
-        let q = parse_cypher("MATCH (p:Process)-[e:EVENT*1..2]->(f:File) RETURN p.exename").unwrap();
+        let q =
+            parse_cypher("MATCH (p:Process)-[e:EVENT*1..2]->(f:File) RETURN p.exename").unwrap();
         let err = execute(&g, &q, DEFAULT_MAX_HOPS).unwrap_err();
         assert!(err.to_string().contains("variable-length"));
     }
@@ -768,7 +773,8 @@ mod tests {
     #[test]
     fn limit_and_distinct() {
         let g = fig2_graph();
-        let rows = run(&g, "MATCH (p:Process)-[:EVENT]->(f:File) RETURN DISTINCT p.exename LIMIT 2");
+        let rows =
+            run(&g, "MATCH (p:Process)-[:EVENT]->(f:File) RETURN DISTINCT p.exename LIMIT 2");
         assert_eq!(rows.len(), 2);
     }
 

@@ -66,10 +66,7 @@ impl Parser {
     }
 
     fn unexpected(&self, want: &str) -> Error {
-        Error::syntax(
-            format!("{want}, found {}", self.peek().kind.describe()),
-            self.peek().offset,
-        )
+        Error::syntax(format!("{want}, found {}", self.peek().kind.describe()), self.peek().offset)
     }
 
     fn identifier(&mut self) -> Result<String> {
@@ -318,8 +315,19 @@ impl Parser {
 fn is_reserved(upper: &str) -> bool {
     matches!(
         upper,
-        "MATCH" | "WHERE" | "RETURN" | "DISTINCT" | "LIMIT" | "AND" | "OR" | "NOT"
-            | "CONTAINS" | "STARTS" | "ENDS" | "WITH" | "IN"
+        "MATCH"
+            | "WHERE"
+            | "RETURN"
+            | "DISTINCT"
+            | "LIMIT"
+            | "AND"
+            | "OR"
+            | "NOT"
+            | "CONTAINS"
+            | "STARTS"
+            | "ENDS"
+            | "WITH"
+            | "IN"
     )
 }
 
@@ -388,7 +396,10 @@ mod tests {
 
     #[test]
     fn anonymous_nodes_and_rels() {
-        let q = parse_cypher("MATCH (p:Process)-[:EVENT*1..2]->()-[e:EVENT {optype:'read'}]->(f) RETURN f.name").unwrap();
+        let q = parse_cypher(
+            "MATCH (p:Process)-[:EVENT*1..2]->()-[e:EVENT {optype:'read'}]->(f) RETURN f.name",
+        )
+        .unwrap();
         let path = &q.paths[0];
         assert_eq!(path.segments.len(), 2);
         assert!(path.segments[0].1.var.is_none());

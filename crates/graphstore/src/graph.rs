@@ -234,11 +234,26 @@ mod tests {
 
     fn tiny() -> (Graph, NodeId, NodeId, NodeId) {
         let mut g = Graph::new();
-        let p = g.add_node("Process", &[("exename", PropIns::Str("/bin/tar")), ("pid", PropIns::Int(100))]);
+        let p = g.add_node(
+            "Process",
+            &[("exename", PropIns::Str("/bin/tar")), ("pid", PropIns::Int(100))],
+        );
         let f = g.add_node("File", &[("name", PropIns::Str("/etc/passwd"))]);
         let f2 = g.add_node("File", &[("name", PropIns::Str("/tmp/upload.tar"))]);
-        g.add_edge(p, f, "EVENT", &[("optype", PropIns::Str("read")), ("starttime", PropIns::Int(100))]).unwrap();
-        g.add_edge(p, f2, "EVENT", &[("optype", PropIns::Str("write")), ("starttime", PropIns::Int(200))]).unwrap();
+        g.add_edge(
+            p,
+            f,
+            "EVENT",
+            &[("optype", PropIns::Str("read")), ("starttime", PropIns::Int(100))],
+        )
+        .unwrap();
+        g.add_edge(
+            p,
+            f2,
+            "EVENT",
+            &[("optype", PropIns::Str("write")), ("starttime", PropIns::Int(200))],
+        )
+        .unwrap();
         (g, p, f, f2)
     }
 

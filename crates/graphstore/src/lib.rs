@@ -19,6 +19,7 @@
 //! independent constraints, so two event patterns may legitimately match the
 //! same stored event.
 
+pub mod backend;
 pub mod cypher;
 pub mod graph;
 

@@ -10,12 +10,7 @@ use raptor_graphstore::{Graph, NodeId};
 
 /// All nodes reachable from `src` within `[min, max]` hops, using
 /// edge-distinct walks (the executor's uniqueness rule), brute force.
-fn oracle_reachable(
-    edges: &[(usize, usize)],
-    src: usize,
-    min: u32,
-    max: u32,
-) -> FxHashSet<usize> {
+fn oracle_reachable(edges: &[(usize, usize)], src: usize, min: u32, max: u32) -> FxHashSet<usize> {
     let mut out = FxHashSet::default();
     let mut stack: Vec<(usize, u32, Vec<usize>)> = vec![(src, 0, Vec::new())];
     while let Some((n, d, used)) = stack.pop() {

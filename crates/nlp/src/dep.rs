@@ -216,6 +216,7 @@ pub fn parse(toks: &[Token]) -> DepTree {
 
     // --- noun chunks ---
     let chunks = find_chunks(toks);
+    #[allow(clippy::needless_range_loop)]
     for c in &chunks {
         for i in c.start..c.end {
             if i == c.head {
@@ -314,11 +315,7 @@ pub fn parse(toks: &[Token]) -> DepTree {
                     && matches!(toks[i].lower.as_str(), "which" | "that" | "who") =>
             {
                 // Relative clause on the nearest preceding noun-chunk head.
-                let noun = chunks
-                    .iter()
-                    .rev()
-                    .find(|c| c.end <= i)
-                    .map(|c| c.head);
+                let noun = chunks.iter().rev().find(|c| c.end <= i).map(|c| c.head);
                 match noun {
                     Some(h) => {
                         st.attach(v, h, DepLabel::RelCl);
@@ -327,10 +324,7 @@ pub fn parse(toks: &[Token]) -> DepTree {
                     None => st.attach(v, prev_clause_verb(&verbs, v, root), DepLabel::Conj),
                 }
             }
-            Some(i)
-                if toks[v].verb_form == Some(VerbForm::Gerund)
-                    && chunk_of(i).is_some() =>
-            {
+            Some(i) if toks[v].verb_form == Some(VerbForm::Gerund) && chunk_of(i).is_some() => {
                 // Gerund right after a noun chunk: acl, logical subject =
                 // the chunk head.
                 st.attach(v, chunk_of(i).unwrap().head, DepLabel::Acl);
@@ -385,7 +379,11 @@ pub fn parse(toks: &[Token]) -> DepTree {
                 }
                 i += 1;
             }
-            PosTag::Det | PosTag::Adj | PosTag::Num | PosTag::Noun | PosTag::Propn
+            PosTag::Det
+            | PosTag::Adj
+            | PosTag::Num
+            | PosTag::Noun
+            | PosTag::Propn
             | PosTag::Pron => {
                 if st.head[i].is_some() && !matches!(st.label[i], DepLabel::Dep) {
                     // Already attached (chunk interior, relative pronoun...).
@@ -452,6 +450,7 @@ pub fn parse(toks: &[Token]) -> DepTree {
     }
 
     // --- leftovers ---
+    #[allow(clippy::needless_range_loop)]
     for i in 0..n {
         if i != root && st.head[i].is_none() {
             let lbl = match toks[i].pos {
@@ -479,7 +478,7 @@ pub fn parse(toks: &[Token]) -> DepTree {
 }
 
 fn prev_clause_verb(verbs: &[usize], v: usize, root: usize) -> usize {
-    verbs.iter().copied().filter(|&x| x < v).next_back().unwrap_or(root)
+    verbs.iter().copied().rfind(|&x| x < v).unwrap_or(root)
 }
 
 fn find_chunks(toks: &[Token]) -> Vec<Chunk> {
@@ -539,18 +538,14 @@ mod tests {
     }
 
     fn nth_idx(toks: &[Token], word: &str, n: usize) -> usize {
-        toks.iter()
-            .enumerate()
-            .filter(|(_, t)| t.lower == word)
-            .map(|(i, _)| i)
-            .nth(n)
-            .unwrap()
+        toks.iter().enumerate().filter(|(_, t)| t.lower == word).map(|(i, _)| i).nth(n).unwrap()
     }
 
     #[test]
     fn instrument_xcomp_chain() {
         // "The attacker used something to read credentials from something."
-        let (toks, tree) = parse_str("The attacker used something to read credentials from something .");
+        let (toks, tree) =
+            parse_str("The attacker used something to read credentials from something .");
         assert!(tree.is_well_formed());
         let used = idx(&toks, "used");
         let read = idx(&toks, "read");
@@ -622,10 +617,7 @@ mod tests {
         assert_eq!(tree.nodes[bz2].head, Some(from));
         // LCA of the IOC pair is the subject IOC itself.
         assert_eq!(tree.lca(gpg, bz2), gpg);
-        assert_eq!(
-            tree.labels_from(gpg, bz2),
-            vec![DepLabel::Acl, DepLabel::Prep, DepLabel::Pobj]
-        );
+        assert_eq!(tree.labels_from(gpg, bz2), vec![DepLabel::Acl, DepLabel::Prep, DepLabel::Pobj]);
     }
 
     #[test]
@@ -653,7 +645,8 @@ mod tests {
 
     #[test]
     fn lca_and_paths() {
-        let (toks, tree) = parse_str("The attacker used something to read credentials from something .");
+        let (toks, tree) =
+            parse_str("The attacker used something to read credentials from something .");
         let used = idx(&toks, "used");
         let tool = nth_idx(&toks, "something", 0);
         let src = nth_idx(&toks, "something", 1);

@@ -48,28 +48,172 @@ pub enum VerbForm {
 /// Base-form verbs common in OSCTI text (the tagger recognizes their
 /// inflections through [`crate::lemma`]).
 pub const VERB_LEXICON: &[&str] = &[
-    "access", "append", "archive", "attack", "attempt", "beacon", "browse", "bypass", "capture",
-    "click", "collect", "communicate", "compress", "compromise", "conduct", "connect", "contact",
-    "contain", "continue", "copy", "correspond", "crack", "create", "decode", "decrypt", "delete",
-    "deploy", "distribute", "download", "drop", "dump", "employ", "encode", "encrypt", "escalate",
-    "establish", "evade", "execute", "exfiltrate", "exploit", "extract", "fetch", "gather", "get",
-    "hide", "host", "include", "infect", "inject", "install", "involve", "launch", "leak",
-    "leverage", "load", "log", "mail", "maintain", "modify", "monitor", "move", "obfuscate",
-    "obtain", "open", "overwrite", "pack", "penetrate", "perform", "persist", "phish", "proceed",
-    "propagate", "query", "read", "receive", "record", "register", "remove", "rename", "represent",
-    "resolve", "retrieve", "run", "save", "scan", "schedule", "scrape", "seek", "send", "serve",
-    "spawn", "spread", "start", "steal", "stop", "store", "target", "transfer", "try", "unpack",
-    "unzip", "upload", "use", "utilize", "visit", "wipe", "write", "zip",
+    "access",
+    "append",
+    "archive",
+    "attack",
+    "attempt",
+    "beacon",
+    "browse",
+    "bypass",
+    "capture",
+    "click",
+    "collect",
+    "communicate",
+    "compress",
+    "compromise",
+    "conduct",
+    "connect",
+    "contact",
+    "contain",
+    "continue",
+    "copy",
+    "correspond",
+    "crack",
+    "create",
+    "decode",
+    "decrypt",
+    "delete",
+    "deploy",
+    "distribute",
+    "download",
+    "drop",
+    "dump",
+    "employ",
+    "encode",
+    "encrypt",
+    "escalate",
+    "establish",
+    "evade",
+    "execute",
+    "exfiltrate",
+    "exploit",
+    "extract",
+    "fetch",
+    "gather",
+    "get",
+    "hide",
+    "host",
+    "include",
+    "infect",
+    "inject",
+    "install",
+    "involve",
+    "launch",
+    "leak",
+    "leverage",
+    "load",
+    "log",
+    "mail",
+    "maintain",
+    "modify",
+    "monitor",
+    "move",
+    "obfuscate",
+    "obtain",
+    "open",
+    "overwrite",
+    "pack",
+    "penetrate",
+    "perform",
+    "persist",
+    "phish",
+    "proceed",
+    "propagate",
+    "query",
+    "read",
+    "receive",
+    "record",
+    "register",
+    "remove",
+    "rename",
+    "represent",
+    "resolve",
+    "retrieve",
+    "run",
+    "save",
+    "scan",
+    "schedule",
+    "scrape",
+    "seek",
+    "send",
+    "serve",
+    "spawn",
+    "spread",
+    "start",
+    "steal",
+    "stop",
+    "store",
+    "target",
+    "transfer",
+    "try",
+    "unpack",
+    "unzip",
+    "upload",
+    "use",
+    "utilize",
+    "visit",
+    "wipe",
+    "write",
+    "zip",
 ];
 
 const NOUN_LEXICON: &[&str] = &[
-    "activity", "activities", "address", "archive", "asset", "assets", "attachment", "attacker",
-    "backdoor", "behavior", "behaviors", "browser", "command", "connection", "control",
-    "credential", "credentials", "data", "detail", "details", "email", "extension", "file",
-    "files", "host", "image", "information", "link", "machine", "malware", "metadata", "network",
-    "password", "passwords", "payload", "process", "processes", "reconnaissance", "repository",
-    "scanning", "script", "server", "service", "shell", "stage", "step", "system", "text", "tool",
-    "user", "users", "utility", "victim", "vulnerability", "something",
+    "activity",
+    "activities",
+    "address",
+    "archive",
+    "asset",
+    "assets",
+    "attachment",
+    "attacker",
+    "backdoor",
+    "behavior",
+    "behaviors",
+    "browser",
+    "command",
+    "connection",
+    "control",
+    "credential",
+    "credentials",
+    "data",
+    "detail",
+    "details",
+    "email",
+    "extension",
+    "file",
+    "files",
+    "host",
+    "image",
+    "information",
+    "link",
+    "machine",
+    "malware",
+    "metadata",
+    "network",
+    "password",
+    "passwords",
+    "payload",
+    "process",
+    "processes",
+    "reconnaissance",
+    "repository",
+    "scanning",
+    "script",
+    "server",
+    "service",
+    "shell",
+    "stage",
+    "step",
+    "system",
+    "text",
+    "tool",
+    "user",
+    "users",
+    "utility",
+    "victim",
+    "vulnerability",
+    "something",
 ];
 
 fn closed_class(lower: &str) -> Option<PosTag> {
@@ -98,9 +242,28 @@ fn closed_class(lower: &str) -> Option<PosTag> {
 fn is_irregular_past(lower: &str) -> bool {
     matches!(
         lower,
-        "wrote" | "sent" | "ran" | "took" | "stole" | "got" | "began" | "hid" | "made" | "gave"
-            | "went" | "came" | "found" | "left" | "put" | "set" | "kept" | "held" | "brought"
-            | "built" | "sought" | "spread"
+        "wrote"
+            | "sent"
+            | "ran"
+            | "took"
+            | "stole"
+            | "got"
+            | "began"
+            | "hid"
+            | "made"
+            | "gave"
+            | "went"
+            | "came"
+            | "found"
+            | "left"
+            | "put"
+            | "set"
+            | "kept"
+            | "held"
+            | "brought"
+            | "built"
+            | "sought"
+            | "spread"
     )
 }
 
@@ -121,7 +284,9 @@ fn morphology(lower: &str) -> (PosTag, Option<VerbForm>) {
         return (PosTag::Verb, Some(VerbForm::Base));
     }
     if let Some(stem) = lower.strip_suffix("ing") {
-        if stem.len() >= 2 && (in_verb_lexicon(stem) || in_verb_lexicon(&format!("{stem}e")) || is_cvc(stem)) {
+        if stem.len() >= 2
+            && (in_verb_lexicon(stem) || in_verb_lexicon(&format!("{stem}e")) || is_cvc(stem))
+        {
             return (PosTag::Verb, Some(VerbForm::Gerund));
         }
     }
@@ -224,14 +389,13 @@ pub fn tag(tokens: &mut [Token]) {
             }
         }
         // After infinitival `to` or a modal: base verb.
-        if matches!(prev, Some(PosTag::Part))
-            || (i > 0 && tokens[i - 1].pos == PosTag::Aux && is_modal(&tokens[i - 1].lower))
+        if (matches!(prev, Some(PosTag::Part))
+            || (i > 0 && tokens[i - 1].pos == PosTag::Aux && is_modal(&tokens[i - 1].lower)))
+            && in_verb_lexicon(&tokens[i].lower)
         {
-            if in_verb_lexicon(&tokens[i].lower) {
-                tokens[i].pos = PosTag::Verb;
-                tokens[i].verb_form = Some(VerbForm::Base);
-                continue;
-            }
+            tokens[i].pos = PosTag::Verb;
+            tokens[i].verb_form = Some(VerbForm::Base);
+            continue;
         }
         // Determiner/adjective + past-verb + noun → participial adjective
         // ("the gathered information", "the launched process").
@@ -282,7 +446,10 @@ pub fn tag(tokens: &mut [Token]) {
 }
 
 fn is_modal(lower: &str) -> bool {
-    matches!(lower, "will" | "would" | "can" | "could" | "may" | "might" | "should" | "must" | "shall")
+    matches!(
+        lower,
+        "will" | "would" | "can" | "could" | "may" | "might" | "should" | "must" | "shall"
+    )
 }
 
 #[cfg(test)]

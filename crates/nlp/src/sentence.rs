@@ -31,8 +31,8 @@ pub fn segment(text: &str) -> Vec<SentenceSpan> {
         if c == '.' || c == '!' || c == '?' {
             // Look back: abbreviation?
             let prev_word = last_word(&text[start..i]);
-            let is_abbrev = c == '.'
-                && ABBREVIATIONS.iter().any(|a| prev_word.eq_ignore_ascii_case(a));
+            let is_abbrev =
+                c == '.' && ABBREVIATIONS.iter().any(|a| prev_word.eq_ignore_ascii_case(a));
             // Look ahead: whitespace then a sentence-opening character.
             let mut j = i + 1;
             // Absorb closing quotes/brackets right after the terminator.
@@ -75,9 +75,7 @@ pub fn sentences(text: &str) -> Vec<&str> {
 }
 
 fn last_word(s: &str) -> &str {
-    s.rsplit(|c: char| c.is_whitespace() || c == '(' || c == ',')
-        .next()
-        .unwrap_or("")
+    s.rsplit(|c: char| c.is_whitespace() || c == '(' || c == ',').next().unwrap_or("")
 }
 
 #[cfg(test)]

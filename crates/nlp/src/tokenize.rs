@@ -40,8 +40,7 @@ impl Token {
 
     /// Is this token a single punctuation mark?
     pub fn is_punct(&self) -> bool {
-        self.text.len() == 1
-            && self.text.chars().next().is_some_and(|c| c.is_ascii_punctuation())
+        self.text.len() == 1 && self.text.chars().next().is_some_and(|c| c.is_ascii_punctuation())
     }
 }
 
@@ -113,7 +112,9 @@ mod tests {
     fn punctuation_splits() {
         assert_eq!(
             texts("It wrote, then read; finally (it) stopped."),
-            vec!["It", "wrote", ",", "then", "read", ";", "finally", "(", "it", ")", "stopped", "."]
+            vec![
+                "It", "wrote", ",", "then", "read", ";", "finally", "(", "it", ")", "stopped", "."
+            ]
         );
     }
 
@@ -151,10 +152,7 @@ mod tests {
         // The failure mode IOC protection exists to avoid (Table V's
         // "-IOC Protection" row): raw file paths split at every slash, so
         // no single token carries the IOC and tagging/parsing degrade.
-        assert_eq!(
-            texts("/etc/passwd"),
-            vec!["/", "etc", "/", "passwd"],
-        );
+        assert_eq!(texts("/etc/passwd"), vec!["/", "etc", "/", "passwd"],);
         assert_eq!(texts("something").len(), 1);
     }
 

@@ -1,0 +1,474 @@
+//! The typed [`StorageBackend`] implementation.
+//!
+//! Requests arrive as `raptor-storage` data structures and are lowered
+//! straight to SQL *AST* (`sql::ast::Select`) — the lexer/parser are never
+//! involved. From there the normal planner and executor run, so the typed
+//! plane shares every access path (hash/btree/trigram indexes, pushdown,
+//! hash joins) with parsed queries.
+
+use raptor_common::error::{Error, Result};
+use raptor_storage::{
+    AttrSource, BackendStats, EntityClass, EventPatternQuery, PathPatternQuery, PatternMatches,
+    Pred, StorageBackend, Value as SVal,
+};
+
+use crate::db::Database;
+use crate::exec::{execute, ExecStats};
+use crate::plan::plan_select;
+use crate::sql::ast::{CmpOp, ColRef, Expr, Literal, Projection, Select, TableRef};
+use crate::value::OwnedValue;
+
+/// Caps the per-statement `IN` chunk for attribute fetches.
+const FETCH_CHUNK: usize = 4096;
+
+pub fn table_for_class(class: EntityClass) -> &'static str {
+    match class {
+        EntityClass::File => "files",
+        EntityClass::Process => "processes",
+        EntityClass::NetConn => "netconns",
+    }
+}
+
+fn col(alias: &str, column: &str) -> ColRef {
+    ColRef::new(Some(alias), column)
+}
+
+fn lit(v: &SVal) -> Result<Literal> {
+    match v {
+        SVal::Int(i) => Ok(Literal::Int(*i)),
+        SVal::Str(s) => Ok(Literal::Str(s.clone())),
+        SVal::Null => Err(Error::semantic("NULL literals are not valid in predicates")),
+    }
+}
+
+fn cmp_op(op: raptor_storage::CmpOp) -> CmpOp {
+    match op {
+        raptor_storage::CmpOp::Eq => CmpOp::Eq,
+        raptor_storage::CmpOp::Ne => CmpOp::Ne,
+        raptor_storage::CmpOp::Lt => CmpOp::Lt,
+        raptor_storage::CmpOp::Le => CmpOp::Le,
+        raptor_storage::CmpOp::Gt => CmpOp::Gt,
+        raptor_storage::CmpOp::Ge => CmpOp::Ge,
+    }
+}
+
+/// Lowers a typed predicate to a SQL expression over `alias`.
+fn pred_to_expr(alias: &str, p: &Pred) -> Result<Expr> {
+    Ok(match p {
+        Pred::Cmp { attr, op, value } => {
+            // `= '%…%'` keeps LIKE semantics, exactly as the text compiler did.
+            match (op, value) {
+                (raptor_storage::CmpOp::Eq, SVal::Str(s)) if s.contains('%') => {
+                    Expr::Like { col: col(alias, attr), pattern: s.clone(), negated: false }
+                }
+                (raptor_storage::CmpOp::Ne, SVal::Str(s)) if s.contains('%') => {
+                    Expr::Like { col: col(alias, attr), pattern: s.clone(), negated: true }
+                }
+                _ => Expr::CmpLit { col: col(alias, attr), op: cmp_op(*op), lit: lit(value)? },
+            }
+        }
+        Pred::Like { attr, pattern, negated } => {
+            Expr::Like { col: col(alias, attr), pattern: pattern.clone(), negated: *negated }
+        }
+        Pred::InSet { attr, negated, values } => Expr::InList {
+            col: col(alias, attr),
+            list: values.iter().map(lit).collect::<Result<Vec<_>>>()?,
+            negated: *negated,
+        },
+        Pred::And(a, b) => {
+            Expr::And(Box::new(pred_to_expr(alias, a)?), Box::new(pred_to_expr(alias, b)?))
+        }
+        Pred::Or(a, b) => {
+            Expr::Or(Box::new(pred_to_expr(alias, a)?), Box::new(pred_to_expr(alias, b)?))
+        }
+        Pred::Not(inner) => Expr::Not(Box::new(pred_to_expr(alias, inner)?)),
+    })
+}
+
+fn id_in_expr(alias: &str, ids: &[i64]) -> Expr {
+    // An empty candidate set must match nothing; `IN ()` is not
+    // representable, so use the impossible id.
+    let list = if ids.is_empty() {
+        vec![Literal::Int(-1)]
+    } else {
+        ids.iter().map(|&i| Literal::Int(i)).collect()
+    };
+    Expr::InList { col: col(alias, "id"), list, negated: false }
+}
+
+fn in_expr_on(alias: &str, column: &str, ids: &[i64]) -> Expr {
+    let list = if ids.is_empty() {
+        vec![Literal::Int(-1)]
+    } else {
+        ids.iter().map(|&i| Literal::Int(i)).collect()
+    };
+    Expr::InList { col: col(alias, column), list, negated: false }
+}
+
+fn and_all(conds: Vec<Expr>) -> Option<Expr> {
+    conds.into_iter().reduce(|a, b| Expr::And(Box::new(a), Box::new(b)))
+}
+
+impl Database {
+    /// Plans and executes a programmatically-built SELECT (no SQL text).
+    fn run_select(&self, sel: &Select, stats: &mut BackendStats) -> Result<QueryRows> {
+        let plan = plan_select(self, sel)?;
+        let (core, exec_stats) = execute(self, &plan)?;
+        absorb_exec(stats, &exec_stats);
+        stats.data_queries += 1;
+        Ok(QueryRows { rows: core.rows })
+    }
+}
+
+struct QueryRows {
+    rows: Vec<Vec<OwnedValue>>,
+}
+
+fn absorb_exec(stats: &mut BackendStats, exec: &ExecStats) {
+    stats.items_scanned += exec.rows_scanned;
+    stats.items_built += exec.tuples_built;
+    stats.index_scans += exec.index_scans;
+    stats.full_scans += exec.full_scans;
+}
+
+fn owned_to_sval(v: OwnedValue) -> SVal {
+    match v {
+        OwnedValue::Int(i) => SVal::Int(i),
+        OwnedValue::Str(s) => SVal::Str(s),
+        OwnedValue::Null => SVal::Null,
+    }
+}
+
+fn int_at(row: &[OwnedValue], i: usize) -> i64 {
+    row[i].as_int().unwrap_or(-1)
+}
+
+impl StorageBackend for Database {
+    fn backend_name(&self) -> &'static str {
+        "relational"
+    }
+
+    fn entity_candidates(
+        &self,
+        class: EntityClass,
+        filter: &Pred,
+        stats: &mut BackendStats,
+    ) -> Result<Vec<i64>> {
+        let alias = "x";
+        let sel = Select {
+            distinct: false,
+            projections: vec![Projection::Col(col(alias, "id"))],
+            from: vec![TableRef { table: table_for_class(class).to_string(), alias: alias.into() }],
+            where_clause: Some(pred_to_expr(alias, filter)?),
+            order_by: vec![],
+            limit: None,
+        };
+        let r = self.run_select(&sel, stats)?;
+        let mut ids: Vec<i64> = r.rows.iter().filter_map(|row| row[0].as_int()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        Ok(ids)
+    }
+
+    fn match_event_pattern(
+        &self,
+        q: &EventPatternQuery,
+        stats: &mut BackendStats,
+    ) -> Result<PatternMatches> {
+        let (s, e, o) = ("s", "e", "o");
+        let mut conds: Vec<Expr> = vec![
+            Expr::CmpCol { left: col(e, "subject"), op: CmpOp::Eq, right: col(s, "id") },
+            Expr::CmpCol { left: col(e, "object"), op: CmpOp::Eq, right: col(o, "id") },
+            Expr::CmpLit {
+                col: col(e, "kind"),
+                op: CmpOp::Eq,
+                lit: Literal::Str(q.object.class.event_kind().to_string()),
+            },
+        ];
+        if let Some(p) = &q.event_pred {
+            conds.push(pred_to_expr(e, p)?);
+        }
+        if let Some(p) = &q.subject.filter {
+            conds.push(pred_to_expr(s, p)?);
+        }
+        if let Some(p) = &q.object.filter {
+            conds.push(pred_to_expr(o, p)?);
+        }
+        // One TBQL variable bound as both subject and object: the text
+        // compiler enforced this via a shared alias; here it is explicit.
+        if q.subject_is_object {
+            conds.push(Expr::CmpCol { left: col(s, "id"), op: CmpOp::Eq, right: col(o, "id") });
+        }
+        // Propagated ids constrain both the entity alias and — far more
+        // importantly — the event columns, so the events scan runs through
+        // the subject/object hash indexes instead of the larger optype one.
+        for (sel, alias, evt_col) in [(&q.subject, s, "subject"), (&q.object, o, "object")] {
+            if let Some(ids) = &sel.id_in {
+                conds.push(id_in_expr(alias, ids));
+                conds.push(in_expr_on(e, evt_col, ids));
+            }
+        }
+        let sel = Select {
+            distinct: false,
+            projections: vec![
+                Projection::Col(col(s, "id")),
+                Projection::Col(col(o, "id")),
+                Projection::Col(col(e, "id")),
+                Projection::Col(col(e, "starttime")),
+                Projection::Col(col(e, "endtime")),
+            ],
+            from: vec![
+                TableRef { table: table_for_class(q.subject.class).to_string(), alias: s.into() },
+                TableRef { table: "events".to_string(), alias: e.into() },
+                TableRef { table: table_for_class(q.object.class).to_string(), alias: o.into() },
+            ],
+            where_clause: and_all(conds),
+            order_by: vec![],
+            limit: None,
+        };
+        let r = self.run_select(&sel, stats)?;
+        let mut out = PatternMatches::with_capacity(r.rows.len(), true);
+        for row in &r.rows {
+            out.push_event(
+                int_at(row, 0),
+                int_at(row, 1),
+                int_at(row, 2),
+                int_at(row, 3),
+                int_at(row, 4),
+            );
+        }
+        Ok(out)
+    }
+
+    fn match_path_pattern(
+        &self,
+        q: &PathPatternQuery,
+        stats: &mut BackendStats,
+    ) -> Result<PatternMatches> {
+        // A relational store answers exactly the single-hop shape (it is an
+        // event lookup); longer paths belong to the graph backend.
+        if q.min_hops != 1 || q.max_hops != Some(1) {
+            return Err(Error::semantic(
+                "relational backend supports single-hop path patterns only",
+            ));
+        }
+        let eq = EventPatternQuery {
+            subject: q.subject.clone(),
+            object: q.object.clone(),
+            event_pred: q.final_hop_pred.clone(),
+            subject_is_object: q.subject_is_object,
+        };
+        let mut m = self.match_event_pattern(&eq, stats)?;
+        m.has_event = q.want_event;
+        Ok(m)
+    }
+
+    fn fetch_attr(
+        &self,
+        source: AttrSource,
+        attr: &str,
+        ids: &[i64],
+        stats: &mut BackendStats,
+    ) -> Result<Vec<(i64, SVal)>> {
+        let table = match source {
+            AttrSource::Entity(class) => table_for_class(class),
+            AttrSource::Event => "events",
+        };
+        let alias = "x";
+        let mut out = Vec::with_capacity(ids.len());
+        for chunk in ids.chunks(FETCH_CHUNK) {
+            let sel = Select {
+                distinct: false,
+                projections: vec![
+                    Projection::Col(col(alias, "id")),
+                    Projection::Col(col(alias, attr)),
+                ],
+                from: vec![TableRef { table: table.to_string(), alias: alias.into() }],
+                where_clause: Some(in_expr_on(alias, "id", chunk)),
+                order_by: vec![],
+                limit: None,
+            };
+            let r = self.run_select(&sel, stats)?;
+            for mut row in r.rows {
+                let val = row.pop().expect("two projected columns");
+                if let Some(id) = row[0].as_int() {
+                    out.push((id, owned_to_sval(val)));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::Ins;
+    use crate::schema::{ColumnDef, ColumnType};
+    use crate::TableSchema;
+    use raptor_storage::EntitySel;
+
+    /// tar reads /etc/passwd then writes /tmp/upload.tar; curl connects out.
+    fn audit_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(TableSchema::new(
+            "processes",
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("exename", ColumnType::Str),
+                ColumnDef::new("user", ColumnType::Str),
+            ],
+        ))
+        .unwrap();
+        db.create_table(TableSchema::new(
+            "files",
+            vec![ColumnDef::new("id", ColumnType::Int), ColumnDef::new("name", ColumnType::Str)],
+        ))
+        .unwrap();
+        db.create_table(TableSchema::new(
+            "events",
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("subject", ColumnType::Int),
+                ColumnDef::new("object", ColumnType::Int),
+                ColumnDef::new("optype", ColumnType::Str),
+                ColumnDef::new("kind", ColumnType::Str),
+                ColumnDef::new("starttime", ColumnType::Time),
+                ColumnDef::new("endtime", ColumnType::Time),
+            ],
+        ))
+        .unwrap();
+        db.insert("processes", &[Ins::Int(0), Ins::Str("/bin/tar"), Ins::Str("root")]).unwrap();
+        db.insert("processes", &[Ins::Int(1), Ins::Str("/usr/bin/curl"), Ins::Str("root")])
+            .unwrap();
+        db.insert("files", &[Ins::Int(2), Ins::Str("/etc/passwd")]).unwrap();
+        db.insert("files", &[Ins::Int(3), Ins::Str("/tmp/upload.tar")]).unwrap();
+        for (id, s, o, op, t) in
+            [(0, 0, 2, "read", 100), (1, 0, 3, "write", 200), (2, 1, 3, "read", 300)]
+        {
+            db.insert(
+                "events",
+                &[
+                    Ins::Int(id),
+                    Ins::Int(s),
+                    Ins::Int(o),
+                    Ins::Str(op),
+                    Ins::Str("file"),
+                    Ins::Int(t),
+                    Ins::Int(t + 10),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn like(attr: &str, pattern: &str) -> Pred {
+        Pred::Like { attr: attr.into(), pattern: pattern.into(), negated: false }
+    }
+
+    fn op_eq(name: &str) -> Pred {
+        Pred::Cmp {
+            attr: "optype".into(),
+            op: raptor_storage::CmpOp::Eq,
+            value: SVal::Str(name.into()),
+        }
+    }
+
+    #[test]
+    fn candidates_sorted_distinct() {
+        let db = audit_db();
+        let mut stats = BackendStats::default();
+        let ids = db
+            .entity_candidates(EntityClass::Process, &like("exename", "%bin%"), &mut stats)
+            .unwrap();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(stats.data_queries, 1);
+        assert_eq!(stats.text_parses, 0);
+    }
+
+    #[test]
+    fn event_pattern_typed_match() {
+        let db = audit_db();
+        let mut stats = BackendStats::default();
+        let q = EventPatternQuery {
+            subject: EntitySel::of(EntityClass::Process, Some(like("exename", "%/bin/tar%"))),
+            object: EntitySel::of(EntityClass::File, Some(like("name", "%/etc/passwd%"))),
+            event_pred: Some(op_eq("read")),
+            subject_is_object: false,
+        };
+        let m = db.match_event_pattern(&q, &mut stats).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!((m.subj[0], m.obj[0], m.evt[0], m.start[0], m.end[0]), (0, 2, 0, 100, 110));
+        assert!(m.has_event);
+    }
+
+    #[test]
+    fn propagated_ids_filter() {
+        let db = audit_db();
+        let mut stats = BackendStats::default();
+        let mut subject = EntitySel::of(EntityClass::Process, None);
+        subject.id_in = Some(vec![1]);
+        let q = EventPatternQuery {
+            subject,
+            object: EntitySel::of(EntityClass::File, None),
+            event_pred: Some(op_eq("read")),
+            subject_is_object: false,
+        };
+        let m = db.match_event_pattern(&q, &mut stats).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.subj[0], 1);
+        // Empty propagation set matches nothing (and stays well-formed).
+        let mut subject = EntitySel::of(EntityClass::Process, None);
+        subject.id_in = Some(vec![]);
+        let q = EventPatternQuery {
+            subject,
+            object: EntitySel::of(EntityClass::File, None),
+            event_pred: None,
+            subject_is_object: false,
+        };
+        assert!(db.match_event_pattern(&q, &mut stats).unwrap().is_empty());
+    }
+
+    #[test]
+    fn single_hop_path_served_relationally() {
+        let db = audit_db();
+        let mut stats = BackendStats::default();
+        let q = PathPatternQuery {
+            subject: EntitySel::of(EntityClass::Process, None),
+            object: EntitySel::of(EntityClass::File, None),
+            min_hops: 1,
+            max_hops: Some(1),
+            hop_cap: 8,
+            final_hop_pred: Some(op_eq("write")),
+            want_event: true,
+            subject_is_object: false,
+        };
+        let m = db.match_path_pattern(&q, &mut stats).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.obj[0], 3);
+        // Multi-hop is the graph backend's job.
+        let q = PathPatternQuery { max_hops: Some(3), ..q };
+        assert!(db.match_path_pattern(&q, &mut stats).is_err());
+    }
+
+    #[test]
+    fn attr_fetch_typed() {
+        let db = audit_db();
+        let mut stats = BackendStats::default();
+        let got = db
+            .fetch_attr(
+                AttrSource::Entity(EntityClass::Process),
+                "exename",
+                &[0, 1, 99],
+                &mut stats,
+            )
+            .unwrap();
+        assert_eq!(
+            got,
+            vec![(0, SVal::Str("/bin/tar".into())), (1, SVal::Str("/usr/bin/curl".into()))]
+        );
+        let evs = db.fetch_attr(AttrSource::Event, "starttime", &[2], &mut stats).unwrap();
+        assert_eq!(evs, vec![(2, SVal::Int(300))]);
+    }
+}

@@ -36,10 +36,7 @@ pub struct QueryResult {
 impl QueryResult {
     /// Renders rows as display strings (column order preserved).
     pub fn rendered_rows(&self) -> Vec<Vec<String>> {
-        self.rows
-            .iter()
-            .map(|r| r.iter().map(OwnedValue::render).collect())
-            .collect()
+        self.rows.iter().map(|r| r.iter().map(OwnedValue::render).collect()).collect()
     }
 }
 
@@ -51,6 +48,9 @@ pub struct Database {
     hash_indexes: FxHashMap<(String, String), HashIndex>,
     btree_indexes: FxHashMap<(String, String), BTreeIndex>,
     trigram_indexes: FxHashMap<(String, String), TrigramIndex>,
+    /// SQL texts parsed over this database's lifetime. The typed
+    /// `StorageBackend` entry points never touch this — tests assert it.
+    text_parses: std::cell::Cell<usize>,
 }
 
 impl SchemaProvider for Database {
@@ -176,10 +176,17 @@ impl Database {
 
     /// Parses, plans and executes a SELECT.
     pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        self.text_parses.set(self.text_parses.get() + 1);
         let sel = parse_select(sql)?;
         let plan = plan_select(self, &sel)?;
         let (core, stats) = execute(self, &plan)?;
         Ok(QueryResult { columns: core.columns, rows: core.rows, stats })
+    }
+
+    /// How many SQL texts this database has parsed (the typed backend path
+    /// keeps this flat).
+    pub fn text_parse_count(&self) -> usize {
+        self.text_parses.get()
     }
 
     /// Convenience: runs a `SELECT COUNT(*) ...` and returns the count.
@@ -216,10 +223,7 @@ mod tests {
         .unwrap();
         db.create_table(TableSchema::new(
             "files",
-            vec![
-                ColumnDef::new("id", ColumnType::Int),
-                ColumnDef::new("name", ColumnType::Str),
-            ],
+            vec![ColumnDef::new("id", ColumnType::Int), ColumnDef::new("name", ColumnType::Str)],
         ))
         .unwrap();
         db.create_table(TableSchema::new(
@@ -240,9 +244,21 @@ mod tests {
         db.insert("files", &[Ins::Int(3), Ins::Str("/etc/passwd")]).unwrap();
         db.insert("files", &[Ins::Int(4), Ins::Str("/tmp/upload.tar")]).unwrap();
         // tar reads /etc/passwd, writes /tmp/upload.tar; bzip2 reads it.
-        db.insert("events", &[Ins::Int(0), Ins::Int(0), Ins::Int(3), Ins::Str("read"), Ins::Int(100)]).unwrap();
-        db.insert("events", &[Ins::Int(1), Ins::Int(0), Ins::Int(4), Ins::Str("write"), Ins::Int(200)]).unwrap();
-        db.insert("events", &[Ins::Int(2), Ins::Int(1), Ins::Int(4), Ins::Str("read"), Ins::Int(300)]).unwrap();
+        db.insert(
+            "events",
+            &[Ins::Int(0), Ins::Int(0), Ins::Int(3), Ins::Str("read"), Ins::Int(100)],
+        )
+        .unwrap();
+        db.insert(
+            "events",
+            &[Ins::Int(1), Ins::Int(0), Ins::Int(4), Ins::Str("write"), Ins::Int(200)],
+        )
+        .unwrap();
+        db.insert(
+            "events",
+            &[Ins::Int(2), Ins::Int(1), Ins::Int(4), Ins::Str("read"), Ins::Int(300)],
+        )
+        .unwrap();
         db
     }
 
@@ -264,7 +280,10 @@ mod tests {
                  AND p.exename LIKE '%/bin/tar%'",
             )
             .unwrap();
-        assert_eq!(r.rendered_rows(), vec![vec!["/bin/tar".to_string(), "/etc/passwd".to_string()]]);
+        assert_eq!(
+            r.rendered_rows(),
+            vec![vec!["/bin/tar".to_string(), "/etc/passwd".to_string()]]
+        );
     }
 
     #[test]
@@ -286,9 +305,7 @@ mod tests {
     #[test]
     fn distinct_order_limit() {
         let db = db_with_audit_shape();
-        let r = db
-            .query("SELECT DISTINCT optype FROM events ORDER BY optype LIMIT 2")
-            .unwrap();
+        let r = db.query("SELECT DISTINCT optype FROM events ORDER BY optype LIMIT 2").unwrap();
         assert_eq!(r.rendered_rows(), vec![vec!["read".to_string()], vec!["write".to_string()]]);
     }
 
@@ -296,10 +313,7 @@ mod tests {
     fn count_star() {
         let db = db_with_audit_shape();
         assert_eq!(db.query_count("SELECT COUNT(*) FROM events").unwrap(), 3);
-        assert_eq!(
-            db.query_count("SELECT COUNT(*) FROM events WHERE optype = 'read'").unwrap(),
-            2
-        );
+        assert_eq!(db.query_count("SELECT COUNT(*) FROM events WHERE optype = 'read'").unwrap(), 2);
     }
 
     #[test]

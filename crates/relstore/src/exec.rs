@@ -18,7 +18,7 @@ use raptor_common::intern::Interner;
 use crate::db::Database;
 use crate::like::{containment_literal, like_match};
 use crate::plan::{QueryPlan, ScanPlan};
-use crate::sql::ast::{ColRef, CmpOp, Expr, Literal, Projection};
+use crate::sql::ast::{CmpOp, ColRef, Expr, Literal, Projection};
 use crate::table::{RowId, Table};
 use crate::value::{OwnedValue, Value};
 
@@ -75,10 +75,8 @@ impl<'a> Binder<'a> {
         let q = c.qualifier.as_deref().ok_or_else(|| {
             Error::semantic(format!("internal: unresolved column `{}`", c.column))
         })?;
-        let &alias = self
-            .slots
-            .get(q)
-            .ok_or_else(|| Error::semantic(format!("unknown alias `{q}`")))?;
+        let &alias =
+            self.slots.get(q).ok_or_else(|| Error::semantic(format!("unknown alias `{q}`")))?;
         let col = self.tables[alias].schema.require_column(&c.column)?;
         Ok(Slot { alias, col })
     }
@@ -92,16 +90,12 @@ impl<'a> Binder<'a> {
 
     fn bind(&self, e: &Expr) -> Result<BExpr> {
         Ok(match e {
-            Expr::CmpLit { col, op, lit } => BExpr::CmpLit {
-                slot: self.bind_col(col)?,
-                op: *op,
-                lit: self.bind_lit(lit),
-            },
-            Expr::CmpCol { left, op, right } => BExpr::CmpCol {
-                left: self.bind_col(left)?,
-                op: *op,
-                right: self.bind_col(right)?,
-            },
+            Expr::CmpLit { col, op, lit } => {
+                BExpr::CmpLit { slot: self.bind_col(col)?, op: *op, lit: self.bind_lit(lit) }
+            }
+            Expr::CmpCol { left, op, right } => {
+                BExpr::CmpCol { left: self.bind_col(left)?, op: *op, right: self.bind_col(right)? }
+            }
             Expr::Like { col, pattern, negated } => BExpr::Like {
                 slot: self.bind_col(col)?,
                 pattern: pattern.clone(),
@@ -182,9 +176,7 @@ fn eval(e: &BExpr, tuple: &[RowId], tables: &[&Table], dict: &Interner) -> bool 
             let m = set.iter().any(|l| cmp_values(v, CmpOp::Eq, l, dict));
             m != *negated
         }
-        BExpr::And(a, b) => {
-            eval(a, tuple, tables, dict) && eval(b, tuple, tables, dict)
-        }
+        BExpr::And(a, b) => eval(a, tuple, tables, dict) && eval(b, tuple, tables, dict),
         BExpr::Or(a, b) => eval(a, tuple, tables, dict) || eval(b, tuple, tables, dict),
         BExpr::Not(inner) => !eval(inner, tuple, tables, dict),
     }
@@ -269,7 +261,7 @@ fn run_scan(db: &Database, scan: &ScanPlan, stats: &mut ExecStats) -> Result<Vec
             let mut best: Option<Vec<RowId>> = None;
             for conjunct in pred.clone().conjuncts() {
                 if let Some(rows) = access_path(db, scan, &conjunct) {
-                    if best.as_ref().map_or(true, |b| rows.len() < b.len()) {
+                    if best.as_ref().is_none_or(|b| rows.len() < b.len()) {
                         best = Some(rows);
                     }
                 }
@@ -296,10 +288,7 @@ fn run_scan(db: &Database, scan: &ScanPlan, stats: &mut ExecStats) -> Result<Vec
         Some(pred) => {
             let bound = binder.bind(pred)?;
             let tables = [table];
-            Ok(candidates
-                .into_iter()
-                .filter(|&r| eval(&bound, &[r], &tables, db.dict()))
-                .collect())
+            Ok(candidates.into_iter().filter(|&r| eval(&bound, &[r], &tables, db.dict())).collect())
         }
         None => Ok(candidates),
     }
@@ -318,17 +307,11 @@ pub fn execute(db: &Database, plan: &QueryPlan) -> Result<(QueryResultCore, Exec
         .scans
         .iter()
         .map(|s| {
-            db.table(&s.table)
-                .ok_or_else(|| Error::storage(format!("unknown table `{}`", s.table)))
+            db.table(&s.table).ok_or_else(|| Error::storage(format!("unknown table `{}`", s.table)))
         })
         .collect::<Result<Vec<_>>>()?;
     let binder = Binder {
-        slots: plan
-            .scans
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s.alias.as_str(), i))
-            .collect(),
+        slots: plan.scans.iter().enumerate().map(|(i, s)| (s.alias.as_str(), i)).collect(),
         tables: tables.clone(),
         dict: db.dict(),
     };
@@ -341,10 +324,8 @@ pub fn execute(db: &Database, plan: &QueryPlan) -> Result<(QueryResultCore, Exec
             let b = binder.bind(r)?;
             let mut cols = Vec::new();
             r.collect_cols(&mut cols);
-            let mut slots: Vec<usize> = cols
-                .iter()
-                .map(|c| binder.slots[c.qualifier.as_deref().unwrap()])
-                .collect();
+            let mut slots: Vec<usize> =
+                cols.iter().map(|c| binder.slots[c.qualifier.as_deref().unwrap()]).collect();
             slots.sort_unstable();
             slots.dedup();
             Ok((b, slots))
@@ -378,9 +359,8 @@ pub fn execute(db: &Database, plan: &QueryPlan) -> Result<(QueryResultCore, Exec
                     continue;
                 }
                 if let BExpr::CmpCol { left, op: CmpOp::Eq, right } = b {
-                    let connects = |a: &Slot, b: &Slot| {
-                        a.alias == slot && bound_slots.contains(&b.alias)
-                    };
+                    let connects =
+                        |a: &Slot, b: &Slot| a.alias == slot && bound_slots.contains(&b.alias);
                     if connects(right, left) {
                         keys.push(EquiKey { bound: *left, new: *right });
                         residual_done[i] = true;
@@ -486,11 +466,8 @@ pub fn execute(db: &Database, plan: &QueryPlan) -> Result<(QueryResultCore, Exec
     }
 
     if !plan.order_by.is_empty() && !count_star {
-        let order_slots: Vec<Slot> = plan
-            .order_by
-            .iter()
-            .map(|c| binder.bind_col(c))
-            .collect::<Result<Vec<_>>>()?;
+        let order_slots: Vec<Slot> =
+            plan.order_by.iter().map(|c| binder.bind_col(c)).collect::<Result<Vec<_>>>()?;
         // ORDER BY columns must appear in the projection for sorting of
         // projected rows; otherwise sort tuples first. For the audit
         // workloads ORDER BY is always on projected columns, so sort rows by
@@ -500,9 +477,7 @@ pub fn execute(db: &Database, plan: &QueryPlan) -> Result<(QueryResultCore, Exec
             let pos = proj_slots
                 .iter()
                 .position(|p| matches!(p, Some(s) if s.alias == os.alias && s.col == os.col))
-                .ok_or_else(|| {
-                    Error::semantic("ORDER BY column must appear in the SELECT list")
-                })?;
+                .ok_or_else(|| Error::semantic("ORDER BY column must appear in the SELECT list"))?;
             sort_keys.push(pos);
         }
         rows.sort_by(|a, b| {

@@ -26,6 +26,7 @@
 //!   nested loops + residual filters otherwise,
 //! * [`db`] — the [`db::Database`] facade: DDL, inserts, `query(sql)`.
 
+pub mod backend;
 pub mod db;
 pub mod exec;
 pub mod index;

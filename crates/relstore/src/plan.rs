@@ -83,9 +83,9 @@ impl<'a> Resolver<'a> {
                     .order
                     .iter()
                     .filter(|a| self.aliases[*a].column_index(&col.column).is_some());
-                let first = owners.next().ok_or_else(|| {
-                    Error::semantic(format!("unknown column `{}`", col.column))
-                })?;
+                let first = owners
+                    .next()
+                    .ok_or_else(|| Error::semantic(format!("unknown column `{}`", col.column)))?;
                 if owners.next().is_some() {
                     return Err(Error::semantic(format!(
                         "ambiguous column `{}` (qualify it)",
@@ -102,29 +102,21 @@ impl<'a> Resolver<'a> {
             Expr::CmpLit { col, op, lit } => {
                 Expr::CmpLit { col: self.resolve(col)?, op: *op, lit: lit.clone() }
             }
-            Expr::CmpCol { left, op, right } => Expr::CmpCol {
-                left: self.resolve(left)?,
-                op: *op,
-                right: self.resolve(right)?,
-            },
-            Expr::Like { col, pattern, negated } => Expr::Like {
-                col: self.resolve(col)?,
-                pattern: pattern.clone(),
-                negated: *negated,
-            },
-            Expr::InList { col, list, negated } => Expr::InList {
-                col: self.resolve(col)?,
-                list: list.clone(),
-                negated: *negated,
-            },
-            Expr::And(a, b) => Expr::And(
-                Box::new(self.resolve_expr(a)?),
-                Box::new(self.resolve_expr(b)?),
-            ),
-            Expr::Or(a, b) => Expr::Or(
-                Box::new(self.resolve_expr(a)?),
-                Box::new(self.resolve_expr(b)?),
-            ),
+            Expr::CmpCol { left, op, right } => {
+                Expr::CmpCol { left: self.resolve(left)?, op: *op, right: self.resolve(right)? }
+            }
+            Expr::Like { col, pattern, negated } => {
+                Expr::Like { col: self.resolve(col)?, pattern: pattern.clone(), negated: *negated }
+            }
+            Expr::InList { col, list, negated } => {
+                Expr::InList { col: self.resolve(col)?, list: list.clone(), negated: *negated }
+            }
+            Expr::And(a, b) => {
+                Expr::And(Box::new(self.resolve_expr(a)?), Box::new(self.resolve_expr(b)?))
+            }
+            Expr::Or(a, b) => {
+                Expr::Or(Box::new(self.resolve_expr(a)?), Box::new(self.resolve_expr(b)?))
+            }
             Expr::Not(inner) => Expr::Not(Box::new(self.resolve_expr(inner)?)),
         })
     }
@@ -145,11 +137,7 @@ pub fn plan_select(provider: &dyn SchemaProvider, sel: &Select) -> Result<QueryP
         })
         .collect::<Result<Vec<_>>>()?;
 
-    let order_by = sel
-        .order_by
-        .iter()
-        .map(|c| resolver.resolve(c))
-        .collect::<Result<Vec<_>>>()?;
+    let order_by = sel.order_by.iter().map(|c| resolver.resolve(c)).collect::<Result<Vec<_>>>()?;
 
     let mut scan_preds: FxHashMap<String, Vec<Expr>> = FxHashMap::default();
     let mut residuals = Vec::new();

@@ -57,13 +57,29 @@ pub enum Literal {
 #[derive(Clone, PartialEq, Debug)]
 pub enum Expr {
     /// `col op literal`
-    CmpLit { col: ColRef, op: CmpOp, lit: Literal },
+    CmpLit {
+        col: ColRef,
+        op: CmpOp,
+        lit: Literal,
+    },
     /// `col op col` (join predicates, attribute relations)
-    CmpCol { left: ColRef, op: CmpOp, right: ColRef },
+    CmpCol {
+        left: ColRef,
+        op: CmpOp,
+        right: ColRef,
+    },
     /// `col [NOT] LIKE 'pattern'`
-    Like { col: ColRef, pattern: String, negated: bool },
+    Like {
+        col: ColRef,
+        pattern: String,
+        negated: bool,
+    },
     /// `col [NOT] IN (lit, ...)`
-    InList { col: ColRef, list: Vec<Literal>, negated: bool },
+    InList {
+        col: ColRef,
+        list: Vec<Literal>,
+        negated: bool,
+    },
     And(Box<Expr>, Box<Expr>),
     Or(Box<Expr>, Box<Expr>),
     Not(Box<Expr>),
@@ -105,7 +121,8 @@ impl Expr {
     pub fn qualifiers(&self) -> Vec<Option<String>> {
         let mut cols = Vec::new();
         self.collect_cols(&mut cols);
-        let mut quals: Vec<Option<String>> = cols.into_iter().map(|c| c.qualifier.clone()).collect();
+        let mut quals: Vec<Option<String>> =
+            cols.into_iter().map(|c| c.qualifier.clone()).collect();
         quals.sort();
         quals.dedup();
         quals
@@ -148,9 +165,16 @@ mod tests {
             op: CmpOp::Eq,
             lit: Literal::Int(1),
         };
-        let b = Expr::Like { col: ColRef::new(Some("p"), "exename"), pattern: "%tar%".into(), negated: false };
+        let b = Expr::Like {
+            col: ColRef::new(Some("p"), "exename"),
+            pattern: "%tar%".into(),
+            negated: false,
+        };
         let c = Expr::Or(Box::new(a.clone()), Box::new(b.clone()));
-        let e = Expr::And(Box::new(a.clone()), Box::new(Expr::And(Box::new(b.clone()), Box::new(c.clone()))));
+        let e = Expr::And(
+            Box::new(a.clone()),
+            Box::new(Expr::And(Box::new(b.clone()), Box::new(c.clone()))),
+        );
         let parts = e.conjuncts();
         assert_eq!(parts.len(), 3);
         assert_eq!(parts[0], a);

@@ -14,7 +14,10 @@ pub enum TokenKind {
     /// Keyword or identifier (keywords are recognized case-insensitively by
     /// the parser; `text` preserves the original spelling, `upper` the
     /// normalized form).
-    Word { text: String, upper: String },
+    Word {
+        text: String,
+        upper: String,
+    },
     Int(i64),
     Str(String),
     Symbol(&'static str),

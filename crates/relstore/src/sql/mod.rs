@@ -23,5 +23,5 @@ pub mod ast;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{ColRef, CmpOp, Expr, Literal, Projection, Select, TableRef};
+pub use ast::{CmpOp, ColRef, Expr, Literal, Projection, Select, TableRef};
 pub use parser::parse_select;

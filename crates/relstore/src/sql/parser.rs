@@ -2,7 +2,7 @@
 
 use raptor_common::error::{Error, Result};
 
-use super::ast::{ColRef, CmpOp, Expr, Literal, Projection, Select, TableRef};
+use super::ast::{CmpOp, ColRef, Expr, Literal, Projection, Select, TableRef};
 use super::lexer::{lex, Token, TokenKind};
 
 struct Parser {
@@ -66,10 +66,7 @@ impl Parser {
     }
 
     fn unexpected(&self, want: &str) -> Error {
-        Error::syntax(
-            format!("{want}, found {}", self.peek().kind.describe()),
-            self.peek().offset,
-        )
+        Error::syntax(format!("{want}, found {}", self.peek().kind.describe()), self.peek().offset)
     }
 
     fn identifier(&mut self) -> Result<String> {
@@ -131,9 +128,8 @@ impl Parser {
         loop {
             let table = self.identifier()?;
             // `t AS a`, `t a`, or bare `t` (alias = table name).
-            let alias = if self.eat_keyword("AS") {
-                self.identifier()?
-            } else if matches!(&self.peek().kind, TokenKind::Word { upper, .. } if !is_reserved(upper))
+            let alias = if self.eat_keyword("AS")
+                || matches!(&self.peek().kind, TokenKind::Word { upper, .. } if !is_reserved(upper))
             {
                 self.identifier()?
             } else {
@@ -259,8 +255,20 @@ impl Parser {
 fn is_reserved(upper: &str) -> bool {
     matches!(
         upper,
-        "SELECT" | "DISTINCT" | "FROM" | "WHERE" | "AND" | "OR" | "NOT" | "LIKE" | "IN"
-            | "AS" | "ORDER" | "BY" | "LIMIT" | "COUNT"
+        "SELECT"
+            | "DISTINCT"
+            | "FROM"
+            | "WHERE"
+            | "AND"
+            | "OR"
+            | "NOT"
+            | "LIKE"
+            | "IN"
+            | "AS"
+            | "ORDER"
+            | "BY"
+            | "LIMIT"
+            | "COUNT"
     )
 }
 

@@ -67,10 +67,7 @@ impl Table {
     /// Iterates `(RowId, &[Value])`.
     pub fn iter(&self) -> impl Iterator<Item = (RowId, &[Value])> {
         let a = self.schema.arity();
-        self.data
-            .chunks_exact(a)
-            .enumerate()
-            .map(|(i, row)| (i as RowId, row))
+        self.data.chunks_exact(a).enumerate().map(|(i, row)| (i as RowId, row))
     }
 }
 

@@ -131,10 +131,7 @@ mod tests {
     fn owned_conversion() {
         let mut dict = Interner::new();
         let s = Value::Str(dict.intern("/etc/passwd"));
-        assert_eq!(
-            OwnedValue::from_value(s, &dict),
-            OwnedValue::Str("/etc/passwd".into())
-        );
+        assert_eq!(OwnedValue::from_value(s, &dict), OwnedValue::Str("/etc/passwd".into()));
         assert_eq!(OwnedValue::from_value(Value::Int(7), &dict), OwnedValue::Int(7));
         assert_eq!(OwnedValue::Null.render(), "");
     }

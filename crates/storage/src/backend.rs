@@ -1,0 +1,96 @@
+//! The [`StorageBackend`] trait and unified execution counters.
+
+use raptor_common::error::Result;
+
+use crate::request::{EntityClass, EventPatternQuery, PathPatternQuery, Pred};
+use crate::value::{PatternMatches, Value};
+
+/// Where an attribute fetch reads from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AttrSource {
+    Entity(EntityClass),
+    Event,
+}
+
+/// Unified execution counters across backends. Relational and graph
+/// engines count different physical things; the shared vocabulary is:
+/// `items_scanned` (rows / nodes), `items_built` (join tuples / bindings),
+/// index vs full access paths, and — the typed plane's invariant —
+/// `text_parses`, which stays 0 on every [`StorageBackend`] entry point.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BackendStats {
+    /// Typed data queries served.
+    pub data_queries: usize,
+    /// SQL/Cypher texts parsed. Always 0 through the trait; the giant-query
+    /// baselines bump it at the engine level.
+    pub text_parses: usize,
+    /// Rows or nodes touched by scans/anchors.
+    pub items_scanned: usize,
+    /// Join tuples or path bindings materialized.
+    pub items_built: usize,
+    /// Scans served by an index access path.
+    pub index_scans: usize,
+    /// Scans that fell back to a full scan.
+    pub full_scans: usize,
+    /// Edges traversed (graph backends; 0 for relational).
+    pub edges_traversed: usize,
+}
+
+impl BackendStats {
+    pub fn absorb(&mut self, other: &BackendStats) {
+        self.data_queries += other.data_queries;
+        self.text_parses += other.text_parses;
+        self.items_scanned += other.items_scanned;
+        self.items_built += other.items_built;
+        self.index_scans += other.index_scans;
+        self.full_scans += other.full_scans;
+        self.edges_traversed += other.edges_traversed;
+    }
+}
+
+/// Typed entry points a store exposes to the scheduled executor. All of
+/// them bypass the store's text parser: requests arrive as data structures
+/// and results leave as typed batches keyed by `i64` entity ids.
+///
+/// A backend may support only the shapes its physical model can answer
+/// (e.g. a relational store rejects multi-hop path patterns); callers route
+/// by shape.
+pub trait StorageBackend {
+    /// Short name for plans/telemetry, e.g. `"relational"` / `"graph"`.
+    fn backend_name(&self) -> &'static str;
+
+    /// Resolves a filtered entity to its candidate ids (one small indexed
+    /// lookup — the scheduler's seeding step). Returned ids are sorted and
+    /// distinct.
+    fn entity_candidates(
+        &self,
+        class: EntityClass,
+        filter: &Pred,
+        stats: &mut BackendStats,
+    ) -> Result<Vec<i64>>;
+
+    /// Matches one event pattern; returns (subject, object, event, start,
+    /// end) per match.
+    fn match_event_pattern(
+        &self,
+        q: &EventPatternQuery,
+        stats: &mut BackendStats,
+    ) -> Result<PatternMatches>;
+
+    /// Matches one (possibly variable-length) path pattern.
+    fn match_path_pattern(
+        &self,
+        q: &PathPatternQuery,
+        stats: &mut BackendStats,
+    ) -> Result<PatternMatches>;
+
+    /// Fetches `attr` for the given ids; absent ids are simply missing from
+    /// the result. Used by final projection and `with`-clause evaluation.
+    fn fetch_attr(
+        &self,
+        source: AttrSource,
+        attr: &str,
+        ids: &[i64],
+        stats: &mut BackendStats,
+    ) -> Result<Vec<(i64, Value)>>;
+}

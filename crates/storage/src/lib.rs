@@ -1,0 +1,29 @@
+//! The typed value plane between the query engine and its storage backends.
+//!
+//! Historically the engine rendered every scheduled pattern to a SQL/Cypher
+//! *string*, had the store re-parse it, and got `Vec<Vec<String>>` rows back
+//! that it re-parsed into `i64` ids to join. This crate is the replacement
+//! seam:
+//!
+//! * [`value`] — [`Value`] (Int / Str / Null) and the columnar
+//!   [`ResultBatch`]: the internal currency of query results. Rendering to
+//!   display strings happens once, at the final projection.
+//! * [`request`] — typed descriptions of the two pattern shapes the
+//!   scheduler issues: [`EventPatternQuery`] (event patterns with
+//!   pushed-down predicates and propagated `IN` id sets) and
+//!   [`PathPatternQuery`] (variable-length path patterns).
+//! * [`backend`] — the [`StorageBackend`] trait both stores implement
+//!   *without* going through their text parsers, plus [`BackendStats`], the
+//!   unified execution counters. Every future backend (sharded, async,
+//!   columnar) plugs in here.
+//!
+//! The SQL/Cypher text parsers remain the entry point for the giant-query
+//! baseline modes; this crate deliberately knows nothing about them.
+
+pub mod backend;
+pub mod request;
+pub mod value;
+
+pub use backend::{AttrSource, BackendStats, StorageBackend};
+pub use request::{CmpOp, EntityClass, EntitySel, EventPatternQuery, PathPatternQuery, Pred};
+pub use value::{PatternMatches, ResultBatch, Value, ValueColumn};

@@ -1,0 +1,158 @@
+//! Typed pattern requests — what the scheduler sends a backend instead of
+//! SQL/Cypher text.
+//!
+//! The vocabulary is deliberately backend-neutral: entity classes instead of
+//! table names or node labels, attribute names instead of columns or
+//! properties. Each backend owns the mapping to its physical layout.
+
+use crate::value::Value;
+
+/// The three system-entity classes of the audit model.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EntityClass {
+    File,
+    Process,
+    NetConn,
+}
+
+impl EntityClass {
+    /// The event `kind` discriminator recorded for events whose *object* is
+    /// this class (mirrors the audit loader's convention).
+    pub fn event_kind(self) -> &'static str {
+        match self {
+            EntityClass::File => "file",
+            EntityClass::Process => "process",
+            EntityClass::NetConn => "network",
+        }
+    }
+}
+
+/// Comparison operators (engine-level; backends map to their own spellings).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// A typed predicate over one record's attributes.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Pred {
+    /// `attr op value`. String equality with `%` wildcards is [`Pred::Like`].
+    Cmp {
+        attr: String,
+        op: CmpOp,
+        value: Value,
+    },
+    /// SQL-`LIKE` semantics (`%` any run, `_` any char).
+    Like {
+        attr: String,
+        pattern: String,
+        negated: bool,
+    },
+    /// `attr [NOT] IN (values)`.
+    InSet {
+        attr: String,
+        negated: bool,
+        values: Vec<Value>,
+    },
+    And(Box<Pred>, Box<Pred>),
+    Or(Box<Pred>, Box<Pred>),
+    Not(Box<Pred>),
+}
+
+impl Pred {
+    pub fn and(preds: impl IntoIterator<Item = Pred>) -> Option<Pred> {
+        preds.into_iter().reduce(|a, b| Pred::And(Box::new(a), Box::new(b)))
+    }
+
+    /// Number of leaf atoms (for observability / plan summaries).
+    pub fn atoms(&self) -> usize {
+        match self {
+            Pred::Cmp { .. } | Pred::Like { .. } | Pred::InSet { .. } => 1,
+            Pred::And(a, b) | Pred::Or(a, b) => a.atoms() + b.atoms(),
+            Pred::Not(inner) => inner.atoms(),
+        }
+    }
+}
+
+/// One side of a pattern: an entity class, its declared filter, and the
+/// scheduler-propagated candidate id set (already distinct and sorted).
+#[derive(Clone, Debug)]
+pub struct EntitySel {
+    pub class: EntityClass,
+    pub filter: Option<Pred>,
+    pub id_in: Option<Vec<i64>>,
+}
+
+impl EntitySel {
+    pub fn of(class: EntityClass, filter: Option<Pred>) -> Self {
+        EntitySel { class, filter, id_in: None }
+    }
+}
+
+/// An event-pattern data query: `subject —event→ object` with pushed-down
+/// predicates. The backend returns subject id, object id, event id and
+/// event timestamps per match.
+#[derive(Clone, Debug)]
+pub struct EventPatternQuery {
+    pub subject: EntitySel,
+    pub object: EntitySel,
+    /// Conjunction over event attributes: operation type, event filters,
+    /// time windows.
+    pub event_pred: Option<Pred>,
+    /// True when the pattern binds the *same* variable as subject and
+    /// object: matches must satisfy `subject id == object id`.
+    pub subject_is_object: bool,
+}
+
+/// A path-pattern data query: `subject —*min..max→ object`, optionally with
+/// a constrained final hop (TBQL's `~>(m~n)[op]` semantics: the prefix is
+/// unconstrained, the last edge carries the operation predicate).
+#[derive(Clone, Debug)]
+pub struct PathPatternQuery {
+    pub subject: EntitySel,
+    pub object: EntitySel,
+    pub min_hops: u32,
+    /// `None` = unbounded (bounded below by `hop_cap`).
+    pub max_hops: Option<u32>,
+    /// Hard cap on traversal depth for unbounded patterns (the engine's
+    /// configured maximum).
+    pub hop_cap: u32,
+    /// Predicate on the final hop's event attributes, if the pattern
+    /// constrains it.
+    pub final_hop_pred: Option<Pred>,
+    /// Whether the caller wants the final hop's event id/timestamps bound
+    /// (true exactly when the pattern has a final hop).
+    pub want_event: bool,
+    /// True when the pattern binds the *same* variable as subject and
+    /// object (path must start and end at one entity).
+    pub subject_is_object: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pred_combinators() {
+        let a =
+            Pred::Cmp { attr: "optype".into(), op: CmpOp::Eq, value: Value::Str("read".into()) };
+        let b = Pred::Like { attr: "exename".into(), pattern: "%tar%".into(), negated: false };
+        let both = Pred::and([a.clone(), b.clone()]).unwrap();
+        assert_eq!(both.atoms(), 2);
+        assert_eq!(Pred::and([a.clone()]), Some(a));
+        assert_eq!(Pred::and([]), None);
+    }
+
+    #[test]
+    fn entity_sel_accessors() {
+        let sel = EntitySel::of(EntityClass::Process, None);
+        assert_eq!(sel.class, EntityClass::Process);
+        assert!(sel.filter.is_none());
+        assert_eq!(EntityClass::NetConn.event_kind(), "network");
+    }
+}

@@ -1,0 +1,247 @@
+//! Typed values and columnar result batches.
+
+/// A detached typed value — what backends hand the engine. Strings are
+/// materialized (they must outlive the store's borrow).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Value {
+    /// NULL sorts first so `sorted_rows` ordering matches string rendering
+    /// of empty cells.
+    Null,
+    Int(i64),
+    Str(String),
+}
+
+impl Value {
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Renders for display; NULL renders empty, like both stores always did.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Int(i) => i.to_string(),
+            Value::Str(s) => s.clone(),
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// One column of a [`ResultBatch`]. Homogeneous columns store unboxed
+/// vectors; `Mixed` is the escape hatch for columns with NULLs or mixed
+/// types.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ValueColumn {
+    Int(Vec<i64>),
+    Str(Vec<String>),
+    Mixed(Vec<Value>),
+}
+
+impl ValueColumn {
+    pub fn len(&self) -> usize {
+        match self {
+            ValueColumn::Int(v) => v.len(),
+            ValueColumn::Str(v) => v.len(),
+            ValueColumn::Mixed(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Value at `row` (clones; columns are the storage of record).
+    pub fn get(&self, row: usize) -> Value {
+        match self {
+            ValueColumn::Int(v) => Value::Int(v[row]),
+            ValueColumn::Str(v) => Value::Str(v[row].clone()),
+            ValueColumn::Mixed(v) => v[row].clone(),
+        }
+    }
+
+    /// Renders the cell at `row` without materializing a [`Value`].
+    pub fn render(&self, row: usize) -> String {
+        match self {
+            ValueColumn::Int(v) => v[row].to_string(),
+            ValueColumn::Str(v) => v[row].clone(),
+            ValueColumn::Mixed(v) => v[row].render(),
+        }
+    }
+
+    /// Builds the densest column representation for a vector of values.
+    pub fn from_values(vals: Vec<Value>) -> ValueColumn {
+        if vals.iter().all(|v| matches!(v, Value::Int(_))) {
+            ValueColumn::Int(vals.iter().filter_map(Value::as_int).collect())
+        } else if vals.iter().all(|v| matches!(v, Value::Str(_))) {
+            ValueColumn::Str(
+                vals.into_iter()
+                    .map(|v| match v {
+                        Value::Str(s) => s,
+                        _ => unreachable!("checked above"),
+                    })
+                    .collect(),
+            )
+        } else {
+            ValueColumn::Mixed(vals)
+        }
+    }
+}
+
+/// A columnar query result: named columns of typed values. This is the
+/// engine's internal currency; conversion to display strings happens once,
+/// at the edge (`rendered_rows`).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ResultBatch {
+    pub columns: Vec<String>,
+    pub cols: Vec<ValueColumn>,
+}
+
+impl ResultBatch {
+    pub fn new(columns: Vec<String>, cols: Vec<ValueColumn>) -> Self {
+        debug_assert_eq!(columns.len(), cols.len(), "column arity mismatch");
+        debug_assert!(cols.windows(2).all(|w| w[0].len() == w[1].len()), "ragged columns");
+        ResultBatch { columns, cols }
+    }
+
+    /// Builds a batch from row-major typed values.
+    pub fn from_rows(columns: Vec<String>, rows: Vec<Vec<Value>>) -> Self {
+        let ncols = columns.len();
+        let mut by_col: Vec<Vec<Value>> =
+            (0..ncols).map(|_| Vec::with_capacity(rows.len())).collect();
+        for row in rows {
+            debug_assert_eq!(row.len(), ncols, "row arity mismatch");
+            for (c, v) in row.into_iter().enumerate() {
+                by_col[c].push(v);
+            }
+        }
+        ResultBatch { columns, cols: by_col.into_iter().map(ValueColumn::from_values).collect() }
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.cols.first().map_or(0, ValueColumn::len)
+    }
+
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n_rows() == 0
+    }
+
+    /// Row `i` as typed values.
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.cols.iter().map(|c| c.get(i)).collect()
+    }
+
+    /// The one-and-only string rendering, for display and tests.
+    pub fn rendered_rows(&self) -> Vec<Vec<String>> {
+        (0..self.n_rows()).map(|i| self.cols.iter().map(|c| c.render(i)).collect()).collect()
+    }
+}
+
+/// Typed matches for one scheduled pattern, struct-of-arrays. Patterns with
+/// a bound final hop carry the event id and its timestamps; pure path
+/// patterns (no final hop) set `has_event = false` and fill `evt`/`start`/
+/// `end` with sentinels.
+#[derive(Clone, Debug, Default)]
+pub struct PatternMatches {
+    pub subj: Vec<i64>,
+    pub obj: Vec<i64>,
+    pub evt: Vec<i64>,
+    pub start: Vec<i64>,
+    pub end: Vec<i64>,
+    pub has_event: bool,
+}
+
+impl PatternMatches {
+    pub fn with_capacity(n: usize, has_event: bool) -> Self {
+        PatternMatches {
+            subj: Vec::with_capacity(n),
+            obj: Vec::with_capacity(n),
+            evt: Vec::with_capacity(n),
+            start: Vec::with_capacity(n),
+            end: Vec::with_capacity(n),
+            has_event,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.subj.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.subj.is_empty()
+    }
+
+    pub fn push_event(&mut self, subj: i64, obj: i64, evt: i64, start: i64, end: i64) {
+        self.subj.push(subj);
+        self.obj.push(obj);
+        self.evt.push(evt);
+        self.start.push(start);
+        self.end.push(end);
+    }
+
+    pub fn push_pair(&mut self, subj: i64, obj: i64) {
+        self.push_event(subj, obj, -1, 0, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_densification() {
+        let ints = ValueColumn::from_values(vec![Value::Int(1), Value::Int(2)]);
+        assert!(matches!(ints, ValueColumn::Int(_)));
+        let strs = ValueColumn::from_values(vec![Value::Str("a".into()), Value::Str("b".into())]);
+        assert!(matches!(strs, ValueColumn::Str(_)));
+        let mixed = ValueColumn::from_values(vec![Value::Int(1), Value::Null]);
+        assert!(matches!(mixed, ValueColumn::Mixed(_)));
+        assert_eq!(mixed.render(1), "");
+        assert_eq!(mixed.get(0), Value::Int(1));
+    }
+
+    #[test]
+    fn batch_roundtrip_row_major() {
+        let rows = vec![
+            vec![Value::Str("/bin/tar".into()), Value::Int(3)],
+            vec![Value::Str("/usr/bin/curl".into()), Value::Int(9)],
+        ];
+        let b = ResultBatch::from_rows(vec!["exe".into(), "n".into()], rows.clone());
+        assert_eq!(b.n_rows(), 2);
+        assert_eq!(b.n_cols(), 2);
+        assert_eq!(b.row(1), rows[1]);
+        assert_eq!(b.rendered_rows(), vec![vec!["/bin/tar", "3"], vec!["/usr/bin/curl", "9"]]);
+    }
+
+    #[test]
+    fn matches_push() {
+        let mut m = PatternMatches::with_capacity(2, true);
+        m.push_event(1, 2, 10, 100, 200);
+        assert_eq!(m.len(), 1);
+        let mut p = PatternMatches::with_capacity(1, false);
+        p.push_pair(5, 6);
+        assert_eq!((p.subj[0], p.obj[0], p.evt[0]), (5, 6, -1));
+    }
+}

@@ -19,8 +19,7 @@ use raptor_common::hash::FxHashMap;
 use crate::ast::*;
 
 /// Valid operation names (the `⟨op⟩` rule; mirrors the audit vocabulary).
-pub const OPERATIONS: [&str; 7] =
-    ["read", "write", "execute", "start", "end", "rename", "connect"];
+pub const OPERATIONS: [&str; 7] = ["read", "write", "execute", "start", "end", "rename", "connect"];
 
 const FILE_ATTRS: [&str; 4] = ["name", "path", "user", "group"];
 const PROC_ATTRS: [&str; 5] = ["pid", "exename", "user", "group", "cmd"];
@@ -93,10 +92,7 @@ impl AnalyzedQuery {
 fn desugar_filter(e: &EntityDecl, f: &AttrExpr) -> Result<AttrExpr> {
     Ok(match f {
         AttrExpr::Bare { negated, value } => AttrExpr::Cmp {
-            attr: AttrRef {
-                base: e.ty.default_attribute().to_string(),
-                attr: None,
-            },
+            attr: AttrRef { base: e.ty.default_attribute().to_string(), attr: None },
             op: if *negated { CmpOp::Ne } else { CmpOp::Eq },
             value: value.clone(),
         },
@@ -108,14 +104,12 @@ fn desugar_filter(e: &EntityDecl, f: &AttrExpr) -> Result<AttrExpr> {
             check_entity_attr(e, attr)?;
             AttrExpr::InSet { attr: attr.clone(), negated: *negated, set: set.clone() }
         }
-        AttrExpr::And(a, b) => AttrExpr::And(
-            Box::new(desugar_filter(e, a)?),
-            Box::new(desugar_filter(e, b)?),
-        ),
-        AttrExpr::Or(a, b) => AttrExpr::Or(
-            Box::new(desugar_filter(e, a)?),
-            Box::new(desugar_filter(e, b)?),
-        ),
+        AttrExpr::And(a, b) => {
+            AttrExpr::And(Box::new(desugar_filter(e, a)?), Box::new(desugar_filter(e, b)?))
+        }
+        AttrExpr::Or(a, b) => {
+            AttrExpr::Or(Box::new(desugar_filter(e, a)?), Box::new(desugar_filter(e, b)?))
+        }
     })
 }
 
@@ -374,7 +368,10 @@ mod tests {
         assert_eq!(a.patterns.len(), 8);
         assert!(a.distinct);
         // Bare return ids desugar to default attributes.
-        assert_eq!(a.ret[0], RetItem { base: "p1".into(), attr: "exename".into(), is_event: false });
+        assert_eq!(
+            a.ret[0],
+            RetItem { base: "p1".into(), attr: "exename".into(), is_event: false }
+        );
         assert_eq!(a.ret[1], RetItem { base: "f1".into(), attr: "name".into(), is_event: false });
         assert_eq!(a.ret[8], RetItem { base: "i1".into(), attr: "dstip".into(), is_event: false });
         // Bare value filter desugars to default attribute comparison.
@@ -390,10 +387,8 @@ mod tests {
 
     #[test]
     fn id_reuse_merges_filters() {
-        let q = parse_tbql(
-            r#"proc p["%tar%"] read file f proc p[pid = 7] write file g return f"#,
-        )
-        .unwrap();
+        let q = parse_tbql(r#"proc p["%tar%"] read file f proc p[pid = 7] write file g return f"#)
+            .unwrap();
         let a = analyze(&q).unwrap();
         assert!(matches!(a.entities["p"].filter, Some(AttrExpr::And(_, _))));
     }
@@ -431,10 +426,7 @@ mod tests {
             "proc p ~>[read] file f as e1 proc p read file g as e2 with e1 before e2 return f",
         )
         .unwrap();
-        assert!(analyze(&q)
-            .unwrap_err()
-            .to_string()
-            .contains("no temporal relationships"));
+        assert!(analyze(&q).unwrap_err().to_string().contains("no temporal relationships"));
     }
 
     #[test]

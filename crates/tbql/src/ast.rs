@@ -80,11 +80,22 @@ impl std::fmt::Display for AttrRef {
 #[derive(Clone, PartialEq, Debug)]
 pub enum AttrExpr {
     /// `attr bop val`
-    Cmp { attr: AttrRef, op: CmpOp, value: Value },
+    Cmp {
+        attr: AttrRef,
+        op: CmpOp,
+        value: Value,
+    },
     /// `'!'? val` — default-attribute sugar.
-    Bare { negated: bool, value: Value },
+    Bare {
+        negated: bool,
+        value: Value,
+    },
     /// `attr ['not'] 'in' (v, ...)`
-    InSet { attr: AttrRef, negated: bool, set: Vec<Value> },
+    InSet {
+        attr: AttrRef,
+        negated: bool,
+        set: Vec<Value>,
+    },
     And(Box<AttrExpr>, Box<AttrExpr>),
     Or(Box<AttrExpr>, Box<AttrExpr>),
 }

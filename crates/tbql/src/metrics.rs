@@ -7,10 +7,7 @@
 
 /// Characters excluding whitespace and comments (`--`, `//` to end of line).
 pub fn char_count(query: &str) -> usize {
-    strip_comments(query)
-        .chars()
-        .filter(|c| !c.is_whitespace())
-        .count()
+    strip_comments(query).chars().filter(|c| !c.is_whitespace()).count()
 }
 
 /// Whitespace-separated words (after comment stripping).

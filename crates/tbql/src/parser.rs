@@ -66,10 +66,7 @@ impl Parser {
     }
 
     fn unexpected(&self, want: &str) -> Error {
-        Error::syntax(
-            format!("{want}, found {}", self.peek().kind.describe()),
-            self.peek().offset,
-        )
+        Error::syntax(format!("{want}, found {}", self.peek().kind.describe()), self.peek().offset)
     }
 
     fn word(&mut self) -> Result<String> {
@@ -274,9 +271,8 @@ impl Parser {
             "proc" => EntityType::Proc,
             "ip" => EntityType::Ip,
             other => {
-                return Err(self.unexpected(&format!(
-                    "expected entity type (file/proc/ip), found `{other}`"
-                )))
+                return Err(self
+                    .unexpected(&format!("expected entity type (file/proc/ip), found `{other}`")))
             }
         };
         let id = self.word()?;
@@ -502,7 +498,10 @@ mod tests {
 
     #[test]
     fn op_expressions() {
-        let q = parse_tbql(r#"proc p[pid = 1 && exename = "%chrome.exe%"] read || write file f return f"#).unwrap();
+        let q = parse_tbql(
+            r#"proc p[pid = 1 && exename = "%chrome.exe%"] read || write file f return f"#,
+        )
+        .unwrap();
         match &q.patterns[0].op {
             PatternOp::Event(OpExpr::Or(a, b)) => {
                 assert_eq!(**a, OpExpr::Op("read".into()));
@@ -542,7 +541,10 @@ mod tests {
 
     #[test]
     fn windows() {
-        let q = parse_tbql(r#"proc p read file f from "2018-04-06 15:00:00" to "2018-04-06 16:00:00" return f"#).unwrap();
+        let q = parse_tbql(
+            r#"proc p read file f from "2018-04-06 15:00:00" to "2018-04-06 16:00:00" return f"#,
+        )
+        .unwrap();
         assert!(matches!(q.patterns[0].window, Some(Window::FromTo(_, _))));
         let q = parse_tbql("proc p read file f last 2 h return f").unwrap();
         assert!(matches!(q.patterns[0].window, Some(Window::Last { n: 2, .. })));
@@ -566,13 +568,18 @@ mod tests {
 
     #[test]
     fn attribute_relationship() {
-        let q = parse_tbql("proc p1 read file f proc p2 write file g with p1.pid = p2.pid return f").unwrap();
+        let q =
+            parse_tbql("proc p1 read file f proc p2 write file g with p1.pid = p2.pid return f")
+                .unwrap();
         assert!(matches!(&q.relations[0], RelClause::Attr { .. }));
     }
 
     #[test]
     fn in_set_filter() {
-        let q = parse_tbql(r#"proc p[exename in ("%a%", "%b%")] read file f[name not in ("%c%")] return f"#).unwrap();
+        let q = parse_tbql(
+            r#"proc p[exename in ("%a%", "%b%")] read file f[name not in ("%c%")] return f"#,
+        )
+        .unwrap();
         let pf = q.patterns[0].subject.filter.as_ref().unwrap();
         assert!(matches!(pf, AttrExpr::InSet { negated: false, .. }));
         let ff = q.patterns[0].object.filter.as_ref().unwrap();

@@ -264,7 +264,8 @@ return f"#;
 
     #[test]
     fn datetime_window_roundtrip() {
-        let text = r#"proc p read file f from "2018-04-06 15:00:00" to "2018-04-07 00:00:00" return f"#;
+        let text =
+            r#"proc p read file f from "2018-04-06 15:00:00" to "2018-04-07 00:00:00" return f"#;
         let q = parse_tbql(text).unwrap();
         let q2 = parse_tbql(&print_query(&q)).unwrap();
         assert_eq!(q, q2);

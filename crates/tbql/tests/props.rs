@@ -6,10 +6,7 @@ use raptor_tbql::print::print_query;
 use raptor_tbql::*;
 
 fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        (0i64..100_000).prop_map(Value::Int),
-        "[a-z0-9/%._-]{1,16}".prop_map(Value::Str),
-    ]
+    prop_oneof![(0i64..100_000).prop_map(Value::Int), "[a-z0-9/%._-]{1,16}".prop_map(Value::Str),]
 }
 
 fn arb_cmp_op() -> impl Strategy<Value = CmpOp> {
@@ -32,16 +29,13 @@ fn arb_attr_expr() -> impl Strategy<Value = AttrExpr> {
             op,
             value,
         }),
-        (
-            "[a-z]{1,8}",
-            proptest::bool::ANY,
-            proptest::collection::vec(arb_value(), 1..4)
-        )
-            .prop_map(|(a, negated, set)| AttrExpr::InSet {
+        ("[a-z]{1,8}", proptest::bool::ANY, proptest::collection::vec(arb_value(), 1..4)).prop_map(
+            |(a, negated, set)| AttrExpr::InSet {
                 attr: AttrRef { base: a, attr: None },
                 negated,
                 set,
-            }),
+            }
+        ),
     ];
     leaf.prop_recursive(3, 12, 2, |inner| {
         prop_oneof![
@@ -61,8 +55,7 @@ fn arb_op_expr() -> impl Strategy<Value = OpExpr> {
     leaf.prop_recursive(2, 8, 2, |inner| {
         prop_oneof![
             inner.clone().prop_map(|e| OpExpr::Not(Box::new(e))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| OpExpr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| OpExpr::And(Box::new(a), Box::new(b))),
             (inner.clone(), inner).prop_map(|(a, b)| OpExpr::Or(Box::new(a), Box::new(b))),
         ]
     })

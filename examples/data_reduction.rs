@@ -32,12 +32,7 @@ fn main() {
     for ms in [0i64, 100, 500, 1_000, 5_000] {
         let mut log = LogParser::parse(&records);
         let stats = merge_events(&mut log.events, Duration::from_millis(ms));
-        println!(
-            "{:>7}ms | {:>12} | {:>15.2}x",
-            ms,
-            stats.after,
-            stats.factor()
-        );
+        println!("{:>7}ms | {:>12} | {:>15.2}x", ms, stats.after, stats.factor());
     }
     println!("\n(the paper settled on 1 s: good merging with no false events)");
 }

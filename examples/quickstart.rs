@@ -69,8 +69,5 @@ fn main() {
     for row in &outcome.results.rows {
         println!("{}", row.join("  |  "));
     }
-    println!(
-        "\n({} data queries executed by the scheduler)",
-        outcome.engine_stats.data_queries
-    );
+    println!("\n({} data queries executed by the scheduler)", outcome.engine_stats.data_queries);
 }

@@ -43,12 +43,9 @@ fn fivedirections_3_finds_nothing_due_to_ioc_drift() {
 
 #[test]
 fn clean_cases_reach_full_recall() {
-    for (id, expected) in [
-        ("tc_clearscope_1", 6),
-        ("tc_theia_1", 3),
-        ("tc_trace_2", 7),
-        ("vpnfilter", 178),
-    ] {
+    for (id, expected) in
+        [("tc_clearscope_1", 6), ("tc_theia_1", 3), ("tc_trace_2", 7), ("vpnfilter", 178)]
+    {
         let (tp, found, gt) = hunt_counts(id);
         assert_eq!(tp, expected, "{id}");
         assert_eq!(found, expected, "{id}: precision must be 100%");

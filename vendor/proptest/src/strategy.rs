@@ -1,0 +1,440 @@
+//! The [`Strategy`] trait and the built-in strategies.
+
+use std::ops::{Range, RangeFrom};
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A generator of test-case values. Unlike the real crate there is no value
+/// tree / shrinking — `generate` produces a value directly.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Recursive strategies: `self` is the leaf; `recurse` builds one level
+    /// on top of a strategy for the level below. `depth` bounds nesting;
+    /// the size/branch hints of the real API are accepted and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+    {
+        let leaf = BoxedStrategy::new(self);
+        let f: Rc<RecurseFn<Self::Value>> =
+            Rc::new(move |inner| BoxedStrategy::new(recurse(inner)));
+        Recursive { leaf, recurse: f, depth }
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Clone, F: Clone> Clone for Map<S, F> {
+    fn clone(&self) -> Self {
+        Map { inner: self.inner.clone(), f: self.f.clone() }
+    }
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Object-safe strategy handle (cheaply cloneable), the currency of
+/// [`crate::prop_oneof!`] and `prop_recursive`.
+pub struct BoxedStrategy<V>(Rc<dyn DynStrategy<V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V> BoxedStrategy<V> {
+    pub fn new<S: Strategy<Value = V> + 'static>(s: S) -> Self {
+        BoxedStrategy(Rc::new(s))
+    }
+}
+
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Uniform choice among arms (built by [`crate::prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Union { arms: self.arms.clone() }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+type RecurseFn<V> = dyn Fn(BoxedStrategy<V>) -> BoxedStrategy<V>;
+
+/// Built by [`Strategy::prop_recursive`].
+pub struct Recursive<V> {
+    leaf: BoxedStrategy<V>,
+    recurse: Rc<RecurseFn<V>>,
+    depth: u32,
+}
+
+impl<V> Clone for Recursive<V> {
+    fn clone(&self) -> Self {
+        Recursive { leaf: self.leaf.clone(), recurse: Rc::clone(&self.recurse), depth: self.depth }
+    }
+}
+
+/// Picks the leaf arm half the time so generated trees stay small; at depth
+/// zero only the leaf remains.
+struct LeafOrDeeper<V> {
+    leaf: BoxedStrategy<V>,
+    deeper: BoxedStrategy<V>,
+}
+
+impl<V> Strategy for LeafOrDeeper<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        if rng.next_u64() & 1 == 0 {
+            self.leaf.generate(rng)
+        } else {
+            self.deeper.generate(rng)
+        }
+    }
+}
+
+impl<V: 'static> Recursive<V> {
+    fn level(&self, depth: u32) -> BoxedStrategy<V> {
+        if depth == 0 {
+            return self.leaf.clone();
+        }
+        let deeper = (self.recurse)(self.level(depth - 1));
+        BoxedStrategy::new(LeafOrDeeper { leaf: self.leaf.clone(), deeper })
+    }
+}
+
+impl<V: 'static> Strategy for Recursive<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.level(self.depth).generate(rng)
+    }
+}
+
+// --- numeric range strategies ---
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                ((rng.next_u64() as u128 % span) as i128 + self.start as i128) as $t
+            }
+        }
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                (self.start..<$t>::MAX).generate(rng)
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+// --- string pattern strategy ---
+
+/// `&str` strategies interpret the string as the regex subset the real
+/// crate's tests here rely on: literal characters, `[...]` classes with
+/// `a-z` ranges (a leading/trailing `-` is literal), and an optional
+/// `{n}` / `{m,n}` repetition after each atom.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (choices, (lo, hi)) in &atoms {
+            let n = *lo + (rng.below((*hi - *lo + 1) as u64) as u32);
+            for _ in 0..n {
+                let (a, b) = choices[rng.below(choices.len() as u64) as usize];
+                let span = b as u32 - a as u32 + 1;
+                let c = char::from_u32(a as u32 + rng.below(span as u64) as u32)
+                    .expect("pattern char ranges avoid surrogates");
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+type Atom = (Vec<(char, char)>, (u32, u32));
+
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms: Vec<Atom> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices: Vec<(char, char)> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed [ in pattern {pat:?}"));
+            let body = &chars[i + 1..close];
+            i = close + 1;
+            let mut set = Vec::new();
+            let mut j = 0;
+            while j < body.len() {
+                if j + 2 < body.len() && body[j + 1] == '-' {
+                    set.push((body[j], body[j + 2]));
+                    j += 3;
+                } else {
+                    set.push((body[j], body[j]));
+                    j += 1;
+                }
+            }
+            assert!(!set.is_empty(), "empty class in pattern {pat:?}");
+            set
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![(c, c)]
+        };
+        let reps = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pat:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repetition"),
+                    hi.trim().parse().expect("bad repetition"),
+                ),
+                None => {
+                    let n: u32 = body.trim().parse().expect("bad repetition");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push((choices, reps));
+    }
+    atoms
+}
+
+// --- tuple strategies ---
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// A `Vec` of strategies yields a `Vec` of one value from each.
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_name("strategy-tests")
+    }
+
+    #[test]
+    fn string_pattern_shapes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z]{1,12}".generate(&mut r);
+            assert!((1..=12).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let t = "%[abc]{3,8}%".generate(&mut r);
+            assert!(t.starts_with('%') && t.ends_with('%'), "{t:?}");
+            assert!((5..=10).contains(&t.len()));
+
+            let u = "[ -~]{0,24}".generate(&mut r);
+            assert!(u.len() <= 24);
+            assert!(u.chars().all(|c| (' '..='~').contains(&c)));
+
+            let v = "[a-z0-9/%._-]{1,16}".generate(&mut r);
+            assert!(!v.is_empty() && v.len() <= 16, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let (a, b): (i64, usize) = (0i64..100, 3usize..7).generate(&mut r);
+            assert!((0..100).contains(&a));
+            assert!((3..7).contains(&b));
+            let v = crate::collection::vec(0i32..5, 2..4).generate(&mut r);
+            assert!((2..4).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..5).contains(x)));
+        }
+    }
+
+    #[test]
+    fn union_hits_every_arm() {
+        let mut r = rng();
+        let s = crate::prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[s.generate(&mut r) as usize] = true;
+        }
+        assert_eq!(&seen[1..], &[true, true, true]);
+    }
+
+    #[test]
+    fn recursive_bounded_and_mixed() {
+        #[derive(Debug)]
+        enum Tree {
+            #[allow(dead_code)]
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (0i64..10).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(3, 12, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut r = rng();
+        let mut max_seen = 0;
+        for _ in 0..200 {
+            let t = strat.generate(&mut r);
+            max_seen = max_seen.max(depth(&t));
+            assert!(depth(&t) <= 3);
+        }
+        assert!(max_seen >= 1, "recursion never taken");
+    }
+}

@@ -1,0 +1,13 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes the `Serialize` / `Deserialize` names (trait + derive macro,
+//! sharing a name like the real crate) so `use serde::{Deserialize,
+//! Serialize}` plus `#[derive(...)]` compile. Nothing in this workspace
+//! actually serializes through serde, so the traits are empty markers and
+//! the derives expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only decorates a few types with `#[derive(Serialize,
+//! Deserialize)]` and never serializes them through serde (no serde_json in
+//! the tree), so the derives can legally expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
