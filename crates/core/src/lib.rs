@@ -38,9 +38,11 @@
 //! ```
 
 pub mod raptor;
+pub mod stream;
 pub mod synthesis;
 
 pub use raptor::{HuntOutcome, ThreatRaptor};
+pub use stream::HuntStream;
 pub use synthesis::{synthesize, SynthesisPlan};
 
 // Re-export the sub-crates so downstream users need only one dependency.
@@ -51,4 +53,5 @@ pub use raptor_extract as extract;
 pub use raptor_graphstore as graphstore;
 pub use raptor_nlp as nlp;
 pub use raptor_relstore as relstore;
+pub use raptor_stream as streaming;
 pub use raptor_tbql as tbql;

@@ -1,0 +1,113 @@
+//! Live hunting over a stream of audit events.
+//!
+//! [`HuntStream`] is the streaming counterpart of [`ThreatRaptor`]: instead
+//! of loading a snapshot and executing queries once, it starts from empty
+//! stores, ingests watermarked epochs, and re-evaluates registered standing
+//! queries per epoch with delta evaluation — surfacing typed
+//! [`ResultBatch`](raptor_storage::ResultBatch) deltas as they appear.
+//! Queries can come from hand-written TBQL (proactive hunting) or straight
+//! from an OSCTI report via the extraction + synthesis pipeline.
+
+use raptor_common::error::Result;
+use raptor_extract::extract;
+use raptor_tbql::print::print_query;
+use raptor_tbql::{analyze, Query};
+
+pub use raptor_stream::{
+    EpochBatch, EpochPolicy, EpochReport, EpochStream, QueryDelta, QueryId, StreamSession,
+};
+
+use crate::synthesis::{synthesize, SynthesisPlan};
+use crate::ThreatRaptor;
+
+/// A continuous hunt: incremental stores + standing queries.
+pub struct HuntStream {
+    session: StreamSession,
+}
+
+impl HuntStream {
+    /// Starts a live hunt over empty stores.
+    pub fn new() -> Result<Self> {
+        Ok(HuntStream { session: StreamSession::new()? })
+    }
+
+    /// Registers a hand-written TBQL standing query.
+    pub fn register_tbql(&mut self, name: &str, tbql: &str) -> Result<QueryId> {
+        self.session.register(name, tbql)
+    }
+
+    /// Registers a standing query synthesized from an OSCTI report:
+    /// text → threat behavior graph → TBQL → registry. Returns the handle
+    /// plus the synthesized query (AST and rendered text).
+    pub fn register_report(
+        &mut self,
+        name: &str,
+        report: &str,
+        plan: &SynthesisPlan,
+    ) -> Result<(QueryId, Query, String)> {
+        let extraction = extract(report);
+        let query = synthesize(&extraction.graph, plan)?;
+        let text = print_query(&query);
+        let id = self.session.register_analyzed(name, analyze(&query)?)?;
+        Ok((id, query, text))
+    }
+
+    /// Ingests one epoch batch; see [`StreamSession::ingest_batch`].
+    pub fn ingest_batch(&mut self, batch: &EpochBatch<'_>) -> Result<EpochReport> {
+        self.session.ingest_batch(batch)
+    }
+
+    /// The underlying session (standing-query state, engine, totals).
+    pub fn session(&self) -> &StreamSession {
+        &self.session
+    }
+
+    pub fn session_mut(&mut self) -> &mut StreamSession {
+        &mut self.session
+    }
+}
+
+impl ThreatRaptor {
+    /// Starts a *streaming* hunt (no snapshot required — the returned
+    /// [`HuntStream`] owns its own incrementally-grown stores).
+    pub fn stream() -> Result<HuntStream> {
+        HuntStream::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raptor_audit::sim::Simulator;
+    use raptor_audit::LogParser;
+    use raptor_common::time::Timestamp;
+
+    #[test]
+    fn report_driven_standing_query_fires() {
+        let mut sim = Simulator::new(3, Timestamp::from_secs(9000));
+        let shell = sim.boot_process("/bin/bash", "root");
+        let tar = sim.spawn(shell, "/bin/tar", "tar");
+        sim.read_file(tar, "/etc/passwd", 4096, 2);
+        sim.exit(tar);
+        let log = LogParser::parse(&sim.finish());
+
+        let mut hunt = ThreatRaptor::stream().unwrap();
+        let (qid, _, text) = hunt
+            .register_report(
+                "report",
+                "The attacker used /bin/tar to read credentials from /etc/passwd.",
+                &SynthesisPlan::default(),
+            )
+            .unwrap();
+        assert!(text.contains("read"), "{text}");
+        let mut first_hit = None;
+        for batch in EpochStream::new(&log, EpochPolicy::ByCount(2)) {
+            let report = hunt.ingest_batch(&batch).unwrap();
+            if first_hit.is_none() && report.deltas[0].delta.n_rows() > 0 {
+                first_hit = Some(report.epoch);
+            }
+        }
+        assert!(first_hit.is_some(), "standing query never fired");
+        assert!(hunt.session().query(qid).cumulative_batch().n_rows() > 0);
+    }
+}

@@ -46,6 +46,45 @@ impl Propagation {
         self.entity_ids.insert(var.into(), ids);
     }
 
+    /// Grows `var` by union with `ids`; sets it when absent. This is the
+    /// *streaming* propagation rule: candidate sets derived from entity
+    /// filters only ever gain members as new entities are ingested, so
+    /// standing queries union per-epoch delta seeds instead of recomputing
+    /// (or intersecting) them.
+    pub fn union(&mut self, var: &str, mut ids: Vec<i64>) {
+        ids.sort_unstable();
+        ids.dedup();
+        match self.entity_ids.get_mut(var) {
+            Some(existing) => {
+                // Linear merge of two sorted distinct lists — the existing
+                // set is typically much larger than the per-epoch delta.
+                let mut merged = Vec::with_capacity(existing.len() + ids.len());
+                let (mut i, mut j) = (0, 0);
+                while i < existing.len() && j < ids.len() {
+                    match existing[i].cmp(&ids[j]) {
+                        std::cmp::Ordering::Less => {
+                            merged.push(existing[i]);
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            merged.push(ids[j]);
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            merged.push(existing[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                merged.extend_from_slice(&existing[i..]);
+                merged.extend_from_slice(&ids[j..]);
+                *existing = merged;
+            }
+            None => self.entity_ids.insert(var.into(), ids).map_or((), drop),
+        }
+    }
+
     /// Narrows `var` to the intersection with `ids`; sets it when absent.
     pub fn intersect(&mut self, var: &str, ids: Vec<i64>) {
         match self.entity_ids.get_mut(var) {
@@ -714,6 +753,7 @@ pub fn event_pattern_request(
         subject: entity_sel(ctx, &p.subject, prop),
         object: entity_sel(ctx, &p.object, prop),
         event_pred: raptor_storage::Pred::and(event_conjuncts(ctx, p, Some(op))?),
+        event_id_in: None,
         subject_is_object: p.subject == p.object,
     })
 }
@@ -741,6 +781,7 @@ pub fn path_pattern_request(
         max_hops,
         hop_cap,
         final_hop_pred,
+        final_event_id_in: None,
         want_event: p.has_final_hop(),
         subject_is_object: p.subject == p.object,
     })
@@ -821,6 +862,17 @@ mod tests {
         prop.set("p", (0..(MAX_IN_LIST as i64 + 1)).collect());
         let sql = sql_for_event_pattern(&ctx, &aq.patterns[0], &prop).unwrap();
         assert!(!sql.contains("IN ("), "{sql}");
+    }
+
+    #[test]
+    fn union_merges_sorted_distinct() {
+        let mut prop = Propagation::default();
+        prop.union("p", vec![9, 3, 3, 5]);
+        assert_eq!(prop.get("p"), Some(&[3, 5, 9][..]));
+        prop.union("p", vec![4, 9, 1]);
+        assert_eq!(prop.get("p"), Some(&[1, 3, 4, 5, 9][..]));
+        prop.union("p", vec![]);
+        assert_eq!(prop.get("p"), Some(&[1, 3, 4, 5, 9][..]));
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub enum ExecMode {
 
 /// How the scheduled executor talks to the stores.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum DataPath {
+pub(crate) enum DataPath {
     /// Typed requests through the [`StorageBackend`] trait (the default).
     Typed,
     /// The seed pipeline: render SQL/Cypher text, re-parse it in the store,
@@ -102,7 +102,13 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
-    fn record(&mut self, backend: &'static str, kind: QueryKind, label: &str, in_lists: usize) {
+    pub(crate) fn record(
+        &mut self,
+        backend: &'static str,
+        kind: QueryKind,
+        label: &str,
+        in_lists: usize,
+    ) {
         self.data_queries += 1;
         self.queries.push(QueryInfo {
             backend,
@@ -149,16 +155,16 @@ impl ResultTable {
 
 /// One pattern match: subject/object entity ids plus (for patterns with a
 /// final hop) the event id and its timestamps.
-#[derive(Clone, Copy, Debug)]
-struct Match {
-    subj: i64,
-    obj: i64,
-    evt: i64,
-    start: i64,
-    end: i64,
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct Match {
+    pub(crate) subj: i64,
+    pub(crate) obj: i64,
+    pub(crate) evt: i64,
+    pub(crate) start: i64,
+    pub(crate) end: i64,
 }
 
-fn matches_to_rows(m: &PatternMatches) -> Vec<Match> {
+pub(crate) fn matches_to_rows(m: &PatternMatches) -> Vec<Match> {
     (0..m.len())
         .map(|i| Match {
             subj: m.subj[i],
@@ -182,11 +188,11 @@ impl Engine {
         Engine { stores, max_hops: gexec::DEFAULT_MAX_HOPS }
     }
 
-    fn rel(&self) -> &dyn StorageBackend {
+    pub(crate) fn rel(&self) -> &dyn StorageBackend {
         &self.stores.rel
     }
 
-    fn graph(&self) -> &dyn StorageBackend {
+    pub(crate) fn graph(&self) -> &dyn StorageBackend {
         &self.stores.graph
     }
 
@@ -232,7 +238,7 @@ impl Engine {
         Ok((ResultTable::from_batch(&batch), stats))
     }
 
-    fn ctx<'a>(&self, aq: &'a AnalyzedQuery) -> CompileCtx<'a> {
+    pub(crate) fn ctx<'a>(&self, aq: &'a AnalyzedQuery) -> CompileCtx<'a> {
         CompileCtx { aq, now_ns: self.stores.now_ns }
     }
 
@@ -446,17 +452,34 @@ impl Engine {
             }
         }
 
-        let columns: Vec<String> =
-            aq.ret.iter().map(|r| format!("{}.{}", r.base, r.attr)).collect();
         if stats.short_circuited {
+            let columns: Vec<String> =
+                aq.ret.iter().map(|r| format!("{}.{}", r.base, r.attr)).collect();
             return Ok((ResultBatch::from_rows(columns, Vec::new()), stats));
         }
 
+        let pattern_rows: Vec<&Vec<Match>> =
+            matches.iter().map(|m| m.as_ref().expect("all executed")).collect();
+        let batch = self.join_project(aq, &pattern_rows, &mut stats, path)?;
+        Ok((batch, stats))
+    }
+
+    /// Joins per-pattern match sets on shared entity variables, applies
+    /// `with`-clause constraints, and projects the typed result batch.
+    /// Shared by one-shot scheduled execution and the standing-query
+    /// re-evaluation path (which feeds *accumulated* match sets).
+    pub(crate) fn join_project(
+        &self,
+        aq: &AnalyzedQuery,
+        pattern_rows: &[&Vec<Match>],
+        stats: &mut EngineStats,
+        path: DataPath,
+    ) -> Result<ResultBatch> {
+        let columns: Vec<String> =
+            aq.ret.iter().map(|r| format!("{}.{}", r.base, r.attr)).collect();
         // --- join per-pattern matches on shared entity variables ---
         // Tuples hold one row index per pattern.
         let n = aq.patterns.len();
-        let pattern_rows: Vec<&Vec<Match>> =
-            matches.iter().map(|m| m.as_ref().expect("all executed")).collect();
         // Where does entity var appear in pattern k? (as subject/object)
         let var_positions = |k: usize| -> Vec<(&str, bool)> {
             let p = &aq.patterns[k];
@@ -564,14 +587,14 @@ impl Engine {
                     let lattr = left.attr.as_deref().unwrap_or_default();
                     let rattr = right.attr.as_deref().unwrap_or_default();
                     let lvals =
-                        self.attr_map(aq, lvar, lattr, &tuples, &pattern_rows, &mut stats, path)?;
+                        self.attr_map(aq, lvar, lattr, &tuples, pattern_rows, stats, path)?;
                     let rvals =
-                        self.attr_map(aq, rvar, rattr, &tuples, &pattern_rows, &mut stats, path)?;
+                        self.attr_map(aq, rvar, rattr, &tuples, pattern_rows, stats, path)?;
                     let lpos = self.var_slot(aq, lvar)?;
                     let rpos = self.var_slot(aq, rvar)?;
                     tuples.retain(|t| {
-                        let lid = id_at(&pattern_rows, t, lpos);
-                        let rid = id_at(&pattern_rows, t, rpos);
+                        let lid = id_at(pattern_rows, t, lpos);
+                        let rid = id_at(pattern_rows, t, rpos);
                         match (lvals.get(&lid), rvals.get(&rid)) {
                             (Some(a), Some(b)) => cmp_svals(a, *op, b),
                             _ => false,
@@ -588,10 +611,9 @@ impl Engine {
                 continue;
             }
             let slot = self.var_slot(aq, &item.base)?;
-            let ids: FxHashSet<i64> =
-                tuples.iter().map(|t| id_at(&pattern_rows, t, slot)).collect();
+            let ids: FxHashSet<i64> = tuples.iter().map(|t| id_at(pattern_rows, t, slot)).collect();
             let source = AttrSource::Entity(class_for_type(aq.entities[&item.base].ty));
-            let map = self.fetch_attr_map(source, &item.attr, &ids, &mut stats, path)?;
+            let map = self.fetch_attr_map(source, &item.attr, &ids, stats, path)?;
             lookups.insert((item.base.clone(), item.attr.clone()), map);
         }
         // Event-attribute lookups beyond start/end/id go to the events table.
@@ -607,7 +629,7 @@ impl Engine {
                 .map(|t| pattern_rows[pi][t[pi] as usize].evt)
                 .filter(|&e| e >= 0)
                 .collect();
-            let map = self.fetch_attr_map(AttrSource::Event, &item.attr, &ids, &mut stats, path)?;
+            let map = self.fetch_attr_map(AttrSource::Event, &item.attr, &ids, stats, path)?;
             event_attr_maps.insert((item.base.clone(), item.attr.clone()), map);
         }
 
@@ -619,7 +641,7 @@ impl Engine {
                     aq,
                     item,
                     t,
-                    &pattern_rows,
+                    pattern_rows,
                     &lookups,
                     &event_attr_maps,
                     &pat_index,
@@ -631,7 +653,7 @@ impl Engine {
             let mut seen: FxHashSet<Vec<SVal>> = FxHashSet::default();
             rows.retain(|r| seen.insert(r.clone()));
         }
-        Ok((ResultBatch::from_rows(columns, rows), stats))
+        Ok(ResultBatch::from_rows(columns, rows))
     }
 
     #[allow(clippy::too_many_arguments)]

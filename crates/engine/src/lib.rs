@@ -5,7 +5,8 @@
 //! * [`load`] — loads a parsed audit log into the relational store (entity +
 //!   event tables with hash/btree/trigram indexes) and the graph store
 //!   (entities as nodes, events as edges), replicating data across both as
-//!   the paper does,
+//!   the paper does; bulk load and streaming ingest share one append path
+//!   (`load::empty` + `load::append_entity` / `load::append_event`),
 //! * [`compile`] — compiles each TBQL pattern into a small, semantically
 //!   equivalent SQL (event patterns) or Cypher (path patterns) data query;
 //!   also emits the *giant* whole-query SQL/Cypher used as baselines and for
@@ -17,6 +18,10 @@
 //! * [`exec`] — the [`exec::Engine`]: scheduled execution, cross-pattern
 //!   joins on shared entities, `with`-clause evaluation, projection; plus
 //!   the giant-SQL and giant-Cypher execution paths,
+//! * [`standing`] — standing queries for the streaming mode: registered
+//!   once, re-evaluated per ingestion epoch with delta evaluation (only
+//!   new events are matched; match sets and propagated candidate id-sets
+//!   grow monotonically), emitting per-epoch result deltas,
 //! * [`provenance`] / [`fuzzy`] — the fuzzy search mode: Poirot-style
 //!   inexact graph pattern matching with Levenshtein node alignment and
 //!   ancestor-influence scoring; the Poirot baseline stops at the first
@@ -28,6 +33,8 @@ pub mod fuzzy;
 pub mod load;
 pub mod provenance;
 pub mod schedule;
+pub mod standing;
 
 pub use exec::{Engine, ExecMode, ResultTable};
 pub use load::LoadedStores;
+pub use standing::{EpochInput, PatternProgress, StandingQuery};

@@ -5,13 +5,20 @@
 //! with indexes on key attributes (file name, process executable name,
 //! source/destination IP). This module does the same against our embedded
 //! engines, using one consistent entity id across both stores.
+//!
+//! Since the streaming subsystem landed there is exactly **one** write path:
+//! [`empty`] creates schemas and indexes up front, and every record —
+//! whether bulk-loaded by [`load`] or ingested epoch-by-epoch by
+//! `raptor-stream` — goes through [`append_entity`] / [`append_event`],
+//! which drive both stores' [`MutableBackend`] implementations. Both stores
+//! maintain every index on insert, so an incrementally-grown store is
+//! identical-by-construction to a bulk-loaded one.
 
-use raptor_audit::{EntityAttrs, EntityKind, ParsedLog};
-use raptor_common::error::Result;
-use raptor_graphstore::graph::PropIns;
+use raptor_audit::{Entity, EntityAttrs, EntityKind, ParsedLog, SystemEvent};
+use raptor_common::error::{Error, Result};
 use raptor_graphstore::Graph;
-use raptor_relstore::db::Ins;
 use raptor_relstore::{ColumnDef, ColumnType, Database, TableSchema};
+use raptor_storage::{BackendStats, EntityClass, Field, FieldValue, MutableBackend};
 
 /// Both backends, loaded with the same data.
 pub struct LoadedStores {
@@ -102,139 +109,23 @@ fn audit_schema() -> Vec<TableSchema> {
     ]
 }
 
-/// Loads a parsed log into both stores and builds the indexes.
-pub fn load(log: &ParsedLog) -> Result<LoadedStores> {
+/// Storage entity class for an audit entity kind.
+pub fn class_for_kind(kind: EntityKind) -> EntityClass {
+    match kind {
+        EntityKind::File => EntityClass::File,
+        EntityKind::Process => EntityClass::Process,
+        EntityKind::NetConn => EntityClass::NetConn,
+    }
+}
+
+/// Creates empty stores with the audit schema and every index (paper
+/// Section III-B: key attributes, plus id lookups for scheduler
+/// propagation). Records appended later maintain all of them.
+pub fn empty() -> Result<LoadedStores> {
     let mut rel = Database::new();
     for schema in audit_schema() {
         rel.create_table(schema)?;
     }
-
-    let mut graph = Graph::new();
-    let mut now_ns = i64::MIN;
-
-    // Entities. Graph node ids coincide with entity ids because entities are
-    // inserted in id order into an empty graph.
-    for e in &log.entities {
-        let id = e.id.index() as i64;
-        match &e.attrs {
-            EntityAttrs::File(f) => {
-                rel.insert(
-                    "files",
-                    &[
-                        Ins::Int(id),
-                        Ins::Str(&f.name),
-                        Ins::Str(&f.path),
-                        Ins::Str(&f.user),
-                        Ins::Str(&f.group),
-                        Ins::Int(e.host as i64),
-                    ],
-                )?;
-                graph.add_node(
-                    LABEL_FILE,
-                    &[
-                        ("id", PropIns::Int(id)),
-                        ("name", PropIns::Str(&f.name)),
-                        ("path", PropIns::Str(&f.path)),
-                        ("user", PropIns::Str(&f.user)),
-                        ("group", PropIns::Str(&f.group)),
-                        ("host", PropIns::Int(e.host as i64)),
-                    ],
-                );
-            }
-            EntityAttrs::Process(p) => {
-                rel.insert(
-                    "processes",
-                    &[
-                        Ins::Int(id),
-                        Ins::Int(p.pid as i64),
-                        Ins::Str(&p.exename),
-                        Ins::Str(&p.user),
-                        Ins::Str(&p.group),
-                        Ins::Str(&p.cmd),
-                        Ins::Int(e.host as i64),
-                    ],
-                )?;
-                graph.add_node(
-                    LABEL_PROCESS,
-                    &[
-                        ("id", PropIns::Int(id)),
-                        ("pid", PropIns::Int(p.pid as i64)),
-                        ("exename", PropIns::Str(&p.exename)),
-                        ("user", PropIns::Str(&p.user)),
-                        ("group", PropIns::Str(&p.group)),
-                        ("cmd", PropIns::Str(&p.cmd)),
-                        ("host", PropIns::Int(e.host as i64)),
-                    ],
-                );
-            }
-            EntityAttrs::NetConn(n) => {
-                rel.insert(
-                    "netconns",
-                    &[
-                        Ins::Int(id),
-                        Ins::Str(&n.src_ip),
-                        Ins::Int(n.src_port as i64),
-                        Ins::Str(&n.dst_ip),
-                        Ins::Int(n.dst_port as i64),
-                        Ins::Str(n.protocol.name()),
-                        Ins::Int(e.host as i64),
-                    ],
-                )?;
-                graph.add_node(
-                    LABEL_NETCONN,
-                    &[
-                        ("id", PropIns::Int(id)),
-                        ("srcip", PropIns::Str(&n.src_ip)),
-                        ("srcport", PropIns::Int(n.src_port as i64)),
-                        ("dstip", PropIns::Str(&n.dst_ip)),
-                        ("dstport", PropIns::Int(n.dst_port as i64)),
-                        ("protocol", PropIns::Str(n.protocol.name())),
-                        ("host", PropIns::Int(e.host as i64)),
-                    ],
-                );
-            }
-        }
-    }
-
-    // Events.
-    for ev in &log.events {
-        now_ns = now_ns.max(ev.end.0);
-        rel.insert(
-            "events",
-            &[
-                Ins::Int(ev.id.index() as i64),
-                Ins::Int(ev.subject.index() as i64),
-                Ins::Int(ev.object.index() as i64),
-                Ins::Str(ev.op.name()),
-                Ins::Str(ev.kind.name()),
-                Ins::Int(ev.start.0),
-                Ins::Int(ev.end.0),
-                Ins::Int(ev.duration().0),
-                Ins::Int(ev.amount as i64),
-                Ins::Int(ev.fail_code as i64),
-                Ins::Int(ev.host as i64),
-            ],
-        )?;
-        let src = raptor_graphstore::NodeId(ev.subject.0);
-        let dst = raptor_graphstore::NodeId(ev.object.0);
-        graph.add_edge(
-            src,
-            dst,
-            LABEL_EVENT,
-            &[
-                ("id", PropIns::Int(ev.id.index() as i64)),
-                ("optype", PropIns::Str(ev.op.name())),
-                ("starttime", PropIns::Int(ev.start.0)),
-                ("endtime", PropIns::Int(ev.end.0)),
-                ("amount", PropIns::Int(ev.amount as i64)),
-                ("failcode", PropIns::Int(ev.fail_code as i64)),
-                ("host", PropIns::Int(ev.host as i64)),
-            ],
-        )?;
-    }
-
-    // Indexes on key attributes (paper Section III-B), plus id lookups for
-    // scheduler propagation.
     for (table, col) in [
         ("files", "id"),
         ("files", "name"),
@@ -255,6 +146,7 @@ pub fn load(log: &ParsedLog) -> Result<LoadedStores> {
     }
     rel.create_btree_index("events", "starttime")?;
 
+    let mut graph = Graph::new();
     for (label, key) in [
         (LABEL_PROCESS, "exename"),
         (LABEL_PROCESS, "id"),
@@ -266,10 +158,104 @@ pub fn load(log: &ParsedLog) -> Result<LoadedStores> {
         graph.create_node_index(label, key);
     }
 
-    if now_ns == i64::MIN {
-        now_ns = 0;
+    Ok(LoadedStores { rel, graph, now_ns: 0 })
+}
+
+/// Appends one entity to both stores through their [`MutableBackend`]s.
+///
+/// Entities must arrive in dense ascending id order (the audit parser's id
+/// space) — graph node ids coincide with entity ids exactly because of this.
+pub fn append_entity(
+    stores: &mut LoadedStores,
+    e: &Entity,
+    stats: &mut BackendStats,
+) -> Result<()> {
+    let id = e.id.index() as i64;
+    if id != stores.graph.node_count() as i64 {
+        return Err(Error::storage(format!(
+            "entity {id} appended out of order (expected {})",
+            stores.graph.node_count()
+        )));
     }
-    Ok(LoadedStores { rel, graph, now_ns })
+    let host = e.host as i64;
+    let fields: Vec<Field<'_>> = match &e.attrs {
+        EntityAttrs::File(f) => vec![
+            ("name", FieldValue::Str(&f.name)),
+            ("path", FieldValue::Str(&f.path)),
+            ("user", FieldValue::Str(&f.user)),
+            ("group", FieldValue::Str(&f.group)),
+            ("host", FieldValue::Int(host)),
+        ],
+        EntityAttrs::Process(p) => vec![
+            ("pid", FieldValue::Int(p.pid as i64)),
+            ("exename", FieldValue::Str(&p.exename)),
+            ("user", FieldValue::Str(&p.user)),
+            ("group", FieldValue::Str(&p.group)),
+            ("cmd", FieldValue::Str(&p.cmd)),
+            ("host", FieldValue::Int(host)),
+        ],
+        EntityAttrs::NetConn(n) => vec![
+            ("srcip", FieldValue::Str(&n.src_ip)),
+            ("srcport", FieldValue::Int(n.src_port as i64)),
+            ("dstip", FieldValue::Str(&n.dst_ip)),
+            ("dstport", FieldValue::Int(n.dst_port as i64)),
+            ("protocol", FieldValue::Str(n.protocol.name())),
+            ("host", FieldValue::Int(host)),
+        ],
+    };
+    let class = class_for_kind(e.attrs.kind());
+    stores.rel.insert_entity(class, id, &fields, stats)?;
+    stores.graph.insert_entity(class, id, &fields, stats)?;
+    Ok(())
+}
+
+/// Appends one event to both stores; advances the `now_ns` watermark.
+pub fn append_event(
+    stores: &mut LoadedStores,
+    ev: &SystemEvent,
+    stats: &mut BackendStats,
+) -> Result<()> {
+    let fields: [Field<'_>; 8] = [
+        ("optype", FieldValue::Str(ev.op.name())),
+        ("kind", FieldValue::Str(ev.kind.name())),
+        ("starttime", FieldValue::Int(ev.start.0)),
+        ("endtime", FieldValue::Int(ev.end.0)),
+        ("duration", FieldValue::Int(ev.duration().0)),
+        ("amount", FieldValue::Int(ev.amount as i64)),
+        ("failcode", FieldValue::Int(ev.fail_code as i64)),
+        ("host", FieldValue::Int(ev.host as i64)),
+    ];
+    let (id, subj, obj) =
+        (ev.id.index() as i64, ev.subject.index() as i64, ev.object.index() as i64);
+    stores.rel.insert_event(id, subj, obj, &fields, stats)?;
+    stores.graph.insert_event(id, subj, obj, &fields, stats)?;
+    stores.now_ns = stores.now_ns.max(ev.end.0);
+    Ok(())
+}
+
+/// Appends a whole parsed log (entities first, then events).
+pub fn append_log(
+    stores: &mut LoadedStores,
+    log: &ParsedLog,
+    stats: &mut BackendStats,
+) -> Result<()> {
+    for e in &log.entities {
+        append_entity(stores, e, stats)?;
+    }
+    for ev in &log.events {
+        append_event(stores, ev, stats)?;
+    }
+    Ok(())
+}
+
+/// Loads a parsed log into both stores: [`empty`] + [`append_log`]. The
+/// streaming path ingests through the very same appenders, so bulk and
+/// incremental loads produce identical stores.
+pub fn load(log: &ParsedLog) -> Result<LoadedStores> {
+    let mut stores = empty()?;
+    let mut stats = BackendStats::default();
+    append_log(&mut stores, log, &mut stats)?;
+    Ok(stores)
 }
 
 #[cfg(test)]

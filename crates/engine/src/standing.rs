@@ -1,0 +1,372 @@
+//! Standing queries — continuous evaluation over a growing store.
+//!
+//! A [`StandingQuery`] is a compiled TBQL query registered *once* and then
+//! re-evaluated per ingestion epoch with **delta evaluation**:
+//!
+//! * each event pattern (and each length-1 path pattern) is matched only
+//!   against the epoch's freshly ingested events, via the typed requests'
+//!   `event_id_in` / `final_event_id_in` restriction — per-epoch data-query
+//!   cost tracks the epoch size, not the store size,
+//! * per-pattern match sets **accumulate** across epochs, and the
+//!   filter-derived [`Propagation`] candidate sets grow monotonically
+//!   (delta-seeded from each epoch's new entity-id range, then unioned)
+//!   instead of being recomputed,
+//! * variable-length path patterns are the documented exception: a new path
+//!   may mix old and new edges, so they fall back to full re-evaluation
+//!   each epoch (their match set is *replaced*, which is still monotone on
+//!   a grow-only store),
+//! * the cross-pattern join, `with`-clause constraints, and projection then
+//!   run in memory over the accumulated match sets (the same
+//!   `join_project` stage one-shot scheduled execution uses), and the
+//!   result is diffed against everything already emitted.
+//!
+//! The delta invariant, asserted by the streaming equivalence tests: after
+//! any sequence of epochs, the concatenation of all emitted deltas equals —
+//! as a multiset of rows — the result of executing the same query in
+//! `ExecMode::Scheduled` over the fully loaded store. Scheduled batch
+//! execution's intersection-based propagation is *not* used here (an entity
+//! unmatched today may match tomorrow); the entity filters themselves are
+//! still pushed into every data query, so candidate sets only ever prune,
+//! never decide, correctness.
+
+use raptor_common::error::{Error, Result};
+use raptor_common::hash::FxHashMap;
+use raptor_storage::{CmpOp as SOp, Pred, ResultBatch, Value as SVal};
+use raptor_tbql::analyze::AnalyzedQuery;
+use raptor_tbql::Window;
+
+use crate::compile::{
+    attr_pred, class_for_type, event_pattern_request, path_pattern_request, Propagation,
+};
+use crate::exec::{matches_to_rows, DataPath, Engine, EngineStats, Match, QueryKind};
+
+/// What one ingestion epoch contributed, as the standing-query evaluator
+/// needs to see it.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochInput<'a> {
+    /// Epoch sequence number (informational; drives first-match reporting).
+    pub epoch: u64,
+    /// Entity ids ingested this epoch as the half-open range `[lo, hi)` —
+    /// entities are append-only and dense, so a range suffices.
+    pub entity_range: (i64, i64),
+    /// Event ids ingested this epoch (sorted, distinct; *not* necessarily
+    /// contiguous — ingestion order is the stream's, not the log's).
+    pub event_ids: &'a [i64],
+}
+
+/// Per-pattern progress of a standing query.
+#[derive(Clone, Debug)]
+pub struct PatternProgress {
+    /// The pattern id (`as evtN` / generated `_evtN`).
+    pub id: String,
+    /// Accumulated matches so far.
+    pub matches: usize,
+    /// Epoch at which the pattern first matched, if it ever has.
+    pub first_match_epoch: Option<u64>,
+}
+
+/// A registered query plus its accumulated evaluation state.
+pub struct StandingQuery {
+    name: String,
+    aq: AnalyzedQuery,
+    /// Accumulated per-pattern matches (index-aligned with `aq.patterns`).
+    matches: Vec<Vec<Match>>,
+    /// Per-pattern: this pattern is delta-evaluable (event pattern or
+    /// length-1 path). Others re-evaluate fully each epoch.
+    delta_ok: Vec<bool>,
+    /// Monotone filter-derived candidate sets.
+    prop: Propagation,
+    /// Multiset of rows already emitted across all epochs.
+    emitted: FxHashMap<Vec<SVal>, usize>,
+    /// Every emitted row, in emission order (the cumulative view).
+    cumulative: Vec<Vec<SVal>>,
+    columns: Vec<String>,
+    first_match_epoch: Vec<Option<u64>>,
+}
+
+impl StandingQuery {
+    /// Compiles a standing query. Rejects relative `last N unit` windows:
+    /// they are anchored to `now_ns`, which advances with every epoch's
+    /// watermark, so matches accepted early could not be retracted later —
+    /// the delta invariant (concatenated deltas == batch result) would
+    /// silently break. Absolute windows (`from/to`, `at`, `before`,
+    /// `after`) are fine.
+    pub fn new(name: impl Into<String>, aq: AnalyzedQuery) -> Result<Self> {
+        let relative = |w: &Window| matches!(w, Window::Last { .. });
+        if aq.patterns.iter().filter_map(|p| p.window.as_ref()).any(relative)
+            || aq.global_windows.iter().any(relative)
+        {
+            return Err(Error::semantic(
+                "standing queries do not support relative `last N unit` windows \
+                 (the reference point moves with the stream's watermark)",
+            ));
+        }
+        let columns = aq.ret.iter().map(|r| format!("{}.{}", r.base, r.attr)).collect();
+        let n = aq.patterns.len();
+        let delta_ok = aq.patterns.iter().map(|p| !p.is_path() || p.has_final_hop()).collect();
+        Ok(StandingQuery {
+            name: name.into(),
+            aq,
+            matches: vec![Vec::new(); n],
+            delta_ok,
+            prop: Propagation::default(),
+            emitted: FxHashMap::default(),
+            cumulative: Vec::new(),
+            columns,
+            first_match_epoch: vec![None; n],
+        })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn query(&self) -> &AnalyzedQuery {
+        &self.aq
+    }
+
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Per-pattern accumulated state (for live-hunt displays).
+    pub fn progress(&self) -> Vec<PatternProgress> {
+        self.aq
+            .patterns
+            .iter()
+            .map(|p| PatternProgress {
+                id: p.id.clone(),
+                matches: self.matches[p.index].len(),
+                first_match_epoch: self.first_match_epoch[p.index],
+            })
+            .collect()
+    }
+
+    /// Every row emitted so far, in emission order. After the final epoch
+    /// this equals (as a multiset) the one-shot `ExecMode::Scheduled`
+    /// result over the same data.
+    pub fn cumulative_batch(&self) -> ResultBatch {
+        ResultBatch::from_rows(self.columns.clone(), self.cumulative.clone())
+    }
+
+    /// Delta-seeds the filter-derived candidate sets from this epoch's new
+    /// entity-id range and unions them into the monotone propagation state.
+    fn seed_delta(
+        &mut self,
+        engine: &Engine,
+        input: &EpochInput<'_>,
+        stats: &mut EngineStats,
+    ) -> Result<()> {
+        let (lo, hi) = input.entity_range;
+        if lo >= hi {
+            return Ok(());
+        }
+        let range = Pred::And(
+            Box::new(Pred::Cmp { attr: "id".into(), op: SOp::Ge, value: SVal::Int(lo) }),
+            Box::new(Pred::Cmp { attr: "id".into(), op: SOp::Lt, value: SVal::Int(hi) }),
+        );
+        for id in &self.aq.entity_order {
+            let e = &self.aq.entities[id];
+            let Some(filter) = &e.filter else { continue };
+            let pred = Pred::And(Box::new(attr_pred(filter)), Box::new(range.clone()));
+            let ids =
+                engine.rel().entity_candidates(class_for_type(e.ty), &pred, &mut stats.backend)?;
+            stats.record("relational", QueryKind::Seed, id, 0);
+            self.prop.union(id, ids);
+        }
+        Ok(())
+    }
+
+    /// Advances the standing query by one ingestion epoch, returning the
+    /// *delta* of result rows this epoch produced (possibly empty) plus the
+    /// execution stats of the re-evaluation.
+    pub fn advance(
+        &mut self,
+        engine: &Engine,
+        input: &EpochInput<'_>,
+    ) -> Result<(ResultBatch, EngineStats)> {
+        let mut stats = EngineStats::default();
+        self.seed_delta(engine, input, &mut stats)?;
+
+        // Delta-match each pattern against the epoch's new events. An epoch
+        // without events cannot create matches (new entities alone carry no
+        // edges), so skip the data queries entirely.
+        let mut changed = false;
+        if !input.event_ids.is_empty() {
+            let ctx = engine.ctx(&self.aq);
+            for p in &self.aq.patterns {
+                if self.delta_ok[p.index] {
+                    let delta = if p.is_path() {
+                        let mut req = path_pattern_request(&ctx, p, &self.prop, engine.max_hops)?;
+                        req.final_event_id_in = Some(input.event_ids.to_vec());
+                        let m = engine.graph().match_path_pattern(&req, &mut stats.backend)?;
+                        stats.record("graph", QueryKind::PathPattern, &p.id, 1);
+                        matches_to_rows(&m)
+                    } else {
+                        let mut req = event_pattern_request(&ctx, p, &self.prop)?;
+                        req.event_id_in = Some(input.event_ids.to_vec());
+                        let m = engine.rel().match_event_pattern(&req, &mut stats.backend)?;
+                        stats.record("relational", QueryKind::EventPattern, &p.id, 1);
+                        matches_to_rows(&m)
+                    };
+                    changed |= !delta.is_empty();
+                    self.matches[p.index].extend(delta);
+                } else {
+                    // Variable-length path: full re-evaluation (replace).
+                    let req = path_pattern_request(&ctx, p, &self.prop, engine.max_hops)?;
+                    let m = engine.graph().match_path_pattern(&req, &mut stats.backend)?;
+                    stats.record("graph", QueryKind::PathPattern, &p.id, 0);
+                    let rows = matches_to_rows(&m);
+                    changed |= rows.len() != self.matches[p.index].len();
+                    self.matches[p.index] = rows;
+                }
+                if !self.matches[p.index].is_empty() && self.first_match_epoch[p.index].is_none() {
+                    self.first_match_epoch[p.index] = Some(input.epoch);
+                }
+            }
+        }
+
+        // A query only produces rows once every pattern has matched; and an
+        // epoch that changed nothing cannot emit new rows.
+        if !changed || self.matches.iter().any(Vec::is_empty) {
+            return Ok((ResultBatch::from_rows(self.columns.clone(), Vec::new()), stats));
+        }
+
+        // Join + with-clauses + projection over the *accumulated* matches,
+        // then emit only what the multiset of prior emissions lacks.
+        let pattern_rows: Vec<&Vec<Match>> = self.matches.iter().collect();
+        let full = engine.join_project(&self.aq, &pattern_rows, &mut stats, DataPath::Typed)?;
+        let mut fresh: FxHashMap<Vec<SVal>, usize> = FxHashMap::default();
+        let mut delta_rows: Vec<Vec<SVal>> = Vec::new();
+        for i in 0..full.n_rows() {
+            let row = full.row(i);
+            let seen_now = fresh.entry(row.clone()).or_insert(0);
+            *seen_now += 1;
+            let already = self.emitted.get(&row).copied().unwrap_or(0);
+            if *seen_now > already {
+                delta_rows.push(row);
+            }
+        }
+        for row in &delta_rows {
+            *self.emitted.entry(row.clone()).or_insert(0) += 1;
+            self.cumulative.push(row.clone());
+        }
+        Ok((ResultBatch::from_rows(self.columns.clone(), delta_rows), stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ExecMode;
+    use crate::load::{self, load};
+    use raptor_audit::sim::Simulator;
+    use raptor_audit::LogParser;
+    use raptor_common::time::Timestamp;
+    use raptor_tbql::{analyze, parse_tbql};
+
+    fn sample_log() -> raptor_audit::ParsedLog {
+        let mut sim = Simulator::new(5, Timestamp::from_secs(1000));
+        let shell = sim.boot_process("/bin/bash", "root");
+        let tar = sim.spawn(shell, "/bin/tar", "tar cf /tmp/upload.tar");
+        sim.read_file(tar, "/etc/passwd", 4096, 4);
+        sim.write_file(tar, "/tmp/upload.tar", 4096, 2);
+        let curl = sim.spawn(shell, "/usr/bin/curl", "curl");
+        let fd = sim.connect(curl, "192.168.29.128", 443);
+        sim.send(curl, fd, 1024, 2);
+        sim.exit(curl);
+        sim.exit(tar);
+        LogParser::parse(&sim.finish())
+    }
+
+    fn standing(q: &str) -> StandingQuery {
+        StandingQuery::new("t", analyze(&parse_tbql(q).unwrap()).unwrap()).unwrap()
+    }
+
+    /// Relative windows are anchored to a moving watermark; rejected.
+    #[test]
+    fn relative_windows_rejected() {
+        let q = "proc p read file f as e1 last 5 minute return p, f";
+        let aq = analyze(&parse_tbql(q).unwrap()).unwrap();
+        let err = match StandingQuery::new("t", aq) {
+            Err(e) => e,
+            Ok(_) => panic!("relative window must be rejected"),
+        };
+        assert!(err.to_string().contains("last"), "{err}");
+        // Absolute windows stay allowed.
+        let q = "proc p read file f as e1 after 10 return p, f";
+        let aq = analyze(&parse_tbql(q).unwrap()).unwrap();
+        assert!(StandingQuery::new("t", aq).is_ok());
+    }
+
+    /// Feeds the log one event per epoch; the concatenated deltas must
+    /// equal the one-shot scheduled result.
+    #[test]
+    fn one_event_epochs_reach_batch_result() {
+        let log = sample_log();
+        let q = r#"proc p["%/bin/tar%"] read file f["%/etc/passwd%"] as e1
+                   proc p write file f2["%upload%"] as e2
+                   with e1 before e2 return p, f, f2"#;
+
+        let mut stores = load::empty().unwrap();
+        let mut stats = raptor_storage::BackendStats::default();
+        for e in &log.entities {
+            load::append_entity(&mut stores, e, &mut stats).unwrap();
+        }
+        let mut engine = Engine::new(stores);
+        let mut sq = standing(q);
+        let mut emitted = 0usize;
+        for (i, ev) in log.events.iter().enumerate() {
+            // Entities were pre-loaded: only epoch 0 sees the full range.
+            let range = if i == 0 { (0, log.entities.len() as i64) } else { (0, 0) };
+            let mut stats = raptor_storage::BackendStats::default();
+            load::append_event(&mut engine.stores, ev, &mut stats).unwrap();
+            assert_eq!(stats.items_inserted, 2, "one row + one edge");
+            let input = EpochInput {
+                epoch: i as u64,
+                entity_range: range,
+                event_ids: &[ev.id.index() as i64],
+            };
+            let (delta, estats) = sq.advance(&engine, &input).unwrap();
+            assert_eq!(estats.text_parses, 0, "standing path must stay parse-free");
+            emitted += delta.n_rows();
+        }
+        let batch = Engine::new(load(&log).unwrap());
+        let aq = analyze(&parse_tbql(q).unwrap()).unwrap();
+        let (expect, _) = batch.execute(&aq, ExecMode::Scheduled).unwrap();
+        let got = crate::exec::ResultTable::from_batch(&sq.cumulative_batch());
+        assert_eq!(got.sorted_rows(), expect.sorted_rows());
+        assert_eq!(emitted, expect.rows.len());
+    }
+
+    /// Per-pattern first-match epochs are reported as patterns light up.
+    #[test]
+    fn first_match_epochs_reported() {
+        let log = sample_log();
+        let q = r#"proc p["%tar%"] read file f["%passwd%"] as e1 return p, f"#;
+        let mut engine = Engine::new(load::empty().unwrap());
+        let mut stats = raptor_storage::BackendStats::default();
+        for e in &log.entities {
+            load::append_entity(&mut engine.stores, e, &mut stats).unwrap();
+        }
+        let mut sq = standing(q);
+        for (i, ev) in log.events.iter().enumerate() {
+            let range = if i == 0 { (0, log.entities.len() as i64) } else { (0, 0) };
+            let mut st = raptor_storage::BackendStats::default();
+            load::append_event(&mut engine.stores, ev, &mut st).unwrap();
+            let input = EpochInput {
+                epoch: i as u64,
+                entity_range: range,
+                event_ids: &[ev.id.index() as i64],
+            };
+            sq.advance(&engine, &input).unwrap();
+        }
+        let progress = sq.progress();
+        assert_eq!(progress.len(), 1);
+        assert!(progress[0].matches >= 1);
+        // tar reads /etc/passwd somewhere mid-log, not at epoch 0 (the
+        // first events are process starts).
+        let first = progress[0].first_match_epoch.unwrap();
+        assert!(first > 0, "{progress:?}");
+    }
+}

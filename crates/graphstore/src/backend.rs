@@ -8,8 +8,8 @@
 use raptor_common::error::{Error, Result};
 use raptor_common::hash::FxHashSet;
 use raptor_storage::{
-    AttrSource, BackendStats, EntityClass, EventPatternQuery, PathPatternQuery, PatternMatches,
-    Pred, StorageBackend, Value as SVal,
+    AttrSource, BackendStats, EntityClass, EventPatternQuery, Field, FieldValue, MutableBackend,
+    PathPatternQuery, PatternMatches, Pred, StorageBackend, Value as SVal,
 };
 
 use crate::cypher::ast::{
@@ -17,7 +17,7 @@ use crate::cypher::ast::{
     ReturnItem, StrPredKind,
 };
 use crate::cypher::exec::{execute, GVal, GraphQueryStats};
-use crate::graph::{Graph, PropValue};
+use crate::graph::{Graph, PropIns, PropValue};
 
 pub fn label_for_class(class: EntityClass) -> &'static str {
     match class {
@@ -219,6 +219,7 @@ impl StorageBackend for Graph {
             max_hops: Some(1),
             hop_cap: 1,
             final_hop_pred: q.event_pred.clone(),
+            final_event_id_in: q.event_id_in.clone(),
             want_event: true,
             subject_is_object: q.subject_is_object,
         };
@@ -253,10 +254,21 @@ impl StorageBackend for Graph {
         // predicate, but its event columns are *returned* only when the
         // caller wants them — otherwise results stay DISTINCT (subj, obj)
         // pairs and do not multiply per matching final edge.
-        let bind_event = q.want_event || q.final_hop_pred.is_some();
+        let bind_event =
+            q.want_event || q.final_hop_pred.is_some() || q.final_event_id_in.is_some();
         if bind_event {
             if let Some(p) = &q.final_hop_pred {
                 conds.push(pred_to_cexpr("e", p)?);
+            }
+            // Delta evaluation: restrict the final hop to the caller's
+            // event-id set (the epoch's freshly ingested events).
+            if let Some(ids) = &q.final_event_id_in {
+                let list = if ids.is_empty() {
+                    vec![CLit::Int(-1)]
+                } else {
+                    ids.iter().map(|&i| CLit::Int(i)).collect()
+                };
+                conds.push(CExpr::InList { left: prop("e", "id"), list });
             }
             if single_hop {
                 segments.push((event_edge(Some("e"), None), node(obj_var, q.object.class)));
@@ -370,6 +382,65 @@ impl StorageBackend for Graph {
     }
 }
 
+fn props_from_fields<'a>(id: i64, fields: &'a [Field<'a>]) -> Vec<(&'a str, PropIns<'a>)> {
+    let mut props = Vec::with_capacity(fields.len() + 1);
+    props.push(("id", PropIns::Int(id)));
+    for (name, v) in fields {
+        props.push((
+            *name,
+            match v {
+                FieldValue::Int(i) => PropIns::Int(*i),
+                FieldValue::Str(s) => PropIns::Str(s),
+            },
+        ));
+    }
+    props
+}
+
+impl MutableBackend for Graph {
+    fn insert_entity(
+        &mut self,
+        class: EntityClass,
+        id: i64,
+        fields: &[Field<'_>],
+        stats: &mut BackendStats,
+    ) -> Result<()> {
+        // Node ids are arena indexes; the trait contract (dense ascending
+        // entity ids) is what keeps `NodeId == entity id` true, which every
+        // edge insert and anchor lookup relies on. Check it loudly.
+        if id != self.node_count() as i64 {
+            return Err(Error::storage(format!(
+                "entity id {id} breaks dense insertion order (next node id is {})",
+                self.node_count()
+            )));
+        }
+        self.add_node(label_for_class(class), &props_from_fields(id, fields));
+        stats.items_inserted += 1;
+        Ok(())
+    }
+
+    fn insert_event(
+        &mut self,
+        id: i64,
+        subject: i64,
+        object: i64,
+        fields: &[Field<'_>],
+        stats: &mut BackendStats,
+    ) -> Result<()> {
+        if subject < 0 || object < 0 {
+            return Err(Error::storage("event endpoints must be non-negative entity ids"));
+        }
+        self.add_edge(
+            crate::graph::NodeId(subject as u32),
+            crate::graph::NodeId(object as u32),
+            "EVENT",
+            &props_from_fields(id, fields),
+        )?;
+        stats.items_inserted += 1;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -449,6 +520,7 @@ mod tests {
             subject: EntitySel::of(EntityClass::Process, None),
             object: EntitySel::of(EntityClass::File, None),
             event_pred: Some(op_eq("read")),
+            event_id_in: None,
             subject_is_object: false,
         };
         let m = g.match_event_pattern(&q, &mut stats).unwrap();
@@ -478,6 +550,7 @@ mod tests {
             max_hops: Some(2),
             hop_cap: 8,
             final_hop_pred: Some(op_eq("read")),
+            final_event_id_in: None,
             want_event: true,
             subject_is_object: false,
         };
@@ -497,6 +570,7 @@ mod tests {
             max_hops: None,
             hop_cap: 8,
             final_hop_pred: None,
+            final_event_id_in: None,
             want_event: false,
             subject_is_object: false,
         };
@@ -516,6 +590,7 @@ mod tests {
             subject,
             object: EntitySel::of(EntityClass::File, None),
             event_pred: None,
+            event_id_in: None,
             subject_is_object: false,
         };
         let m = g.match_event_pattern(&q, &mut stats).unwrap();

@@ -8,13 +8,14 @@
 
 use raptor_common::error::{Error, Result};
 use raptor_storage::{
-    AttrSource, BackendStats, EntityClass, EventPatternQuery, PathPatternQuery, PatternMatches,
-    Pred, StorageBackend, Value as SVal,
+    AttrSource, BackendStats, EntityClass, EventPatternQuery, Field, FieldValue, MutableBackend,
+    PathPatternQuery, PatternMatches, Pred, StorageBackend, Value as SVal,
 };
 
-use crate::db::Database;
+use crate::db::{Database, Ins};
 use crate::exec::{execute, ExecStats};
 use crate::plan::plan_select;
+use crate::schema::TableSchema;
 use crate::sql::ast::{CmpOp, ColRef, Expr, Literal, Projection, Select, TableRef};
 use crate::value::OwnedValue;
 
@@ -199,6 +200,12 @@ impl StorageBackend for Database {
         if q.subject_is_object {
             conds.push(Expr::CmpCol { left: col(s, "id"), op: CmpOp::Eq, right: col(o, "id") });
         }
+        // Delta evaluation: restrict to the caller's event-id set (the
+        // epoch's freshly ingested events). events.id is hash-indexed, so
+        // the scan cost tracks the delta size, not the table size.
+        if let Some(ids) = &q.event_id_in {
+            conds.push(in_expr_on(e, "id", ids));
+        }
         // Propagated ids constrain both the entity alias and — far more
         // importantly — the event columns, so the events scan runs through
         // the subject/object hash indexes instead of the larger optype one.
@@ -256,6 +263,7 @@ impl StorageBackend for Database {
             subject: q.subject.clone(),
             object: q.object.clone(),
             event_pred: q.final_hop_pred.clone(),
+            event_id_in: q.final_event_id_in.clone(),
             subject_is_object: q.subject_is_object,
         };
         let mut m = self.match_event_pattern(&eq, stats)?;
@@ -297,6 +305,74 @@ impl StorageBackend for Database {
             }
         }
         Ok(out)
+    }
+}
+
+/// Builds one row in schema column order: `pinned` columns come from the
+/// caller's explicit ids, the rest are looked up in `fields` by attribute
+/// name (absent attributes insert NULL).
+fn row_from_fields<'a>(
+    schema: &TableSchema,
+    pinned: &[(&str, i64)],
+    fields: &'a [Field<'a>],
+) -> Vec<Ins<'a>> {
+    schema
+        .columns
+        .iter()
+        .map(|c| {
+            if let Some(&(_, v)) = pinned.iter().find(|(n, _)| *n == c.name) {
+                return Ins::Int(v);
+            }
+            match fields.iter().find(|(n, _)| *n == c.name) {
+                Some((_, FieldValue::Int(i))) => Ins::Int(*i),
+                Some((_, FieldValue::Str(s))) => Ins::Str(s),
+                None => Ins::Null,
+            }
+        })
+        .collect()
+}
+
+impl MutableBackend for Database {
+    fn insert_entity(
+        &mut self,
+        class: EntityClass,
+        id: i64,
+        fields: &[Field<'_>],
+        stats: &mut BackendStats,
+    ) -> Result<()> {
+        let table = table_for_class(class);
+        // The row only borrows `fields`, so the schema borrow ends here —
+        // no schema clone on the ingest hot path.
+        let row = {
+            let schema = &self
+                .table(table)
+                .ok_or_else(|| Error::storage(format!("unknown table `{table}`")))?
+                .schema;
+            row_from_fields(schema, &[("id", id)], fields)
+        };
+        self.insert(table, &row)?;
+        stats.items_inserted += 1;
+        Ok(())
+    }
+
+    fn insert_event(
+        &mut self,
+        id: i64,
+        subject: i64,
+        object: i64,
+        fields: &[Field<'_>],
+        stats: &mut BackendStats,
+    ) -> Result<()> {
+        let row = {
+            let schema = &self
+                .table("events")
+                .ok_or_else(|| Error::storage("unknown table `events`"))?
+                .schema;
+            row_from_fields(schema, &[("id", id), ("subject", subject), ("object", object)], fields)
+        };
+        self.insert("events", &row)?;
+        stats.items_inserted += 1;
+        Ok(())
     }
 }
 
@@ -395,6 +471,7 @@ mod tests {
             subject: EntitySel::of(EntityClass::Process, Some(like("exename", "%/bin/tar%"))),
             object: EntitySel::of(EntityClass::File, Some(like("name", "%/etc/passwd%"))),
             event_pred: Some(op_eq("read")),
+            event_id_in: None,
             subject_is_object: false,
         };
         let m = db.match_event_pattern(&q, &mut stats).unwrap();
@@ -413,6 +490,7 @@ mod tests {
             subject,
             object: EntitySel::of(EntityClass::File, None),
             event_pred: Some(op_eq("read")),
+            event_id_in: None,
             subject_is_object: false,
         };
         let m = db.match_event_pattern(&q, &mut stats).unwrap();
@@ -425,6 +503,7 @@ mod tests {
             subject,
             object: EntitySel::of(EntityClass::File, None),
             event_pred: None,
+            event_id_in: None,
             subject_is_object: false,
         };
         assert!(db.match_event_pattern(&q, &mut stats).unwrap().is_empty());
@@ -441,6 +520,7 @@ mod tests {
             max_hops: Some(1),
             hop_cap: 8,
             final_hop_pred: Some(op_eq("write")),
+            final_event_id_in: None,
             want_event: true,
             subject_is_object: false,
         };

@@ -15,8 +15,14 @@ pub enum AttrSource {
 /// Unified execution counters across backends. Relational and graph
 /// engines count different physical things; the shared vocabulary is:
 /// `items_scanned` (rows / nodes), `items_built` (join tuples / bindings),
-/// index vs full access paths, and — the typed plane's invariant —
-/// `text_parses`, which stays 0 on every [`StorageBackend`] entry point.
+/// `items_inserted` (rows / nodes / edges appended through
+/// [`MutableBackend`]), index vs full access paths, and — the typed plane's
+/// invariant — `text_parses`, which stays 0 on every [`StorageBackend`]
+/// entry point.
+///
+/// The struct carries no epoch state of its own: streaming callers get
+/// per-epoch reset semantics by passing a fresh `BackendStats` per ingest
+/// batch and [`absorb`](BackendStats::absorb)-ing it into a running total.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BackendStats {
     /// Typed data queries served.
@@ -28,6 +34,9 @@ pub struct BackendStats {
     pub items_scanned: usize,
     /// Join tuples or path bindings materialized.
     pub items_built: usize,
+    /// Records appended through [`MutableBackend`]: one per entity row/node
+    /// and one per event row/edge. Always 0 on query entry points.
+    pub items_inserted: usize,
     /// Scans served by an index access path.
     pub index_scans: usize,
     /// Scans that fell back to a full scan.
@@ -42,11 +51,27 @@ impl BackendStats {
         self.text_parses += other.text_parses;
         self.items_scanned += other.items_scanned;
         self.items_built += other.items_built;
+        self.items_inserted += other.items_inserted;
         self.index_scans += other.index_scans;
         self.full_scans += other.full_scans;
         self.edges_traversed += other.edges_traversed;
     }
 }
+
+/// A field value being appended through [`MutableBackend`]. Borrowed —
+/// backends intern/copy on the way in, exactly like their native insert
+/// paths.
+#[derive(Clone, Copy, Debug)]
+pub enum FieldValue<'a> {
+    Int(i64),
+    Str(&'a str),
+}
+
+/// One named field of a record being appended: `(attribute name, value)`.
+/// Names use the backend-neutral attribute vocabulary (the same names
+/// [`Pred`]s and `fetch_attr` use); each backend maps them to its physical
+/// columns or properties.
+pub type Field<'a> = (&'a str, FieldValue<'a>);
 
 /// Typed entry points a store exposes to the scheduled executor. All of
 /// them bypass the store's text parser: requests arrive as data structures
@@ -93,4 +118,39 @@ pub trait StorageBackend {
         ids: &[i64],
         stats: &mut BackendStats,
     ) -> Result<Vec<(i64, Value)>>;
+}
+
+/// Incremental-append extension of [`StorageBackend`] — the streaming
+/// ingestion seam. Every insert maintains every index the store has already
+/// built (hash / B-tree / trigram, graph value indexes, adjacency), so a
+/// store grown record-by-record answers queries identically to one
+/// bulk-loaded with the same data.
+///
+/// Contract:
+/// * entity ids are append-only and arrive in ascending dense order (the
+///   audit parser's id space); backends may rely on this to keep their
+///   physical ids aligned with entity ids,
+/// * an event's `subject`/`object` entities must already be inserted,
+/// * each successful call bumps `stats.items_inserted` by exactly 1.
+pub trait MutableBackend: StorageBackend {
+    /// Appends one entity record of `class` with the given id and
+    /// attributes.
+    fn insert_entity(
+        &mut self,
+        class: EntityClass,
+        id: i64,
+        fields: &[Field<'_>],
+        stats: &mut BackendStats,
+    ) -> Result<()>;
+
+    /// Appends one event record linking two existing entities. `fields`
+    /// carries the event attributes (`optype`, `kind`, `starttime`, ...).
+    fn insert_event(
+        &mut self,
+        id: i64,
+        subject: i64,
+        object: i64,
+        fields: &[Field<'_>],
+        stats: &mut BackendStats,
+    ) -> Result<()>;
 }

@@ -24,6 +24,6 @@ pub mod backend;
 pub mod request;
 pub mod value;
 
-pub use backend::{AttrSource, BackendStats, StorageBackend};
+pub use backend::{AttrSource, BackendStats, Field, FieldValue, MutableBackend, StorageBackend};
 pub use request::{CmpOp, EntityClass, EntitySel, EventPatternQuery, PathPatternQuery, Pred};
 pub use value::{PatternMatches, ResultBatch, Value, ValueColumn};

@@ -104,6 +104,11 @@ pub struct EventPatternQuery {
     /// Conjunction over event attributes: operation type, event filters,
     /// time windows.
     pub event_pred: Option<Pred>,
+    /// Restricts matching to these event ids (sorted, distinct). The
+    /// streaming engine's *delta* knob: per-epoch re-evaluation passes the
+    /// epoch's freshly ingested event ids so only new events are matched.
+    /// `None` = no restriction (batch semantics).
+    pub event_id_in: Option<Vec<i64>>,
     /// True when the pattern binds the *same* variable as subject and
     /// object: matches must satisfy `subject id == object id`.
     pub subject_is_object: bool,
@@ -125,6 +130,11 @@ pub struct PathPatternQuery {
     /// Predicate on the final hop's event attributes, if the pattern
     /// constrains it.
     pub final_hop_pred: Option<Pred>,
+    /// Restricts the *final hop* to these event ids (sorted, distinct) —
+    /// the delta knob for single-hop paths. Multi-hop patterns cannot be
+    /// delta-evaluated this way (a new path may mix old and new edges), so
+    /// streaming callers fall back to full re-evaluation for them.
+    pub final_event_id_in: Option<Vec<i64>>,
     /// Whether the caller wants the final hop's event id/timestamps bound
     /// (true exactly when the pattern has a final hop).
     pub want_event: bool,

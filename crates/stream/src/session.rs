@@ -1,0 +1,319 @@
+//! The streaming session: stores grown epoch-by-epoch plus the
+//! standing-query registry.
+
+use raptor_audit::{Entity, ParsedLog, SystemEvent};
+use raptor_common::error::Result;
+use raptor_engine::exec::{Engine, EngineStats};
+use raptor_engine::load::{self};
+use raptor_engine::standing::{EpochInput, StandingQuery};
+use raptor_storage::{BackendStats, ResultBatch};
+use raptor_tbql::{analyze, parse_tbql};
+
+use crate::epoch::{max_referenced_entity, EpochBatch};
+
+/// Handle to a registered standing query.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct QueryId(pub usize);
+
+/// One standing query's output for one epoch.
+#[derive(Debug)]
+pub struct QueryDelta {
+    pub id: QueryId,
+    pub name: String,
+    /// Result rows this epoch *added* (typed; render at the edge).
+    pub delta: ResultBatch,
+    /// Re-evaluation stats (delta data queries + join).
+    pub stats: EngineStats,
+}
+
+/// What one ingested epoch produced.
+#[derive(Debug)]
+pub struct EpochReport {
+    pub epoch: u64,
+    /// Max event end time ingested so far.
+    pub watermark: i64,
+    pub entities_ingested: usize,
+    pub events_ingested: usize,
+    /// Backend insert counters for *this epoch only* (a fresh
+    /// [`BackendStats`] per epoch is the per-epoch reset semantics; the
+    /// session also keeps a running total).
+    pub ingest_stats: BackendStats,
+    /// One delta per registered standing query, in registration order.
+    pub deltas: Vec<QueryDelta>,
+}
+
+/// A live hunting session: both storage backends grown incrementally from
+/// empty, and TBQL standing queries re-evaluated on every ingested epoch.
+///
+/// ```
+/// use raptor_audit::sim::Simulator;
+/// use raptor_audit::LogParser;
+/// use raptor_common::time::Timestamp;
+/// use raptor_stream::{EpochPolicy, EpochStream, StreamSession};
+///
+/// let mut sim = Simulator::new(1, Timestamp::from_secs(0));
+/// let shell = sim.boot_process("/bin/bash", "root");
+/// let tar = sim.spawn(shell, "/bin/tar", "tar");
+/// sim.read_file(tar, "/etc/passwd", 4096, 4);
+/// let log = LogParser::parse(&sim.finish());
+///
+/// let mut session = StreamSession::new().unwrap();
+/// session.register("leak", r#"proc p["%tar%"] read file f return distinct p, f"#).unwrap();
+/// for batch in EpochStream::new(&log, EpochPolicy::ByCount(2)) {
+///     let report = session.ingest_batch(&batch).unwrap();
+///     for d in &report.deltas {
+///         for row in d.delta.rendered_rows() {
+///             println!("epoch {}: {} -> {:?}", report.epoch, d.name, row);
+///         }
+///     }
+/// }
+/// assert_eq!(session.query(raptor_stream::QueryId(0)).cumulative_batch().n_rows(), 1);
+/// ```
+pub struct StreamSession {
+    engine: Engine,
+    queries: Vec<StandingQuery>,
+    epoch: u64,
+    total_ingest: BackendStats,
+}
+
+impl StreamSession {
+    /// Creates a session over empty stores (schemas + indexes ready).
+    pub fn new() -> Result<Self> {
+        Ok(StreamSession {
+            engine: Engine::new(load::empty()?),
+            queries: Vec::new(),
+            epoch: 0,
+            total_ingest: BackendStats::default(),
+        })
+    }
+
+    /// Registers a TBQL text as a standing query. Registration is valid at
+    /// any point of the stream; the query only ever sees epochs ingested
+    /// after it (plus whatever full re-evaluation of variable-length paths
+    /// reaches — see `raptor_engine::standing`).
+    pub fn register(&mut self, name: &str, tbql: &str) -> Result<QueryId> {
+        let aq = analyze(&parse_tbql(tbql)?)?;
+        self.register_analyzed(name, aq)
+    }
+
+    /// Registers an already-analyzed query. Fails for queries a stream
+    /// cannot evaluate soundly (relative `last N unit` windows).
+    pub fn register_analyzed(
+        &mut self,
+        name: &str,
+        aq: raptor_tbql::analyze::AnalyzedQuery,
+    ) -> Result<QueryId> {
+        self.queries.push(StandingQuery::new(name, aq)?);
+        Ok(QueryId(self.queries.len() - 1))
+    }
+
+    /// The engine over the session's stores (ad-hoc queries still work at
+    /// any point — streaming and one-shot execution share the stores).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    pub fn query(&self, id: QueryId) -> &StandingQuery {
+        &self.queries[id.0]
+    }
+
+    pub fn queries(&self) -> &[StandingQuery] {
+        &self.queries
+    }
+
+    /// Epochs ingested so far.
+    pub fn epochs(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Running total of the per-epoch ingest counters.
+    pub fn total_ingest_stats(&self) -> BackendStats {
+        self.total_ingest
+    }
+
+    /// Ingests one epoch: `entities` (dense ascending ids continuing the
+    /// session's id space) then `events` (endpoints must be ingested),
+    /// then advances every standing query.
+    pub fn ingest(&mut self, entities: &[Entity], events: &[SystemEvent]) -> Result<EpochReport> {
+        let mut ingest_stats = BackendStats::default();
+        let entity_lo = self.engine.stores.graph.node_count() as i64;
+        for e in entities {
+            load::append_entity(&mut self.engine.stores, e, &mut ingest_stats)?;
+        }
+        let entity_hi = self.engine.stores.graph.node_count() as i64;
+
+        let mut event_ids: Vec<i64> = Vec::with_capacity(events.len());
+        for ev in events {
+            load::append_event(&mut self.engine.stores, ev, &mut ingest_stats)?;
+            event_ids.push(ev.id.index() as i64);
+        }
+        event_ids.sort_unstable();
+        event_ids.dedup();
+        self.total_ingest.absorb(&ingest_stats);
+
+        let epoch = self.epoch;
+        self.epoch += 1;
+        let input =
+            EpochInput { epoch, entity_range: (entity_lo, entity_hi), event_ids: &event_ids };
+        let mut deltas = Vec::with_capacity(self.queries.len());
+        for (i, sq) in self.queries.iter_mut().enumerate() {
+            let (delta, stats) = sq.advance(&self.engine, &input)?;
+            deltas.push(QueryDelta { id: QueryId(i), name: sq.name().to_string(), delta, stats });
+        }
+        Ok(EpochReport {
+            epoch,
+            watermark: self.engine.stores.now_ns,
+            entities_ingested: entities.len(),
+            events_ingested: events.len(),
+            ingest_stats,
+            deltas,
+        })
+    }
+
+    /// Ingests one batch from an [`EpochStream`](crate::EpochStream).
+    pub fn ingest_batch(&mut self, batch: &EpochBatch<'_>) -> Result<EpochReport> {
+        self.ingest(batch.entities, batch.events)
+    }
+
+    /// Ingests an arbitrary chunk of a log's events (any order across
+    /// chunks), automatically pulling in the entities the chunk needs.
+    /// Entities are always appended in dense id order regardless of the
+    /// event order, so shuffled re-deliveries still build identical stores.
+    pub fn ingest_chunk(&mut self, log: &ParsedLog, events: &[SystemEvent]) -> Result<EpochReport> {
+        let have = self.engine.stores.graph.node_count();
+        let bound = max_referenced_entity(events).max(have);
+        let entities = &log.entities[have..bound];
+        self.ingest(entities, events)
+    }
+
+    /// Appends any entities the event chunks never referenced (call after
+    /// the last chunk to make the stores equal to a bulk load).
+    pub fn flush_entities(&mut self, log: &ParsedLog) -> Result<EpochReport> {
+        let have = self.engine.stores.graph.node_count();
+        let entities = &log.entities[have..];
+        self.ingest(entities, &[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epoch::{EpochPolicy, EpochStream};
+    use raptor_audit::sim::Simulator;
+    use raptor_audit::LogParser;
+    use raptor_common::time::Timestamp;
+    use raptor_engine::exec::ExecMode;
+    use raptor_engine::load::load;
+    use raptor_engine::ResultTable;
+    use raptor_tbql::{analyze, parse_tbql};
+
+    fn sample_log() -> ParsedLog {
+        let mut sim = Simulator::new(11, Timestamp::from_secs(5000));
+        let shell = sim.boot_process("/bin/bash", "root");
+        let tar = sim.spawn(shell, "/bin/tar", "tar");
+        sim.read_file(tar, "/etc/passwd", 4096, 4);
+        sim.write_file(tar, "/tmp/out.tar", 4096, 4);
+        sim.exit(tar);
+        let curl = sim.spawn(shell, "/usr/bin/curl", "curl");
+        sim.read_file(curl, "/tmp/out.tar", 4096, 2);
+        let fd = sim.connect(curl, "192.168.29.128", 443);
+        sim.send(curl, fd, 4096, 2);
+        sim.exit(curl);
+        LogParser::parse(&sim.finish())
+    }
+
+    const Q: &str = r#"proc p["%tar%"] read file f["%passwd%"] as e1
+                       proc p2["%curl%"] connect ip i as e2
+                       with e1 before e2 return p, p2, i"#;
+
+    #[test]
+    fn streamed_session_matches_batch_execution() {
+        let log = sample_log();
+        let mut session = StreamSession::new().unwrap();
+        let qid = session.register("hunt", Q).unwrap();
+        let mut delta_rows = 0usize;
+        for batch in EpochStream::new(&log, EpochPolicy::ByCount(3)) {
+            let report = session.ingest_batch(&batch).unwrap();
+            // Per-epoch reset semantics: this epoch's inserts only.
+            assert_eq!(
+                report.ingest_stats.items_inserted,
+                2 * (report.entities_ingested + report.events_ingested)
+            );
+            delta_rows += report.deltas[0].delta.n_rows();
+        }
+        // Totals aggregate across epochs; both stores ingested everything.
+        assert_eq!(
+            session.total_ingest_stats().items_inserted,
+            2 * (log.entities.len() + log.events.len())
+        );
+        let batch_engine = Engine::new(load(&log).unwrap());
+        let aq = analyze(&parse_tbql(Q).unwrap()).unwrap();
+        let (expect, _) = batch_engine.execute(&aq, ExecMode::Scheduled).unwrap();
+        let got = ResultTable::from_batch(&session.query(qid).cumulative_batch());
+        assert_eq!(got.sorted_rows(), expect.sorted_rows());
+        assert_eq!(delta_rows, expect.rows.len());
+    }
+
+    #[test]
+    fn streaming_is_parse_free() {
+        let log = sample_log();
+        let mut session = StreamSession::new().unwrap();
+        session.register("hunt", Q).unwrap();
+        for batch in EpochStream::new(&log, EpochPolicy::ByCount(4)) {
+            let report = session.ingest_batch(&batch).unwrap();
+            for d in &report.deltas {
+                assert_eq!(d.stats.text_parses, 0);
+                assert_eq!(d.stats.backend.text_parses, 0);
+            }
+        }
+        assert_eq!(session.engine().stores.rel.text_parse_count(), 0);
+    }
+
+    #[test]
+    fn shuffled_chunks_build_identical_stores() {
+        let log = sample_log();
+        // Deliver events out of order in 2 swapped halves.
+        let mid = log.events.len() / 2;
+        let mut session = StreamSession::new().unwrap();
+        session.ingest_chunk(&log, &log.events[mid..]).unwrap();
+        session.ingest_chunk(&log, &log.events[..mid]).unwrap();
+        session.flush_entities(&log).unwrap();
+        let streamed = session.engine();
+        let bulk = Engine::new(load(&log).unwrap());
+        assert_eq!(streamed.stores.graph.node_count(), bulk.stores.graph.node_count());
+        assert_eq!(streamed.stores.graph.edge_count(), bulk.stores.graph.edge_count());
+        assert_eq!(streamed.stores.rel.total_rows(), bulk.stores.rel.total_rows());
+        let aq = analyze(&parse_tbql(Q).unwrap()).unwrap();
+        let (a, _) = streamed.execute(&aq, ExecMode::Scheduled).unwrap();
+        let (b, _) = bulk.execute(&aq, ExecMode::Scheduled).unwrap();
+        assert_eq!(a.sorted_rows(), b.sorted_rows());
+    }
+
+    #[test]
+    fn late_registration_sees_later_epochs_only() {
+        let log = sample_log();
+        let mut session = StreamSession::new().unwrap();
+        let batches: Vec<_> = EpochStream::new(&log, EpochPolicy::ByCount(2)).collect();
+        let half = batches.len() / 2;
+        for b in &batches[..half] {
+            session.ingest_batch(b).unwrap();
+        }
+        let qid = session
+            .register("late", r#"proc p["%bash%"] start proc q return distinct p, q"#)
+            .unwrap();
+        for b in &batches[half..] {
+            session.ingest_batch(b).unwrap();
+        }
+        // bash's process starts happen early in the log; a late registration
+        // misses those epochs (matches only what arrived after it).
+        let late = session.query(qid).cumulative_batch().n_rows();
+        let batch_engine = Engine::new(load(&log).unwrap());
+        let (full, _) = batch_engine
+            .execute_text(
+                r#"proc p["%bash%"] start proc q return distinct p, q"#,
+                ExecMode::Scheduled,
+            )
+            .unwrap();
+        assert!(late <= full.rows.len());
+    }
+}

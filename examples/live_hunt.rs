@@ -1,0 +1,95 @@
+//! Live hunting over a simulated audit-event stream.
+//!
+//! Replays the data_leak attack case as a watermarked epoch stream,
+//! registers a TBQL standing query synthesized from the case's OSCTI
+//! report, and prints — per epoch — what was ingested, which patterns
+//! matched for the first time, and the result-row deltas as the hunt
+//! converges on the attack.
+//!
+//! ```text
+//! cargo run --release -p threatraptor --example live_hunt
+//! ```
+
+use threatraptor::stream::{EpochPolicy, EpochStream};
+use threatraptor::{SynthesisPlan, ThreatRaptor};
+
+fn main() {
+    // The data_leak scenario: tar→bzip2→gpg(-helper)→curl exfiltration
+    // buried in benign background noise.
+    let spec = raptor_cases::catalog::case_by_id("data_leak").expect("case");
+    let built = raptor_cases::build_case(spec, 0.5, 2024);
+    println!(
+        "workload: {} entities, {} events (data_leak @ 0.5 noise)\n",
+        built.log.entities.len(),
+        built.log.events.len()
+    );
+
+    // Register two standing queries straight from the CTI report text: the
+    // exact event-pattern synthesis, and the variable-length path variant
+    // that can bridge helper processes the report never mentions.
+    let mut hunt = ThreatRaptor::stream().expect("stream");
+    let (exact, _, tbql) =
+        hunt.register_report("exact", spec.report, &SynthesisPlan::default()).expect("synthesize");
+    let (paths, _, _) = hunt
+        .register_report(
+            "paths",
+            spec.report,
+            &SynthesisPlan { use_path_patterns: true, ..Default::default() },
+        )
+        .expect("synthesize paths");
+    println!("standing query synthesized from the report:\n{tbql}\n");
+
+    for batch in EpochStream::new(&built.log, EpochPolicy::ByCount(16)) {
+        let report = hunt.ingest_batch(&batch).expect("ingest");
+
+        // Announce patterns of the exact query that lit up this epoch.
+        for p in &hunt.session().query(exact).progress() {
+            if p.first_match_epoch == Some(report.epoch) {
+                println!(
+                    "epoch {:>3}  pattern {:<7} first matched ({} match{})",
+                    report.epoch,
+                    p.id,
+                    p.matches,
+                    if p.matches == 1 { "" } else { "es" }
+                );
+            }
+        }
+
+        // And any result-row deltas (a full behavior chain joined up).
+        for d in &report.deltas {
+            for row in d.delta.rendered_rows() {
+                println!(
+                    "epoch {:>3}  ** {} CHAIN COMPLETE ** {}",
+                    report.epoch,
+                    d.name,
+                    row.join(" | ")
+                );
+            }
+        }
+    }
+
+    let progress = hunt.session().query(exact).progress();
+    let total = hunt.session().total_ingest_stats();
+    println!(
+        "\ningested {} records into both stores across {} epochs",
+        total.items_inserted,
+        hunt.session().epochs()
+    );
+    println!(
+        "exact query: {}/{} patterns matched, {} result rows · path query: {} result rows",
+        progress.iter().filter(|p| p.first_match_epoch.is_some()).count(),
+        progress.len(),
+        hunt.session().query(exact).cumulative_batch().n_rows(),
+        hunt.session().query(paths).cumulative_batch().n_rows(),
+    );
+    for p in &progress {
+        match p.first_match_epoch {
+            Some(e) => println!("  {:<7} first matched at epoch {e} ({} matches)", p.id, p.matches),
+            None => println!(
+                "  {:<7} never matched (the report names /usr/bin/gpg; the I/O was done \
+                 by its helper — the paper's recall gap the path variant bridges)",
+                p.id
+            ),
+        }
+    }
+}

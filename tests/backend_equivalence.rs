@@ -124,6 +124,44 @@ fn scheduled_mode_is_parse_free_across_corpus() {
     }
 }
 
+/// `items_inserted` accounting: query execution never inserts, and the
+/// streaming ingest path counts exactly one insert per record per backend,
+/// with per-epoch reset semantics (each report counts only its own epoch).
+#[test]
+fn items_inserted_counted_on_ingest_only() {
+    let raptor = system();
+    for q in QUERIES {
+        for mode in [ExecMode::Scheduled, ExecMode::GiantSql, ExecMode::GiantCypher] {
+            let (_, stats) = raptor.query_with_mode(q, mode).unwrap();
+            assert_eq!(stats.backend.items_inserted, 0, "{mode:?} inserted during {q}");
+        }
+    }
+
+    // Grow the same data incrementally: 2 backends × (entities + events).
+    let mut sim = Simulator::new(77, Timestamp::from_secs(1_500_000_000));
+    let shell = sim.boot_process("/bin/bash", "root");
+    let tar = sim.spawn(shell, "/bin/tar", "tar");
+    sim.read_file(tar, "/etc/passwd", 4096, 4);
+    sim.exit(tar);
+    let log = threatraptor::audit::LogParser::parse(&sim.finish());
+    let mut session = threatraptor::stream::StreamSession::new().unwrap();
+    let mut epoch_sum = 0usize;
+    for batch in
+        threatraptor::stream::EpochStream::new(&log, threatraptor::stream::EpochPolicy::ByCount(2))
+    {
+        let report = session.ingest_batch(&batch).unwrap();
+        assert_eq!(
+            report.ingest_stats.items_inserted,
+            2 * (report.entities_ingested + report.events_ingested),
+            "per-epoch counter must reset"
+        );
+        epoch_sum += report.ingest_stats.items_inserted;
+    }
+    let total = session.total_ingest_stats().items_inserted;
+    assert_eq!(total, epoch_sum);
+    assert_eq!(total, 2 * (log.entities.len() + log.events.len()));
+}
+
 #[test]
 fn negative_queries_empty_everywhere() {
     let raptor = system();
