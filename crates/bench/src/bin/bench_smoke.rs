@@ -1,0 +1,269 @@
+//! `bench_smoke` — the fast deterministic scheduler bench behind CI's
+//! `bench-smoke` job.
+//!
+//! Runs every query of the 8-query equivalence corpus through the
+//! scheduled executor under both scheduler modes (cost-based vs the
+//! paper's syntactic score) on the deterministic corpus system, and emits
+//! `BENCH_schedule.json`: per-query scheduled latency, deterministic
+//! backend work counters, the chosen orders, and a scheduler Q-error
+//! summary.
+//!
+//! **Regression gating** compares against a checked-in baseline
+//! (`crates/bench/baselines/BENCH_schedule.json`) and fails (exit 1) on a
+//! more-than-2x regression. The gate reads the *deterministic* signals —
+//! backend work counters, result rows, order divergence, Q-error — never
+//! wall-clock latency, so machines of different speeds cannot flake the
+//! job; latency is emitted for humans and artifact diffing.
+//!
+//! ```text
+//! bench_smoke [--out PATH] [--baseline PATH] [--write-baseline]
+//! ```
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use raptor_bench::corpus::{corpus_system, EQUIV_CORPUS};
+use raptor_engine::SchedulerMode;
+use raptor_tbql::{analyze, parse_tbql};
+
+/// Iterations per latency measurement (minimum is reported).
+const LATENCY_ITERS: u32 = 25;
+
+/// Allowed growth of any deterministic counter vs the baseline.
+const MAX_REGRESSION: f64 = 2.0;
+
+struct QueryReport {
+    id: usize,
+    rows: usize,
+    order_cost: Vec<usize>,
+    order_syntactic: Vec<usize>,
+    work_cost: usize,
+    work_syntactic: usize,
+    latency_ns_cost: u128,
+    latency_ns_syntactic: u128,
+    q_error_max: f64,
+}
+
+fn work(stats: &raptor_engine::exec::EngineStats) -> usize {
+    stats.backend.items_scanned + stats.backend.items_built + stats.backend.edges_traversed
+}
+
+fn measure_latency(
+    engine: &raptor_engine::Engine,
+    aq: &raptor_tbql::analyze::AnalyzedQuery,
+    mode: SchedulerMode,
+) -> u128 {
+    let mut best = u128::MAX;
+    for _ in 0..LATENCY_ITERS {
+        let t = Instant::now();
+        let _ = engine.execute_scheduled_as(aq, mode).expect("corpus query executes");
+        best = best.min(t.elapsed().as_nanos());
+    }
+    best
+}
+
+fn run() -> (Vec<QueryReport>, f64) {
+    let raptor = corpus_system();
+    let engine = raptor.engine();
+    let mut reports = Vec::new();
+    let mut q_error_max = 0.0f64;
+    for (id, q) in EQUIV_CORPUS.iter().enumerate() {
+        let aq = analyze(&parse_tbql(q).expect("corpus parses")).expect("corpus analyzes");
+        let (rc, sc) = engine.execute_scheduled_as(&aq, SchedulerMode::CostBased).unwrap();
+        let (rs, ss) = engine.execute_scheduled_as(&aq, SchedulerMode::Syntactic).unwrap();
+        assert_eq!(
+            rc.sorted_rows(),
+            rs.sorted_rows(),
+            "scheduler modes disagree on query {id}: {q}"
+        );
+        assert_eq!(sc.scheduler, Some(SchedulerMode::CostBased), "stats must drive query {id}");
+        let qe = sc
+            .estimates
+            .iter()
+            .filter_map(raptor_engine::PatternEstimate::q_error)
+            .fold(0.0f64, f64::max);
+        assert!(qe.is_finite(), "q-error must stay finite on query {id}");
+        q_error_max = q_error_max.max(qe);
+        reports.push(QueryReport {
+            id,
+            rows: rc.rows.len(),
+            order_cost: sc.execution_order.clone(),
+            order_syntactic: ss.execution_order.clone(),
+            work_cost: work(&sc),
+            work_syntactic: work(&ss),
+            latency_ns_cost: measure_latency(engine, &aq, SchedulerMode::CostBased),
+            latency_ns_syntactic: measure_latency(engine, &aq, SchedulerMode::Syntactic),
+            q_error_max: qe,
+        });
+    }
+    (reports, q_error_max)
+}
+
+fn render_json(reports: &[QueryReport], q_error_max: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"threatraptor/bench_schedule/v1\",");
+    let _ = writeln!(out, "  \"queries\": [");
+    for (i, r) in reports.iter().enumerate() {
+        let order = |o: &[usize]| {
+            let items: Vec<String> = o.iter().map(usize::to_string).collect();
+            format!("[{}]", items.join(", "))
+        };
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"id\": {},", r.id);
+        let _ = writeln!(out, "      \"rows\": {},", r.rows);
+        let _ = writeln!(out, "      \"order_cost\": {},", order(&r.order_cost));
+        let _ = writeln!(out, "      \"order_syntactic\": {},", order(&r.order_syntactic));
+        let _ = writeln!(out, "      \"work_cost\": {},", r.work_cost);
+        let _ = writeln!(out, "      \"work_syntactic\": {},", r.work_syntactic);
+        let _ = writeln!(out, "      \"latency_ns_cost\": {},", r.latency_ns_cost);
+        let _ = writeln!(out, "      \"latency_ns_syntactic\": {},", r.latency_ns_syntactic);
+        let _ = writeln!(out, "      \"q_error_max\": {:.4}", r.q_error_max);
+        let _ = writeln!(out, "    }}{}", if i + 1 < reports.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ],");
+    let orders_differ = reports.iter().filter(|r| r.order_cost != r.order_syntactic).count();
+    let work_cost_total: usize = reports.iter().map(|r| r.work_cost).sum();
+    let work_syntactic_total: usize = reports.iter().map(|r| r.work_syntactic).sum();
+    let _ = writeln!(out, "  \"summary\": {{");
+    let _ = writeln!(out, "    \"orders_differ\": {orders_differ},");
+    let _ = writeln!(out, "    \"work_cost_total\": {work_cost_total},");
+    let _ = writeln!(out, "    \"work_syntactic_total\": {work_syntactic_total},");
+    let _ = writeln!(out, "    \"q_error_max\": {q_error_max:.4}");
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Extracts every `"key": <number>` occurrence, in document order. Exact
+/// key match only (`"work_cost":` does not match `"work_cost_total":`).
+fn extract_numbers(json: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find(&needle) {
+        rest = &rest[pos + needle.len()..];
+        let num: String = rest
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Compares current deterministic signals against the baseline; returns
+/// human-readable regression descriptions (empty = pass).
+fn gate(current: &str, baseline: &str) -> Vec<String> {
+    let mut failures = Vec::new();
+    let cur_rows = extract_numbers(current, "rows");
+    let base_rows = extract_numbers(baseline, "rows");
+    if cur_rows != base_rows {
+        failures.push(format!("result rows changed: baseline {base_rows:?}, current {cur_rows:?}"));
+    }
+    let cur_work = extract_numbers(current, "work_cost");
+    let base_work = extract_numbers(baseline, "work_cost");
+    if cur_work.len() != base_work.len() {
+        failures.push(format!(
+            "query count changed: baseline {}, current {}",
+            base_work.len(),
+            cur_work.len()
+        ));
+    } else {
+        for (i, (c, b)) in cur_work.iter().zip(&base_work).enumerate() {
+            if *c > b * MAX_REGRESSION {
+                failures.push(format!(
+                    "query {i}: cost-scheduled work regressed >{MAX_REGRESSION}x \
+                     (baseline {b}, current {c})"
+                ));
+            }
+        }
+    }
+    let cur_qe = extract_numbers(current, "q_error_max");
+    let base_qe = extract_numbers(baseline, "q_error_max");
+    if let (Some(c), Some(b)) = (cur_qe.last(), base_qe.last()) {
+        // Summary value is last; floor the baseline so tiny Q-errors don't
+        // make the gate hair-triggered.
+        if *c > (b.max(4.0)) * MAX_REGRESSION {
+            failures.push(format!(
+                "scheduler q_error_max regressed >{MAX_REGRESSION}x (baseline {b}, current {c})"
+            ));
+        }
+    }
+    let differ = |json: &str| extract_numbers(json, "orders_differ").last().copied().unwrap_or(0.0);
+    if differ(current) < 1.0 && differ(baseline) >= 1.0 {
+        failures.push(
+            "cost-based scheduler no longer diverges from the syntactic order on any \
+             corpus query (stats plane dead?)"
+                .to_string(),
+        );
+    }
+    failures
+}
+
+fn main() -> ExitCode {
+    let mut out_path = "BENCH_schedule.json".to_string();
+    let mut baseline_path = format!("{}/baselines/BENCH_schedule.json", env!("CARGO_MANIFEST_DIR"));
+    let mut write_baseline = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--baseline" => baseline_path = args.next().expect("--baseline needs a path"),
+            "--write-baseline" => write_baseline = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let (reports, q_error_max) = run();
+    let json = render_json(&reports, q_error_max);
+    std::fs::write(&out_path, &json).expect("write bench output");
+    println!("wrote {out_path}");
+    for r in &reports {
+        println!(
+            "q{}: rows={} work cost/syn={}/{} latency cost/syn={:.1}µs/{:.1}µs order {}",
+            r.id,
+            r.rows,
+            r.work_cost,
+            r.work_syntactic,
+            r.latency_ns_cost as f64 / 1e3,
+            r.latency_ns_syntactic as f64 / 1e3,
+            if r.order_cost == r.order_syntactic { "same" } else { "DIFFERS" },
+        );
+    }
+
+    if write_baseline {
+        std::fs::create_dir_all(
+            std::path::Path::new(&baseline_path).parent().expect("baseline has a parent"),
+        )
+        .expect("create baseline dir");
+        std::fs::write(&baseline_path, &json).expect("write baseline");
+        println!("baseline written to {baseline_path}");
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e} (run with --write-baseline)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let failures = gate(&json, &baseline);
+    if failures.is_empty() {
+        println!("bench-smoke gate: PASS (vs {baseline_path})");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("bench-smoke gate: FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

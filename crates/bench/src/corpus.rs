@@ -1,0 +1,36 @@
+//! The backend-equivalence corpus system, shared by the `bench_smoke` CI
+//! gate and the scheduler benchmarks.
+//!
+//! This is the **single authoritative scenario** — the equivalence and
+//! order-invariance test suites call it too (via the root package's
+//! dev-dependency on `raptor-bench`): the Figure-2 data-leak attack staged
+//! over deterministic background noise, so every query of [`EQUIV_CORPUS`]
+//! matches at least one row. The corpus queries' pinned scheduler orders
+//! and the checked-in `BENCH_schedule.json` baseline both assume this
+//! exact store.
+
+use raptor_audit::sim::{generate_background, BackgroundProfile, Simulator};
+use raptor_common::time::Timestamp;
+use threatraptor::ThreatRaptor;
+
+pub use raptor_tbql::parser::EQUIV_CORPUS;
+
+/// Builds the corpus system (seeded: fully deterministic).
+pub fn corpus_system() -> ThreatRaptor {
+    let mut sim = Simulator::new(77, Timestamp::from_secs(1_500_000_000));
+    generate_background(
+        &mut sim,
+        &BackgroundProfile { users: 6, sessions: 80, ..Default::default() },
+    );
+    let shell = sim.boot_process("/bin/bash", "root");
+    let tar = sim.spawn(shell, "/bin/tar", "tar");
+    sim.read_file(tar, "/etc/passwd", 4096, 4);
+    sim.write_file(tar, "/tmp/upload.tar", 4096, 4);
+    sim.exit(tar);
+    let curl = sim.spawn(shell, "/usr/bin/curl", "curl");
+    sim.read_file(curl, "/tmp/upload.tar", 4096, 2);
+    let fd = sim.connect(curl, "192.168.29.128", 443);
+    sim.send(curl, fd, 4096, 4);
+    sim.exit(curl);
+    ThreatRaptor::from_records(&sim.finish()).unwrap()
+}

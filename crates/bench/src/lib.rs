@@ -6,4 +6,5 @@
 //! integration tests. [`tables`] renders the paper-style tables.
 
 pub mod caseval;
+pub mod corpus;
 pub mod tables;

@@ -9,6 +9,8 @@
 //! * [`time`] — nanosecond timestamps, durations and datetime parsing used by
 //!   audit events and TBQL time windows,
 //! * [`error`] — the workspace-wide error type,
+//! * [`like`] — SQL `LIKE` wildcard matching, shared by the relational
+//!   executor, the graph predicate lowering and selectivity estimation,
 //! * [`strdist`] — Levenshtein distance and normalized string similarity
 //!   (used by the fuzzy search mode for node alignment),
 //! * [`intern`] — a string interner backing entity attribute storage,
@@ -19,6 +21,7 @@ pub mod error;
 pub mod hash;
 pub mod ids;
 pub mod intern;
+pub mod like;
 pub mod strdist;
 pub mod table;
 pub mod time;

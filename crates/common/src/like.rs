@@ -1,0 +1,81 @@
+//! SQL `LIKE` pattern matching.
+//!
+//! TBQL attribute filters use `%`-wildcards ("`%` matches any character
+//! sequence", Section III-D) and they surface in three places: compiled SQL
+//! predicates (relstore), Cypher `CONTAINS`-family lowering (graphstore),
+//! and selectivity estimation over collected column statistics
+//! (raptor-storage). The matcher lives here so all three share one
+//! semantics: `%` = any run, `_` = any single character, no escape syntax
+//! (audit strings never need one).
+
+/// Returns whether `text` matches the SQL LIKE `pattern`.
+///
+/// Iterative two-pointer algorithm with backtracking over the last `%` —
+/// O(n·m) worst case, linear on patterns without `%`.
+pub fn like_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let mut star: Option<usize> = None;
+    let mut star_ti = 0usize;
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some(pi);
+            star_ti = ti;
+            pi += 1;
+        } else if let Some(s) = star {
+            // Backtrack: let the last % absorb one more character.
+            pi = s + 1;
+            star_ti += 1;
+            ti = star_ti;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_without_wildcards() {
+        assert!(like_match("/bin/tar", "/bin/tar"));
+        assert!(!like_match("/bin/tar", "/bin/tar "));
+        assert!(!like_match("/bin/tar", "/bin/ta"));
+    }
+
+    #[test]
+    fn percent_wildcards() {
+        assert!(like_match("%/bin/tar%", "/bin/tar"));
+        assert!(like_match("%/bin/tar%", "/usr/bin/tar"));
+        assert!(like_match("%upload%", "/tmp/upload.tar.bz2"));
+        assert!(like_match("%.tar", "/tmp/upload.tar"));
+        assert!(like_match("/tmp/%", "/tmp/upload.tar"));
+        assert!(!like_match("%passwd%", "/etc/shadow"));
+        assert!(like_match("%", ""));
+        assert!(like_match("%%", "anything"));
+    }
+
+    #[test]
+    fn underscore_wildcard() {
+        assert!(like_match("/tmp/upload.ta_", "/tmp/upload.tar"));
+        assert!(!like_match("/tmp/upload.ta_", "/tmp/upload.t"));
+        assert!(like_match("_%", "x"));
+        assert!(!like_match("_", ""));
+    }
+
+    #[test]
+    fn multiple_percents_backtrack() {
+        assert!(like_match("%a%b%", "xxaxxbxx"));
+        assert!(!like_match("%a%b%", "xxbxxaxx"));
+        assert!(like_match("%ab%ab%", "ababab"));
+    }
+}

@@ -53,5 +53,6 @@ pub use raptor_extract as extract;
 pub use raptor_graphstore as graphstore;
 pub use raptor_nlp as nlp;
 pub use raptor_relstore as relstore;
+pub use raptor_storage as storage;
 pub use raptor_stream as streaming;
 pub use raptor_tbql as tbql;

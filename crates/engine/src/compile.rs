@@ -635,7 +635,7 @@ fn storage_value(v: &Value) -> raptor_storage::Value {
 }
 
 /// Lowers a TBQL attribute expression to a typed predicate (same semantics
-/// as [`attr_to_sql`]: `=`/`!=` against a `%` pattern means LIKE).
+/// as the SQL lowering: `=`/`!=` against a `%` pattern means LIKE).
 pub fn attr_pred(e: &AttrExpr) -> raptor_storage::Pred {
     use raptor_storage::Pred;
     match e {

@@ -37,8 +37,9 @@ use crate::compile::{
     event_pattern_request, giant_cypher, giant_sql, path_pattern_request, sql_for_event_pattern,
     CompileCtx, Propagation,
 };
+use crate::estimate::{estimate_event_pattern, estimate_path_pattern, PatternEstimate};
 use crate::load::LoadedStores;
-use crate::schedule::execution_order;
+use crate::schedule::{cost_based_order, execution_order, pruning_score, SchedulerMode};
 
 /// Execution strategy.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -99,6 +100,18 @@ pub struct EngineStats {
     pub backend: BackendStats,
     /// The issued data queries, in execution order.
     pub queries: Vec<QueryInfo>,
+    /// The scheduler that actually ordered this execution (`None` for the
+    /// giant baseline modes and for caller-forced orders via
+    /// [`Engine::execute_with_order`]). A `CostBased` request downgrades to
+    /// `Syntactic` here when the stores carry no statistics.
+    pub scheduler: Option<SchedulerMode>,
+    /// Pattern execution order used (indices into the query's patterns).
+    pub execution_order: Vec<usize>,
+    /// Per-pattern cost-model records (estimated vs actual rows, syntactic
+    /// score), index-aligned with the query's patterns. Estimated rows are
+    /// populated exactly when the cost-based scheduler ran; actual rows for
+    /// every pattern that executed — so Q-error is observable per query.
+    pub estimates: Vec<PatternEstimate>,
 }
 
 impl EngineStats {
@@ -164,6 +177,22 @@ pub(crate) struct Match {
     pub(crate) end: i64,
 }
 
+/// Per-pattern cost records with only the syntactic scores filled in —
+/// the starting point of [`Engine::plan_order`] and the whole record for
+/// caller-forced orders.
+fn base_estimates(aq: &AnalyzedQuery) -> Vec<PatternEstimate> {
+    aq.patterns
+        .iter()
+        .map(|p| PatternEstimate {
+            pattern: p.id.clone(),
+            is_path: p.is_path(),
+            estimated_rows: None,
+            syntactic_score: pruning_score(aq, p),
+            actual_rows: None,
+        })
+        .collect()
+}
+
 pub(crate) fn matches_to_rows(m: &PatternMatches) -> Vec<Match> {
     (0..m.len())
         .map(|i| Match {
@@ -181,11 +210,15 @@ pub struct Engine {
     pub stores: LoadedStores,
     /// Hop cap for unbounded variable-length paths.
     pub max_hops: u32,
+    /// Default scheduler for `ExecMode::Scheduled` executions (cost-based;
+    /// see [`crate::schedule`]). Per-call overrides go through
+    /// [`Engine::execute_scheduled_as`].
+    pub scheduler: SchedulerMode,
 }
 
 impl Engine {
     pub fn new(stores: LoadedStores) -> Self {
-        Engine { stores, max_hops: gexec::DEFAULT_MAX_HOPS }
+        Engine { stores, max_hops: gexec::DEFAULT_MAX_HOPS, scheduler: SchedulerMode::default() }
     }
 
     pub(crate) fn rel(&self) -> &dyn StorageBackend {
@@ -423,21 +456,115 @@ impl Engine {
         }
     }
 
+    /// Computes the pattern execution order and the per-pattern cost
+    /// records. Runs *after* entity-candidate seeding, so cost estimates
+    /// see the exact seeded candidate counts (execution-result-constrained
+    /// ordering); the syntactic score is the fallback whenever the stores
+    /// carry no statistics or the engine is pinned to `Syntactic`.
+    fn plan_order(
+        &self,
+        ctx: &CompileCtx<'_>,
+        aq: &AnalyzedQuery,
+        prop: &Propagation,
+        mode: SchedulerMode,
+    ) -> Result<(Vec<usize>, Vec<PatternEstimate>, SchedulerMode)> {
+        let mut estimates = base_estimates(aq);
+        let stats_ready = self.rel().stats().table("events").is_some_and(|t| t.rows() > 0);
+        let used = if mode == SchedulerMode::CostBased && stats_ready {
+            SchedulerMode::CostBased
+        } else {
+            SchedulerMode::Syntactic
+        };
+        if used == SchedulerMode::CostBased {
+            for (i, p) in aq.patterns.iter().enumerate() {
+                let est = if p.is_path() {
+                    let req = path_pattern_request(ctx, p, prop, self.max_hops)?;
+                    estimate_path_pattern(&req, self.graph().stats())
+                } else {
+                    let req = event_pattern_request(ctx, p, prop)?;
+                    estimate_event_pattern(&req, self.rel().stats())
+                };
+                estimates[i].estimated_rows = Some(est);
+            }
+        }
+        let order = match used {
+            SchedulerMode::CostBased => cost_based_order(aq, &estimates),
+            SchedulerMode::Syntactic => execution_order(aq),
+        };
+        Ok((order, estimates, used))
+    }
+
     fn execute_scheduled(
         &self,
         aq: &AnalyzedQuery,
         path: DataPath,
     ) -> Result<(ResultBatch, EngineStats)> {
+        self.run_scheduled(aq, path, self.scheduler, None)
+    }
+
+    /// Scheduled execution under an explicit scheduler mode (benchmarks and
+    /// ablations compare modes on an engine they cannot mutate).
+    pub fn execute_scheduled_as(
+        &self,
+        aq: &AnalyzedQuery,
+        mode: SchedulerMode,
+    ) -> Result<(ResultTable, EngineStats)> {
+        let (batch, stats) = self.run_scheduled(aq, DataPath::Typed, mode, None)?;
+        Ok((ResultTable::from_batch(&batch), stats))
+    }
+
+    /// Scheduled execution with a caller-forced pattern execution order
+    /// (must be a permutation of the pattern indices). Exists so the
+    /// order-invariance property — any order yields identical results — is
+    /// testable from outside the crate.
+    pub fn execute_with_order(
+        &self,
+        aq: &AnalyzedQuery,
+        order: &[usize],
+    ) -> Result<(ResultTable, EngineStats)> {
+        let mut seen = vec![false; aq.patterns.len()];
+        if order.len() != aq.patterns.len()
+            || !order.iter().all(|&i| i < seen.len() && !std::mem::replace(&mut seen[i], true))
+        {
+            return Err(Error::semantic(format!(
+                "execution order {order:?} is not a permutation of 0..{}",
+                aq.patterns.len()
+            )));
+        }
+        let (batch, stats) =
+            self.run_scheduled(aq, DataPath::Typed, self.scheduler, Some(order))?;
+        Ok((ResultTable::from_batch(&batch), stats))
+    }
+
+    fn run_scheduled(
+        &self,
+        aq: &AnalyzedQuery,
+        path: DataPath,
+        mode: SchedulerMode,
+        forced_order: Option<&[usize]>,
+    ) -> Result<(ResultBatch, EngineStats)> {
         let ctx = self.ctx(aq);
-        let order = execution_order(aq);
         let mut prop = Propagation::default();
         let mut stats = EngineStats::default();
         self.seed_entity_candidates(aq, &mut prop, &mut stats, path)?;
+        // A caller-forced order bypasses the planner entirely: no estimates
+        // are computed and no scheduler is credited with the order.
+        let (order, estimates, used) = match forced_order {
+            Some(o) => (o.to_vec(), base_estimates(aq), None),
+            None => {
+                let (order, estimates, used) = self.plan_order(&ctx, aq, &prop, mode)?;
+                (order, estimates, Some(used))
+            }
+        };
+        stats.scheduler = used;
+        stats.execution_order = order.clone();
+        stats.estimates = estimates;
         let mut matches: Vec<Option<Vec<Match>>> = vec![None; aq.patterns.len()];
 
         for &idx in &order {
             let p = &aq.patterns[idx];
             let rows = self.match_pattern(&ctx, p, &prop, &mut stats, path)?;
+            stats.estimates[idx].actual_rows = Some(rows.len());
             // Propagate distinct entity ids into later data queries.
             for (var, is_subj) in [(&p.subject, true), (&p.object, false)] {
                 let ids: Vec<i64> =

@@ -11,10 +11,15 @@
 //!   equivalent SQL (event patterns) or Cypher (path patterns) data query;
 //!   also emits the *giant* whole-query SQL/Cypher used as baselines and for
 //!   the Table X conciseness comparison,
-//! * [`schedule`] — the data-query scheduling algorithm: per-pattern
-//!   *pruning scores* (constraint counts; path patterns penalized by their
-//!   maximum length), highest score first, with intermediate results
-//!   propagated into dependent patterns as `IN` filters,
+//! * [`schedule`] — the data-query scheduling algorithm: patterns ordered
+//!   by *estimated output cardinality* from the backends' maintained
+//!   statistics (the cost-based default), falling back to the paper's
+//!   syntactic pruning score when stats are absent; intermediate results
+//!   propagate into dependent patterns as `IN` filters either way,
+//! * [`estimate`] — the cardinality estimator feeding the scheduler:
+//!   predicate selectivity from distinct/top-k/histogram column stats,
+//!   path patterns via degree-power expansion over adjacency summaries,
+//!   with per-pattern estimated-vs-actual (Q-error) observability,
 //! * [`exec`] — the [`exec::Engine`]: scheduled execution, cross-pattern
 //!   joins on shared entities, `with`-clause evaluation, projection; plus
 //!   the giant-SQL and giant-Cypher execution paths,
@@ -28,6 +33,7 @@
 //!   acceptable alignment, ThreatRaptor-Fuzzy searches exhaustively.
 
 pub mod compile;
+pub mod estimate;
 pub mod exec;
 pub mod fuzzy;
 pub mod load;
@@ -35,6 +41,8 @@ pub mod provenance;
 pub mod schedule;
 pub mod standing;
 
+pub use estimate::PatternEstimate;
 pub use exec::{Engine, ExecMode, ResultTable};
 pub use load::LoadedStores;
+pub use schedule::SchedulerMode;
 pub use standing::{EpochInput, PatternProgress, StandingQuery};

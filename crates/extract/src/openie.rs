@@ -7,9 +7,11 @@
 //! against IOC ground truth collapse; with protection they recover a little
 //! recall but still extract mostly non-IOC noun phrases.
 //!
-//! * [`stanford_style`] — permissive: every (subject chunk, verb, following
-//!   chunk) clause yields a triple; high yield, low precision.
-//! * [`openie5_style`] — stricter and deliberately exhaustive: enumerates
+//! * Stanford-style (`run_baseline` with `exhaustive: false`) — permissive:
+//!   every (subject chunk, verb, following chunk) clause yields a triple;
+//!   high yield, low precision.
+//! * Open-IE-5-style (`exhaustive: true`) — stricter and deliberately
+//!   exhaustive: enumerates
 //!   candidate clause windows and re-validates each one, trading (a lot of)
 //!   time for marginally different output — mirroring Open IE 5's order-of-
 //!   magnitude slower runtime in Table VII.

@@ -187,6 +187,10 @@ impl StorageBackend for Graph {
         "graph"
     }
 
+    fn stats(&self) -> &raptor_storage::StoreStats {
+        self.store_stats()
+    }
+
     fn entity_candidates(
         &self,
         class: EntityClass,

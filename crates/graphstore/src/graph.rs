@@ -10,6 +10,7 @@
 use raptor_common::error::{Error, Result};
 use raptor_common::hash::FxHashMap;
 use raptor_common::intern::{Interner, Sym};
+use raptor_storage::{EntityClass, StoreStats};
 
 /// Node id (arena index).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -53,6 +54,23 @@ pub struct Graph {
     /// (node label, prop key) → string prop value → node ids. Built lazily
     /// via [`Graph::create_node_index`].
     value_index: FxHashMap<(Sym, Sym), FxHashMap<PropValue, Vec<NodeId>>>,
+    /// Data statistics, maintained incrementally by [`Graph::add_node`] /
+    /// [`Graph::add_edge`] and keyed by the backend-neutral table
+    /// vocabulary so they compare equal to the relational store's stats for
+    /// the same data. Served scan-free via `StorageBackend::stats`.
+    stats: StoreStats,
+}
+
+/// Backend-neutral stats table for a node/edge label, plus the entity class
+/// when the label is one of the audit classes.
+fn stats_table_for_label(label: &str) -> (&str, Option<EntityClass>) {
+    match label {
+        "Process" => ("processes", Some(EntityClass::Process)),
+        "File" => ("files", Some(EntityClass::File)),
+        "NetConn" => ("netconns", Some(EntityClass::NetConn)),
+        "EVENT" => ("events", None),
+        other => (other, None),
+    }
 }
 
 /// A property being written (strings interned on the way in).
@@ -69,6 +87,12 @@ impl Graph {
 
     pub fn dict(&self) -> &Interner {
         &self.dict
+    }
+
+    /// The incrementally-maintained data statistics (also reachable through
+    /// `StorageBackend::stats`).
+    pub fn store_stats(&self) -> &StoreStats {
+        &self.stats
     }
 
     pub fn node_count(&self) -> usize {
@@ -110,6 +134,31 @@ impl Graph {
     }
 
     pub fn add_node(&mut self, label: &str, props: &[(&str, PropIns<'_>)]) -> NodeId {
+        // Maintain data statistics alongside the structural insert: one row
+        // in the label's stats table, plus class/degree registration for
+        // audit entity labels (keyed by the `id` property, which the
+        // MutableBackend contract keeps equal to the arena node id).
+        {
+            let (table, class) = stats_table_for_label(label);
+            let ts = self.stats.table_mut(table);
+            ts.record_row();
+            for (k, v) in props {
+                match v {
+                    PropIns::Int(i) => ts.record_int(k, *i),
+                    PropIns::Str(s) => ts.record_str(k, s),
+                }
+            }
+            if let Some(class) = class {
+                let id = props
+                    .iter()
+                    .find_map(|(k, v)| match (*k, v) {
+                        ("id", PropIns::Int(i)) => Some(*i),
+                        _ => None,
+                    })
+                    .unwrap_or(self.nodes.len() as i64);
+                self.stats.record_node(class, id);
+            }
+        }
         let label = self.dict.intern(label);
         let props = props
             .iter()
@@ -146,6 +195,25 @@ impl Graph {
     ) -> Result<EdgeId> {
         if src.0 as usize >= self.nodes.len() || dst.0 as usize >= self.nodes.len() {
             return Err(Error::storage("edge endpoint does not exist"));
+        }
+        // Stats: EVENT edges mirror the relational `events` rows — the
+        // structural endpoints count as `subject`/`object` columns so both
+        // backends' stats compare equal for the same data.
+        {
+            let (table, _) = stats_table_for_label(label);
+            let ts = self.stats.table_mut(table);
+            ts.record_row();
+            for (k, v) in props {
+                match v {
+                    PropIns::Int(i) => ts.record_int(k, *i),
+                    PropIns::Str(s) => ts.record_str(k, s),
+                }
+            }
+            if label == "EVENT" {
+                ts.record_int("subject", src.0 as i64);
+                ts.record_int("object", dst.0 as i64);
+                self.stats.record_edge(src.0 as i64, dst.0 as i64);
+            }
         }
         let label = self.dict.intern(label);
         let props = props

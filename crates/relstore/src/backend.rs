@@ -149,6 +149,10 @@ impl StorageBackend for Database {
         "relational"
     }
 
+    fn stats(&self) -> &raptor_storage::StoreStats {
+        self.store_stats()
+    }
+
     fn entity_candidates(
         &self,
         class: EntityClass,

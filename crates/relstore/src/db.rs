@@ -7,6 +7,7 @@
 use raptor_common::error::{Error, Result};
 use raptor_common::hash::FxHashMap;
 use raptor_common::intern::Interner;
+use raptor_storage::{EntityClass, StoreStats};
 
 use crate::exec::{execute, ExecStats};
 use crate::index::{BTreeIndex, HashIndex, TrigramIndex};
@@ -51,6 +52,21 @@ pub struct Database {
     /// SQL texts parsed over this database's lifetime. The typed
     /// `StorageBackend` entry points never touch this — tests assert it.
     text_parses: std::cell::Cell<usize>,
+    /// Data statistics, maintained incrementally by [`Database::insert`]
+    /// (every write path funnels through it) and served scan-free via
+    /// `StorageBackend::stats` and the planner's index selection.
+    stats: StoreStats,
+}
+
+/// Entity class whose rows live in `table`, for the audit schema's entity
+/// tables (`None` for `events` and non-audit tables).
+fn class_for_table(table: &str) -> Option<EntityClass> {
+    match table {
+        "files" => Some(EntityClass::File),
+        "processes" => Some(EntityClass::Process),
+        "netconns" => Some(EntityClass::NetConn),
+        _ => None,
+    }
 }
 
 impl SchemaProvider for Database {
@@ -155,6 +171,35 @@ impl Database {
             .ok_or_else(|| Error::storage(format!("unknown table `{table}`")))?;
         let rid = t.insert(&values)?;
         let schema = t.schema.clone();
+        // Maintain data statistics (row/column counts, degree summaries)
+        // alongside the indexes — every write path funnels through here, so
+        // bulk load and streaming ingest produce identical stats.
+        {
+            let ts = self.stats.table_mut(table);
+            ts.record_row();
+            for (ci, cdef) in schema.columns.iter().enumerate() {
+                match row[ci] {
+                    Ins::Int(i) => ts.record_int(&cdef.name, i),
+                    Ins::Str(s) => ts.record_str(&cdef.name, s),
+                    Ins::Null => {}
+                }
+            }
+            let int_col = |name: &str| -> Option<i64> {
+                schema.column_index(name).and_then(|ci| match row[ci] {
+                    Ins::Int(i) => Some(i),
+                    _ => None,
+                })
+            };
+            if let Some(class) = class_for_table(table) {
+                if let Some(id) = int_col("id") {
+                    self.stats.record_node(class, id);
+                }
+            } else if table == "events" {
+                if let (Some(s), Some(o)) = (int_col("subject"), int_col("object")) {
+                    self.stats.record_edge(s, o);
+                }
+            }
+        }
         for (ci, cdef) in schema.columns.iter().enumerate() {
             let key = (table.to_string(), cdef.name.clone());
             if let Some(idx) = self.hash_indexes.get_mut(&key) {
@@ -187,6 +232,13 @@ impl Database {
     /// keeps this flat).
     pub fn text_parse_count(&self) -> usize {
         self.text_parses.get()
+    }
+
+    /// The incrementally-maintained data statistics (also reachable through
+    /// `StorageBackend::stats`). The planner consults these for index
+    /// selection; the engine's cost-based scheduler for pattern ordering.
+    pub fn store_stats(&self) -> &StoreStats {
+        &self.stats
     }
 
     /// Convenience: runs a `SELECT COUNT(*) ...` and returns the count.

@@ -191,7 +191,11 @@ fn access_path(db: &Database, scan: &ScanPlan, conjunct: &Expr) -> Option<Vec<Ro
             let idx = db.hash_index(&scan.table, &col.column)?;
             let key = match lit {
                 Literal::Int(i) => Value::Int(*i),
-                Literal::Str(s) => Value::Str(db.dict().get(s)?),
+                // A string literal absent from the dictionary equals no row.
+                Literal::Str(s) => match db.dict().get(s) {
+                    Some(sym) => Value::Str(sym),
+                    None => return Some(Vec::new()),
+                },
             };
             Some(idx.get(key).to_vec())
         }
@@ -243,8 +247,77 @@ fn access_path(db: &Database, scan: &ScanPlan, conjunct: &Expr) -> Option<Vec<Ro
     }
 }
 
+/// Estimated candidate-row count for one indexable conjunct, read from the
+/// table's maintained statistics. `Some` exactly when an applicable index
+/// exists for the conjunct's shape (mirrors [`access_path`]); the planner
+/// materializes only the cheapest estimate instead of every path.
+fn conjunct_estimate(
+    db: &Database,
+    scan: &ScanPlan,
+    ts: &raptor_storage::TableStats,
+    conjunct: &Expr,
+) -> Option<f64> {
+    let rows = ts.rows() as f64;
+    // A column with no recorded non-null values matches no equality/range.
+    let col_frac = |col: &ColRef, f: &dyn Fn(&raptor_storage::ColumnStats) -> f64| -> f64 {
+        ts.column(&col.column).map_or(0.0, f)
+    };
+    match conjunct {
+        Expr::CmpLit { col, op: CmpOp::Eq, lit } => {
+            db.hash_index(&scan.table, &col.column)?;
+            let frac = match lit {
+                Literal::Int(i) => col_frac(col, &|c| c.eq_fraction_int(*i)),
+                Literal::Str(s) => col_frac(col, &|c| c.eq_fraction_str(s)),
+            };
+            Some(frac * rows)
+        }
+        Expr::InList { col, list, negated: false } => {
+            db.hash_index(&scan.table, &col.column)?;
+            let frac: f64 = list
+                .iter()
+                .map(|lit| match lit {
+                    Literal::Int(i) => col_frac(col, &|c| c.eq_fraction_int(*i)),
+                    Literal::Str(s) => col_frac(col, &|c| c.eq_fraction_str(s)),
+                })
+                .sum();
+            Some(frac.min(1.0) * rows)
+        }
+        Expr::CmpLit { col, op, lit: Literal::Int(i) } => {
+            if !matches!(op, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge) {
+                return None;
+            }
+            db.btree_index(&scan.table, &col.column)?;
+            Some(col_frac(col, &|c| c.cmp_fraction(storage_cmp(*op), *i)) * rows)
+        }
+        Expr::Like { col, pattern, negated: false } => {
+            containment_literal(pattern)?;
+            db.trigram_index(&scan.table, &col.column)?;
+            db.hash_index(&scan.table, &col.column)?;
+            Some(col_frac(col, &|c| c.like_fraction(pattern)) * rows)
+        }
+        _ => None,
+    }
+}
+
+fn storage_cmp(op: CmpOp) -> raptor_storage::CmpOp {
+    match op {
+        CmpOp::Eq => raptor_storage::CmpOp::Eq,
+        CmpOp::Ne => raptor_storage::CmpOp::Ne,
+        CmpOp::Lt => raptor_storage::CmpOp::Lt,
+        CmpOp::Le => raptor_storage::CmpOp::Le,
+        CmpOp::Gt => raptor_storage::CmpOp::Gt,
+        CmpOp::Ge => raptor_storage::CmpOp::Ge,
+    }
+}
+
 /// Runs one scan: pick the most selective index path among the pushed-down
 /// conjuncts, then re-verify the whole predicate.
+///
+/// Access-path choice is **statistics-driven**: per-conjunct candidate
+/// counts are estimated from [`Database::store_stats`] and only the
+/// cheapest path is materialized. (The seed behavior — materialize every
+/// applicable path and keep the smallest — remains as the fallback when
+/// stats carry no signal for the table.)
 fn run_scan(db: &Database, scan: &ScanPlan, stats: &mut ExecStats) -> Result<Vec<RowId>> {
     let table = db
         .table(&scan.table)
@@ -257,15 +330,29 @@ fn run_scan(db: &Database, scan: &ScanPlan, stats: &mut ExecStats) -> Result<Vec
 
     let candidates: Vec<RowId> = match &scan.predicate {
         Some(pred) => {
-            // Try every top-level conjunct; keep the smallest candidate set.
-            let mut best: Option<Vec<RowId>> = None;
-            for conjunct in pred.clone().conjuncts() {
-                if let Some(rows) = access_path(db, scan, &conjunct) {
-                    if best.as_ref().is_none_or(|b| rows.len() < b.len()) {
-                        best = Some(rows);
+            let conjuncts = pred.clone().conjuncts();
+            let cheapest = db.store_stats().table(&scan.table).and_then(|ts| {
+                conjuncts
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, c)| conjunct_estimate(db, scan, ts, c).map(|e| (i, e)))
+                    .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+            });
+            let best = match cheapest.and_then(|(i, _)| access_path(db, scan, &conjuncts[i])) {
+                Some(rows) => Some(rows),
+                None => {
+                    // Fallback: try every conjunct, keep the smallest set.
+                    let mut best: Option<Vec<RowId>> = None;
+                    for conjunct in &conjuncts {
+                        if let Some(rows) = access_path(db, scan, conjunct) {
+                            if best.as_ref().is_none_or(|b| rows.len() < b.len()) {
+                                best = Some(rows);
+                            }
+                        }
                     }
+                    best
                 }
-            }
+            };
             match best {
                 Some(rows) => {
                     stats.index_scans += 1;

@@ -1,44 +1,11 @@
 //! SQL `LIKE` pattern semantics.
 //!
-//! TBQL attribute filters use `%`-wildcards ("`%` matches any character
-//! sequence", Section III-D), and compiled SQL data queries carry them into
-//! `LIKE` predicates. This module implements `LIKE` matching (`%` = any run,
-//! `_` = any single character, no escape syntax — audit strings never need
-//! one) and extracts the longest literal run from a pattern so the trigram
-//! index can prune candidates.
+//! The matcher itself lives in [`raptor_common::like`] (it is shared with
+//! the graph store's predicate lowering and the statistics plane's
+//! selectivity estimation); this module re-exports it and adds literal-run
+//! extraction so the trigram index can prune candidates.
 
-/// Returns whether `text` matches the SQL LIKE `pattern`.
-///
-/// Iterative two-pointer algorithm with backtracking over the last `%` —
-/// O(n·m) worst case, linear on patterns without `%`.
-pub fn like_match(pattern: &str, text: &str) -> bool {
-    let p: Vec<char> = pattern.chars().collect();
-    let t: Vec<char> = text.chars().collect();
-    let (mut pi, mut ti) = (0usize, 0usize);
-    let mut star: Option<usize> = None;
-    let mut star_ti = 0usize;
-    while ti < t.len() {
-        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
-            pi += 1;
-            ti += 1;
-        } else if pi < p.len() && p[pi] == '%' {
-            star = Some(pi);
-            star_ti = ti;
-            pi += 1;
-        } else if let Some(s) = star {
-            // Backtrack: let the last % absorb one more character.
-            pi = s + 1;
-            star_ti += 1;
-            ti = star_ti;
-        } else {
-            return false;
-        }
-    }
-    while pi < p.len() && p[pi] == '%' {
-        pi += 1;
-    }
-    pi == p.len()
-}
+pub use raptor_common::like::like_match;
 
 /// The longest literal (wildcard-free) run in a LIKE pattern, used as a
 /// necessary-substring filter: any match of the pattern must contain this
@@ -67,40 +34,6 @@ pub fn containment_literal(pattern: &str) -> Option<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn exact_without_wildcards() {
-        assert!(like_match("/bin/tar", "/bin/tar"));
-        assert!(!like_match("/bin/tar", "/bin/tar "));
-        assert!(!like_match("/bin/tar", "/bin/ta"));
-    }
-
-    #[test]
-    fn percent_wildcards() {
-        assert!(like_match("%/bin/tar%", "/bin/tar"));
-        assert!(like_match("%/bin/tar%", "/usr/bin/tar"));
-        assert!(like_match("%upload%", "/tmp/upload.tar.bz2"));
-        assert!(like_match("%.tar", "/tmp/upload.tar"));
-        assert!(like_match("/tmp/%", "/tmp/upload.tar"));
-        assert!(!like_match("%passwd%", "/etc/shadow"));
-        assert!(like_match("%", ""));
-        assert!(like_match("%%", "anything"));
-    }
-
-    #[test]
-    fn underscore_wildcard() {
-        assert!(like_match("/tmp/upload.ta_", "/tmp/upload.tar"));
-        assert!(!like_match("/tmp/upload.ta_", "/tmp/upload.t"));
-        assert!(like_match("_%", "x"));
-        assert!(!like_match("_", ""));
-    }
-
-    #[test]
-    fn multiple_percents_backtrack() {
-        assert!(like_match("%a%b%", "xxaxxbxx"));
-        assert!(!like_match("%a%b%", "xxbxxaxx"));
-        assert!(like_match("%ab%ab%", "ababab"));
-    }
 
     #[test]
     fn literal_extraction() {

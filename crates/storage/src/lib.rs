@@ -16,14 +16,22 @@
 //!   *without* going through their text parsers, plus [`BackendStats`], the
 //!   unified execution counters. Every future backend (sharded, async,
 //!   columnar) plugs in here.
+//! * [`stats`] — the statistics plane: [`TableStats`]/[`ColumnStats`]
+//!   (row/distinct counts, top-k value frequencies, scaling equi-width
+//!   histograms) and per-class [`DegreeStats`], maintained incrementally on
+//!   the write path and served scan-free through
+//!   [`StorageBackend::stats`]. The engine's cost-based scheduler and the
+//!   relational planner's index selection both read from here.
 //!
 //! The SQL/Cypher text parsers remain the entry point for the giant-query
 //! baseline modes; this crate deliberately knows nothing about them.
 
 pub mod backend;
 pub mod request;
+pub mod stats;
 pub mod value;
 
 pub use backend::{AttrSource, BackendStats, Field, FieldValue, MutableBackend, StorageBackend};
 pub use request::{CmpOp, EntityClass, EntitySel, EventPatternQuery, PathPatternQuery, Pred};
+pub use stats::{ColumnStats, DegreeStats, Histogram, StoreStats, TableStats};
 pub use value::{PatternMatches, ResultBatch, Value, ValueColumn};

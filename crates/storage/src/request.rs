@@ -25,6 +25,17 @@ impl EntityClass {
             EntityClass::NetConn => "network",
         }
     }
+
+    /// The backend-neutral table name for this class — the key vocabulary
+    /// of [`crate::stats::StoreStats`] and the relational store's physical
+    /// table names.
+    pub fn table_name(self) -> &'static str {
+        match self {
+            EntityClass::File => "files",
+            EntityClass::Process => "processes",
+            EntityClass::NetConn => "netconns",
+        }
+    }
 }
 
 /// Comparison operators (engine-level; backends map to their own spellings).

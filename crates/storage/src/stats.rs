@@ -1,0 +1,690 @@
+//! The statistics plane: incrementally-maintained data statistics both
+//! backends serve through [`crate::StorageBackend::stats`].
+//!
+//! The paper's scheduler (Section III-F) scores TBQL patterns *syntactically*
+//! — it counts declared constraints, so `exename = '/usr/bin/gpg'` and
+//! `name like '%'` weigh the same. The journal version of ThreatRaptor
+//! motivates execution-result-constrained ordering instead; that needs real
+//! numbers about the data. This module defines those numbers:
+//!
+//! * [`ColumnStats`] — per-attribute non-null/distinct counts, exact value
+//!   frequencies up to a tracking cap (top-k most-common values fall out of
+//!   these), and a scaling equi-width [`Histogram`] for numeric/time
+//!   columns,
+//! * [`TableStats`] — row count plus its columns,
+//! * [`DegreeStats`] — per-entity-class adjacency summaries (node count,
+//!   out/in edge counts, max degrees) for degree-power path estimation à la
+//!   Pathce,
+//! * [`StoreStats`] — the whole bundle, keyed by the backend-neutral table
+//!   vocabulary (`files` / `processes` / `netconns` / `events`),
+//! * [`selectivity`] — estimated match fraction of a typed [`Pred`] against
+//!   a [`TableStats`].
+//!
+//! Everything is maintained **incrementally on the write path** (both
+//! backends record every [`crate::MutableBackend`]-style insert — in fact
+//! every physical insert, so bulk load and streaming ingest produce
+//! identical stats by construction) and served with **zero scans** at query
+//! time: accessors only read the maintained maps.
+
+use raptor_common::hash::FxHashMap;
+use raptor_common::like::like_match;
+
+use crate::request::{CmpOp, EntityClass, Pred};
+use crate::value::Value;
+
+/// Distinct values tracked exactly per column. Beyond the cap new values
+/// land in an untracked tail counter (existing keys keep exact counts), so
+/// memory stays bounded on high-cardinality columns (timestamps, ids) while
+/// low-cardinality columns (optype, exename, user) stay exact.
+pub const MCV_TRACK_CAP: usize = 4096;
+
+/// Buckets per histogram. The range scales (bucket width doubles, merging
+/// neighbors) as out-of-range values arrive, so maintenance is O(1)
+/// amortized with O(log range) total merges.
+pub const HIST_BUCKETS: usize = 64;
+
+/// Default top-k size served to estimators that want "the most common
+/// values" without naming a k.
+pub const TOP_K: usize = 8;
+
+/// Assumed match fraction of a LIKE pattern over the *untracked* tail of a
+/// capped column (the tracked majority is matched exactly).
+const LIKE_TAIL_FRACTION: f64 = 0.5;
+
+/// A scaling equi-width histogram over `i64` values.
+///
+/// Buckets cover `[origin + i·width, origin + (i+1)·width)`. When a value
+/// falls outside the covered range the width doubles (adjacent buckets
+/// merge) and, for values below `origin`, the range extends downward.
+/// Range estimates stay within about one bucket of exact; the exact bucket
+/// boundaries (not the recorded totals) can differ by a bounded factor
+/// between insertion orders of the same value set.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    origin: i64,
+    width: i64,
+    counts: Vec<u64>,
+    total: u64,
+    min: i64,
+    max: i64,
+}
+
+impl Histogram {
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Smallest recorded value (`None` when empty).
+    pub fn min(&self) -> Option<i64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value (`None` when empty).
+    pub fn max(&self) -> Option<i64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    fn bucket_of(&self, v: i64) -> i128 {
+        (v as i128 - self.origin as i128).div_euclid(self.width as i128)
+    }
+
+    /// Doubles the bucket width in place, keeping `origin` (covers values
+    /// above the current range).
+    fn grow_up(&mut self) {
+        let mut merged = vec![0u64; HIST_BUCKETS];
+        for (i, &c) in self.counts.iter().enumerate() {
+            merged[i / 2] += c;
+        }
+        self.counts = merged;
+        self.width = self.width.saturating_mul(2);
+    }
+
+    /// Doubles the bucket width and shifts `origin` down by the old range,
+    /// so the old buckets occupy the upper half (covers values below).
+    fn grow_down(&mut self) {
+        let old_range = (self.width as i128) * (HIST_BUCKETS as i128);
+        let mut merged = vec![0u64; HIST_BUCKETS];
+        for (i, &c) in self.counts.iter().enumerate() {
+            merged[(HIST_BUCKETS + i) / 2] += c;
+        }
+        self.counts = merged;
+        self.origin =
+            (self.origin as i128 - old_range).clamp(i64::MIN as i128, i64::MAX as i128) as i64;
+        self.width = self.width.saturating_mul(2);
+    }
+
+    pub fn record(&mut self, v: i64) {
+        if self.total == 0 {
+            self.origin = v;
+            self.width = 1;
+            self.counts = vec![0; HIST_BUCKETS];
+            self.min = v;
+            self.max = v;
+        }
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        while self.bucket_of(v) < 0 {
+            self.grow_down();
+        }
+        while self.bucket_of(v) >= HIST_BUCKETS as i128 {
+            self.grow_up();
+        }
+        let b = self.bucket_of(v) as usize;
+        self.counts[b] += 1;
+        self.total += 1;
+    }
+
+    /// Estimated fraction of recorded values `<= x`.
+    pub fn fraction_le(&self, x: i64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        if x < self.min {
+            return 0.0;
+        }
+        if x >= self.max {
+            return 1.0;
+        }
+        let b = self.bucket_of(x);
+        let mut below = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if (i as i128) < b {
+                below += c;
+            }
+        }
+        // Partial credit inside the containing bucket (uniform assumption).
+        let bucket_start = self.origin as i128 + b * self.width as i128;
+        let into = (x as i128 - bucket_start + 1) as f64 / self.width as f64;
+        let partial = self.counts[b as usize] as f64 * into.clamp(0.0, 1.0);
+        (below as f64 + partial) / self.total as f64
+    }
+
+    /// Estimated fraction of recorded values in `[lo, hi]` (inclusive).
+    pub fn fraction_between(&self, lo: i64, hi: i64) -> f64 {
+        if self.total == 0 || hi < lo {
+            return 0.0;
+        }
+        let below_lo = if lo == i64::MIN { 0.0 } else { self.fraction_le(lo - 1) };
+        (self.fraction_le(hi) - below_lo).clamp(0.0, 1.0)
+    }
+}
+
+/// Incrementally-maintained statistics for one column/property.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ColumnStats {
+    non_null: u64,
+    ints: FxHashMap<i64, u64>,
+    strs: FxHashMap<String, u64>,
+    /// Rows whose value was not tracked (the cap was already reached the
+    /// first time the value appeared).
+    other: u64,
+    hist: Histogram,
+}
+
+impl ColumnStats {
+    fn tracked(&self) -> usize {
+        self.ints.len() + self.strs.len()
+    }
+
+    pub fn record_int(&mut self, v: i64) {
+        self.non_null += 1;
+        self.hist.record(v);
+        if let Some(c) = self.ints.get_mut(&v) {
+            *c += 1;
+        } else if self.tracked() < MCV_TRACK_CAP {
+            self.ints.insert(v, 1);
+        } else {
+            self.other += 1;
+        }
+    }
+
+    pub fn record_str(&mut self, v: &str) {
+        self.non_null += 1;
+        if let Some(c) = self.strs.get_mut(v) {
+            *c += 1;
+        } else if self.tracked() < MCV_TRACK_CAP {
+            self.strs.insert(v.to_string(), 1);
+        } else {
+            self.other += 1;
+        }
+    }
+
+    /// Non-null values recorded.
+    pub fn non_null(&self) -> u64 {
+        self.non_null
+    }
+
+    /// Distinct-count estimate: tracked values exactly, plus the untracked
+    /// tail assumed all-distinct (an upper bound; exact below the cap).
+    pub fn distinct(&self) -> u64 {
+        self.tracked() as u64 + self.other
+    }
+
+    /// Exact frequency of a tracked value; 0 for untracked/unseen values.
+    pub fn freq(&self, v: &Value) -> u64 {
+        match v {
+            Value::Int(i) => self.ints.get(i).copied().unwrap_or(0),
+            Value::Str(s) => self.strs.get(s.as_str()).copied().unwrap_or(0),
+            Value::Null => 0,
+        }
+    }
+
+    /// Estimated fraction of rows equal to `v`. Exact when the column never
+    /// overflowed the tracking cap; untracked values are assumed to be one
+    /// row of the tail.
+    pub fn eq_fraction(&self, v: &Value) -> f64 {
+        self.eq_fraction_inner(self.freq(v))
+    }
+
+    /// [`ColumnStats::eq_fraction`] without constructing a [`Value`].
+    pub fn eq_fraction_int(&self, v: i64) -> f64 {
+        self.eq_fraction_inner(self.ints.get(&v).copied().unwrap_or(0))
+    }
+
+    /// [`ColumnStats::eq_fraction`] without constructing a [`Value`].
+    pub fn eq_fraction_str(&self, v: &str) -> f64 {
+        self.eq_fraction_inner(self.strs.get(v).copied().unwrap_or(0))
+    }
+
+    fn eq_fraction_inner(&self, freq: u64) -> f64 {
+        if self.non_null == 0 {
+            0.0
+        } else if freq > 0 {
+            freq as f64 / self.non_null as f64
+        } else if self.other > 0 {
+            1.0 / self.non_null as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Estimated fraction of rows whose string value matches a LIKE
+    /// `pattern`. Tracked values are matched exactly (weighted by their
+    /// frequencies); the untracked tail contributes a flat default.
+    pub fn like_fraction(&self, pattern: &str) -> f64 {
+        if self.non_null == 0 {
+            return 0.0;
+        }
+        let matched: u64 =
+            self.strs.iter().filter(|(v, _)| like_match(pattern, v)).map(|(_, c)| c).sum();
+        let tail = self.other as f64 * LIKE_TAIL_FRACTION;
+        ((matched as f64 + tail) / self.non_null as f64).clamp(0.0, 1.0)
+    }
+
+    /// Estimated fraction of rows satisfying `value <op> x` for an integer
+    /// comparison, from the histogram.
+    pub fn cmp_fraction(&self, op: CmpOp, x: i64) -> f64 {
+        match op {
+            CmpOp::Eq => self.eq_fraction(&Value::Int(x)),
+            CmpOp::Ne => 1.0 - self.eq_fraction(&Value::Int(x)),
+            CmpOp::Le => self.hist.fraction_le(x),
+            CmpOp::Lt => {
+                if x == i64::MIN {
+                    0.0
+                } else {
+                    self.hist.fraction_le(x - 1)
+                }
+            }
+            CmpOp::Ge => 1.0 - if x == i64::MIN { 0.0 } else { self.hist.fraction_le(x - 1) },
+            CmpOp::Gt => 1.0 - self.hist.fraction_le(x),
+        }
+    }
+
+    /// The k most common tracked values with their frequencies, most
+    /// frequent first (ties broken by value for determinism).
+    pub fn top_k(&self, k: usize) -> Vec<(Value, u64)> {
+        let mut all: Vec<(Value, u64)> = self
+            .ints
+            .iter()
+            .map(|(&v, &c)| (Value::Int(v), c))
+            .chain(self.strs.iter().map(|(v, &c)| (Value::Str(v.clone()), c)))
+            .collect();
+        all.sort_by(|(va, ca), (vb, cb)| cb.cmp(ca).then_with(|| va.render().cmp(&vb.render())));
+        all.truncate(k);
+        all
+    }
+
+    /// The numeric histogram (empty for string columns).
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
+    }
+}
+
+/// Statistics for one table / node label.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TableStats {
+    rows: u64,
+    cols: FxHashMap<String, ColumnStats>,
+}
+
+impl TableStats {
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    pub fn column(&self, name: &str) -> Option<&ColumnStats> {
+        self.cols.get(name)
+    }
+
+    /// Column names with statistics (sorted, for deterministic display).
+    pub fn column_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.cols.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    pub fn record_row(&mut self) {
+        self.rows += 1;
+    }
+
+    pub fn record_int(&mut self, column: &str, v: i64) {
+        self.col_mut(column).record_int(v);
+    }
+
+    pub fn record_str(&mut self, column: &str, v: &str) {
+        self.col_mut(column).record_str(v);
+    }
+
+    fn col_mut(&mut self, column: &str) -> &mut ColumnStats {
+        if !self.cols.contains_key(column) {
+            self.cols.insert(column.to_string(), ColumnStats::default());
+        }
+        self.cols.get_mut(column).expect("just inserted")
+    }
+}
+
+/// Per-entity-class adjacency summaries, the degree inputs of path-pattern
+/// cardinality estimation (Pathce-style degree-power expansion).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DegreeStats {
+    /// Entities of this class.
+    pub nodes: u64,
+    /// Events whose subject is in this class.
+    pub out_edges: u64,
+    /// Events whose object is in this class.
+    pub in_edges: u64,
+    /// Largest out-degree of any single entity in this class.
+    pub max_out: u64,
+    /// Largest in-degree of any single entity in this class.
+    pub max_in: u64,
+}
+
+impl DegreeStats {
+    pub fn avg_out(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            self.out_edges as f64 / self.nodes as f64
+        }
+    }
+
+    pub fn avg_in(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            self.in_edges as f64 / self.nodes as f64
+        }
+    }
+}
+
+/// All statistics one store maintains, served via
+/// [`crate::StorageBackend::stats`]. Keys use the backend-neutral table
+/// vocabulary ([`EntityClass::table_name`] plus `"events"`); each backend
+/// maps its physical names on the way in, so relational and graph stats for
+/// the same data are directly comparable (tests assert they are *equal*).
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    tables: FxHashMap<String, TableStats>,
+    degrees: FxHashMap<EntityClass, DegreeStats>,
+    node_class: FxHashMap<i64, EntityClass>,
+    out_deg: FxHashMap<i64, u64>,
+    in_deg: FxHashMap<i64, u64>,
+}
+
+impl StoreStats {
+    pub fn table(&self, name: &str) -> Option<&TableStats> {
+        self.tables.get(name)
+    }
+
+    /// Mutable handle for per-row recording (creates the table on first
+    /// touch).
+    pub fn table_mut(&mut self, name: &str) -> &mut TableStats {
+        if !self.tables.contains_key(name) {
+            self.tables.insert(name.to_string(), TableStats::default());
+        }
+        self.tables.get_mut(name).expect("just inserted")
+    }
+
+    pub fn degree(&self, class: EntityClass) -> Option<&DegreeStats> {
+        self.degrees.get(&class)
+    }
+
+    /// Total entities across classes.
+    pub fn total_nodes(&self) -> u64 {
+        self.degrees.values().map(|d| d.nodes).sum()
+    }
+
+    /// Total event edges (every event has exactly one classed subject).
+    pub fn total_edges(&self) -> u64 {
+        self.degrees.values().map(|d| d.out_edges).sum()
+    }
+
+    /// Registers one entity of `class` (enables degree tracking for edges
+    /// touching `id`).
+    pub fn record_node(&mut self, class: EntityClass, id: i64) {
+        self.node_class.insert(id, class);
+        self.degrees.entry(class).or_default().nodes += 1;
+    }
+
+    /// Registers one event edge `subject → object`, updating per-class
+    /// degree summaries.
+    pub fn record_edge(&mut self, subject: i64, object: i64) {
+        if let Some(&c) = self.node_class.get(&subject) {
+            let deg = self.out_deg.entry(subject).or_insert(0);
+            *deg += 1;
+            let d = self.degrees.entry(c).or_default();
+            d.out_edges += 1;
+            d.max_out = d.max_out.max(*deg);
+        }
+        if let Some(&c) = self.node_class.get(&object) {
+            let deg = self.in_deg.entry(object).or_insert(0);
+            *deg += 1;
+            let d = self.degrees.entry(c).or_default();
+            d.in_edges += 1;
+            d.max_in = d.max_in.max(*deg);
+        }
+    }
+
+    /// The event-operation frequency table (exact counts per `optype`),
+    /// most frequent first.
+    pub fn event_ops(&self) -> Vec<(String, u64)> {
+        let Some(col) = self.table("events").and_then(|t| t.column("optype")) else {
+            return Vec::new();
+        };
+        col.top_k(usize::MAX)
+            .into_iter()
+            .filter_map(|(v, c)| v.as_str().map(|s| (s.to_string(), c)))
+            .collect()
+    }
+
+    /// Exact frequency of one event operation.
+    pub fn event_op_freq(&self, op: &str) -> u64 {
+        self.table("events")
+            .and_then(|t| t.column("optype"))
+            .map_or(0, |c| c.freq(&Value::Str(op.to_string())))
+    }
+
+    /// Comparable view for tests: `(table → rows, class → degree)` without
+    /// the internal per-node maps.
+    pub fn summary(&self) -> Vec<(String, u64)> {
+        let mut rows: Vec<(String, u64)> =
+            self.tables.iter().map(|(n, t)| (n.clone(), t.rows)).collect();
+        rows.sort();
+        rows
+    }
+}
+
+impl PartialEq for StoreStats {
+    /// Equality over the *served* statistics (tables and degree summaries);
+    /// the per-node working maps are an implementation detail.
+    fn eq(&self, other: &Self) -> bool {
+        self.tables == other.tables && self.degrees == other.degrees
+    }
+}
+
+/// Estimated fraction of `table`'s rows matching a typed predicate, under
+/// conjunct independence. Unknown columns estimate 1.0 (no pruning
+/// assumed); results are clamped to `[0, 1]`.
+pub fn selectivity(table: &TableStats, pred: &Pred) -> f64 {
+    let sel = match pred {
+        Pred::Cmp { attr, op, value } => match table.column(attr) {
+            None => 1.0,
+            Some(col) => match (op, value) {
+                // `=`/`!=` against a `%` pattern carries LIKE semantics
+                // (mirrors the compilers in both backends).
+                (CmpOp::Eq, Value::Str(s)) if s.contains('%') => col.like_fraction(s),
+                (CmpOp::Ne, Value::Str(s)) if s.contains('%') => 1.0 - col.like_fraction(s),
+                (CmpOp::Eq, v) => col.eq_fraction(v),
+                (CmpOp::Ne, v) => 1.0 - col.eq_fraction(v),
+                (op, Value::Int(i)) => col.cmp_fraction(*op, *i),
+                // Ordered comparison on strings: no histogram, assume a
+                // third matches.
+                _ => 1.0 / 3.0,
+            },
+        },
+        Pred::Like { attr, pattern, negated } => match table.column(attr) {
+            None => 1.0,
+            Some(col) => {
+                let f = col.like_fraction(pattern);
+                if *negated {
+                    1.0 - f
+                } else {
+                    f
+                }
+            }
+        },
+        Pred::InSet { attr, negated, values } => match table.column(attr) {
+            None => 1.0,
+            Some(col) => {
+                let f: f64 = values.iter().map(|v| col.eq_fraction(v)).sum();
+                let f = f.clamp(0.0, 1.0);
+                if *negated {
+                    1.0 - f
+                } else {
+                    f
+                }
+            }
+        },
+        Pred::And(a, b) => selectivity(table, a) * selectivity(table, b),
+        Pred::Or(a, b) => {
+            let (sa, sb) = (selectivity(table, a), selectivity(table, b));
+            sa + sb - sa * sb
+        }
+        Pred::Not(inner) => 1.0 - selectivity(table, inner),
+    };
+    sel.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_scales_and_estimates() {
+        let mut h = Histogram::default();
+        for v in 0..1000 {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 1000);
+        assert_eq!((h.min(), h.max()), (Some(0), Some(999)));
+        let half = h.fraction_le(499);
+        assert!((half - 0.5).abs() < 0.05, "{half}");
+        assert_eq!(h.fraction_le(-1), 0.0);
+        assert_eq!(h.fraction_le(5000), 1.0);
+        let mid = h.fraction_between(250, 749);
+        assert!((mid - 0.5).abs() < 0.05, "{mid}");
+    }
+
+    #[test]
+    fn histogram_grows_downward() {
+        let mut h = Histogram::default();
+        h.record(1000);
+        for v in [-500i64, 0, 500, 1500] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 5);
+        assert_eq!((h.min(), h.max()), (Some(-500), Some(1500)));
+        assert!(h.fraction_le(-501) == 0.0);
+        assert!(h.fraction_le(1500) == 1.0);
+    }
+
+    #[test]
+    fn column_exact_below_cap() {
+        let mut c = ColumnStats::default();
+        for _ in 0..90 {
+            c.record_str("read");
+        }
+        for _ in 0..10 {
+            c.record_str("connect");
+        }
+        assert_eq!(c.non_null(), 100);
+        assert_eq!(c.distinct(), 2);
+        assert_eq!(c.freq(&Value::Str("read".into())), 90);
+        assert!((c.eq_fraction(&Value::Str("connect".into())) - 0.1).abs() < 1e-9);
+        assert_eq!(c.eq_fraction(&Value::Str("unseen".into())), 0.0);
+        let top = c.top_k(1);
+        assert_eq!(top, vec![(Value::Str("read".into()), 90)]);
+    }
+
+    #[test]
+    fn column_caps_tail() {
+        let mut c = ColumnStats::default();
+        for i in 0..(MCV_TRACK_CAP as i64 + 100) {
+            c.record_int(i);
+        }
+        // Every row distinct: tracked cap + tail.
+        assert_eq!(c.distinct(), MCV_TRACK_CAP as u64 + 100);
+        assert_eq!(c.non_null(), MCV_TRACK_CAP as u64 + 100);
+        // Tracked value exact, untracked assumed one row.
+        assert_eq!(c.freq(&Value::Int(0)), 1);
+        assert!(c.eq_fraction(&Value::Int(i64::MAX - 1)) > 0.0);
+    }
+
+    #[test]
+    fn like_fraction_exact_when_tracked() {
+        let mut c = ColumnStats::default();
+        for name in ["/etc/passwd", "/tmp/upload.tar", "/tmp/upload.tar.bz2", "/var/log/syslog"] {
+            c.record_str(name);
+        }
+        assert!((c.like_fraction("%upload%") - 0.5).abs() < 1e-9);
+        assert!((c.like_fraction("%") - 1.0).abs() < 1e-9);
+        assert_eq!(c.like_fraction("%absent%"), 0.0);
+    }
+
+    #[test]
+    fn selectivity_composes() {
+        let mut t = TableStats::default();
+        for _ in 0..80 {
+            t.record_row();
+            t.record_str("optype", "read");
+            t.record_str("kind", "file");
+            t.record_int("starttime", 100);
+        }
+        for _ in 0..20 {
+            t.record_row();
+            t.record_str("optype", "connect");
+            t.record_str("kind", "network");
+            t.record_int("starttime", 200);
+        }
+        let eq = |attr: &str, v: &str| Pred::Cmp {
+            attr: attr.into(),
+            op: CmpOp::Eq,
+            value: Value::Str(v.into()),
+        };
+        assert!((selectivity(&t, &eq("optype", "connect")) - 0.2).abs() < 1e-9);
+        let both = Pred::And(Box::new(eq("optype", "read")), Box::new(eq("kind", "file")));
+        assert!((selectivity(&t, &both) - 0.64).abs() < 1e-9);
+        let either = Pred::Or(Box::new(eq("optype", "read")), Box::new(eq("optype", "connect")));
+        assert!((selectivity(&t, &either) - 0.84).abs() < 1e-9);
+        // Unknown column: no pruning assumed.
+        assert_eq!(selectivity(&t, &eq("missing", "x")), 1.0);
+        // Range via the histogram.
+        let range = Pred::Cmp { attr: "starttime".into(), op: CmpOp::Ge, value: Value::Int(150) };
+        let s = selectivity(&t, &range);
+        assert!((s - 0.2).abs() < 0.05, "{s}");
+    }
+
+    #[test]
+    fn degrees_track_classes() {
+        let mut s = StoreStats::default();
+        s.record_node(EntityClass::Process, 0);
+        s.record_node(EntityClass::Process, 1);
+        s.record_node(EntityClass::File, 2);
+        s.record_edge(0, 2);
+        s.record_edge(0, 2);
+        s.record_edge(1, 2);
+        let p = s.degree(EntityClass::Process).unwrap();
+        assert_eq!((p.nodes, p.out_edges, p.max_out), (2, 3, 2));
+        let f = s.degree(EntityClass::File).unwrap();
+        assert_eq!((f.nodes, f.in_edges, f.max_in), (1, 3, 3));
+        assert!((p.avg_out() - 1.5).abs() < 1e-9);
+        assert_eq!(s.total_nodes(), 3);
+        assert_eq!(s.total_edges(), 3);
+    }
+
+    #[test]
+    fn event_op_table() {
+        let mut s = StoreStats::default();
+        let t = s.table_mut("events");
+        for op in ["read", "read", "write"] {
+            t.record_row();
+            t.record_str("optype", op);
+        }
+        assert_eq!(s.event_op_freq("read"), 2);
+        assert_eq!(s.event_ops(), vec![("read".to_string(), 2), ("write".to_string(), 1)]);
+    }
+}

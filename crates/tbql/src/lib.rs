@@ -7,7 +7,7 @@
 //! plus optional global filters, a `with` clause for temporal/attribute
 //! relationships between patterns, and a `return` clause.
 //!
-//! Syntactic sugar (resolved by [`analyze`]):
+//! Syntactic sugar (resolved by [`analyze()`]):
 //! * default attributes — a bare value filter `["%/bin/tar%"]` means the
 //!   entity kind's default attribute (`name` for files, `exename` for
 //!   processes, `dstip` for network connections); a bare entity ID in
@@ -15,8 +15,8 @@
 //! * entity ID reuse — using `p1` in two patterns declares them to be the
 //!   same entity.
 //!
-//! Modules: [`lexer`] → [`parser`] → [`ast`] → [`analyze`] (semantic
-//! checking and desugaring) → [`print`] (round-trip rendering) and
+//! Modules: [`lexer`] → [`parser`] → [`ast`] → [`mod@analyze`] (semantic
+//! checking and desugaring) → [`mod@print`] (round-trip rendering) and
 //! [`metrics`] (character/word conciseness counts for Table X).
 
 pub mod analyze;

@@ -476,6 +476,40 @@ with evt1 before evt2, evt2 before evt3, evt3 before evt4, evt4 before evt5,
 evt5 before evt6, evt6 before evt7, evt7 before evt8
 return distinct p1, f1, f2, p2, f3, p3, f4, p4, i1"#;
 
+/// The 8-query backend-equivalence corpus, shared by the equivalence tests,
+/// the scheduler's order-pinning tests and the `bench_smoke` CI gate. Every
+/// query stays inside the fragment the giant compiled baselines support
+/// (event patterns, plain `before`/`after`), matches the data-leak scenario
+/// the corpus simulators stage, and must return identical `sorted_rows()`
+/// under every execution mode and scheduler order.
+pub const EQUIV_CORPUS: &[&str] = &[
+    r#"proc p["%/bin/tar%"] read file f["%/etc/passwd%"] as e1 return p, f"#,
+    r#"proc p["%/bin/tar%"] read file f1["%/etc/passwd%"] as e1
+       proc p write file f2["%/tmp/upload.tar%"] as e2
+       with e1 before e2
+       return distinct p, f1, f2"#,
+    r#"proc p1["%tar%"] write file f["%upload%"] as e1
+       proc p2["%curl%"] read file f as e2
+       proc p2 connect ip i as e3
+       with e1 before e2, e2 before e3
+       return distinct p1, p2, f, i"#,
+    // The scheduler's showcase: syntactically the two patterns tie (two
+    // constraint atoms each), but `read || write` over unfiltered files
+    // matches a large slice of the store while the IOC'd `connect` matches
+    // almost nothing — the cost-based order runs the connect first and
+    // prunes the big pattern through the propagated `IN` sets.
+    r#"proc p read || write file f as e1
+       proc p connect ip i["%192.168.29.128%"] as e2
+       return distinct p, f, i"#,
+    r#"proc p["%curl%"] connect ip i["%192.168.29.128%"] as e1 return p, i"#,
+    r#"proc p1 write file f["%upload%"] as e1
+       proc p2 read file f as e2
+       with p1.user = p2.user
+       return distinct p1, p2, f"#,
+    r#"proc p["%/bin/tar%"] read file f as e1 return distinct p, f, e1.optype"#,
+    r#"proc p write file f["%upload%"] as e1 return distinct f, e1.amount"#,
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,55 +5,26 @@
 //! results". The scheduled plan must additionally be *parse-free*: zero
 //! SQL/Cypher texts parsed end to end.
 
-use threatraptor::audit::sim::{generate_background, BackgroundProfile, Simulator};
+use threatraptor::audit::sim::Simulator;
 use threatraptor::common::time::Timestamp;
 use threatraptor::engine::exec::{to_length1_path_query, ExecMode, QueryKind};
+use threatraptor::engine::SchedulerMode;
 use threatraptor::tbql::print::print_query;
 use threatraptor::ThreatRaptor;
 
+/// The one authoritative corpus scenario (data-leak attack over background
+/// noise), shared with the scheduler benches and the `bench_smoke` gate.
 fn system() -> ThreatRaptor {
-    let mut sim = Simulator::new(77, Timestamp::from_secs(1_500_000_000));
-    generate_background(
-        &mut sim,
-        &BackgroundProfile { users: 6, sessions: 80, ..Default::default() },
-    );
-    let shell = sim.boot_process("/bin/bash", "root");
-    let tar = sim.spawn(shell, "/bin/tar", "tar");
-    sim.read_file(tar, "/etc/passwd", 4096, 4);
-    sim.write_file(tar, "/tmp/upload.tar", 4096, 4);
-    sim.exit(tar);
-    let curl = sim.spawn(shell, "/usr/bin/curl", "curl");
-    sim.read_file(curl, "/tmp/upload.tar", 4096, 2);
-    let fd = sim.connect(curl, "192.168.29.128", 443);
-    sim.send(curl, fd, 4096, 4);
-    sim.exit(curl);
-    ThreatRaptor::from_records(&sim.finish()).unwrap()
+    raptor_bench::corpus::corpus_system()
 }
 
-/// The equivalence corpus: every query here must produce identical
-/// `sorted_rows()` under Scheduled (typed), GiantSql and GiantCypher.
-/// (Giant modes support plain before/after only, so the corpus stays within
-/// that fragment; richer scheduled-only features are covered by unit tests.)
-const QUERIES: &[&str] = &[
-    r#"proc p["%/bin/tar%"] read file f["%/etc/passwd%"] as e1 return p, f"#,
-    r#"proc p["%/bin/tar%"] read file f1["%/etc/passwd%"] as e1
-       proc p write file f2["%/tmp/upload.tar%"] as e2
-       with e1 before e2
-       return distinct p, f1, f2"#,
-    r#"proc p1["%tar%"] write file f["%upload%"] as e1
-       proc p2["%curl%"] read file f as e2
-       proc p2 connect ip i as e3
-       with e1 before e2, e2 before e3
-       return distinct p1, p2, f, i"#,
-    r#"proc p read || write file f["%/tmp/upload.tar%"] as e1 return distinct p, f"#,
-    r#"proc p["%curl%"] connect ip i["%192.168.29.128%"] as e1 return p, i"#,
-    r#"proc p1 write file f["%upload%"] as e1
-       proc p2 read file f as e2
-       with p1.user = p2.user
-       return distinct p1, p2, f"#,
-    r#"proc p["%/bin/tar%"] read file f as e1 return distinct p, f, e1.optype"#,
-    r#"proc p write file f["%upload%"] as e1 return distinct f, e1.amount"#,
-];
+/// The equivalence corpus (shared constant: the scheduler's order-pinning
+/// tests and the `bench_smoke` CI gate run the same eight queries): every
+/// query here must produce identical `sorted_rows()` under Scheduled
+/// (typed), GiantSql and GiantCypher. (Giant modes support plain
+/// before/after only, so the corpus stays within that fragment; richer
+/// scheduled-only features are covered by unit tests.)
+const QUERIES: &[&str] = threatraptor::tbql::parser::EQUIV_CORPUS;
 
 #[test]
 fn scheduled_equals_giant_sql() {
@@ -160,6 +131,99 @@ fn items_inserted_counted_on_ingest_only() {
     let total = session.total_ingest_stats().items_inserted;
     assert_eq!(total, epoch_sum);
     assert_eq!(total, 2 * (log.entities.len() + log.events.len()));
+}
+
+/// The cost-based order is driven by `stats()`: estimates are populated
+/// for every pattern on every corpus query, the scheduler reports
+/// cost-based mode, and every executed pattern's Q-error is finite.
+#[test]
+fn cost_based_order_is_stats_driven() {
+    let raptor = system();
+    let engine = raptor.engine();
+    for q in QUERIES {
+        let parsed = threatraptor::tbql::parse_tbql(q).unwrap();
+        let aq = threatraptor::tbql::analyze(&parsed).unwrap();
+        let (_, stats) = engine.execute_scheduled_as(&aq, SchedulerMode::CostBased).unwrap();
+        assert_eq!(stats.scheduler, Some(SchedulerMode::CostBased), "query: {q}");
+        assert_eq!(stats.estimates.len(), aq.patterns.len());
+        for e in &stats.estimates {
+            let est = e.estimated_rows.unwrap_or_else(|| panic!("no estimate for {e:?}: {q}"));
+            assert!(est.is_finite(), "estimate not finite: {e:?}");
+            if e.actual_rows.is_some() {
+                let qerr = e.q_error().unwrap();
+                assert!(qerr.is_finite() && qerr >= 1.0, "bad q-error {qerr} for {e:?}: {q}");
+            }
+        }
+        // Every pattern executed (nothing short-circuited on the corpus),
+        // so actual rows are recorded throughout.
+        assert!(stats.estimates.iter().all(|e| e.actual_rows.is_some()), "query: {q}");
+    }
+}
+
+/// Cost-based reordering can never change results: rendered rows are
+/// byte-identical across scheduler modes, for both the event-pattern form
+/// (relational backend) and the length-1 path form (graph backend).
+#[test]
+fn results_identical_across_scheduler_modes() {
+    let raptor = system();
+    let engine = raptor.engine();
+    for q in QUERIES {
+        let parsed = threatraptor::tbql::parse_tbql(q).unwrap();
+        for variant in [print_query(&parsed), print_query(&to_length1_path_query(&parsed))] {
+            let aq =
+                threatraptor::tbql::analyze(&threatraptor::tbql::parse_tbql(&variant).unwrap())
+                    .unwrap();
+            let (cost, _) = engine.execute_scheduled_as(&aq, SchedulerMode::CostBased).unwrap();
+            let (syn, _) = engine.execute_scheduled_as(&aq, SchedulerMode::Syntactic).unwrap();
+            assert_eq!(cost.columns, syn.columns, "query: {variant}");
+            assert_eq!(cost.sorted_rows(), syn.sorted_rows(), "query: {variant}");
+        }
+    }
+}
+
+/// The scheduler's showcase (corpus query 3): the cost-based order differs
+/// from the syntactic one — the IOC'd `connect` runs before the weakly
+/// constrained `read || write` — and does measurably less backend work.
+#[test]
+fn cost_based_order_beats_syntactic_on_showcase_query() {
+    let raptor = system();
+    let engine = raptor.engine();
+    let aq =
+        threatraptor::tbql::analyze(&threatraptor::tbql::parse_tbql(QUERIES[3]).unwrap()).unwrap();
+    let work = |s: &threatraptor::engine::exec::EngineStats| {
+        s.backend.items_scanned + s.backend.items_built + s.backend.edges_traversed
+    };
+    let (_, cost) = engine.execute_scheduled_as(&aq, SchedulerMode::CostBased).unwrap();
+    let (_, syn) = engine.execute_scheduled_as(&aq, SchedulerMode::Syntactic).unwrap();
+    assert_ne!(cost.execution_order, syn.execution_order);
+    assert_eq!(cost.execution_order, vec![1, 0], "connect pattern first");
+    assert!(
+        2 * work(&cost) < work(&syn),
+        "cost-based order should at least halve the work: {} vs {}",
+        work(&cost),
+        work(&syn)
+    );
+}
+
+/// Both backends collect identical statistics from identical data — the
+/// stats plane is backend-neutral by construction.
+#[test]
+fn backend_stats_agree() {
+    use threatraptor::storage::{EntityClass, StorageBackend};
+    let raptor = system();
+    let engine = raptor.engine();
+    let rel = engine.stores.rel.stats();
+    let graph = engine.stores.graph.stats();
+    assert_eq!(rel, graph);
+    assert!(rel.table("events").unwrap().rows() > 0);
+    assert_eq!(rel.total_nodes(), engine.stores.graph.node_count() as u64);
+    assert_eq!(rel.total_edges(), engine.stores.graph.edge_count() as u64);
+    assert!(rel.degree(EntityClass::Process).unwrap().avg_out() > 0.0);
+    // The event-op frequency table is exact and served scan-free.
+    let ops = rel.event_ops();
+    assert!(ops.iter().any(|(op, n)| op == "connect" && *n > 0), "{ops:?}");
+    let total: u64 = ops.iter().map(|(_, n)| n).sum();
+    assert_eq!(total, rel.table("events").unwrap().rows());
 }
 
 #[test]

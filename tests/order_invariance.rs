@@ -1,0 +1,86 @@
+//! Order invariance: cost-based reordering can never change results.
+//!
+//! The scheduler is free to execute a query's pattern data queries in any
+//! order — ordering only changes which propagated `IN` sets constrain which
+//! data query, never the joined result. This property is what licenses the
+//! statistics-driven scheduler to reorder at will, so it is pinned here:
+//! **any permutation** of the execution order yields identical
+//! `sorted_rows()` on both backends (event patterns exercise the relational
+//! store; the length-1 path rewrite exercises the graph store).
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use raptor_bench::corpus::corpus_system;
+use threatraptor::engine::exec::to_length1_path_query;
+use threatraptor::tbql::print::print_query;
+use threatraptor::ThreatRaptor;
+
+const QUERIES: &[&str] = threatraptor::tbql::parser::EQUIV_CORPUS;
+
+thread_local! {
+    /// Built once per test thread — the property only reads it.
+    static SYSTEM: ThreatRaptor = corpus_system();
+}
+
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..(i + 1));
+        order.swap(i, j);
+    }
+    order
+}
+
+proptest! {
+    /// Any corpus query, either backend variant, any execution order:
+    /// identical results.
+    #[test]
+    fn any_execution_order_yields_identical_results(
+        case_idx in 0usize..16,
+        seed in 0u64..1_000_000,
+    ) {
+        let q = QUERIES[case_idx % QUERIES.len()];
+        let parsed = threatraptor::tbql::parse_tbql(q).unwrap();
+        // Even indices: event-pattern form (relational backend); odd:
+        // length-1 path form (graph backend).
+        let text = if case_idx < QUERIES.len() {
+            print_query(&parsed)
+        } else {
+            print_query(&to_length1_path_query(&parsed))
+        };
+        let aq = threatraptor::tbql::analyze(
+            &threatraptor::tbql::parse_tbql(&text).unwrap(),
+        )
+        .unwrap();
+        let order = permutation(aq.patterns.len(), seed);
+        SYSTEM.with(|raptor| {
+            let engine = raptor.engine();
+            let (canonical, _) = engine
+                .execute(&aq, threatraptor::engine::ExecMode::Scheduled)
+                .unwrap();
+            let (forced, stats) = engine.execute_with_order(&aq, &order).unwrap();
+            prop_assert_eq!(&stats.execution_order, &order);
+            prop_assert_eq!(
+                forced.sorted_rows(),
+                canonical.sorted_rows(),
+                "order {:?} changed results for: {}",
+                order,
+                text
+            );
+        });
+    }
+}
+
+/// Degenerate orders are rejected rather than silently reinterpreted.
+#[test]
+fn non_permutations_rejected() {
+    let raptor = corpus_system();
+    let engine = raptor.engine();
+    let aq =
+        threatraptor::tbql::analyze(&threatraptor::tbql::parse_tbql(QUERIES[1]).unwrap()).unwrap();
+    assert!(engine.execute_with_order(&aq, &[0]).is_err(), "wrong length");
+    assert!(engine.execute_with_order(&aq, &[0, 0]).is_err(), "duplicate index");
+    assert!(engine.execute_with_order(&aq, &[0, 2]).is_err(), "out of range");
+    assert!(engine.execute_with_order(&aq, &[1, 0]).is_ok());
+}

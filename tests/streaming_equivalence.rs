@@ -21,29 +21,10 @@ use threatraptor::engine::{Engine, ResultTable};
 use threatraptor::stream::{EpochPolicy, EpochStream, StreamSession};
 use threatraptor::tbql::print::print_query;
 
-/// The 8-query equivalence corpus (same fragment as the backend-equivalence
-/// suite; IOCs match the data_leak case, other cases legitimately return
-/// empty — equivalence must hold either way).
-const QUERIES: &[&str] = &[
-    r#"proc p["%/bin/tar%"] read file f["%/etc/passwd%"] as e1 return p, f"#,
-    r#"proc p["%/bin/tar%"] read file f1["%/etc/passwd%"] as e1
-       proc p write file f2["%/tmp/upload.tar%"] as e2
-       with e1 before e2
-       return distinct p, f1, f2"#,
-    r#"proc p1["%tar%"] write file f["%upload%"] as e1
-       proc p2["%curl%"] read file f as e2
-       proc p2 connect ip i as e3
-       with e1 before e2, e2 before e3
-       return distinct p1, p2, f, i"#,
-    r#"proc p read || write file f["%/tmp/upload.tar%"] as e1 return distinct p, f"#,
-    r#"proc p["%curl%"] connect ip i["%192.168.29.128%"] as e1 return p, i"#,
-    r#"proc p1 write file f["%upload%"] as e1
-       proc p2 read file f as e2
-       with p1.user = p2.user
-       return distinct p1, p2, f"#,
-    r#"proc p["%/bin/tar%"] read file f as e1 return distinct p, f, e1.optype"#,
-    r#"proc p write file f["%upload%"] as e1 return distinct f, e1.amount"#,
-];
+/// The 8-query equivalence corpus (the shared constant — same fragment as
+/// the backend-equivalence suite; IOCs match the data_leak case, other
+/// cases legitimately return empty — equivalence must hold either way).
+const QUERIES: &[&str] = threatraptor::tbql::parser::EQUIV_CORPUS;
 
 fn shuffled(events: &[SystemEvent], seed: u64) -> Vec<SystemEvent> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -104,6 +85,37 @@ proptest! {
         prop_assert_eq!(streamed.stores.now_ns, bulk.stores.now_ns);
         assert_engines_equivalent(streamed, &bulk, spec.id);
     }
+}
+
+/// The statistics plane stays fresh per epoch: stats are maintained on the
+/// shared write path, so after *every* ingested epoch the streamed stores'
+/// row counts match what has been ingested so far, and after the final
+/// epoch the full statistics (tables, columns, degree summaries) are
+/// identical to a bulk load's — on both backends, which also agree with
+/// each other.
+#[test]
+fn streamed_stats_match_bulk_and_stay_fresh() {
+    let spec = raptor_cases::catalog::case_by_id("data_leak").unwrap();
+    let built = raptor_cases::build_case(spec, 0.2, 99);
+
+    let mut session = StreamSession::new().unwrap();
+    let mut events_so_far = 0u64;
+    for batch in EpochStream::new(&built.log, EpochPolicy::ByCount(64)) {
+        let report = session.ingest_batch(&batch).unwrap();
+        events_so_far += report.events_ingested as u64;
+        let stats = session.engine().stores.rel.store_stats();
+        assert_eq!(
+            stats.table("events").map_or(0, |t| t.rows()),
+            events_so_far,
+            "stats must advance with every epoch"
+        );
+    }
+    let bulk = Engine::new(load(&built.log).unwrap());
+    let streamed = session.engine();
+    assert_eq!(streamed.stores.rel.store_stats(), bulk.stores.rel.store_stats());
+    assert_eq!(streamed.stores.graph.store_stats(), bulk.stores.graph.store_stats());
+    assert_eq!(streamed.stores.rel.store_stats(), streamed.stores.graph.store_stats());
+    assert!(bulk.stores.rel.store_stats().event_op_freq("read") > 0);
 }
 
 /// The acceptance invariant: continuous standing-query evaluation over the
