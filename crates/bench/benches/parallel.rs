@@ -1,0 +1,74 @@
+//! `parallel_vs_sequential` — wall-clock effect of the parallel execution
+//! plane at 1/2/4 worker threads.
+//!
+//! The corpus store used by `bench_smoke` is deliberately small (fast CI);
+//! thread-spawn overhead would drown any parallel win there. This bench
+//! replays the same data-leak attack over a much larger deterministic
+//! background so the hot paths actually have work to partition, then runs
+//! corpus query 3 (the scheduler showcase) in three shapes:
+//!
+//! * **scan-bound** — `GiantSql`: the `read || write` OR-predicate defeats
+//!   every index, so the events table is full-scanned and re-verified
+//!   (partitioned over row chunks) and the multi-way hash joins probe tens
+//!   of thousands of tuples (partitioned over tuple ranges),
+//! * **path-bound** — `GiantCypher`: every `Process` node anchors a graph
+//!   traversal (fanned out per anchor through the pool),
+//! * **scheduled** — the typed scheduled plan, as a reference point: the
+//!   cost-based scheduler prunes so hard that there is little left to
+//!   parallelize, and the bench shows the plane does not slow it down.
+//!
+//! Speedup only materializes with real hardware parallelism; on a 1-core
+//! machine all thread counts collapse to roughly the sequential time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use raptor_audit::sim::{generate_background, BackgroundProfile, Simulator};
+use raptor_bench::corpus::EQUIV_CORPUS;
+use raptor_common::time::Timestamp;
+use raptor_engine::exec::ExecMode;
+use raptor_tbql::{analyze, parse_tbql};
+use threatraptor::ThreatRaptor;
+
+/// The corpus scenario at ~15x background scale (tens of thousands of
+/// events): big enough that scans, probes and traversals dominate.
+fn scaled_system() -> ThreatRaptor {
+    let mut sim = Simulator::new(77, Timestamp::from_secs(1_500_000_000));
+    generate_background(
+        &mut sim,
+        &BackgroundProfile { users: 8, sessions: 1200, ..Default::default() },
+    );
+    let shell = sim.boot_process("/bin/bash", "root");
+    let tar = sim.spawn(shell, "/bin/tar", "tar");
+    sim.read_file(tar, "/etc/passwd", 4096, 4);
+    sim.write_file(tar, "/tmp/upload.tar", 4096, 4);
+    sim.exit(tar);
+    let curl = sim.spawn(shell, "/usr/bin/curl", "curl");
+    sim.read_file(curl, "/tmp/upload.tar", 4096, 2);
+    let fd = sim.connect(curl, "192.168.29.128", 443);
+    sim.send(curl, fd, 4096, 4);
+    sim.exit(curl);
+    ThreatRaptor::from_records(&sim.finish()).unwrap()
+}
+
+fn bench_parallel_vs_sequential(c: &mut Criterion) {
+    let mut raptor = scaled_system();
+    let aq = analyze(&parse_tbql(EQUIV_CORPUS[3]).unwrap()).unwrap();
+    let mut g = c.benchmark_group("parallel_vs_sequential");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        raptor.set_threads(threads);
+        let engine = raptor.engine();
+        g.bench_function(&format!("scan_bound_q3_giant_sql_t{threads}"), |b| {
+            b.iter(|| engine.execute(&aq, ExecMode::GiantSql).unwrap())
+        });
+        g.bench_function(&format!("path_bound_q3_giant_cypher_t{threads}"), |b| {
+            b.iter(|| engine.execute(&aq, ExecMode::GiantCypher).unwrap())
+        });
+        g.bench_function(&format!("scheduled_q3_t{threads}"), |b| {
+            b.iter(|| engine.execute(&aq, ExecMode::Scheduled).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallel_vs_sequential);
+criterion_main!(benches);

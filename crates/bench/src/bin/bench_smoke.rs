@@ -6,7 +6,13 @@
 //! paper's syntactic score) on the deterministic corpus system, and emits
 //! `BENCH_schedule.json`: per-query scheduled latency, deterministic
 //! backend work counters, the chosen orders, and a scheduler Q-error
-//! summary.
+//! summary — plus a `parallel` section with per-query latency at 1/2/4
+//! worker threads and the resulting speedups (informational only; on the
+//! small corpus store and small CI machines parallelism may not pay — the
+//! `parallel_vs_sequential` criterion group measures it at scale). While
+//! collecting those, the run *asserts* the parallel-plane determinism
+//! contract: every thread count must produce identical rows and identical
+//! deterministic work counters.
 //!
 //! **Regression gating** compares against a checked-in baseline
 //! (`crates/bench/baselines/BENCH_schedule.json`) and fails (exit 1) on a
@@ -100,7 +106,49 @@ fn run() -> (Vec<QueryReport>, f64) {
     (reports, q_error_max)
 }
 
-fn render_json(reports: &[QueryReport], q_error_max: f64) -> String {
+/// Worker-thread counts the `parallel` section measures.
+const PARALLEL_THREADS: [usize; 3] = [1, 2, 4];
+
+struct ParallelReport {
+    id: usize,
+    /// Min latency per thread count, index-aligned with `PARALLEL_THREADS`.
+    latency_ns: [u128; 3],
+}
+
+/// Measures every corpus query at 1/2/4 worker threads, asserting the
+/// determinism contract (identical rows + identical deterministic counters
+/// at every thread count) along the way.
+fn run_parallel() -> Vec<ParallelReport> {
+    let mut latencies = vec![[0u128; 3]; EQUIV_CORPUS.len()];
+    let mut reference: Vec<(Vec<Vec<String>>, raptor_storage::BackendStats)> = Vec::new();
+    for (ti, &threads) in PARALLEL_THREADS.iter().enumerate() {
+        let mut raptor = corpus_system();
+        raptor.set_threads(threads);
+        let engine = raptor.engine();
+        for (id, q) in EQUIV_CORPUS.iter().enumerate() {
+            let aq = analyze(&parse_tbql(q).expect("corpus parses")).expect("corpus analyzes");
+            let (r, s) = engine.execute_scheduled_as(&aq, SchedulerMode::CostBased).unwrap();
+            if ti == 0 {
+                reference.push((r.rows.clone(), s.backend));
+            } else {
+                let (rows, counters) = &reference[id];
+                assert_eq!(&r.rows, rows, "query {id} rows diverged at {threads} threads");
+                assert_eq!(
+                    &s.backend, counters,
+                    "query {id} work counters diverged at {threads} threads"
+                );
+            }
+            latencies[id][ti] = measure_latency(engine, &aq, SchedulerMode::CostBased);
+        }
+    }
+    latencies
+        .into_iter()
+        .enumerate()
+        .map(|(id, latency_ns)| ParallelReport { id, latency_ns })
+        .collect()
+}
+
+fn render_json(reports: &[QueryReport], parallel: &[ParallelReport], q_error_max: f64) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"schema\": \"threatraptor/bench_schedule/v1\",");
@@ -121,6 +169,23 @@ fn render_json(reports: &[QueryReport], q_error_max: f64) -> String {
         let _ = writeln!(out, "      \"latency_ns_syntactic\": {},", r.latency_ns_syntactic);
         let _ = writeln!(out, "      \"q_error_max\": {:.4}", r.q_error_max);
         let _ = writeln!(out, "    }}{}", if i + 1 < reports.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ],");
+    // Per-thread-count latency + speedup. Deliberately key-disjoint from
+    // the gated signals ("rows", "work_cost", "q_error_max",
+    // "orders_differ"): the regression gate reads deterministic counters
+    // only, never these wall-clock numbers.
+    let _ = writeln!(out, "  \"parallel\": [");
+    for (i, p) in parallel.iter().enumerate() {
+        let speedup = |ns: u128| p.latency_ns[0] as f64 / (ns.max(1) as f64);
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"query\": {},", p.id);
+        let _ = writeln!(out, "      \"latency_ns_t1\": {},", p.latency_ns[0]);
+        let _ = writeln!(out, "      \"latency_ns_t2\": {},", p.latency_ns[1]);
+        let _ = writeln!(out, "      \"latency_ns_t4\": {},", p.latency_ns[2]);
+        let _ = writeln!(out, "      \"speedup_t2\": {:.3},", speedup(p.latency_ns[1]));
+        let _ = writeln!(out, "      \"speedup_t4\": {:.3}", speedup(p.latency_ns[2]));
+        let _ = writeln!(out, "    }}{}", if i + 1 < parallel.len() { "," } else { "" });
     }
     let _ = writeln!(out, "  ],");
     let orders_differ = reports.iter().filter(|r| r.order_cost != r.order_syntactic).count();
@@ -223,7 +288,8 @@ fn main() -> ExitCode {
     }
 
     let (reports, q_error_max) = run();
-    let json = render_json(&reports, q_error_max);
+    let parallel = run_parallel();
+    let json = render_json(&reports, &parallel, q_error_max);
     std::fs::write(&out_path, &json).expect("write bench output");
     println!("wrote {out_path}");
     for r in &reports {
@@ -236,6 +302,16 @@ fn main() -> ExitCode {
             r.latency_ns_cost as f64 / 1e3,
             r.latency_ns_syntactic as f64 / 1e3,
             if r.order_cost == r.order_syntactic { "same" } else { "DIFFERS" },
+        );
+    }
+    for p in &parallel {
+        println!(
+            "q{} parallel: t1={:.1}µs t2={:.1}µs t4={:.1}µs (speedup x{:.2} at 4)",
+            p.id,
+            p.latency_ns[0] as f64 / 1e3,
+            p.latency_ns[1] as f64 / 1e3,
+            p.latency_ns[2] as f64 / 1e3,
+            p.latency_ns[0] as f64 / p.latency_ns[2].max(1) as f64,
         );
     }
 

@@ -11,6 +11,9 @@
 //! * [`error`] — the workspace-wide error type,
 //! * [`like`] — SQL `LIKE` wildcard matching, shared by the relational
 //!   executor, the graph predicate lowering and selectivity estimation,
+//! * [`pool`] — the scoped worker pool behind the parallel execution plane
+//!   (deterministic, input-ordered result collection; thread count from
+//!   `RAPTOR_THREADS` / available parallelism),
 //! * [`strdist`] — Levenshtein distance and normalized string similarity
 //!   (used by the fuzzy search mode for node alignment),
 //! * [`intern`] — a string interner backing entity attribute storage,
@@ -22,6 +25,7 @@ pub mod hash;
 pub mod ids;
 pub mod intern;
 pub mod like;
+pub mod pool;
 pub mod strdist;
 pub mod table;
 pub mod time;
@@ -29,4 +33,5 @@ pub mod time;
 pub use error::{Error, Result};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use intern::{Interner, Sym};
+pub use pool::{Pool, RaptorConfig};
 pub use time::{Duration, Timestamp};

@@ -53,6 +53,18 @@ impl ThreatRaptor {
         &self.engine
     }
 
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Pins the worker count across the whole execution plane (engine
+    /// dependency chains, store scans/joins, graph traversal). Defaults to
+    /// `RAPTOR_THREADS` / available parallelism; `1` takes the strictly
+    /// sequential code paths everywhere.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.engine.set_threads(threads);
+    }
+
     /// Extracts a threat behavior graph from OSCTI text (Algorithm 1).
     pub fn extract_report(&self, text: &str) -> ExtractionOutput {
         extract(text)

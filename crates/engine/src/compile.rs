@@ -33,7 +33,7 @@ pub struct CompileCtx<'a> {
 /// Candidate sets are kept **sorted and distinct**: the `MAX_IN_LIST` cap
 /// then measures distinct ids, and compiled `IN` lists (text or typed) are
 /// deterministic for a given result set.
-#[derive(Default, Debug)]
+#[derive(Clone, Default, Debug)]
 pub struct Propagation {
     entity_ids: FxHashMap<String, Vec<i64>>,
 }

@@ -24,12 +24,13 @@
 
 use raptor_common::error::{Error, Result};
 use raptor_common::hash::{FxHashMap, FxHashSet};
+use raptor_common::pool::Pool;
 use raptor_common::time::Duration;
 use raptor_graphstore::cypher::{exec as gexec, parse_cypher};
 use raptor_storage::{
     AttrSource, BackendStats, PatternMatches, ResultBatch, StorageBackend, Value as SVal,
 };
-use raptor_tbql::analyze::{AnalyzedQuery, RetItem};
+use raptor_tbql::analyze::AnalyzedQuery;
 use raptor_tbql::{analyze, parse_tbql, CmpOp, PatternOp, RelClause, TemporalOp};
 
 use crate::compile::{
@@ -39,7 +40,9 @@ use crate::compile::{
 };
 use crate::estimate::{estimate_event_pattern, estimate_path_pattern, PatternEstimate};
 use crate::load::LoadedStores;
-use crate::schedule::{cost_based_order, execution_order, pruning_score, SchedulerMode};
+use crate::schedule::{
+    cost_based_order, dependency_chains, execution_order, pruning_score, SchedulerMode,
+};
 
 /// Execution strategy.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -94,7 +97,11 @@ pub struct EngineStats {
     /// asserted by tests; the giant baselines and the text-compat path
     /// count here.
     pub text_parses: usize,
-    /// Patterns whose result was empty (query short-circuited).
+    /// Some executed pattern matched nothing: the overall result is empty
+    /// and the pattern's *dependency chain* stopped early. Independent
+    /// chains still complete — per-chain short-circuiting is what keeps
+    /// concurrent chain execution deterministic (see
+    /// [`crate::schedule::dependency_chains`]).
     pub short_circuited: bool,
     /// Unified backend counters (scans, tuples/bindings, index usage).
     pub backend: BackendStats,
@@ -177,6 +184,14 @@ pub(crate) struct Match {
     pub(crate) end: i64,
 }
 
+/// One dependency chain's execution outcome: per-pattern matches (chain
+/// order) plus the chain-local stats, absorbed into the query's
+/// [`EngineStats`] in chain order.
+struct ChainRun {
+    results: Vec<(usize, Vec<Match>)>,
+    stats: EngineStats,
+}
+
 /// Per-pattern cost records with only the syntactic scores filled in —
 /// the starting point of [`Engine::plan_order`] and the whole record for
 /// caller-forced orders.
@@ -214,11 +229,35 @@ pub struct Engine {
     /// see [`crate::schedule`]). Per-call overrides go through
     /// [`Engine::execute_scheduled_as`].
     pub scheduler: SchedulerMode,
+    /// Worker pool for executing independent dependency chains
+    /// concurrently (patterns sharing no entity variable — see
+    /// [`dependency_chains`]). One thread ⇒ the exact sequential code path.
+    pool: Pool,
 }
 
 impl Engine {
     pub fn new(stores: LoadedStores) -> Self {
-        Engine { stores, max_hops: gexec::DEFAULT_MAX_HOPS, scheduler: SchedulerMode::default() }
+        Engine {
+            stores,
+            max_hops: gexec::DEFAULT_MAX_HOPS,
+            scheduler: SchedulerMode::default(),
+            pool: Pool::default(),
+        }
+    }
+
+    /// The engine-level worker pool (independent dependency chains and
+    /// per-epoch standing-query evaluation run on it).
+    pub fn pool(&self) -> Pool {
+        self.pool
+    }
+
+    /// Pins the worker count across the whole execution plane: the engine's
+    /// chain/standing-query pool *and* both stores' scan/join/traversal
+    /// pools. `1` takes the strictly sequential code paths everywhere.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.pool = Pool::with_threads(threads);
+        self.stores.rel.set_threads(threads);
+        self.stores.graph.set_threads(threads);
     }
 
     pub(crate) fn rel(&self) -> &dyn StorageBackend {
@@ -561,21 +600,41 @@ impl Engine {
         stats.estimates = estimates;
         let mut matches: Vec<Option<Vec<Match>>> = vec![None; aq.patterns.len()];
 
-        for &idx in &order {
-            let p = &aq.patterns[idx];
-            let rows = self.match_pattern(&ctx, p, &prop, &mut stats, path)?;
-            stats.estimates[idx].actual_rows = Some(rows.len());
-            // Propagate distinct entity ids into later data queries.
-            for (var, is_subj) in [(&p.subject, true), (&p.object, false)] {
-                let ids: Vec<i64> =
-                    rows.iter().map(|m| if is_subj { m.subj } else { m.obj }).collect();
-                prop.intersect(var, ids);
+        // Patterns sharing no entity variable never observe each other's
+        // propagated `IN` sets, so the order decomposes into independent
+        // dependency chains: chains execute concurrently on the pool (each
+        // over its own snapshot of the seeded candidate sets), the given
+        // order is preserved within each chain, and per-chain stats absorb
+        // in chain order — results and deterministic counters are identical
+        // at every thread count. The single-chain case (most queries) runs
+        // inline with no snapshot.
+        let chains = dependency_chains(aq, &order);
+        let chain_runs: Vec<ChainRun> = if chains.len() == 1 {
+            vec![self.run_chain(&ctx, aq, &chains[0], prop, path)?]
+        } else if self.pool.is_sequential() {
+            let mut runs = Vec::with_capacity(chains.len());
+            for chain in &chains {
+                runs.push(self.run_chain(&ctx, aq, chain, prop.clone(), path)?);
             }
-            let empty = rows.is_empty();
-            matches[idx] = Some(rows);
-            if empty {
-                stats.short_circuited = true;
-                break;
+            runs
+        } else {
+            let ctx = &ctx;
+            let prop = &prop;
+            let tasks: Vec<_> = chains
+                .iter()
+                .map(|chain| move || self.run_chain(ctx, aq, chain, prop.clone(), path))
+                .collect();
+            self.pool.run(tasks).into_iter().collect::<Result<Vec<_>>>()?
+        };
+        for run in chain_runs {
+            stats.data_queries += run.stats.data_queries;
+            stats.text_parses += run.stats.text_parses;
+            stats.short_circuited |= run.stats.short_circuited;
+            stats.backend.absorb(&run.stats.backend);
+            stats.queries.extend(run.stats.queries);
+            for (idx, rows) in run.results {
+                stats.estimates[idx].actual_rows = Some(rows.len());
+                matches[idx] = Some(rows);
             }
         }
 
@@ -589,6 +648,43 @@ impl Engine {
             matches.iter().map(|m| m.as_ref().expect("all executed")).collect();
         let batch = self.join_project(aq, &pattern_rows, &mut stats, path)?;
         Ok((batch, stats))
+    }
+
+    /// Executes one dependency chain's patterns in order against its own
+    /// propagation snapshot, intersecting each pattern's entity ids into
+    /// the snapshot for the chain's later patterns. An empty pattern
+    /// short-circuits **its chain** (nothing later in the chain can match
+    /// once an `IN` set is empty, and the whole query's result is already
+    /// known to be empty); other chains are unaffected — which is exactly
+    /// what makes concurrent chain execution deterministic: what executes
+    /// never depends on cross-chain timing.
+    fn run_chain(
+        &self,
+        ctx: &CompileCtx<'_>,
+        aq: &AnalyzedQuery,
+        chain: &[usize],
+        mut prop: Propagation,
+        path: DataPath,
+    ) -> Result<ChainRun> {
+        let mut stats = EngineStats::default();
+        let mut results = Vec::with_capacity(chain.len());
+        for &idx in chain {
+            let p = &aq.patterns[idx];
+            let rows = self.match_pattern(ctx, p, &prop, &mut stats, path)?;
+            // Propagate distinct entity ids into later data queries.
+            for (var, is_subj) in [(&p.subject, true), (&p.object, false)] {
+                let ids: Vec<i64> =
+                    rows.iter().map(|m| if is_subj { m.subj } else { m.obj }).collect();
+                prop.intersect(var, ids);
+            }
+            let empty = rows.is_empty();
+            results.push((idx, rows));
+            if empty {
+                stats.short_circuited = true;
+                break;
+            }
+        }
+        Ok(ChainRun { results, stats })
     }
 
     /// Joins per-pattern match sets on shared entity variables, applies
@@ -661,22 +757,17 @@ impl Engine {
                     }
                 }
                 tuples = next;
+            } else if let &[(new_subj, j, earlier_subj)] = keys.as_slice() {
+                // Single shared variable (the common case): key on the bare
+                // id, no per-row key vector allocation.
+                let side = |m: &Match, subj: bool| if subj { m.subj } else { m.obj };
+                let build = build_pattern_index(pattern_rows[k], |m| side(m, new_subj));
+                tuples = probe_pattern_join(&tuples, k, &build, |t| {
+                    side(&pattern_rows[j][t[j] as usize], earlier_subj)
+                });
             } else {
-                let mut build: FxHashMap<Vec<i64>, Vec<u32>> = FxHashMap::default();
-                for (i, m) in pattern_rows[k].iter().enumerate() {
-                    build.entry(key_of_new(m)).or_default().push(i as u32);
-                }
-                let mut next = Vec::new();
-                for t in &tuples {
-                    if let Some(rows) = build.get(&key_of_tuple(t)) {
-                        for &i in rows {
-                            let mut nt = t.clone();
-                            nt[k] = i;
-                            next.push(nt);
-                        }
-                    }
-                }
-                tuples = next;
+                let build = build_pattern_index(pattern_rows[k], key_of_new);
+                tuples = probe_pattern_join(&tuples, k, &build, key_of_tuple);
             }
             bound.push(k);
             // Repeated vars inside one pattern are handled by the data
@@ -760,19 +851,53 @@ impl Engine {
             event_attr_maps.insert((item.base.clone(), item.attr.clone()), map);
         }
 
+        // Resolve each return item to its source once — the row loop then
+        // does no per-row key building or map probing by `String` pair.
+        enum ProjSource<'m> {
+            /// Event column of pattern `pi`: 0 = id, 1 = start, 2 = end.
+            EventCol(usize, u8),
+            /// Fetched event attribute of pattern `pi`.
+            EventAttr(usize, Option<&'m FxHashMap<i64, SVal>>),
+            /// Fetched entity attribute at (pattern, is_subject).
+            Entity((usize, bool), Option<&'m FxHashMap<i64, SVal>>),
+        }
+        let mut plan: Vec<ProjSource<'_>> = Vec::with_capacity(aq.ret.len());
+        for item in &aq.ret {
+            let key = (item.base.clone(), item.attr.clone());
+            plan.push(if item.is_event {
+                let pi = pat_index[item.base.as_str()];
+                match item.attr.as_str() {
+                    "id" => ProjSource::EventCol(pi, 0),
+                    "starttime" => ProjSource::EventCol(pi, 1),
+                    "endtime" => ProjSource::EventCol(pi, 2),
+                    _ => ProjSource::EventAttr(pi, event_attr_maps.get(&key)),
+                }
+            } else {
+                ProjSource::Entity(self.var_slot(aq, &item.base)?, lookups.get(&key))
+            });
+        }
+        let fetched = |map: Option<&FxHashMap<i64, SVal>>, id: i64| {
+            map.and_then(|m| m.get(&id)).cloned().unwrap_or(SVal::Str(String::new()))
+        };
         let mut rows: Vec<Vec<SVal>> = Vec::with_capacity(tuples.len());
         for t in &tuples {
-            let mut row = Vec::with_capacity(aq.ret.len());
-            for item in &aq.ret {
-                row.push(self.project_item(
-                    aq,
-                    item,
-                    t,
-                    pattern_rows,
-                    &lookups,
-                    &event_attr_maps,
-                    &pat_index,
-                )?);
+            let mut row = Vec::with_capacity(plan.len());
+            for src in &plan {
+                row.push(match src {
+                    ProjSource::EventCol(pi, col) => {
+                        let m = &pattern_rows[*pi][t[*pi] as usize];
+                        SVal::Int(match col {
+                            0 => m.evt,
+                            1 => m.start,
+                            _ => m.end,
+                        })
+                    }
+                    ProjSource::EventAttr(pi, map) => {
+                        let m = &pattern_rows[*pi][t[*pi] as usize];
+                        fetched(*map, m.evt)
+                    }
+                    ProjSource::Entity(slot, map) => fetched(*map, id_at(pattern_rows, t, *slot)),
+                });
             }
             rows.push(row);
         }
@@ -781,40 +906,6 @@ impl Engine {
             rows.retain(|r| seen.insert(r.clone()));
         }
         Ok(ResultBatch::from_rows(columns, rows))
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn project_item(
-        &self,
-        aq: &AnalyzedQuery,
-        item: &RetItem,
-        t: &[u32],
-        pattern_rows: &[&Vec<Match>],
-        lookups: &FxHashMap<(String, String), FxHashMap<i64, SVal>>,
-        event_attr_maps: &FxHashMap<(String, String), FxHashMap<i64, SVal>>,
-        pat_index: &FxHashMap<&str, usize>,
-    ) -> Result<SVal> {
-        if item.is_event {
-            let pi = pat_index[item.base.as_str()];
-            let m = &pattern_rows[pi][t[pi] as usize];
-            return Ok(match item.attr.as_str() {
-                "id" => SVal::Int(m.evt),
-                "starttime" => SVal::Int(m.start),
-                "endtime" => SVal::Int(m.end),
-                _ => event_attr_maps
-                    .get(&(item.base.clone(), item.attr.clone()))
-                    .and_then(|map| map.get(&m.evt))
-                    .cloned()
-                    .unwrap_or(SVal::Str(String::new())),
-            });
-        }
-        let slot = self.var_slot(aq, &item.base)?;
-        let id = id_at(pattern_rows, t, slot);
-        Ok(lookups
-            .get(&(item.base.clone(), item.attr.clone()))
-            .and_then(|map| map.get(&id))
-            .cloned()
-            .unwrap_or(SVal::Str(String::new())))
     }
 
     /// Finds where entity `var` is bound: (pattern index, is_subject).
@@ -891,6 +982,47 @@ impl Engine {
         }
         Ok(out)
     }
+}
+
+/// Indexes one pattern's matches by join key (build side of the
+/// cross-pattern hash join).
+fn build_pattern_index<K, F>(matches: &[Match], key_of: F) -> FxHashMap<K, Vec<u32>>
+where
+    K: Eq + std::hash::Hash,
+    F: Fn(&Match) -> K,
+{
+    let mut build: FxHashMap<K, Vec<u32>> =
+        FxHashMap::with_capacity_and_hasher(matches.len(), Default::default());
+    for (i, m) in matches.iter().enumerate() {
+        build.entry(key_of(m)).or_default().push(i as u32);
+    }
+    build
+}
+
+/// Probe side of the cross-pattern hash join: extends each tuple with the
+/// new pattern's matching row indices (shared by the single-key and
+/// compound-key paths so their semantics cannot drift apart).
+fn probe_pattern_join<K, F>(
+    tuples: &[Vec<u32>],
+    k: usize,
+    build: &FxHashMap<K, Vec<u32>>,
+    key_of: F,
+) -> Vec<Vec<u32>>
+where
+    K: Eq + std::hash::Hash,
+    F: Fn(&[u32]) -> K,
+{
+    let mut next = Vec::with_capacity(tuples.len());
+    for t in tuples {
+        if let Some(rows) = build.get(&key_of(t)) {
+            for &i in rows {
+                let mut nt = t.clone();
+                nt[k] = i;
+                next.push(nt);
+            }
+        }
+    }
+    next
 }
 
 fn id_at(pattern_rows: &[&Vec<Match>], t: &[u32], slot: (usize, bool)) -> i64 {
@@ -1173,16 +1305,23 @@ mod tests {
     }
 
     #[test]
-    fn short_circuit_on_empty_pattern() {
+    fn short_circuit_stops_the_dependency_chain() {
         let engine = fig2_engine();
+        // Patterns 0 and 1 share `p` (one chain); pattern 2 is independent.
+        // The empty pattern 0 short-circuits its chain — pattern 1 is never
+        // queried — while the independent chain still executes, so what
+        // runs is a property of the query and data alone, never of
+        // cross-chain timing (the parallel-plane determinism contract).
         let q = "proc p[\"%/bin/nonexistent%\"] read file f as e1 \
-                 proc p2 read file f2 as e2 return p, f";
+                 proc p write file f2 as e2 \
+                 proc q3 connect ip i as e3 return p, f";
         let (r, stats) = engine.execute_text(q, ExecMode::Scheduled).unwrap();
         assert!(r.rows.is_empty());
         assert!(stats.short_circuited);
-        // One entity-candidate seed + the first (empty) pattern; the second
-        // pattern is skipped.
-        assert!(pattern_queries(&stats).len() <= 1, "second pattern skipped: {stats:?}");
+        let pats = pattern_queries(&stats);
+        assert_eq!(pats.len(), 2, "chain-mate skipped, independent chain ran: {stats:?}");
+        let labels: Vec<&str> = pats.iter().map(|q| q.label.as_str()).collect();
+        assert!(labels.contains(&"e1") && labels.contains(&"e3"), "{labels:?}");
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! the propagated `IN` sets — which the order-invariance proptest pins.
 
 use crate::estimate::PatternEstimate;
+use raptor_common::hash::FxHashMap;
 use raptor_tbql::analyze::{APattern, AnalyzedQuery};
 use raptor_tbql::{Arrow, AttrExpr, OpExpr, PatternOp};
 
@@ -117,6 +118,55 @@ pub fn cost_based_order(aq: &AnalyzedQuery, estimates: &[PatternEstimate]) -> Ve
             .then(a.cmp(&b))
     });
     order
+}
+
+/// Partitions an execution order into **dependency chains** — the
+/// scheduler's propagation DAG collapsed to its connected components.
+///
+/// Two patterns depend on each other exactly when they share an entity
+/// variable (that is the only edge along which intermediate results
+/// propagate as `IN` filters), so patterns in *different* chains can
+/// execute concurrently without observing each other, while the given
+/// order is preserved *within* each chain. Chains are returned in order of
+/// their first pattern's position in `order`, and every chain lists its
+/// pattern indices as the order's subsequence — both deterministic, so the
+/// parallel execution plane issues exactly the same data queries at every
+/// thread count.
+pub fn dependency_chains(aq: &AnalyzedQuery, order: &[usize]) -> Vec<Vec<usize>> {
+    // Union-find over pattern indices, linked through shared variables.
+    let mut parent: Vec<usize> = (0..aq.patterns.len()).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut var_owner: FxHashMap<&str, usize> = FxHashMap::default();
+    for (i, p) in aq.patterns.iter().enumerate() {
+        for var in [p.subject.as_str(), p.object.as_str()] {
+            match var_owner.get(var) {
+                Some(&j) => {
+                    let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                    parent[a] = b;
+                }
+                None => {
+                    var_owner.insert(var, i);
+                }
+            }
+        }
+    }
+    let mut chain_of_root: FxHashMap<usize, usize> = FxHashMap::default();
+    let mut chains: Vec<Vec<usize>> = Vec::new();
+    for &idx in order {
+        let root = find(&mut parent, idx);
+        let c = *chain_of_root.entry(root).or_insert_with(|| {
+            chains.push(Vec::new());
+            chains.len() - 1
+        });
+        chains[c].push(idx);
+    }
+    chains
 }
 
 #[cfg(test)]
@@ -233,6 +283,32 @@ mod tests {
                return f1"#,
         );
         assert!(pruning_score(&aq, &aq.patterns[1]) > pruning_score(&aq, &aq.patterns[2]));
+    }
+
+    #[test]
+    fn chains_follow_shared_variables() {
+        // f links e1+e2; e3 is independent; e4 joins e3's chain through q.
+        let aq = analyzed(
+            r#"proc p read file f as e1
+               proc p2 write file f as e2
+               proc q read file g as e3
+               proc q connect ip i as e4
+               return f"#,
+        );
+        assert_eq!(dependency_chains(&aq, &[0, 1, 2, 3]), vec![vec![0, 1], vec![2, 3]]);
+        // Chains preserve the given order as a subsequence and appear in
+        // first-pattern order.
+        assert_eq!(dependency_chains(&aq, &[2, 1, 3, 0]), vec![vec![2, 3], vec![1, 0]]);
+    }
+
+    #[test]
+    fn fully_connected_query_is_one_chain() {
+        let aq = analyzed(
+            r#"proc p read file f as e1
+               proc p write file g as e2
+               return f"#,
+        );
+        assert_eq!(dependency_chains(&aq, &[1, 0]), vec![vec![1, 0]]);
     }
 
     #[test]

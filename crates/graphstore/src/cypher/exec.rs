@@ -454,8 +454,91 @@ pub fn execute(g: &Graph, q: &CypherQuery, max_hops: u32) -> Result<CypherResult
     Ok(CypherResult { columns, rows, stats })
 }
 
+/// Bindings below which segment extension stays sequential — per-binding
+/// work (adjacency walk or bounded DFS) dwarfs a filter row, so the bar for
+/// fanning out over anchors is low.
+const PAR_MIN_BINDINGS: usize = 16;
+
+/// Extends one binding along one relationship segment, appending every
+/// extension to `out_bindings`/`out_cursors` (in the deterministic
+/// traversal order) and counting traversed edges into `edges`.
+#[allow(clippy::too_many_arguments)]
+fn extend_one(
+    g: &Graph,
+    rel: &RelPattern,
+    node: &NodePattern,
+    rel_slot: Option<usize>,
+    node_slot: Option<usize>,
+    max_hops: u32,
+    b: &[BindVal],
+    cur: NodeId,
+    out_bindings: &mut Vec<Vec<BindVal>>,
+    out_cursors: &mut Vec<NodeId>,
+    edges: &mut usize,
+) {
+    match rel.range {
+        None => {
+            for &eid in g.out_edges(cur) {
+                *edges += 1;
+                if !edge_matches(g, eid, rel) {
+                    continue;
+                }
+                let dst = g.edge(eid).dst;
+                if !target_ok(g, b, node_slot, dst, node) {
+                    continue;
+                }
+                let mut nb = b.to_vec();
+                if let Some(s) = rel_slot {
+                    nb[s] = BindVal::Edge(eid);
+                }
+                if let Some(s) = node_slot {
+                    nb[s] = BindVal::Node(dst);
+                }
+                out_bindings.push(nb);
+                out_cursors.push(dst);
+            }
+        }
+        Some((min, max)) => {
+            let min = min.unwrap_or(1);
+            let max = max.unwrap_or(max_hops).min(max_hops);
+            // Bounded DFS with edge-distinctness along the walk.
+            // min = 0 allows the zero-hop match (start node itself),
+            // which compiled `~>(1~n)` prefixes rely on.
+            let mut stack: Vec<(NodeId, u32, Vec<EdgeId>)> = vec![(cur, 0, Vec::new())];
+            while let Some((n, depth, used)) = stack.pop() {
+                if depth >= min && (depth > 0 || min == 0) && target_ok(g, b, node_slot, n, node) {
+                    let mut nb = b.to_vec();
+                    if let Some(s) = node_slot {
+                        nb[s] = BindVal::Node(n);
+                    }
+                    out_bindings.push(nb);
+                    out_cursors.push(n);
+                }
+                if depth == max {
+                    continue;
+                }
+                for &eid in g.out_edges(n) {
+                    *edges += 1;
+                    if used.contains(&eid) || !edge_matches(g, eid, rel) {
+                        continue;
+                    }
+                    let mut used2 = used.clone();
+                    used2.push(eid);
+                    stack.push((g.edge(eid).dst, depth + 1, used2));
+                }
+            }
+        }
+    }
+}
+
 /// Extends `bindings` (with per-binding `cursors` at the current path
 /// position) along every segment of `path`.
+///
+/// The per-binding extension — one adjacency walk or bounded DFS per anchor
+/// — fans out over anchor ranges through the graph's pool. Partition
+/// outputs (extensions plus edge counters) are absorbed in partition order,
+/// so binding order and `edges_traversed` are byte-identical to the
+/// sequential traversal at any thread count.
 fn extend_path(
     g: &Graph,
     path: &PathPattern,
@@ -468,65 +551,25 @@ fn extend_path(
     for (rel, node) in &path.segments {
         let rel_slot = rel.var.as_ref().map(|v| vars.slots[v.as_str()]);
         let node_slot = node.var.as_ref().map(|v| vars.slots[v.as_str()]);
-        let mut next_bindings = Vec::new();
-        let mut next_cursors = Vec::new();
-        for (b, &cur) in bindings.iter().zip(cursors.iter()) {
-            match rel.range {
-                None => {
-                    for &eid in g.out_edges(cur) {
-                        stats.edges_traversed += 1;
-                        if !edge_matches(g, eid, rel) {
-                            continue;
-                        }
-                        let dst = g.edge(eid).dst;
-                        if !target_ok(g, b, node_slot, dst, node) {
-                            continue;
-                        }
-                        let mut nb = b.clone();
-                        if let Some(s) = rel_slot {
-                            nb[s] = BindVal::Edge(eid);
-                        }
-                        if let Some(s) = node_slot {
-                            nb[s] = BindVal::Node(dst);
-                        }
-                        next_bindings.push(nb);
-                        next_cursors.push(dst);
-                    }
-                }
-                Some((min, max)) => {
-                    let min = min.unwrap_or(1);
-                    let max = max.unwrap_or(max_hops).min(max_hops);
-                    // Bounded DFS with edge-distinctness along the walk.
-                    // min = 0 allows the zero-hop match (start node itself),
-                    // which compiled `~>(1~n)` prefixes rely on.
-                    let mut stack: Vec<(NodeId, u32, Vec<EdgeId>)> = vec![(cur, 0, Vec::new())];
-                    while let Some((n, depth, used)) = stack.pop() {
-                        if depth >= min
-                            && (depth > 0 || min == 0)
-                            && target_ok(g, b, node_slot, n, node)
-                        {
-                            let mut nb = b.clone();
-                            if let Some(s) = node_slot {
-                                nb[s] = BindVal::Node(n);
-                            }
-                            next_bindings.push(nb);
-                            next_cursors.push(n);
-                        }
-                        if depth == max {
-                            continue;
-                        }
-                        for &eid in g.out_edges(n) {
-                            stats.edges_traversed += 1;
-                            if used.contains(&eid) || !edge_matches(g, eid, rel) {
-                                continue;
-                            }
-                            let mut used2 = used.clone();
-                            used2.push(eid);
-                            stack.push((g.edge(eid).dst, depth + 1, used2));
-                        }
-                    }
-                }
+        let parts = g.pool().run_partitioned(bindings.len(), PAR_MIN_BINDINGS, |range| {
+            let mut nb = Vec::new();
+            let mut nc = Vec::new();
+            let mut edges = 0usize;
+            for (b, &cur) in bindings[range.clone()].iter().zip(&cursors[range]) {
+                extend_one(
+                    g, rel, node, rel_slot, node_slot, max_hops, b, cur, &mut nb, &mut nc,
+                    &mut edges,
+                );
             }
+            (nb, nc, edges)
+        });
+        let total: usize = parts.iter().map(|(nb, _, _)| nb.len()).sum();
+        let mut next_bindings = Vec::with_capacity(total);
+        let mut next_cursors = Vec::with_capacity(total);
+        for (nb, nc, edges) in parts {
+            stats.edges_traversed += edges;
+            next_bindings.extend(nb);
+            next_cursors.extend(nc);
         }
         *bindings = next_bindings;
         cursors = next_cursors;

@@ -10,6 +10,7 @@
 use raptor_common::error::{Error, Result};
 use raptor_common::hash::FxHashMap;
 use raptor_common::intern::{Interner, Sym};
+use raptor_common::pool::Pool;
 use raptor_storage::{EntityClass, StoreStats};
 
 /// Node id (arena index).
@@ -59,6 +60,9 @@ pub struct Graph {
     /// vocabulary so they compare equal to the relational store's stats for
     /// the same data. Served scan-free via `StorageBackend::stats`.
     stats: StoreStats,
+    /// Worker pool for fanning path search out per anchor node (see
+    /// `cypher::exec`). One thread ⇒ the exact sequential code paths.
+    pool: Pool,
 }
 
 /// Backend-neutral stats table for a node/edge label, plus the entity class
@@ -93,6 +97,17 @@ impl Graph {
     /// `StorageBackend::stats`).
     pub fn store_stats(&self) -> &StoreStats {
         &self.stats
+    }
+
+    /// The worker pool path search fans out on. Defaults to
+    /// `RAPTOR_THREADS` / available parallelism; see [`Graph::set_threads`].
+    pub fn pool(&self) -> Pool {
+        self.pool
+    }
+
+    /// Pins the traversal worker count (1 ⇒ strictly sequential).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.pool = Pool::with_threads(threads);
     }
 
     pub fn node_count(&self) -> usize {

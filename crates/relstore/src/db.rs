@@ -4,9 +4,12 @@
 //! API: DDL ([`Database::create_table`], `create_*_index`), inserts, and
 //! [`Database::query`] for the SQL subset.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use raptor_common::error::{Error, Result};
 use raptor_common::hash::FxHashMap;
 use raptor_common::intern::Interner;
+use raptor_common::pool::Pool;
 use raptor_storage::{EntityClass, StoreStats};
 
 use crate::exec::{execute, ExecStats};
@@ -51,7 +54,12 @@ pub struct Database {
     trigram_indexes: FxHashMap<(String, String), TrigramIndex>,
     /// SQL texts parsed over this database's lifetime. The typed
     /// `StorageBackend` entry points never touch this — tests assert it.
-    text_parses: std::cell::Cell<usize>,
+    /// Atomic (not `Cell`) so the database stays `Sync` on the query path:
+    /// the parallel execution plane shares `&Database` across workers.
+    text_parses: AtomicUsize,
+    /// Worker pool for partitioned scans and parallel hash-join probes
+    /// (see `exec`). One thread ⇒ the exact sequential code paths.
+    pool: Pool,
     /// Data statistics, maintained incrementally by [`Database::insert`]
     /// (every write path funnels through it) and served scan-free via
     /// `StorageBackend::stats` and the planner's index selection.
@@ -82,6 +90,18 @@ impl Database {
 
     pub fn dict(&self) -> &Interner {
         &self.dict
+    }
+
+    /// The worker pool query execution parallelizes on (scan filtering and
+    /// hash-join probes). Defaults to `RAPTOR_THREADS` / available
+    /// parallelism; see [`Database::set_threads`].
+    pub fn pool(&self) -> Pool {
+        self.pool
+    }
+
+    /// Pins the query-execution worker count (1 ⇒ strictly sequential).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.pool = Pool::with_threads(threads);
     }
 
     pub fn table(&self, name: &str) -> Option<&Table> {
@@ -221,7 +241,7 @@ impl Database {
 
     /// Parses, plans and executes a SELECT.
     pub fn query(&self, sql: &str) -> Result<QueryResult> {
-        self.text_parses.set(self.text_parses.get() + 1);
+        self.text_parses.fetch_add(1, Ordering::Relaxed);
         let sel = parse_select(sql)?;
         let plan = plan_select(self, &sel)?;
         let (core, stats) = execute(self, &plan)?;
@@ -231,7 +251,7 @@ impl Database {
     /// How many SQL texts this database has parsed (the typed backend path
     /// keeps this flat).
     pub fn text_parse_count(&self) -> usize {
-        self.text_parses.get()
+        self.text_parses.load(Ordering::Relaxed)
     }
 
     /// The incrementally-maintained data statistics (also reachable through

@@ -10,6 +10,16 @@
 //! hash-index point/IN lookups, B-tree ranges for integer comparisons,
 //! trigram candidate pruning for `LIKE '%lit%'`. Every path re-verifies the
 //! full predicate, so index choice is purely a performance decision.
+//!
+//! **Parallelism** (the parallel execution plane): candidate re-verification
+//! — the pushed-down predicate evaluated over the scan's candidate rows,
+//! whether they came from an index or a full scan — is partitioned over
+//! row-chunk ranges, and the probe side of every hash join is partitioned
+//! over tuple ranges, both through the database's
+//! [`Pool`](raptor_common::pool::Pool). Partition outputs are concatenated
+//! in partition order, so row order, result rows and every [`ExecStats`]
+//! counter are byte-identical to the sequential execution at any thread
+//! count; a one-thread pool takes the exact sequential code path.
 
 use raptor_common::error::{Error, Result};
 use raptor_common::hash::FxHashMap;
@@ -21,6 +31,16 @@ use crate::plan::{QueryPlan, ScanPlan};
 use crate::sql::ast::{CmpOp, ColRef, Expr, Literal, Projection};
 use crate::table::{RowId, Table};
 use crate::value::{OwnedValue, Value};
+
+/// Candidate rows below which a scan's predicate re-verification is not
+/// worth partitioning (per-row evaluation is tens of nanoseconds; spawning
+/// scoped workers costs tens of microseconds).
+const PAR_MIN_FILTER_ROWS: usize = 4096;
+
+/// Probe-side tuples below which a hash join probe stays sequential (each
+/// probed tuple does a key build, a hash lookup and per-match clones —
+/// heavier than a filter row, so the bar is lower).
+const PAR_MIN_PROBE_TUPLES: usize = 1024;
 
 /// Execution counters, surfaced for benchmarks and ablations.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -66,7 +86,7 @@ struct Binder<'a> {
     /// alias → slot index
     slots: FxHashMap<&'a str, usize>,
     /// slot → table
-    tables: Vec<&'a Table>,
+    tables: &'a [&'a Table],
     dict: &'a Interner,
 }
 
@@ -322,9 +342,10 @@ fn run_scan(db: &Database, scan: &ScanPlan, stats: &mut ExecStats) -> Result<Vec
     let table = db
         .table(&scan.table)
         .ok_or_else(|| Error::storage(format!("unknown table `{}`", scan.table)))?;
+    let tables = [table];
     let binder = Binder {
         slots: std::iter::once((scan.alias.as_str(), 0usize)).collect(),
-        tables: vec![table],
+        tables: &tables,
         dict: db.dict(),
     };
 
@@ -373,9 +394,19 @@ fn run_scan(db: &Database, scan: &ScanPlan, stats: &mut ExecStats) -> Result<Vec
 
     match &scan.predicate {
         Some(pred) => {
+            // Re-verify the full predicate over the candidates, partitioned
+            // over row-chunk ranges; concatenating the partitions in order
+            // reproduces the sequential row order exactly.
             let bound = binder.bind(pred)?;
-            let tables = [table];
-            Ok(candidates.into_iter().filter(|&r| eval(&bound, &[r], &tables, db.dict())).collect())
+            let dict = db.dict();
+            let parts = db.pool().run_partitioned(candidates.len(), PAR_MIN_FILTER_ROWS, |r| {
+                candidates[r]
+                    .iter()
+                    .copied()
+                    .filter(|&row| eval(&bound, &[row], &tables, dict))
+                    .collect::<Vec<RowId>>()
+            });
+            Ok(parts.concat())
         }
         None => Ok(candidates),
     }
@@ -385,6 +416,37 @@ fn run_scan(db: &Database, scan: &ScanPlan, stats: &mut ExecStats) -> Result<Vec
 struct EquiKey {
     bound: Slot,
     new: Slot,
+}
+
+/// Probes a hash join build table with every current tuple, extending
+/// matching tuples with the new slot's row. The probe side is partitioned
+/// over tuple ranges through the pool; partitions concatenate in order, so
+/// output tuple order is byte-identical to the sequential probe.
+fn probe_join<K, F>(
+    pool: raptor_common::pool::Pool,
+    tuples: &[Vec<RowId>],
+    slot: usize,
+    build: &FxHashMap<K, Vec<RowId>>,
+    key_of: F,
+) -> Vec<Vec<RowId>>
+where
+    K: Eq + std::hash::Hash + Sync,
+    F: Fn(&[RowId]) -> K + Sync,
+{
+    let parts = pool.run_partitioned(tuples.len(), PAR_MIN_PROBE_TUPLES, |range| {
+        let mut out = Vec::with_capacity(range.len());
+        for t in &tuples[range] {
+            if let Some(matches) = build.get(&key_of(t)) {
+                for &r in matches {
+                    let mut nt = t.clone();
+                    nt[slot] = r;
+                    out.push(nt);
+                }
+            }
+        }
+        out
+    });
+    parts.concat()
 }
 
 /// Executes a plan, returning projected rows.
@@ -399,7 +461,7 @@ pub fn execute(db: &Database, plan: &QueryPlan) -> Result<(QueryResultCore, Exec
         .collect::<Result<Vec<_>>>()?;
     let binder = Binder {
         slots: plan.scans.iter().enumerate().map(|(i, s)| (s.alias.as_str(), i)).collect(),
-        tables: tables.clone(),
+        tables: &tables,
         dict: db.dict(),
     };
 
@@ -469,29 +531,32 @@ pub fn execute(db: &Database, plan: &QueryPlan) -> Result<(QueryResultCore, Exec
                     }
                 }
                 tuples = next;
+            } else if let [k] = keys.as_slice() {
+                // Single-key hash join (the common case: one equi conjunct
+                // links the new alias): key on the `Value` directly, no
+                // per-row key vector allocation.
+                let mut build: FxHashMap<Value, Vec<RowId>> =
+                    FxHashMap::with_capacity_and_hasher(rows.len(), Default::default());
+                for &r in &rows {
+                    build.entry(tables[slot].cell(r, k.new.col)).or_default().push(r);
+                }
+                tuples = probe_join(db.pool(), &tuples, slot, &build, |t| {
+                    tables[k.bound.alias].cell(t[k.bound.alias], k.bound.col)
+                });
             } else {
-                // Hash join: build on the new scan's rows.
-                let mut build: FxHashMap<Vec<Value>, Vec<RowId>> = FxHashMap::default();
+                // Hash join on a compound key: build on the new scan's rows.
+                let mut build: FxHashMap<Vec<Value>, Vec<RowId>> =
+                    FxHashMap::with_capacity_and_hasher(rows.len(), Default::default());
                 for &r in &rows {
                     let key: Vec<Value> =
                         keys.iter().map(|k| tables[slot].cell(r, k.new.col)).collect();
                     build.entry(key).or_default().push(r);
                 }
-                let mut next = Vec::new();
-                for t in &tuples {
-                    let key: Vec<Value> = keys
-                        .iter()
+                tuples = probe_join(db.pool(), &tuples, slot, &build, |t| {
+                    keys.iter()
                         .map(|k| tables[k.bound.alias].cell(t[k.bound.alias], k.bound.col))
-                        .collect();
-                    if let Some(matches) = build.get(&key) {
-                        for &r in matches {
-                            let mut nt = t.clone();
-                            nt[slot] = r;
-                            next.push(nt);
-                        }
-                    }
-                }
-                tuples = next;
+                        .collect::<Vec<Value>>()
+                });
             }
         }
         bound_slots.push(slot);

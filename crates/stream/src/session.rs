@@ -126,6 +126,13 @@ impl StreamSession {
         self.epoch
     }
 
+    /// Pins the worker count across the session's whole execution plane
+    /// (standing-query evaluation, store scans/joins/traversals). `1` takes
+    /// the strictly sequential code paths everywhere.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.engine.set_threads(threads);
+    }
+
     /// Running total of the per-epoch ingest counters.
     pub fn total_ingest_stats(&self) -> BackendStats {
         self.total_ingest
@@ -134,6 +141,13 @@ impl StreamSession {
     /// Ingests one epoch: `entities` (dense ascending ids continuing the
     /// session's id space) then `events` (endpoints must be ingested),
     /// then advances every standing query.
+    ///
+    /// Error semantics: every standing query is advanced (their
+    /// accumulated state moves to this epoch) before the first error — in
+    /// registration order — is surfaced; the failing epoch's deltas are
+    /// then discarded. Standing advancement cannot fail on well-formed
+    /// registered queries, so an `Err` here means the session is broken,
+    /// not one delta.
     pub fn ingest(&mut self, entities: &[Entity], events: &[SystemEvent]) -> Result<EpochReport> {
         let mut ingest_stats = BackendStats::default();
         let entity_lo = self.engine.stores.graph.node_count() as i64;
@@ -155,10 +169,23 @@ impl StreamSession {
         self.epoch += 1;
         let input =
             EpochInput { epoch, entity_range: (entity_lo, entity_hi), event_ids: &event_ids };
-        let mut deltas = Vec::with_capacity(self.queries.len());
-        for (i, sq) in self.queries.iter_mut().enumerate() {
-            let (delta, stats) = sq.advance(&self.engine, &input)?;
-            deltas.push(QueryDelta { id: QueryId(i), name: sq.name().to_string(), delta, stats });
+        // Standing queries are independent state machines over the shared
+        // (read-only during evaluation) stores: advance them concurrently
+        // on the engine's pool. Outputs come back in registration order —
+        // per-epoch reports are identical at every thread count.
+        let engine = &self.engine;
+        let outcomes = engine
+            .pool()
+            .run(self.queries.iter_mut().map(|sq| move || sq.advance(engine, &input)).collect());
+        let mut deltas = Vec::with_capacity(outcomes.len());
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            let (delta, stats) = outcome?;
+            deltas.push(QueryDelta {
+                id: QueryId(i),
+                name: self.queries[i].name().to_string(),
+                delta,
+                stats,
+            });
         }
         Ok(EpochReport {
             epoch,
