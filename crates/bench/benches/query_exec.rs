@@ -98,11 +98,63 @@ fn bench_scheduler_modes(c: &mut Criterion) {
     g.finish();
 }
 
+/// The shared-dictionary-plane comparison: end-to-end execution with the
+/// interned value plane (symbols end-to-end, strings rendered exactly once
+/// at the edge) vs an emulation of the pre-refactor owned-string plane —
+/// every cell crossing the `StorageBackend` seam materialized to a heap
+/// `String` and DISTINCT deduplication hashing over string rows, which is
+/// precisely the per-row work the re-keying removed. Both arms run the
+/// identical backend execution, so the delta isolates the value-plane cost.
+/// Measured on scan-bound queries over the corpus store (weakly constrained
+/// patterns ⇒ thousands of result rows) plus the corpus showcase query.
+fn bench_interned_vs_owned(c: &mut Criterion) {
+    let raptor = corpus_system();
+    let engine = raptor.engine();
+    let scan_bound: Vec<(&str, String)> = vec![
+        ("wide_read", "proc p read file f as e1 return p, f".to_string()),
+        ("wide_distinct", "proc p read file f as e1 return distinct p, f".to_string()),
+        ("corpus_q3", EQUIV_CORPUS[3].to_string()),
+    ];
+    let mut g = c.benchmark_group("interned_vs_owned");
+    g.sample_size(20);
+    for (name, q) in &scan_bound {
+        let aq = analyze(&parse_tbql(q).unwrap()).unwrap();
+        g.bench_function(&format!("{name}_interned"), |b| {
+            b.iter(|| {
+                let (batch, mut stats) = engine.execute_batch(&aq, ExecMode::Scheduled).unwrap();
+                raptor_engine::ResultTable::from_batch_counted(&batch, &mut stats)
+            })
+        });
+        g.bench_function(&format!("{name}_owned"), |b| {
+            b.iter(|| {
+                let (batch, _) = engine.execute_batch(&aq, ExecMode::Scheduled).unwrap();
+                // Owned-plane emulation: materialize every cell (what
+                // `OwnedValue`/`GVal::Str(String)` did at the seam), then
+                // dedup by hashing heap-string rows (what DISTINCT and the
+                // stream multiset-diff did before the re-keying).
+                let rows: Vec<Vec<String>> = (0..batch.n_rows())
+                    .map(|i| batch.row(i).iter().map(|v| v.render(&batch.dict)).collect())
+                    .collect();
+                let mut seen: raptor_common::FxHashSet<Vec<String>> = Default::default();
+                let mut out = Vec::with_capacity(rows.len());
+                for r in rows {
+                    if seen.insert(r.clone()) {
+                        out.push(r);
+                    }
+                }
+                out
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_variants,
     bench_single_pattern,
     bench_typed_vs_text,
-    bench_scheduler_modes
+    bench_scheduler_modes,
+    bench_interned_vs_owned
 );
 criterion_main!(benches);

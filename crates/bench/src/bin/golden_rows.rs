@@ -1,0 +1,39 @@
+//! Regenerates `tests/golden/corpus_rows.txt` — the pinned rendering of the
+//! 8-query equivalence corpus.
+//!
+//! The golden file pins the *rendered* output (columns + sorted rows) of
+//! `ExecMode::Scheduled` on the corpus store. The `golden_corpus_rows` test
+//! in `tests/backend_equivalence.rs` asserts every execution mode, backend,
+//! store-growth path and thread count still renders byte-identically to this
+//! file, so value-plane refactors (e.g. the interned-symbol re-keying)
+//! cannot silently change what users see.
+//!
+//! Run from the repo root: `cargo run --release -p raptor-bench --bin golden_rows`
+
+use raptor_bench::corpus::{corpus_system, EQUIV_CORPUS};
+use raptor_engine::ExecMode;
+use std::fmt::Write as _;
+
+fn main() {
+    let raptor = corpus_system();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Golden rendered rows for the equivalence corpus (sorted_rows of\n\
+         # ExecMode::Scheduled). Regenerate with:\n\
+         #   cargo run --release -p raptor-bench --bin golden_rows\n\
+         # Format: `query <i>` / `columns <tab-joined>` / one `row <tab-joined>` per row."
+    );
+    for (i, q) in EQUIV_CORPUS.iter().enumerate() {
+        let (table, _) = raptor.query_with_mode(q, ExecMode::Scheduled).unwrap();
+        let _ = writeln!(out, "query {i}");
+        let _ = writeln!(out, "columns {}", table.columns.join("\t"));
+        for row in table.sorted_rows() {
+            let _ = writeln!(out, "row {}", row.join("\t"));
+        }
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden/corpus_rows.txt");
+    std::fs::create_dir_all(std::path::Path::new(path).parent().unwrap()).unwrap();
+    std::fs::write(path, &out).unwrap();
+    println!("wrote {path} ({} bytes)", out.len());
+}

@@ -141,8 +141,12 @@ pub struct QueryVariants {
 pub fn query_variants(eval: &CaseEval) -> QueryVariants {
     let q = raptor_tbql::parse_tbql(&eval.tbql).expect("reparse");
     let aq = raptor_tbql::analyze(&q).expect("analyze");
-    let ctx =
-        raptor_engine::compile::CompileCtx { aq: &aq, now_ns: eval.raptor.engine().stores.now_ns };
+    let stores = &eval.raptor.engine().stores;
+    let ctx = raptor_engine::compile::CompileCtx {
+        aq: &aq,
+        now_ns: stores.now_ns,
+        dict: stores.dict.clone(),
+    };
     let sql = raptor_engine::compile::giant_sql(&ctx).expect("giant sql");
     let cypher = raptor_engine::compile::giant_cypher(&ctx).expect("giant cypher");
     let path_q = raptor_engine::exec::to_length1_path_query(&q);

@@ -10,13 +10,16 @@
 //! exact store.
 
 use raptor_audit::sim::{generate_background, BackgroundProfile, Simulator};
+use raptor_audit::{reduce, LogParser, ParsedLog};
 use raptor_common::time::Timestamp;
 use threatraptor::ThreatRaptor;
 
 pub use raptor_tbql::parser::EQUIV_CORPUS;
 
-/// Builds the corpus system (seeded: fully deterministic).
-pub fn corpus_system() -> ThreatRaptor {
+/// The corpus scenario as a parsed + reduced log (seeded: fully
+/// deterministic). Exposed so suites can grow the corpus store
+/// epoch-by-epoch and compare against the bulk-loaded [`corpus_system`].
+pub fn corpus_log() -> ParsedLog {
     let mut sim = Simulator::new(77, Timestamp::from_secs(1_500_000_000));
     generate_background(
         &mut sim,
@@ -32,5 +35,12 @@ pub fn corpus_system() -> ThreatRaptor {
     let fd = sim.connect(curl, "192.168.29.128", 443);
     sim.send(curl, fd, 4096, 4);
     sim.exit(curl);
-    ThreatRaptor::from_records(&sim.finish()).unwrap()
+    let mut log = LogParser::parse(&sim.finish());
+    reduce::merge_events(&mut log.events, reduce::DEFAULT_THRESHOLD);
+    log
+}
+
+/// Builds the corpus system (seeded: fully deterministic).
+pub fn corpus_system() -> ThreatRaptor {
+    ThreatRaptor::from_log(&corpus_log()).unwrap()
 }

@@ -16,7 +16,9 @@
 //!   `RAPTOR_THREADS` / available parallelism),
 //! * [`strdist`] — Levenshtein distance and normalized string similarity
 //!   (used by the fuzzy search mode for node alignment),
-//! * [`intern`] — a string interner backing entity attribute storage,
+//! * [`intern`] — string interning: the plain [`Interner`] and the
+//!   [`SharedDict`] shared dictionary plane (one concurrently-readable
+//!   dictionary above both storage backends; per-row reads never lock),
 //! * [`table`] — minimal fixed-width text-table rendering used by the
 //!   benchmark harness to print paper-style tables.
 
@@ -32,6 +34,6 @@ pub mod time;
 
 pub use error::{Error, Result};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
-pub use intern::{Interner, Sym};
+pub use intern::{Interner, SharedDict, Sym};
 pub use pool::{Pool, RaptorConfig};
 pub use time::{Duration, Timestamp};

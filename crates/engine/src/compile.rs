@@ -6,15 +6,16 @@
 //! can also be compiled into one *giant* SQL or Cypher statement — the
 //! baselines of Table VIII and the comparison texts of Table X.
 //!
-//! Known restriction (documented in DESIGN.md): the giant compiled forms
-//! support plain `before`/`after` temporal relationships; `within` and
-//! `[lo-hi unit]` gap ranges need arithmetic that the embedded SQL subset
-//! does not expose, and are only handled by the scheduled execution path.
+//! Known restriction: the giant compiled forms support plain
+//! `before`/`after` temporal relationships; `within` and `[lo-hi unit]`
+//! gap ranges need arithmetic that the embedded SQL subset does not
+//! expose, and are only handled by the scheduled execution path.
 
 use std::fmt::Write as _;
 
 use raptor_common::error::{Error, Result};
 use raptor_common::hash::FxHashMap;
+use raptor_common::intern::SharedDict;
 use raptor_common::time::Duration;
 use raptor_tbql::analyze::{APattern, AnalyzedQuery};
 use raptor_tbql::{
@@ -26,6 +27,10 @@ pub struct CompileCtx<'a> {
     pub aq: &'a AnalyzedQuery,
     /// Reference time for `last N unit` windows (max event end in the db).
     pub now_ns: i64,
+    /// The shared dictionary plane: TBQL string literals are interned here
+    /// at compile time, so typed requests carry pre-interned symbols and
+    /// backends never do per-request dictionary lookups.
+    pub dict: SharedDict,
 }
 
 /// Entity ids propagated from already-executed patterns (scheduler state).
@@ -627,16 +632,20 @@ fn storage_cmp_op(op: CmpOp) -> raptor_storage::CmpOp {
     }
 }
 
-fn storage_value(v: &Value) -> raptor_storage::Value {
+/// Interns a TBQL literal into the shared plane (parse-time interning: the
+/// one place query strings become symbols).
+fn storage_value(v: &Value, dict: &SharedDict) -> raptor_storage::Value {
     match v {
         Value::Int(i) => raptor_storage::Value::Int(*i),
-        Value::Str(s) => raptor_storage::Value::Str(s.clone()),
+        Value::Str(s) => raptor_storage::Value::Str(dict.intern(s)),
     }
 }
 
 /// Lowers a TBQL attribute expression to a typed predicate (same semantics
-/// as the SQL lowering: `=`/`!=` against a `%` pattern means LIKE).
-pub fn attr_pred(e: &AttrExpr) -> raptor_storage::Pred {
+/// as the SQL lowering: `=`/`!=` against a `%` pattern means LIKE). String
+/// literals are interned into `dict` here, so the emitted predicate carries
+/// pre-interned symbols.
+pub fn attr_pred(e: &AttrExpr, dict: &SharedDict) -> raptor_storage::Pred {
     use raptor_storage::Pred;
     match e {
         AttrExpr::Bare { .. } => unreachable!("analyzer desugars bare values"),
@@ -649,30 +658,32 @@ pub fn attr_pred(e: &AttrExpr) -> raptor_storage::Pred {
                 (CmpOp::Ne, Value::Str(s)) if s.contains('%') => {
                     Pred::Like { attr, pattern: s.clone(), negated: true }
                 }
-                _ => Pred::Cmp { attr, op: storage_cmp_op(*op), value: storage_value(value) },
+                _ => Pred::Cmp { attr, op: storage_cmp_op(*op), value: storage_value(value, dict) },
             }
         }
         AttrExpr::InSet { attr, negated, set } => Pred::InSet {
             attr: attr.attr.as_deref().unwrap_or(&attr.base).to_string(),
             negated: *negated,
-            values: set.iter().map(storage_value).collect(),
+            values: set.iter().map(|v| storage_value(v, dict)).collect(),
         },
-        AttrExpr::And(a, b) => Pred::And(Box::new(attr_pred(a)), Box::new(attr_pred(b))),
-        AttrExpr::Or(a, b) => Pred::Or(Box::new(attr_pred(a)), Box::new(attr_pred(b))),
+        AttrExpr::And(a, b) => {
+            Pred::And(Box::new(attr_pred(a, dict)), Box::new(attr_pred(b, dict)))
+        }
+        AttrExpr::Or(a, b) => Pred::Or(Box::new(attr_pred(a, dict)), Box::new(attr_pred(b, dict))),
     }
 }
 
-fn op_pred(e: &OpExpr) -> raptor_storage::Pred {
+fn op_pred(e: &OpExpr, dict: &SharedDict) -> raptor_storage::Pred {
     use raptor_storage::Pred;
     match e {
         OpExpr::Op(name) => Pred::Cmp {
             attr: "optype".to_string(),
             op: raptor_storage::CmpOp::Eq,
-            value: raptor_storage::Value::Str(name.clone()),
+            value: raptor_storage::Value::Str(dict.intern(name)),
         },
-        OpExpr::Not(inner) => Pred::Not(Box::new(op_pred(inner))),
-        OpExpr::And(a, b) => Pred::And(Box::new(op_pred(a)), Box::new(op_pred(b))),
-        OpExpr::Or(a, b) => Pred::Or(Box::new(op_pred(a)), Box::new(op_pred(b))),
+        OpExpr::Not(inner) => Pred::Not(Box::new(op_pred(inner, dict))),
+        OpExpr::And(a, b) => Pred::And(Box::new(op_pred(a, dict)), Box::new(op_pred(b, dict))),
+        OpExpr::Or(a, b) => Pred::Or(Box::new(op_pred(a, dict)), Box::new(op_pred(b, dict))),
     }
 }
 
@@ -703,15 +714,16 @@ fn window_pred(w: &Window, now_ns: i64) -> Result<raptor_storage::Pred> {
 pub fn entity_candidate_request(
     ty: EntityType,
     filter: &AttrExpr,
+    dict: &SharedDict,
 ) -> (raptor_storage::EntityClass, raptor_storage::Pred) {
-    (class_for_type(ty), attr_pred(filter))
+    (class_for_type(ty), attr_pred(filter, dict))
 }
 
 fn entity_sel(ctx: &CompileCtx<'_>, var: &str, prop: &Propagation) -> raptor_storage::EntitySel {
     let e = &ctx.aq.entities[var];
     raptor_storage::EntitySel {
         class: class_for_type(e.ty),
-        filter: e.filter.as_ref().map(attr_pred),
+        filter: e.filter.as_ref().map(|f| attr_pred(f, &ctx.dict)),
         id_in: prop.in_list(var).map(<[i64]>::to_vec),
     }
 }
@@ -725,10 +737,10 @@ fn event_conjuncts(
 ) -> Result<Vec<raptor_storage::Pred>> {
     let mut preds = Vec::new();
     if let Some(op) = op {
-        preds.push(op_pred(op));
+        preds.push(op_pred(op, &ctx.dict));
     }
     if let Some(f) = &p.event_filter {
-        preds.push(attr_pred(f));
+        preds.push(attr_pred(f, &ctx.dict));
     }
     if let Some(w) = &p.window {
         preds.push(window_pred(w, ctx.now_ns)?);
@@ -773,7 +785,7 @@ pub fn path_pattern_request(
         if *arrow == raptor_tbql::Arrow::Single { (1, Some(1)) } else { (min.unwrap_or(1), *max) };
     // Mirrors the text compiler: path patterns constrain only the final
     // hop's operation (event filters and windows apply to event patterns).
-    let final_hop_pred = op.as_ref().map(op_pred);
+    let final_hop_pred = op.as_ref().map(|o| op_pred(o, &ctx.dict));
     Ok(raptor_storage::PathPatternQuery {
         subject: entity_sel(ctx, &p.subject, prop),
         object: entity_sel(ctx, &p.object, prop),
@@ -832,7 +844,7 @@ mod tests {
     fn event_pattern_sql_shape() {
         let (aq, now) =
             ctx_for(r#"proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"] as evt1 return p1, f1"#);
-        let ctx = CompileCtx { aq: &aq, now_ns: now };
+        let ctx = CompileCtx { aq: &aq, now_ns: now, dict: SharedDict::new() };
         let sql = sql_for_event_pattern(&ctx, &aq.patterns[0], &Propagation::default()).unwrap();
         assert!(sql.contains("FROM processes p1, events evt1, files f1"), "{sql}");
         assert!(sql.contains("evt1.subject = p1.id"), "{sql}");
@@ -847,7 +859,7 @@ mod tests {
     #[test]
     fn propagation_adds_in_filters() {
         let (aq, now) = ctx_for("proc p read file f as e1 return p, f");
-        let ctx = CompileCtx { aq: &aq, now_ns: now };
+        let ctx = CompileCtx { aq: &aq, now_ns: now, dict: SharedDict::new() };
         let mut prop = Propagation::default();
         prop.set("p", vec![3, 5, 9]);
         let sql = sql_for_event_pattern(&ctx, &aq.patterns[0], &prop).unwrap();
@@ -857,7 +869,7 @@ mod tests {
     #[test]
     fn oversized_in_list_skipped() {
         let (aq, now) = ctx_for("proc p read file f as e1 return p, f");
-        let ctx = CompileCtx { aq: &aq, now_ns: now };
+        let ctx = CompileCtx { aq: &aq, now_ns: now, dict: SharedDict::new() };
         let mut prop = Propagation::default();
         prop.set("p", (0..(MAX_IN_LIST as i64 + 1)).collect());
         let sql = sql_for_event_pattern(&ctx, &aq.patterns[0], &prop).unwrap();
@@ -878,7 +890,7 @@ mod tests {
     #[test]
     fn propagated_ids_deduped_and_sorted() {
         let (aq, now) = ctx_for("proc p read file f as e1 return p, f");
-        let ctx = CompileCtx { aq: &aq, now_ns: now };
+        let ctx = CompileCtx { aq: &aq, now_ns: now, dict: SharedDict::new() };
         let mut prop = Propagation::default();
         // Unsorted with duplicates: the emitted IN list must be canonical.
         prop.set("p", vec![9, 3, 5, 3, 9, 9]);
@@ -906,7 +918,7 @@ mod tests {
     fn typed_event_request_mirrors_sql() {
         let (aq, now) =
             ctx_for(r#"proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"] as evt1 return p1, f1"#);
-        let ctx = CompileCtx { aq: &aq, now_ns: now };
+        let ctx = CompileCtx { aq: &aq, now_ns: now, dict: SharedDict::new() };
         let mut prop = Propagation::default();
         prop.set("p1", vec![3, 5]);
         let req = event_pattern_request(&ctx, &aq.patterns[0], &prop).unwrap();
@@ -924,7 +936,7 @@ mod tests {
     #[test]
     fn typed_path_request_shape() {
         let (aq, now) = ctx_for(r#"proc p["%tar%"] ~>(2~4)[read] file f as e1 return p, f"#);
-        let ctx = CompileCtx { aq: &aq, now_ns: now };
+        let ctx = CompileCtx { aq: &aq, now_ns: now, dict: SharedDict::new() };
         let req = path_pattern_request(&ctx, &aq.patterns[0], &Propagation::default(), 8).unwrap();
         assert_eq!((req.min_hops, req.max_hops, req.hop_cap), (2, Some(4), 8));
         assert!(!req.want_event, "variable-length paths bind no single event");
@@ -934,7 +946,7 @@ mod tests {
     #[test]
     fn path_pattern_cypher_shape() {
         let (aq, now) = ctx_for(r#"proc p["%tar%"] ~>(2~4)[read] file f as e1 return p, f"#);
-        let ctx = CompileCtx { aq: &aq, now_ns: now };
+        let ctx = CompileCtx { aq: &aq, now_ns: now, dict: SharedDict::new() };
         let cy = cypher_for_path_pattern(&ctx, &aq.patterns[0], &Propagation::default()).unwrap();
         assert!(cy.contains("(p:Process)-[:EVENT*1..3]->(_m0)-[e1:EVENT]->(f:File)"), "{cy}");
         assert!(cy.contains("e1.optype = 'read'"), "{cy}");
@@ -946,7 +958,7 @@ mod tests {
     #[test]
     fn length_one_path_is_single_hop() {
         let (aq, now) = ctx_for("proc p ->[read] file f as e1 return p, f");
-        let ctx = CompileCtx { aq: &aq, now_ns: now };
+        let ctx = CompileCtx { aq: &aq, now_ns: now, dict: SharedDict::new() };
         let cy = cypher_for_path_pattern(&ctx, &aq.patterns[0], &Propagation::default()).unwrap();
         // `->` parses with no explicit bounds: compiled as open-ended from
         // the analyzer's perspective? No: Arrow::Single defaults min=max=1.
@@ -957,7 +969,7 @@ mod tests {
     #[test]
     fn giant_sql_covers_everything() {
         let (aq, now) = ctx_for(raptor_tbql::parser::FIG2_QUERY);
-        let ctx = CompileCtx { aq: &aq, now_ns: now };
+        let ctx = CompileCtx { aq: &aq, now_ns: now, dict: SharedDict::new() };
         let sql = giant_sql(&ctx).unwrap();
         // 9 entities + 8 event aliases in FROM.
         assert_eq!(sql.matches("events evt").count(), 8, "{sql}");
@@ -969,19 +981,19 @@ mod tests {
     #[test]
     fn giant_sql_rejects_paths_and_ranges() {
         let (aq, now) = ctx_for("proc p ~>[read] file f return p, f");
-        let ctx = CompileCtx { aq: &aq, now_ns: now };
+        let ctx = CompileCtx { aq: &aq, now_ns: now, dict: SharedDict::new() };
         assert!(giant_sql(&ctx).is_err());
         let (aq, now) = ctx_for(
             "proc p read file f as e1 proc p write file g as e2 with e1 before[0-5 min] e2 return f",
         );
-        let ctx = CompileCtx { aq: &aq, now_ns: now };
+        let ctx = CompileCtx { aq: &aq, now_ns: now, dict: SharedDict::new() };
         assert!(giant_sql(&ctx).is_err());
     }
 
     #[test]
     fn giant_cypher_covers_everything() {
         let (aq, now) = ctx_for(raptor_tbql::parser::FIG2_QUERY);
-        let ctx = CompileCtx { aq: &aq, now_ns: now };
+        let ctx = CompileCtx { aq: &aq, now_ns: now, dict: SharedDict::new() };
         let cy = giant_cypher(&ctx).unwrap();
         assert_eq!(cy.matches(":EVENT]").count(), 8, "{cy}");
         assert!(cy.contains("RETURN DISTINCT p1.exename"), "{cy}");
@@ -993,7 +1005,7 @@ mod tests {
     #[test]
     fn windows_compile() {
         let (aq, _) = ctx_for("proc p read file f as e1 last 2 h return f");
-        let ctx = CompileCtx { aq: &aq, now_ns: 10_000_000_000_000 };
+        let ctx = CompileCtx { aq: &aq, now_ns: 10_000_000_000_000, dict: SharedDict::new() };
         let sql = sql_for_event_pattern(&ctx, &aq.patterns[0], &Propagation::default()).unwrap();
         let cutoff = 10_000_000_000_000i64 - 7200 * 1_000_000_000;
         assert!(sql.contains(&format!("e1.starttime >= {cutoff}")), "{sql}");
@@ -1002,7 +1014,7 @@ mod tests {
     #[test]
     fn string_escaping() {
         let (aq, now) = ctx_for(r#"proc p["%o'brien%"] read file f return f"#);
-        let ctx = CompileCtx { aq: &aq, now_ns: now };
+        let ctx = CompileCtx { aq: &aq, now_ns: now, dict: SharedDict::new() };
         let sql = sql_for_event_pattern(&ctx, &aq.patterns[0], &Propagation::default()).unwrap();
         assert!(sql.contains("'%o''brien%'"), "{sql}");
         assert!(raptor_relstore::sql::parse_select(&sql).is_ok(), "{sql}");

@@ -66,7 +66,7 @@ fn entity_fraction(stats: &StoreStats, sel: &EntitySel) -> f64 {
     let rows = t.rows().max(1) as f64;
     match (&sel.id_in, &sel.filter) {
         (Some(ids), _) => (ids.len() as f64 / rows).min(1.0),
-        (None, Some(f)) => selectivity(t, f),
+        (None, Some(f)) => selectivity(t, f, stats.dict()),
         (None, None) => 1.0,
     }
 }
@@ -89,11 +89,11 @@ pub fn estimate_event_pattern(req: &EventPatternQuery, rel: &StoreStats) -> f64 
     let kind = Pred::Cmp {
         attr: "kind".to_string(),
         op: CmpOp::Eq,
-        value: Value::Str(req.object.class.event_kind().to_string()),
+        value: Value::Str(rel.dict().intern(req.object.class.event_kind())),
     };
-    let mut est = ev.rows() as f64 * selectivity(ev, &kind);
+    let mut est = ev.rows() as f64 * selectivity(ev, &kind, rel.dict());
     if let Some(p) = &req.event_pred {
-        est *= selectivity(ev, p);
+        est *= selectivity(ev, p, rel.dict());
     }
     est *= entity_fraction(rel, &req.subject);
     est *= entity_fraction(rel, &req.object);
@@ -118,7 +118,7 @@ pub fn estimate_path_pattern(req: &PathPatternQuery, graph: &StoreStats) -> f64 
     let first_fanout = graph.degree(req.subject.class).map_or(0.0, |d| d.avg_out());
     let fanout = total_edges / total_nodes;
     let final_sel = match &req.final_hop_pred {
-        Some(p) => graph.table("events").map_or(1.0, |t| selectivity(t, p)),
+        Some(p) => graph.table("events").map_or(1.0, |t| selectivity(t, p, graph.dict())),
         None => 1.0,
     };
     let end_frac = if req.subject_is_object {
@@ -153,9 +153,10 @@ mod tests {
         let mut s = StoreStats::default();
         for id in 0..10 {
             s.record_node(EntityClass::Process, id);
+            let exe = s.dict().intern(if id == 0 { "/usr/bin/gpg" } else { "/bin/noise" });
             let t = s.table_mut("processes");
             t.record_row();
-            t.record_str("exename", if id == 0 { "/usr/bin/gpg" } else { "/bin/noise" });
+            t.record_sym("exename", exe);
         }
         for id in 10..15 {
             s.record_node(EntityClass::File, id);
@@ -167,17 +168,18 @@ mod tests {
                 80..=94 => ("write", "file"),
                 _ => ("connect", "network"),
             };
+            let (op, kind) = (s.dict().intern(op), s.dict().intern(kind));
             let t = s.table_mut("events");
             t.record_row();
-            t.record_str("optype", op);
-            t.record_str("kind", kind);
+            t.record_sym("optype", op);
+            t.record_sym("kind", kind);
             s.record_edge((i % 10) as i64, 10 + (i % 5) as i64);
         }
         s
     }
 
-    fn op_eq(op: &str) -> Pred {
-        Pred::Cmp { attr: "optype".into(), op: CmpOp::Eq, value: Value::Str(op.into()) }
+    fn op_eq(s: &StoreStats, op: &str) -> Pred {
+        Pred::Cmp { attr: "optype".into(), op: CmpOp::Eq, value: Value::Str(s.dict().intern(op)) }
     }
 
     #[test]
@@ -186,7 +188,7 @@ mod tests {
         let base = |op: &str| EventPatternQuery {
             subject: EntitySel::of(EntityClass::Process, None),
             object: EntitySel::of(EntityClass::File, None),
-            event_pred: Some(op_eq(op)),
+            event_pred: Some(op_eq(&s, op)),
             event_id_in: None,
             subject_is_object: false,
         };
@@ -205,7 +207,7 @@ mod tests {
         let q = EventPatternQuery {
             subject,
             object: EntitySel::of(EntityClass::File, None),
-            event_pred: Some(op_eq("read")),
+            event_pred: Some(op_eq(&s, "read")),
             event_id_in: None,
             subject_is_object: false,
         };
@@ -223,7 +225,7 @@ mod tests {
             min_hops: 1,
             max_hops: Some(max),
             hop_cap: 16,
-            final_hop_pred: Some(op_eq("read")),
+            final_hop_pred: Some(op_eq(&s, "read")),
             final_event_id_in: None,
             want_event: true,
             subject_is_object: false,

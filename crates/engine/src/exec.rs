@@ -119,6 +119,12 @@ pub struct EngineStats {
     /// populated exactly when the cost-based scheduler ran; actual rows for
     /// every pattern that executed — so Q-error is observable per query.
     pub estimates: Vec<PatternEstimate>,
+    /// Heap `String`s materialized from interned symbols. Incremented in
+    /// exactly one place — [`ResultTable::from_batch_counted`], the render
+    /// edge — and equals rows × string-columns of the rendered result.
+    /// Everything inside the scheduled/streaming paths operates on symbols,
+    /// so the counter stays 0 until the edge (asserted by tests).
+    pub strings_materialized: usize,
 }
 
 impl EngineStats {
@@ -161,8 +167,16 @@ pub struct ResultTable {
 }
 
 impl ResultTable {
-    pub fn from_batch(batch: &ResultBatch) -> Self {
+    /// Renders a typed batch, counting the materialized strings into
+    /// `stats.strings_materialized` — the **only** site that increments it.
+    pub fn from_batch_counted(batch: &ResultBatch, stats: &mut EngineStats) -> Self {
+        stats.strings_materialized += batch.str_cells();
         ResultTable { columns: batch.columns.clone(), rows: batch.rendered_rows() }
+    }
+
+    /// Renders a typed batch (edge accounting discarded).
+    pub fn from_batch(batch: &ResultBatch) -> Self {
+        Self::from_batch_counted(batch, &mut EngineStats::default())
     }
 
     /// Rows as a sorted set (order-insensitive comparison in tests).
@@ -281,8 +295,9 @@ impl Engine {
         aq: &AnalyzedQuery,
         mode: ExecMode,
     ) -> Result<(ResultTable, EngineStats)> {
-        let (batch, stats) = self.execute_batch(aq, mode)?;
-        Ok((ResultTable::from_batch(&batch), stats))
+        let (batch, mut stats) = self.execute_batch(aq, mode)?;
+        let table = ResultTable::from_batch_counted(&batch, &mut stats);
+        Ok((table, stats))
     }
 
     /// Executes an analyzed query, returning the typed result batch.
@@ -306,12 +321,13 @@ impl Engine {
         &self,
         aq: &AnalyzedQuery,
     ) -> Result<(ResultTable, EngineStats)> {
-        let (batch, stats) = self.execute_scheduled(aq, DataPath::Text)?;
-        Ok((ResultTable::from_batch(&batch), stats))
+        let (batch, mut stats) = self.execute_scheduled(aq, DataPath::Text)?;
+        let table = ResultTable::from_batch_counted(&batch, &mut stats);
+        Ok((table, stats))
     }
 
     pub(crate) fn ctx<'a>(&self, aq: &'a AnalyzedQuery) -> CompileCtx<'a> {
-        CompileCtx { aq, now_ns: self.stores.now_ns }
+        CompileCtx { aq, now_ns: self.stores.now_ns, dict: self.stores.dict.clone() }
     }
 
     /// Runs a SQL text through the relational store's parser (giant/baseline
@@ -381,9 +397,8 @@ impl Engine {
         let mut stats = EngineStats::default();
         let r = self.query_sql_text(&sql, &mut stats)?;
         stats.record_text("relational", QueryKind::Giant, "giant_sql", sql);
-        let rows: Vec<Vec<SVal>> =
-            r.rows.into_iter().map(|row| row.into_iter().map(owned_to_sval).collect()).collect();
-        Ok((ResultBatch::from_rows(r.columns, rows), stats))
+        // Shared plane: the store's rows already *are* engine values.
+        Ok((ResultBatch::from_rows(r.columns, r.rows, self.stores.dict.clone()), stats))
     }
 
     fn execute_giant_cypher(&self, aq: &AnalyzedQuery) -> Result<(ResultBatch, EngineStats)> {
@@ -393,7 +408,7 @@ impl Engine {
         stats.record_text("graph", QueryKind::Giant, "giant_cypher", cy);
         let rows: Vec<Vec<SVal>> =
             r.rows.into_iter().map(|row| row.into_iter().map(gval_to_sval).collect()).collect();
-        Ok((ResultBatch::from_rows(r.columns, rows), stats))
+        Ok((ResultBatch::from_rows(r.columns, rows, self.stores.dict.clone()), stats))
     }
 
     /// Seeds the propagation table by resolving every filtered entity to its
@@ -411,7 +426,7 @@ impl Engine {
             let Some(filter) = &e.filter else { continue };
             let ids = match path {
                 DataPath::Typed => {
-                    let (class, pred) = entity_candidate_request(e.ty, filter);
+                    let (class, pred) = entity_candidate_request(e.ty, filter, &self.stores.dict);
                     let ids = self.rel().entity_candidates(class, &pred, &mut stats.backend)?;
                     stats.record("relational", QueryKind::Seed, id, 0);
                     ids
@@ -484,11 +499,11 @@ impl Engine {
                 Ok(r.rows
                     .iter()
                     .map(|row| Match {
-                        subj: as_i64(&row[0]),
-                        obj: as_i64(&row[1]),
-                        evt: as_i64(&row[2]),
-                        start: as_i64(&row[3]),
-                        end: as_i64(&row[4]),
+                        subj: row[0].as_int().unwrap_or(-1),
+                        obj: row[1].as_int().unwrap_or(-1),
+                        evt: row[2].as_int().unwrap_or(-1),
+                        start: row[3].as_int().unwrap_or(0),
+                        end: row[4].as_int().unwrap_or(0),
                     })
                     .collect())
             }
@@ -548,8 +563,9 @@ impl Engine {
         aq: &AnalyzedQuery,
         mode: SchedulerMode,
     ) -> Result<(ResultTable, EngineStats)> {
-        let (batch, stats) = self.run_scheduled(aq, DataPath::Typed, mode, None)?;
-        Ok((ResultTable::from_batch(&batch), stats))
+        let (batch, mut stats) = self.run_scheduled(aq, DataPath::Typed, mode, None)?;
+        let table = ResultTable::from_batch_counted(&batch, &mut stats);
+        Ok((table, stats))
     }
 
     /// Scheduled execution with a caller-forced pattern execution order
@@ -570,9 +586,10 @@ impl Engine {
                 aq.patterns.len()
             )));
         }
-        let (batch, stats) =
+        let (batch, mut stats) =
             self.run_scheduled(aq, DataPath::Typed, self.scheduler, Some(order))?;
-        Ok((ResultTable::from_batch(&batch), stats))
+        let table = ResultTable::from_batch_counted(&batch, &mut stats);
+        Ok((table, stats))
     }
 
     fn run_scheduled(
@@ -641,7 +658,10 @@ impl Engine {
         if stats.short_circuited {
             let columns: Vec<String> =
                 aq.ret.iter().map(|r| format!("{}.{}", r.base, r.attr)).collect();
-            return Ok((ResultBatch::from_rows(columns, Vec::new()), stats));
+            return Ok((
+                ResultBatch::from_rows(columns, Vec::new(), self.stores.dict.clone()),
+                stats,
+            ));
         }
 
         let pattern_rows: Vec<&Vec<Match>> =
@@ -810,11 +830,12 @@ impl Engine {
                         self.attr_map(aq, rvar, rattr, &tuples, pattern_rows, stats, path)?;
                     let lpos = self.var_slot(aq, lvar)?;
                     let rpos = self.var_slot(aq, rvar)?;
+                    let dict = &self.stores.dict;
                     tuples.retain(|t| {
                         let lid = id_at(pattern_rows, t, lpos);
                         let rid = id_at(pattern_rows, t, rpos);
                         match (lvals.get(&lid), rvals.get(&rid)) {
-                            (Some(a), Some(b)) => cmp_svals(a, *op, b),
+                            (Some(a), Some(b)) => cmp_svals(a, *op, b, dict),
                             _ => false,
                         }
                     });
@@ -876,8 +897,12 @@ impl Engine {
                 ProjSource::Entity(self.var_slot(aq, &item.base)?, lookups.get(&key))
             });
         }
+        // Missing attributes project as the empty string, exactly like the
+        // stringly pipeline always rendered them — as a symbol, interned
+        // once per query.
+        let empty = SVal::Str(self.stores.dict.intern(""));
         let fetched = |map: Option<&FxHashMap<i64, SVal>>, id: i64| {
-            map.and_then(|m| m.get(&id)).cloned().unwrap_or(SVal::Str(String::new()))
+            map.and_then(|m| m.get(&id)).copied().unwrap_or(empty)
         };
         let mut rows: Vec<Vec<SVal>> = Vec::with_capacity(tuples.len());
         for t in &tuples {
@@ -902,10 +927,11 @@ impl Engine {
             rows.push(row);
         }
         if aq.distinct {
+            // Sym-keyed row hashing: no string touches the dedup set.
             let mut seen: FxHashSet<Vec<SVal>> = FxHashSet::default();
             rows.retain(|r| seen.insert(r.clone()));
         }
-        Ok(ResultBatch::from_rows(columns, rows))
+        Ok(ResultBatch::from_rows(columns, rows, self.stores.dict.clone()))
     }
 
     /// Finds where entity `var` is bound: (pattern index, is_subject).
@@ -972,9 +998,14 @@ impl Engine {
                     let r = self.query_sql_text(&sql, stats)?;
                     for row in &r.rows {
                         if let Some(id) = row[0].as_int() {
-                            // The seed pipeline rendered every value here;
-                            // keep that cost on the compat path.
-                            out.insert(id, SVal::Str(row[1].render()));
+                            // The seed pipeline shipped every value here as
+                            // a rendered string. Passing the typed value
+                            // through is outcome-identical (`cmp_svals`
+                            // compares numeric strings and ints the same
+                            // way, and rendering agrees cell-for-cell)
+                            // without permanently interning rendered
+                            // integers into the append-only dictionary.
+                            out.insert(id, row[1]);
                         }
                     }
                 }
@@ -1034,18 +1065,8 @@ fn id_at(pattern_rows: &[&Vec<Match>], t: &[u32], slot: (usize, bool)) -> i64 {
     }
 }
 
-fn as_i64(v: &raptor_relstore::OwnedValue) -> i64 {
-    v.as_int().unwrap_or(-1)
-}
-
-fn owned_to_sval(v: raptor_relstore::OwnedValue) -> SVal {
-    match v {
-        raptor_relstore::OwnedValue::Int(i) => SVal::Int(i),
-        raptor_relstore::OwnedValue::Str(s) => SVal::Str(s),
-        raptor_relstore::OwnedValue::Null => SVal::Null,
-    }
-}
-
+/// Graph projection values map 1:1 onto the shared plane — the symbol is
+/// already the engine's currency, so this is a tag re-label, not a copy.
 fn gval_to_sval(v: gexec::GVal) -> SVal {
     match v {
         gexec::GVal::Int(i) => SVal::Int(i),
@@ -1078,24 +1099,33 @@ fn temporal_holds(
 }
 
 /// `with`-clause attribute comparison over typed values. Ints compare
-/// numerically; strings that both parse as integers do too (the stringly
-/// compat path ships numbers as strings); otherwise lexically. NULL is
+/// numerically; strings that both parse as integers do too (the seed's
+/// stringly pipeline shipped numbers as strings, and this rule keeps those
+/// outcomes identical now that both data paths ship typed values);
+/// otherwise lexically, resolved through the dictionary. NULL is
 /// incomparable under every operator — matching the giant-SQL/Cypher
 /// baselines rather than the seed's render-to-`""` behavior (the audit
 /// loader never stores NULL attributes, so the cases cannot diverge on
-/// real data; the compat text path keeps the old rendering).
-fn cmp_svals(a: &SVal, op: CmpOp, b: &SVal) -> bool {
+/// real data).
+fn cmp_svals(a: &SVal, op: CmpOp, b: &SVal, dict: &raptor_common::SharedDict) -> bool {
     let ord = match (a, b) {
         (SVal::Int(x), SVal::Int(y)) => x.cmp(y),
-        (SVal::Str(x), SVal::Str(y)) => match (x.parse::<i64>(), y.parse::<i64>()) {
-            (Ok(p), Ok(q)) => p.cmp(&q),
-            _ => x.cmp(y),
-        },
-        (SVal::Int(x), SVal::Str(y)) => match y.parse::<i64>() {
+        (SVal::Str(x), SVal::Str(y)) => {
+            if x == y {
+                std::cmp::Ordering::Equal
+            } else {
+                let (x, y) = (dict.resolve(*x), dict.resolve(*y));
+                match (x.parse::<i64>(), y.parse::<i64>()) {
+                    (Ok(p), Ok(q)) => p.cmp(&q),
+                    _ => x.cmp(y),
+                }
+            }
+        }
+        (SVal::Int(x), SVal::Str(y)) => match dict.resolve(*y).parse::<i64>() {
             Ok(q) => x.cmp(&q),
             Err(_) => return false,
         },
-        (SVal::Str(x), SVal::Int(y)) => match x.parse::<i64>() {
+        (SVal::Str(x), SVal::Int(y)) => match dict.resolve(*x).parse::<i64>() {
             Ok(p) => p.cmp(y),
             Err(_) => return false,
         },

@@ -16,14 +16,23 @@
 
 use raptor_audit::{Entity, EntityAttrs, EntityKind, ParsedLog, SystemEvent};
 use raptor_common::error::{Error, Result};
+use raptor_common::intern::SharedDict;
 use raptor_graphstore::Graph;
 use raptor_relstore::{ColumnDef, ColumnType, Database, TableSchema};
 use raptor_storage::{BackendStats, EntityClass, Field, FieldValue, MutableBackend};
 
-/// Both backends, loaded with the same data.
+/// Both backends, loaded with the same data, interning into the same
+/// dictionary.
 pub struct LoadedStores {
     pub rel: Database,
     pub graph: Graph,
+    /// The shared dictionary plane: one append-only, concurrently-readable
+    /// dictionary hoisted above both backends, created here and handed to
+    /// each store at construction. Equal strings therefore map to equal
+    /// [`raptor_common::Sym`]s across the whole pipeline — string equality
+    /// in joins, DISTINCT and stream diffing is an integer compare, and
+    /// display strings are materialized exactly once, at the edge.
+    pub dict: SharedDict,
     /// Max event end time (reference point for `last N unit` windows).
     pub now_ns: i64,
 }
@@ -122,7 +131,8 @@ pub fn class_for_kind(kind: EntityKind) -> EntityClass {
 /// Section III-B: key attributes, plus id lookups for scheduler
 /// propagation). Records appended later maintain all of them.
 pub fn empty() -> Result<LoadedStores> {
-    let mut rel = Database::new();
+    let dict = SharedDict::new();
+    let mut rel = Database::with_dict(dict.clone());
     for schema in audit_schema() {
         rel.create_table(schema)?;
     }
@@ -146,7 +156,7 @@ pub fn empty() -> Result<LoadedStores> {
     }
     rel.create_btree_index("events", "starttime")?;
 
-    let mut graph = Graph::new();
+    let mut graph = Graph::with_dict(dict.clone());
     for (label, key) in [
         (LABEL_PROCESS, "exename"),
         (LABEL_PROCESS, "id"),
@@ -158,7 +168,7 @@ pub fn empty() -> Result<LoadedStores> {
         graph.create_node_index(label, key);
     }
 
-    Ok(LoadedStores { rel, graph, now_ns: 0 })
+    Ok(LoadedStores { rel, graph, dict, now_ns: 0 })
 }
 
 /// Appends one entity to both stores through their [`MutableBackend`]s.

@@ -31,6 +31,7 @@
 
 use raptor_common::error::{Error, Result};
 use raptor_common::hash::FxHashMap;
+use raptor_common::intern::SharedDict;
 use raptor_storage::{CmpOp as SOp, Pred, ResultBatch, Value as SVal};
 use raptor_tbql::analyze::AnalyzedQuery;
 use raptor_tbql::Window;
@@ -69,6 +70,9 @@ pub struct PatternProgress {
 pub struct StandingQuery {
     name: String,
     aq: AnalyzedQuery,
+    /// The shared dictionary plane of the engine this query runs against
+    /// (emitted batches carry it; the multiset diff keys on its symbols).
+    dict: SharedDict,
     /// Accumulated per-pattern matches (index-aligned with `aq.patterns`).
     matches: Vec<Vec<Match>>,
     /// Per-pattern: this pattern is delta-evaluable (event pattern or
@@ -91,7 +95,7 @@ impl StandingQuery {
     /// the delta invariant (concatenated deltas == batch result) would
     /// silently break. Absolute windows (`from/to`, `at`, `before`,
     /// `after`) are fine.
-    pub fn new(name: impl Into<String>, aq: AnalyzedQuery) -> Result<Self> {
+    pub fn new(name: impl Into<String>, aq: AnalyzedQuery, dict: SharedDict) -> Result<Self> {
         let relative = |w: &Window| matches!(w, Window::Last { .. });
         if aq.patterns.iter().filter_map(|p| p.window.as_ref()).any(relative)
             || aq.global_windows.iter().any(relative)
@@ -107,6 +111,7 @@ impl StandingQuery {
         Ok(StandingQuery {
             name: name.into(),
             aq,
+            dict,
             matches: vec![Vec::new(); n],
             delta_ok,
             prop: Propagation::default(),
@@ -146,7 +151,7 @@ impl StandingQuery {
     /// this equals (as a multiset) the one-shot `ExecMode::Scheduled`
     /// result over the same data.
     pub fn cumulative_batch(&self) -> ResultBatch {
-        ResultBatch::from_rows(self.columns.clone(), self.cumulative.clone())
+        ResultBatch::from_rows(self.columns.clone(), self.cumulative.clone(), self.dict.clone())
     }
 
     /// Delta-seeds the filter-derived candidate sets from this epoch's new
@@ -168,7 +173,7 @@ impl StandingQuery {
         for id in &self.aq.entity_order {
             let e = &self.aq.entities[id];
             let Some(filter) = &e.filter else { continue };
-            let pred = Pred::And(Box::new(attr_pred(filter)), Box::new(range.clone()));
+            let pred = Pred::And(Box::new(attr_pred(filter, &self.dict)), Box::new(range.clone()));
             let ids =
                 engine.rel().entity_candidates(class_for_type(e.ty), &pred, &mut stats.backend)?;
             stats.record("relational", QueryKind::Seed, id, 0);
@@ -229,7 +234,10 @@ impl StandingQuery {
         // A query only produces rows once every pattern has matched; and an
         // epoch that changed nothing cannot emit new rows.
         if !changed || self.matches.iter().any(Vec::is_empty) {
-            return Ok((ResultBatch::from_rows(self.columns.clone(), Vec::new()), stats));
+            return Ok((
+                ResultBatch::from_rows(self.columns.clone(), Vec::new(), self.dict.clone()),
+                stats,
+            ));
         }
 
         // Join + with-clauses + projection over the *accumulated* matches,
@@ -251,7 +259,7 @@ impl StandingQuery {
             *self.emitted.entry(row.clone()).or_insert(0) += 1;
             self.cumulative.push(row.clone());
         }
-        Ok((ResultBatch::from_rows(self.columns.clone(), delta_rows), stats))
+        Ok((ResultBatch::from_rows(self.columns.clone(), delta_rows, self.dict.clone()), stats))
     }
 }
 
@@ -279,8 +287,13 @@ mod tests {
         LogParser::parse(&sim.finish())
     }
 
-    fn standing(q: &str) -> StandingQuery {
-        StandingQuery::new("t", analyze(&parse_tbql(q).unwrap()).unwrap()).unwrap()
+    fn standing(q: &str, engine: &Engine) -> StandingQuery {
+        StandingQuery::new(
+            "t",
+            analyze(&parse_tbql(q).unwrap()).unwrap(),
+            engine.stores.dict.clone(),
+        )
+        .unwrap()
     }
 
     /// Relative windows are anchored to a moving watermark; rejected.
@@ -288,7 +301,7 @@ mod tests {
     fn relative_windows_rejected() {
         let q = "proc p read file f as e1 last 5 minute return p, f";
         let aq = analyze(&parse_tbql(q).unwrap()).unwrap();
-        let err = match StandingQuery::new("t", aq) {
+        let err = match StandingQuery::new("t", aq, SharedDict::new()) {
             Err(e) => e,
             Ok(_) => panic!("relative window must be rejected"),
         };
@@ -296,7 +309,7 @@ mod tests {
         // Absolute windows stay allowed.
         let q = "proc p read file f as e1 after 10 return p, f";
         let aq = analyze(&parse_tbql(q).unwrap()).unwrap();
-        assert!(StandingQuery::new("t", aq).is_ok());
+        assert!(StandingQuery::new("t", aq, SharedDict::new()).is_ok());
     }
 
     /// Feeds the log one event per epoch; the concatenated deltas must
@@ -314,7 +327,7 @@ mod tests {
             load::append_entity(&mut stores, e, &mut stats).unwrap();
         }
         let mut engine = Engine::new(stores);
-        let mut sq = standing(q);
+        let mut sq = standing(q, &engine);
         let mut emitted = 0usize;
         for (i, ev) in log.events.iter().enumerate() {
             // Entities were pre-loaded: only epoch 0 sees the full range.
@@ -349,7 +362,7 @@ mod tests {
         for e in &log.entities {
             load::append_entity(&mut engine.stores, e, &mut stats).unwrap();
         }
-        let mut sq = standing(q);
+        let mut sq = standing(q, &engine);
         for (i, ev) in log.events.iter().enumerate() {
             let range = if i == 0 { (0, log.entities.len() as i64) } else { (0, 0) };
             let mut st = raptor_storage::BackendStats::default();

@@ -7,6 +7,7 @@
 
 use raptor_common::error::{Error, Result};
 use raptor_common::hash::FxHashSet;
+use raptor_common::intern::SharedDict;
 use raptor_storage::{
     AttrSource, BackendStats, EntityClass, EventPatternQuery, Field, FieldValue, MutableBackend,
     PathPatternQuery, PatternMatches, Pred, StorageBackend, Value as SVal,
@@ -30,7 +31,9 @@ pub fn label_for_class(class: EntityClass) -> &'static str {
 fn clit(v: &SVal) -> Result<CLit> {
     match v {
         SVal::Int(i) => Ok(CLit::Int(*i)),
-        SVal::Str(s) => Ok(CLit::Str(s.clone())),
+        // Pre-interned: the executor evaluates the handle without a
+        // dictionary lookup.
+        SVal::Str(s) => Ok(CLit::Sym(*s)),
         SVal::Null => Err(Error::semantic("NULL literals are not valid in predicates")),
     }
 }
@@ -75,19 +78,22 @@ fn like_to_cexpr(var: &str, attr: &str, pattern: &str, negated: bool) -> CExpr {
 }
 
 /// Lowers a typed predicate to a Cypher WHERE expression over `var`.
-fn pred_to_cexpr(var: &str, p: &Pred) -> Result<CExpr> {
+fn pred_to_cexpr(var: &str, p: &Pred, dict: &SharedDict) -> Result<CExpr> {
     Ok(match p {
-        Pred::Cmp { attr, op, value } => match (op, value) {
-            (raptor_storage::CmpOp::Eq, SVal::Str(s)) if s.contains('%') => {
-                like_to_cexpr(var, attr, s, false)
+        Pred::Cmp { attr, op, value } => {
+            // `= '%…%'` keeps LIKE semantics (defensive: the TBQL lowering
+            // already emits `Pred::Like`).
+            let wildcard = value.as_sym().map(|s| dict.resolve(s)).filter(|s| s.contains('%'));
+            match (op, wildcard) {
+                (raptor_storage::CmpOp::Eq, Some(s)) => like_to_cexpr(var, attr, s, false),
+                (raptor_storage::CmpOp::Ne, Some(s)) => like_to_cexpr(var, attr, s, true),
+                _ => CExpr::Cmp {
+                    left: prop(var, attr),
+                    op: cop(*op),
+                    right: CmpRhs::Lit(clit(value)?),
+                },
             }
-            (raptor_storage::CmpOp::Ne, SVal::Str(s)) if s.contains('%') => {
-                like_to_cexpr(var, attr, s, true)
-            }
-            _ => {
-                CExpr::Cmp { left: prop(var, attr), op: cop(*op), right: CmpRhs::Lit(clit(value)?) }
-            }
-        },
+        }
         Pred::Like { attr, pattern, negated } => like_to_cexpr(var, attr, pattern, *negated),
         Pred::InSet { attr, negated, values } => {
             let base = CExpr::InList {
@@ -100,13 +106,15 @@ fn pred_to_cexpr(var: &str, p: &Pred) -> Result<CExpr> {
                 base
             }
         }
-        Pred::And(a, b) => {
-            CExpr::And(Box::new(pred_to_cexpr(var, a)?), Box::new(pred_to_cexpr(var, b)?))
-        }
-        Pred::Or(a, b) => {
-            CExpr::Or(Box::new(pred_to_cexpr(var, a)?), Box::new(pred_to_cexpr(var, b)?))
-        }
-        Pred::Not(inner) => CExpr::Not(Box::new(pred_to_cexpr(var, inner)?)),
+        Pred::And(a, b) => CExpr::And(
+            Box::new(pred_to_cexpr(var, a, dict)?),
+            Box::new(pred_to_cexpr(var, b, dict)?),
+        ),
+        Pred::Or(a, b) => CExpr::Or(
+            Box::new(pred_to_cexpr(var, a, dict)?),
+            Box::new(pred_to_cexpr(var, b, dict)?),
+        ),
+        Pred::Not(inner) => CExpr::Not(Box::new(pred_to_cexpr(var, inner, dict)?)),
     })
 }
 
@@ -146,10 +154,10 @@ fn gval_int(v: &GVal) -> i64 {
     v.as_int().unwrap_or(-1)
 }
 
-fn prop_to_sval(g: &Graph, v: PropValue) -> SVal {
+fn prop_to_sval(v: PropValue) -> SVal {
     match v {
         PropValue::Int(i) => SVal::Int(i),
-        PropValue::Str(s) => SVal::Str(g.dict().resolve(s).to_string()),
+        PropValue::Str(s) => SVal::Str(s),
     }
 }
 
@@ -168,12 +176,13 @@ impl Graph {
 
     /// Collects entity selection conditions shared by both pattern shapes.
     fn entity_conds(
+        &self,
         sel: &raptor_storage::EntitySel,
         var: &str,
         conds: &mut Vec<CExpr>,
     ) -> Result<()> {
         if let Some(f) = &sel.filter {
-            conds.push(pred_to_cexpr(var, f)?);
+            conds.push(pred_to_cexpr(var, f, self.dict())?);
         }
         if let Some(ids) = &sel.id_in {
             conds.push(id_in_cexpr(var, ids));
@@ -199,7 +208,7 @@ impl StorageBackend for Graph {
     ) -> Result<Vec<i64>> {
         let q = CypherQuery {
             paths: vec![PathPattern { start: node("x", class), segments: vec![] }],
-            where_clause: Some(pred_to_cexpr("x", filter)?),
+            where_clause: Some(pred_to_cexpr("x", filter, self.dict())?),
             distinct: true,
             return_items: vec![ret("x", "id")],
             limit: None,
@@ -241,9 +250,9 @@ impl StorageBackend for Graph {
         // the shared variable name).
         let obj_var = if q.subject_is_object { "s" } else { "o" };
         let mut conds: Vec<CExpr> = Vec::new();
-        Graph::entity_conds(&q.subject, "s", &mut conds)?;
+        self.entity_conds(&q.subject, "s", &mut conds)?;
         if !q.subject_is_object {
-            Graph::entity_conds(&q.object, obj_var, &mut conds)?;
+            self.entity_conds(&q.object, obj_var, &mut conds)?;
         }
 
         let single_hop = q.min_hops == 1 && q.max_hops == Some(1);
@@ -262,7 +271,7 @@ impl StorageBackend for Graph {
             q.want_event || q.final_hop_pred.is_some() || q.final_event_id_in.is_some();
         if bind_event {
             if let Some(p) = &q.final_hop_pred {
-                conds.push(pred_to_cexpr("e", p)?);
+                conds.push(pred_to_cexpr("e", p, self.dict())?);
             }
             // Delta evaluation: restrict the final hop to the caller's
             // event-id set (the epoch's freshly ingested events).
@@ -359,7 +368,7 @@ impl StorageBackend for Graph {
                     stats.items_scanned += nodes.len();
                     if let Some(&n) = nodes.first() {
                         if let Some(v) = self.node_prop(n, attr) {
-                            out.push((id, prop_to_sval(self, v)));
+                            out.push((id, prop_to_sval(v)));
                         }
                     }
                 }
@@ -374,7 +383,7 @@ impl StorageBackend for Graph {
                     if let Some(PropValue::Int(id)) = self.edge_prop(eid, "id") {
                         if wanted.contains(&id) {
                             if let Some(v) = self.edge_prop(eid, attr) {
-                                out.push((id, prop_to_sval(self, v)));
+                                out.push((id, prop_to_sval(v)));
                             }
                         }
                     }
@@ -497,11 +506,11 @@ mod tests {
         g
     }
 
-    fn op_eq(name: &str) -> Pred {
+    fn op_eq(g: &Graph, name: &str) -> Pred {
         Pred::Cmp {
             attr: "optype".into(),
             op: raptor_storage::CmpOp::Eq,
-            value: SVal::Str(name.into()),
+            value: SVal::Str(g.dict().intern(name)),
         }
     }
 
@@ -523,7 +532,7 @@ mod tests {
         let q = EventPatternQuery {
             subject: EntitySel::of(EntityClass::Process, None),
             object: EntitySel::of(EntityClass::File, None),
-            event_pred: Some(op_eq("read")),
+            event_pred: Some(op_eq(&g, "read")),
             event_id_in: None,
             subject_is_object: false,
         };
@@ -553,7 +562,7 @@ mod tests {
             min_hops: 1,
             max_hops: Some(2),
             hop_cap: 8,
-            final_hop_pred: Some(op_eq("read")),
+            final_hop_pred: Some(op_eq(&g, "read")),
             final_event_id_in: None,
             want_event: true,
             subject_is_object: false,
@@ -611,12 +620,18 @@ mod tests {
             .unwrap();
         assert_eq!(
             names,
-            vec![(2, SVal::Str("/etc/passwd".into())), (3, SVal::Str("/tmp/upload.tar".into()))]
+            vec![
+                (2, SVal::Str(g.dict().get("/etc/passwd").unwrap())),
+                (3, SVal::Str(g.dict().get("/tmp/upload.tar").unwrap()))
+            ]
         );
         let amounts = g.fetch_attr(AttrSource::Event, "optype", &[11, 13], &mut stats).unwrap();
         assert_eq!(
             amounts,
-            vec![(11, SVal::Str("write".into())), (13, SVal::Str("connect".into()))]
+            vec![
+                (11, SVal::Str(g.dict().get("write").unwrap())),
+                (13, SVal::Str(g.dict().get("connect").unwrap()))
+            ]
         );
     }
 }

@@ -1,10 +1,13 @@
 //! Cypher abstract syntax.
 
-/// A literal.
+/// A literal. Parsed Cypher text produces `Str`; the typed
+/// `StorageBackend` lowering produces `Sym` — a pre-resolved handle into
+/// the shared dictionary, evaluated without a dictionary lookup.
 #[derive(Clone, PartialEq, Debug)]
 pub enum CLit {
     Int(i64),
     Str(String),
+    Sym(raptor_common::Sym),
 }
 
 /// `var.prop`

@@ -9,6 +9,7 @@
 
 use raptor_common::error::{Error, Result};
 use raptor_common::hash::FxHashMap;
+use raptor_common::intern::{SharedDict, Sym};
 
 use super::ast::*;
 use crate::graph::{prop_of, EdgeId, Graph, NodeId, PropValue};
@@ -16,19 +17,21 @@ use crate::graph::{prop_of, EdgeId, Graph, NodeId, PropValue};
 /// Default hop cap for unbounded variable-length patterns (`[*]`, `[*2..]`).
 pub const DEFAULT_MAX_HOPS: u32 = 8;
 
-/// A value projected out of a query.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+/// A value projected out of a query. Strings stay interned — the engine
+/// converts them straight to shared-plane `raptor_storage::Value`s with no
+/// materialization; rendering resolves through the graph's dictionary.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum GVal {
     Int(i64),
-    Str(String),
+    Str(Sym),
     Null,
 }
 
 impl GVal {
-    pub fn render(&self) -> String {
+    pub fn render(&self, dict: &SharedDict) -> String {
         match self {
             GVal::Int(i) => i.to_string(),
-            GVal::Str(s) => s.clone(),
+            GVal::Str(s) => dict.resolve(*s).to_string(),
             GVal::Null => String::new(),
         }
     }
@@ -92,6 +95,7 @@ fn lit_to_prop(g: &Graph, lit: &CLit) -> Option<PropValue> {
     match lit {
         CLit::Int(i) => Some(PropValue::Int(*i)),
         CLit::Str(s) => g.dict().get(s).map(PropValue::Str),
+        CLit::Sym(s) => Some(PropValue::Str(*s)),
     }
 }
 
@@ -236,6 +240,7 @@ fn eval_where(g: &Graph, e: &CExpr, binding: &[BindVal], vars: &VarTable) -> boo
                         // Unseen string: only `<>` holds, and only for strings.
                         None => return matches!(op, COp::Ne) && matches!(lv, PropValue::Str(_)),
                     },
+                    CLit::Sym(s) => PropValue::Str(*s),
                 },
                 CmpRhs::Prop(p) => {
                     let Ok(rs) = vars.lookup(&p.var) else { return false };
@@ -437,7 +442,7 @@ pub fn execute(g: &Graph, q: &CypherQuery, max_hops: u32) -> Result<CypherResult
                 let slot = vars.slots[item.prop.var.as_str()];
                 match prop_value_of(g, b[slot], &item.prop.prop) {
                     Some(PropValue::Int(i)) => GVal::Int(i),
-                    Some(PropValue::Str(s)) => GVal::Str(g.dict().resolve(s).to_string()),
+                    Some(PropValue::Str(s)) => GVal::Str(s),
                     None => GVal::Null,
                 }
             })
@@ -680,7 +685,7 @@ mod tests {
     fn run(g: &Graph, q: &str) -> Vec<Vec<String>> {
         let parsed = parse_cypher(q).unwrap();
         let r = execute(g, &parsed, DEFAULT_MAX_HOPS).unwrap();
-        r.rows.iter().map(|row| row.iter().map(GVal::render).collect()).collect()
+        r.rows.iter().map(|row| row.iter().map(|v| v.render(g.dict())).collect()).collect()
     }
 
     #[test]

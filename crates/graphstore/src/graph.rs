@@ -9,7 +9,7 @@
 
 use raptor_common::error::{Error, Result};
 use raptor_common::hash::FxHashMap;
-use raptor_common::intern::{Interner, Sym};
+use raptor_common::intern::{SharedDict, Sym};
 use raptor_common::pool::Pool;
 use raptor_storage::{EntityClass, StoreStats};
 
@@ -43,9 +43,8 @@ pub struct Edge {
 }
 
 /// The property graph.
-#[derive(Default)]
 pub struct Graph {
-    dict: Interner,
+    dict: SharedDict,
     nodes: Vec<Node>,
     edges: Vec<Edge>,
     out: Vec<Vec<EdgeId>>,
@@ -84,12 +83,36 @@ pub enum PropIns<'a> {
     Str(&'a str),
 }
 
+impl Default for Graph {
+    fn default() -> Self {
+        Self::with_dict(SharedDict::new())
+    }
+}
+
 impl Graph {
+    /// A graph over its own private dictionary.
     pub fn new() -> Self {
         Self::default()
     }
 
-    pub fn dict(&self) -> &Interner {
+    /// A graph interning into `dict` — the shared dictionary plane. The
+    /// engine hands one dictionary to both backends at `empty()`/`load()`
+    /// time so equal strings compare as equal symbols across stores.
+    pub fn with_dict(dict: SharedDict) -> Self {
+        Graph {
+            stats: StoreStats::new(dict.clone()),
+            dict,
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            out: Vec::new(),
+            inn: Vec::new(),
+            label_nodes: FxHashMap::default(),
+            value_index: FxHashMap::default(),
+            pool: Pool::default(),
+        }
+    }
+
+    pub fn dict(&self) -> &SharedDict {
         &self.dict
     }
 
@@ -148,34 +171,17 @@ impl Graph {
         (0..self.nodes.len() as u32).map(NodeId)
     }
 
-    pub fn add_node(&mut self, label: &str, props: &[(&str, PropIns<'_>)]) -> NodeId {
-        // Maintain data statistics alongside the structural insert: one row
-        // in the label's stats table, plus class/degree registration for
-        // audit entity labels (keyed by the `id` property, which the
-        // MutableBackend contract keeps equal to the arena node id).
-        {
-            let (table, class) = stats_table_for_label(label);
-            let ts = self.stats.table_mut(table);
-            ts.record_row();
-            for (k, v) in props {
-                match v {
-                    PropIns::Int(i) => ts.record_int(k, *i),
-                    PropIns::Str(s) => ts.record_str(k, s),
-                }
-            }
-            if let Some(class) = class {
-                let id = props
-                    .iter()
-                    .find_map(|(k, v)| match (*k, v) {
-                        ("id", PropIns::Int(i)) => Some(*i),
-                        _ => None,
-                    })
-                    .unwrap_or(self.nodes.len() as i64);
-                self.stats.record_node(class, id);
-            }
-        }
-        let label = self.dict.intern(label);
-        let props = props
+    /// Interns a label and property list into the shared plane and records
+    /// one stats row from the interned values — the shared prefix of
+    /// [`Graph::add_node`] / [`Graph::add_edge`]. Interning happens first
+    /// so the frequency maps key on the dictionary with no second lookup.
+    fn intern_and_record(
+        &mut self,
+        label: &str,
+        props: &[(&str, PropIns<'_>)],
+    ) -> (Sym, Vec<(Sym, PropValue)>) {
+        let label_sym = self.dict.intern(label);
+        let interned: Vec<(Sym, PropValue)> = props
             .iter()
             .map(|(k, v)| {
                 let key = self.dict.intern(k);
@@ -186,6 +192,34 @@ impl Graph {
                 (key, val)
             })
             .collect();
+        let (table, _) = stats_table_for_label(label);
+        let ts = self.stats.table_mut(table);
+        ts.record_row();
+        for ((k, _), (_, val)) in props.iter().zip(&interned) {
+            match val {
+                PropValue::Int(i) => ts.record_int(k, *i),
+                PropValue::Str(s) => ts.record_sym(k, *s),
+            }
+        }
+        (label_sym, interned)
+    }
+
+    pub fn add_node(&mut self, label: &str, props: &[(&str, PropIns<'_>)]) -> NodeId {
+        let (label_sym, interned) = self.intern_and_record(label, props);
+        // Class/degree registration for audit entity labels (keyed by the
+        // `id` property, which the MutableBackend contract keeps equal to
+        // the arena node id).
+        if let (_, Some(class)) = stats_table_for_label(label) {
+            let id = props
+                .iter()
+                .find_map(|(k, v)| match (*k, v) {
+                    ("id", PropIns::Int(i)) => Some(*i),
+                    _ => None,
+                })
+                .unwrap_or(self.nodes.len() as i64);
+            self.stats.record_node(class, id);
+        }
+        let (label, props) = (label_sym, interned);
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node { label, props });
         self.out.push(Vec::new());
@@ -211,37 +245,19 @@ impl Graph {
         if src.0 as usize >= self.nodes.len() || dst.0 as usize >= self.nodes.len() {
             return Err(Error::storage("edge endpoint does not exist"));
         }
+        let (label_sym, interned) = self.intern_and_record(label, props);
         // Stats: EVENT edges mirror the relational `events` rows — the
         // structural endpoints count as `subject`/`object` columns so both
-        // backends' stats compare equal for the same data.
-        {
+        // backends' stats compare equal (at the symbol level) for the same
+        // data.
+        if label == "EVENT" {
             let (table, _) = stats_table_for_label(label);
             let ts = self.stats.table_mut(table);
-            ts.record_row();
-            for (k, v) in props {
-                match v {
-                    PropIns::Int(i) => ts.record_int(k, *i),
-                    PropIns::Str(s) => ts.record_str(k, s),
-                }
-            }
-            if label == "EVENT" {
-                ts.record_int("subject", src.0 as i64);
-                ts.record_int("object", dst.0 as i64);
-                self.stats.record_edge(src.0 as i64, dst.0 as i64);
-            }
+            ts.record_int("subject", src.0 as i64);
+            ts.record_int("object", dst.0 as i64);
+            self.stats.record_edge(src.0 as i64, dst.0 as i64);
         }
-        let label = self.dict.intern(label);
-        let props = props
-            .iter()
-            .map(|(k, v)| {
-                let key = self.dict.intern(k);
-                let val = match v {
-                    PropIns::Int(i) => PropValue::Int(*i),
-                    PropIns::Str(s) => PropValue::Str(self.dict.intern(s)),
-                };
-                (key, val)
-            })
-            .collect();
+        let (label, props) = (label_sym, interned);
         let id = EdgeId(self.edges.len() as u32);
         self.edges.push(Edge { src, dst, label, props });
         self.out[src.0 as usize].push(id);

@@ -57,7 +57,7 @@ proptest! {
         )).unwrap();
         let r = execute(&g, &q, 16).unwrap();
         let got: FxHashSet<String> =
-            r.rows.iter().map(|row| row[0].render()).collect();
+            r.rows.iter().map(|row| row[0].render(g.dict())).collect();
         let want: FxHashSet<String> = oracle_reachable(&edges, src, min, max)
             .into_iter()
             .map(|i| format!("n{i}"))
@@ -86,7 +86,7 @@ proptest! {
         let mut got: Vec<(String, String)> = r
             .rows
             .iter()
-            .map(|row| (row[0].render(), row[1].render()))
+            .map(|row| (row[0].render(g.dict()), row[1].render(g.dict())))
             .collect();
         got.sort();
         let mut want: Vec<(String, String)> = edges

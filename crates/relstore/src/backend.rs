@@ -7,6 +7,7 @@
 //! hash joins) with parsed queries.
 
 use raptor_common::error::{Error, Result};
+use raptor_common::intern::SharedDict;
 use raptor_storage::{
     AttrSource, BackendStats, EntityClass, EventPatternQuery, Field, FieldValue, MutableBackend,
     PathPatternQuery, PatternMatches, Pred, StorageBackend, Value as SVal,
@@ -17,7 +18,6 @@ use crate::exec::{execute, ExecStats};
 use crate::plan::plan_select;
 use crate::schema::TableSchema;
 use crate::sql::ast::{CmpOp, ColRef, Expr, Literal, Projection, Select, TableRef};
-use crate::value::OwnedValue;
 
 /// Caps the per-statement `IN` chunk for attribute fetches.
 const FETCH_CHUNK: usize = 4096;
@@ -37,7 +37,9 @@ fn col(alias: &str, column: &str) -> ColRef {
 fn lit(v: &SVal) -> Result<Literal> {
     match v {
         SVal::Int(i) => Ok(Literal::Int(*i)),
-        SVal::Str(s) => Ok(Literal::Str(s.clone())),
+        // Pre-interned: the executor binds the handle without a dictionary
+        // lookup.
+        SVal::Str(s) => Ok(Literal::Interned(*s)),
         SVal::Null => Err(Error::semantic("NULL literals are not valid in predicates")),
     }
 }
@@ -54,16 +56,18 @@ fn cmp_op(op: raptor_storage::CmpOp) -> CmpOp {
 }
 
 /// Lowers a typed predicate to a SQL expression over `alias`.
-fn pred_to_expr(alias: &str, p: &Pred) -> Result<Expr> {
+fn pred_to_expr(alias: &str, p: &Pred, dict: &SharedDict) -> Result<Expr> {
     Ok(match p {
         Pred::Cmp { attr, op, value } => {
-            // `= '%…%'` keeps LIKE semantics, exactly as the text compiler did.
-            match (op, value) {
-                (raptor_storage::CmpOp::Eq, SVal::Str(s)) if s.contains('%') => {
-                    Expr::Like { col: col(alias, attr), pattern: s.clone(), negated: false }
+            // `= '%…%'` keeps LIKE semantics, exactly as the text compiler
+            // did (defensive: the TBQL lowering already emits `Pred::Like`).
+            let wildcard = value.as_sym().map(|s| dict.resolve(s)).filter(|s| s.contains('%'));
+            match (op, wildcard) {
+                (raptor_storage::CmpOp::Eq, Some(s)) => {
+                    Expr::Like { col: col(alias, attr), pattern: s.to_string(), negated: false }
                 }
-                (raptor_storage::CmpOp::Ne, SVal::Str(s)) if s.contains('%') => {
-                    Expr::Like { col: col(alias, attr), pattern: s.clone(), negated: true }
+                (raptor_storage::CmpOp::Ne, Some(s)) => {
+                    Expr::Like { col: col(alias, attr), pattern: s.to_string(), negated: true }
                 }
                 _ => Expr::CmpLit { col: col(alias, attr), op: cmp_op(*op), lit: lit(value)? },
             }
@@ -76,13 +80,15 @@ fn pred_to_expr(alias: &str, p: &Pred) -> Result<Expr> {
             list: values.iter().map(lit).collect::<Result<Vec<_>>>()?,
             negated: *negated,
         },
-        Pred::And(a, b) => {
-            Expr::And(Box::new(pred_to_expr(alias, a)?), Box::new(pred_to_expr(alias, b)?))
-        }
-        Pred::Or(a, b) => {
-            Expr::Or(Box::new(pred_to_expr(alias, a)?), Box::new(pred_to_expr(alias, b)?))
-        }
-        Pred::Not(inner) => Expr::Not(Box::new(pred_to_expr(alias, inner)?)),
+        Pred::And(a, b) => Expr::And(
+            Box::new(pred_to_expr(alias, a, dict)?),
+            Box::new(pred_to_expr(alias, b, dict)?),
+        ),
+        Pred::Or(a, b) => Expr::Or(
+            Box::new(pred_to_expr(alias, a, dict)?),
+            Box::new(pred_to_expr(alias, b, dict)?),
+        ),
+        Pred::Not(inner) => Expr::Not(Box::new(pred_to_expr(alias, inner, dict)?)),
     })
 }
 
@@ -122,7 +128,7 @@ impl Database {
 }
 
 struct QueryRows {
-    rows: Vec<Vec<OwnedValue>>,
+    rows: Vec<Vec<SVal>>,
 }
 
 fn absorb_exec(stats: &mut BackendStats, exec: &ExecStats) {
@@ -132,15 +138,7 @@ fn absorb_exec(stats: &mut BackendStats, exec: &ExecStats) {
     stats.full_scans += exec.full_scans;
 }
 
-fn owned_to_sval(v: OwnedValue) -> SVal {
-    match v {
-        OwnedValue::Int(i) => SVal::Int(i),
-        OwnedValue::Str(s) => SVal::Str(s),
-        OwnedValue::Null => SVal::Null,
-    }
-}
-
-fn int_at(row: &[OwnedValue], i: usize) -> i64 {
+fn int_at(row: &[SVal], i: usize) -> i64 {
     row[i].as_int().unwrap_or(-1)
 }
 
@@ -164,7 +162,7 @@ impl StorageBackend for Database {
             distinct: false,
             projections: vec![Projection::Col(col(alias, "id"))],
             from: vec![TableRef { table: table_for_class(class).to_string(), alias: alias.into() }],
-            where_clause: Some(pred_to_expr(alias, filter)?),
+            where_clause: Some(pred_to_expr(alias, filter, self.dict())?),
             order_by: vec![],
             limit: None,
         };
@@ -191,13 +189,13 @@ impl StorageBackend for Database {
             },
         ];
         if let Some(p) = &q.event_pred {
-            conds.push(pred_to_expr(e, p)?);
+            conds.push(pred_to_expr(e, p, self.dict())?);
         }
         if let Some(p) = &q.subject.filter {
-            conds.push(pred_to_expr(s, p)?);
+            conds.push(pred_to_expr(s, p, self.dict())?);
         }
         if let Some(p) = &q.object.filter {
-            conds.push(pred_to_expr(o, p)?);
+            conds.push(pred_to_expr(o, p, self.dict())?);
         }
         // One TBQL variable bound as both subject and object: the text
         // compiler enforced this via a shared alias; here it is explicit.
@@ -304,7 +302,7 @@ impl StorageBackend for Database {
             for mut row in r.rows {
                 let val = row.pop().expect("two projected columns");
                 if let Some(id) = row[0].as_int() {
-                    out.push((id, owned_to_sval(val)));
+                    out.push((id, val));
                 }
             }
         }
@@ -447,11 +445,11 @@ mod tests {
         Pred::Like { attr: attr.into(), pattern: pattern.into(), negated: false }
     }
 
-    fn op_eq(name: &str) -> Pred {
+    fn op_eq(db: &Database, name: &str) -> Pred {
         Pred::Cmp {
             attr: "optype".into(),
             op: raptor_storage::CmpOp::Eq,
-            value: SVal::Str(name.into()),
+            value: SVal::Str(db.dict().intern(name)),
         }
     }
 
@@ -474,7 +472,7 @@ mod tests {
         let q = EventPatternQuery {
             subject: EntitySel::of(EntityClass::Process, Some(like("exename", "%/bin/tar%"))),
             object: EntitySel::of(EntityClass::File, Some(like("name", "%/etc/passwd%"))),
-            event_pred: Some(op_eq("read")),
+            event_pred: Some(op_eq(&db, "read")),
             event_id_in: None,
             subject_is_object: false,
         };
@@ -493,7 +491,7 @@ mod tests {
         let q = EventPatternQuery {
             subject,
             object: EntitySel::of(EntityClass::File, None),
-            event_pred: Some(op_eq("read")),
+            event_pred: Some(op_eq(&db, "read")),
             event_id_in: None,
             subject_is_object: false,
         };
@@ -523,7 +521,7 @@ mod tests {
             min_hops: 1,
             max_hops: Some(1),
             hop_cap: 8,
-            final_hop_pred: Some(op_eq("write")),
+            final_hop_pred: Some(op_eq(&db, "write")),
             final_event_id_in: None,
             want_event: true,
             subject_is_object: false,
@@ -550,7 +548,10 @@ mod tests {
             .unwrap();
         assert_eq!(
             got,
-            vec![(0, SVal::Str("/bin/tar".into())), (1, SVal::Str("/usr/bin/curl".into()))]
+            vec![
+                (0, SVal::Str(db.dict().get("/bin/tar").unwrap())),
+                (1, SVal::Str(db.dict().get("/usr/bin/curl").unwrap()))
+            ]
         );
         let evs = db.fetch_attr(AttrSource::Event, "starttime", &[2], &mut stats).unwrap();
         assert_eq!(evs, vec![(2, SVal::Int(300))]);

@@ -1,14 +1,15 @@
 //! The database facade.
 //!
-//! Owns the string dictionary, tables and indexes, and exposes the public
-//! API: DDL ([`Database::create_table`], `create_*_index`), inserts, and
+//! Holds a handle to the (possibly shared) string dictionary, owns tables
+//! and indexes, and exposes the public API: DDL
+//! ([`Database::create_table`], `create_*_index`), inserts, and
 //! [`Database::query`] for the SQL subset.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use raptor_common::error::{Error, Result};
 use raptor_common::hash::FxHashMap;
-use raptor_common::intern::Interner;
+use raptor_common::intern::SharedDict;
 use raptor_common::pool::Pool;
 use raptor_storage::{EntityClass, StoreStats};
 
@@ -18,7 +19,7 @@ use crate::plan::{plan_select, SchemaProvider};
 use crate::schema::TableSchema;
 use crate::sql::parse_select;
 use crate::table::Table;
-use crate::value::{OwnedValue, Value};
+use crate::value::Value;
 
 /// A value being inserted (strings are interned on the way in).
 #[derive(Clone, Copy, Debug)]
@@ -28,26 +29,28 @@ pub enum Ins<'a> {
     Null,
 }
 
-/// A query result: projected column names, materialized rows, and execution
-/// counters.
+/// A query result: projected column names, typed shared-plane rows, and
+/// execution counters. Strings stay interned — `rendered_rows` (or the
+/// engine's edge) resolves them through the carried dictionary handle.
 #[derive(Clone, Debug)]
 pub struct QueryResult {
     pub columns: Vec<String>,
-    pub rows: Vec<Vec<OwnedValue>>,
+    pub rows: Vec<Vec<Value>>,
     pub stats: ExecStats,
+    /// The dictionary plane `rows`' symbols resolve through.
+    pub dict: SharedDict,
 }
 
 impl QueryResult {
     /// Renders rows as display strings (column order preserved).
     pub fn rendered_rows(&self) -> Vec<Vec<String>> {
-        self.rows.iter().map(|r| r.iter().map(OwnedValue::render).collect()).collect()
+        self.rows.iter().map(|r| r.iter().map(|v| v.render(&self.dict)).collect()).collect()
     }
 }
 
 /// The embedded relational database.
-#[derive(Default)]
 pub struct Database {
-    dict: Interner,
+    dict: SharedDict,
     tables: FxHashMap<String, Table>,
     hash_indexes: FxHashMap<(String, String), HashIndex>,
     btree_indexes: FxHashMap<(String, String), BTreeIndex>,
@@ -83,12 +86,35 @@ impl SchemaProvider for Database {
     }
 }
 
+impl Default for Database {
+    fn default() -> Self {
+        Self::with_dict(SharedDict::new())
+    }
+}
+
 impl Database {
+    /// A database over its own private dictionary.
     pub fn new() -> Self {
         Self::default()
     }
 
-    pub fn dict(&self) -> &Interner {
+    /// A database interning into `dict` — the shared dictionary plane. The
+    /// engine hands one dictionary to both backends at `empty()`/`load()`
+    /// time so equal strings compare as equal symbols across stores.
+    pub fn with_dict(dict: SharedDict) -> Self {
+        Database {
+            stats: StoreStats::new(dict.clone()),
+            dict,
+            tables: FxHashMap::default(),
+            hash_indexes: FxHashMap::default(),
+            btree_indexes: FxHashMap::default(),
+            trigram_indexes: FxHashMap::default(),
+            text_parses: AtomicUsize::new(0),
+            pool: Pool::default(),
+        }
+    }
+
+    pub fn dict(&self) -> &SharedDict {
         &self.dict
     }
 
@@ -193,15 +219,17 @@ impl Database {
         let schema = t.schema.clone();
         // Maintain data statistics (row/column counts, degree summaries)
         // alongside the indexes — every write path funnels through here, so
-        // bulk load and streaming ingest produce identical stats.
+        // bulk load and streaming ingest produce identical stats. String
+        // values are recorded by their freshly interned symbols, so the
+        // frequency maps key on the shared dictionary plane.
         {
             let ts = self.stats.table_mut(table);
             ts.record_row();
             for (ci, cdef) in schema.columns.iter().enumerate() {
-                match row[ci] {
-                    Ins::Int(i) => ts.record_int(&cdef.name, i),
-                    Ins::Str(s) => ts.record_str(&cdef.name, s),
-                    Ins::Null => {}
+                match values[ci] {
+                    Value::Int(i) => ts.record_int(&cdef.name, i),
+                    Value::Str(s) => ts.record_sym(&cdef.name, s),
+                    Value::Null => {}
                 }
             }
             let int_col = |name: &str| -> Option<i64> {
@@ -245,7 +273,7 @@ impl Database {
         let sel = parse_select(sql)?;
         let plan = plan_select(self, &sel)?;
         let (core, stats) = execute(self, &plan)?;
-        Ok(QueryResult { columns: core.columns, rows: core.rows, stats })
+        Ok(QueryResult { columns: core.columns, rows: core.rows, stats, dict: self.dict.clone() })
     }
 
     /// How many SQL texts this database has parsed (the typed backend path
@@ -267,7 +295,7 @@ impl Database {
         r.rows
             .first()
             .and_then(|row| row.first())
-            .and_then(OwnedValue::as_int)
+            .and_then(Value::as_int)
             .ok_or_else(|| Error::execution("query did not return a count"))
     }
 
@@ -339,7 +367,7 @@ mod tests {
         let db = db_with_audit_shape();
         let r = db.query("SELECT exename FROM processes WHERE exename LIKE '%tar%'").unwrap();
         assert_eq!(r.rows.len(), 1);
-        assert_eq!(r.rows[0][0].render(), "/bin/tar");
+        assert_eq!(r.rendered_rows()[0][0], "/bin/tar");
     }
 
     #[test]
@@ -370,8 +398,8 @@ mod tests {
             )
             .unwrap();
         assert_eq!(r.rows.len(), 1);
-        assert_eq!(r.rows[0][0], OwnedValue::Int(0));
-        assert_eq!(r.rows[0][1], OwnedValue::Int(1));
+        assert_eq!(r.rows[0][0], Value::Int(0));
+        assert_eq!(r.rows[0][1], Value::Int(1));
     }
 
     #[test]
@@ -379,6 +407,30 @@ mod tests {
         let db = db_with_audit_shape();
         let r = db.query("SELECT DISTINCT optype FROM events ORDER BY optype LIMIT 2").unwrap();
         assert_eq!(r.rendered_rows(), vec![vec!["read".to_string()], vec!["write".to_string()]]);
+    }
+
+    /// Pins the satellite contract on `Value` ordering: symbols order by
+    /// dictionary *content*, never by handle id — so ORDER BY (and any
+    /// `sorted_rows()`-style consumer) cannot silently change with interner
+    /// insertion order.
+    #[test]
+    fn order_by_is_interner_insertion_order_independent() {
+        let mut db = Database::new();
+        db.create_table(TableSchema::new(
+            "t",
+            vec![ColumnDef::new("id", ColumnType::Int), ColumnDef::new("name", ColumnType::Str)],
+        ))
+        .unwrap();
+        // Insert in *reverse* lexicographic order: handle ids invert string
+        // order by construction.
+        for (id, name) in [(0, "zeta"), (1, "mid"), (2, "alpha")] {
+            db.insert("t", &[Ins::Int(id), Ins::Str(name)]).unwrap();
+        }
+        let zeta = db.dict().get("zeta").unwrap();
+        let alpha = db.dict().get("alpha").unwrap();
+        assert!(zeta < alpha, "handles inverted by construction");
+        let r = db.query("SELECT name FROM t ORDER BY name").unwrap();
+        assert_eq!(r.rendered_rows(), vec![vec!["alpha"], vec!["mid"], vec!["zeta"]]);
     }
 
     #[test]
@@ -406,7 +458,7 @@ mod tests {
         db.create_trigram_index("processes", "exename").unwrap();
         let r = db.query("SELECT id FROM processes WHERE exename LIKE '%curl%'").unwrap();
         assert_eq!(r.stats.index_scans, 1);
-        assert_eq!(r.rows, vec![vec![OwnedValue::Int(2)]]);
+        assert_eq!(r.rows, vec![vec![Value::Int(2)]]);
     }
 
     #[test]

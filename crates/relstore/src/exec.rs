@@ -23,14 +23,14 @@
 
 use raptor_common::error::{Error, Result};
 use raptor_common::hash::FxHashMap;
-use raptor_common::intern::Interner;
+use raptor_common::intern::{SharedDict, Sym};
 
 use crate::db::Database;
 use crate::like::{containment_literal, like_match};
 use crate::plan::{QueryPlan, ScanPlan};
 use crate::sql::ast::{CmpOp, ColRef, Expr, Literal, Projection};
 use crate::table::{RowId, Table};
-use crate::value::{OwnedValue, Value};
+use crate::value::Value;
 
 /// Candidate rows below which a scan's predicate re-verification is not
 /// worth partitioning (per-row evaluation is tens of nanoseconds; spawning
@@ -62,8 +62,8 @@ struct Slot {
     col: usize,
 }
 
-/// Expression with names resolved to slots; literals stay as-is (string
-/// equality resolves through the dictionary at eval time via a cached Sym).
+/// Expression with names resolved to slots; string literals are bound to
+/// their dictionary handles so per-row equality is an integer compare.
 #[derive(Clone, Debug)]
 enum BExpr {
     CmpLit { slot: Slot, op: CmpOp, lit: BLit },
@@ -78,8 +78,14 @@ enum BExpr {
 #[derive(Clone, Debug)]
 enum BLit {
     Int(i64),
-    /// Raw string plus its interned handle if the dictionary has it.
-    Str(String, Option<raptor_common::Sym>),
+    /// An interned string literal: equality against a row cell is a handle
+    /// compare; ordered comparisons resolve both sides. Typed requests
+    /// arrive with the handle pre-bound (`Literal::Interned`), parsed text
+    /// literals bind through one dictionary lookup here.
+    Sym(Sym),
+    /// A parsed string literal absent from the dictionary: no row can equal
+    /// it; ordered comparisons fall back to the raw text.
+    Raw(Box<str>),
 }
 
 struct Binder<'a> {
@@ -87,7 +93,7 @@ struct Binder<'a> {
     slots: FxHashMap<&'a str, usize>,
     /// slot → table
     tables: &'a [&'a Table],
-    dict: &'a Interner,
+    dict: &'a SharedDict,
 }
 
 impl<'a> Binder<'a> {
@@ -104,7 +110,11 @@ impl<'a> Binder<'a> {
     fn bind_lit(&self, l: &Literal) -> BLit {
         match l {
             Literal::Int(i) => BLit::Int(*i),
-            Literal::Str(s) => BLit::Str(s.clone(), self.dict.get(s)),
+            Literal::Str(s) => match self.dict.get(s) {
+                Some(sym) => BLit::Sym(sym),
+                None => BLit::Raw(s.as_str().into()),
+            },
+            Literal::Interned(sym) => BLit::Sym(*sym),
         }
     }
 
@@ -133,20 +143,24 @@ impl<'a> Binder<'a> {
     }
 }
 
-fn cmp_values(v: Value, op: CmpOp, lit: &BLit, dict: &Interner) -> bool {
+fn cmp_values(v: Value, op: CmpOp, lit: &BLit, dict: &SharedDict) -> bool {
     use std::cmp::Ordering::*;
     let ord = match (v, lit) {
         (Value::Int(a), BLit::Int(b)) => a.cmp(b),
-        (Value::Str(s), BLit::Str(raw, cached)) => {
-            // Fast path: equality through the dictionary handle.
+        (Value::Str(s), BLit::Sym(l)) => {
+            // Fast path: equality is a dictionary-handle compare.
             if matches!(op, CmpOp::Eq | CmpOp::Ne) {
-                let eq = match cached {
-                    Some(sym) => s == *sym,
-                    None => false, // literal not in dictionary ⇒ no row equals it
-                };
+                let eq = s == *l;
                 return if matches!(op, CmpOp::Eq) { eq } else { !eq };
             }
-            dict.resolve(s).cmp(raw.as_str())
+            dict.resolve(s).cmp(dict.resolve(*l))
+        }
+        (Value::Str(s), BLit::Raw(raw)) => {
+            // Literal not in the dictionary ⇒ no row equals it.
+            if matches!(op, CmpOp::Eq | CmpOp::Ne) {
+                return matches!(op, CmpOp::Ne);
+            }
+            dict.resolve(s).cmp(raw.as_ref())
         }
         // Type mismatch or NULL: no comparison holds (SQL-ish semantics).
         _ => return false,
@@ -161,7 +175,7 @@ fn cmp_values(v: Value, op: CmpOp, lit: &BLit, dict: &Interner) -> bool {
     }
 }
 
-fn eval(e: &BExpr, tuple: &[RowId], tables: &[&Table], dict: &Interner) -> bool {
+fn eval(e: &BExpr, tuple: &[RowId], tables: &[&Table], dict: &SharedDict) -> bool {
     match e {
         BExpr::CmpLit { slot, op, lit } => {
             let v = tables[slot.alias].cell(tuple[slot.alias], slot.col);
@@ -211,6 +225,8 @@ fn access_path(db: &Database, scan: &ScanPlan, conjunct: &Expr) -> Option<Vec<Ro
             let idx = db.hash_index(&scan.table, &col.column)?;
             let key = match lit {
                 Literal::Int(i) => Value::Int(*i),
+                // Typed requests arrive pre-interned: no dictionary lookup.
+                Literal::Interned(sym) => Value::Str(*sym),
                 // A string literal absent from the dictionary equals no row.
                 Literal::Str(s) => match db.dict().get(s) {
                     Some(sym) => Value::Str(sym),
@@ -225,6 +241,7 @@ fn access_path(db: &Database, scan: &ScanPlan, conjunct: &Expr) -> Option<Vec<Ro
             for lit in list {
                 let key = match lit {
                     Literal::Int(i) => Value::Int(*i),
+                    Literal::Interned(sym) => Value::Str(*sym),
                     Literal::Str(s) => match db.dict().get(s) {
                         Some(sym) => Value::Str(sym),
                         None => continue,
@@ -282,24 +299,26 @@ fn conjunct_estimate(
     let col_frac = |col: &ColRef, f: &dyn Fn(&raptor_storage::ColumnStats) -> f64| -> f64 {
         ts.column(&col.column).map_or(0.0, f)
     };
+    // Equality fractions key the symbol-frequency maps directly; a parsed
+    // literal does one dictionary lookup, a typed (pre-interned) one none.
+    let eq_frac = |col: &ColRef, lit: &Literal| -> f64 {
+        match lit {
+            Literal::Int(i) => col_frac(col, &|c| c.eq_fraction_int(*i)),
+            Literal::Interned(sym) => col_frac(col, &|c| c.eq_fraction_sym(*sym)),
+            Literal::Str(s) => match db.dict().get(s) {
+                Some(sym) => col_frac(col, &|c| c.eq_fraction_sym(sym)),
+                None => 0.0,
+            },
+        }
+    };
     match conjunct {
         Expr::CmpLit { col, op: CmpOp::Eq, lit } => {
             db.hash_index(&scan.table, &col.column)?;
-            let frac = match lit {
-                Literal::Int(i) => col_frac(col, &|c| c.eq_fraction_int(*i)),
-                Literal::Str(s) => col_frac(col, &|c| c.eq_fraction_str(s)),
-            };
-            Some(frac * rows)
+            Some(eq_frac(col, lit) * rows)
         }
         Expr::InList { col, list, negated: false } => {
             db.hash_index(&scan.table, &col.column)?;
-            let frac: f64 = list
-                .iter()
-                .map(|lit| match lit {
-                    Literal::Int(i) => col_frac(col, &|c| c.eq_fraction_int(*i)),
-                    Literal::Str(s) => col_frac(col, &|c| c.eq_fraction_str(s)),
-                })
-                .sum();
+            let frac: f64 = list.iter().map(|lit| eq_frac(col, lit)).sum();
             Some(frac.min(1.0) * rows)
         }
         Expr::CmpLit { col, op, lit: Literal::Int(i) } => {
@@ -313,7 +332,7 @@ fn conjunct_estimate(
             containment_literal(pattern)?;
             db.trigram_index(&scan.table, &col.column)?;
             db.hash_index(&scan.table, &col.column)?;
-            Some(col_frac(col, &|c| c.like_fraction(pattern)) * rows)
+            Some(col_frac(col, &|c| c.like_fraction(pattern, db.dict())) * rows)
         }
         _ => None,
     }
@@ -647,17 +666,13 @@ pub fn execute(db: &Database, plan: &QueryPlan) -> Result<(QueryResultCore, Exec
         rows.truncate(n);
     }
 
-    let owned: Vec<Vec<OwnedValue>> = rows
-        .into_iter()
-        .map(|r| r.into_iter().map(|v| OwnedValue::from_value(v, db.dict())).collect())
-        .collect();
-
-    Ok((QueryResultCore { columns: out_cols, rows: owned }, stats))
+    Ok((QueryResultCore { columns: out_cols, rows }, stats))
 }
 
-/// Columns + materialized rows (wrapped by [`crate::db::QueryResult`]).
+/// Columns + typed shared-plane rows (wrapped by [`crate::db::QueryResult`]).
+/// No string is materialized here — symbols resolve at the engine's edge.
 #[derive(Clone, Debug, PartialEq)]
 pub struct QueryResultCore {
     pub columns: Vec<String>,
-    pub rows: Vec<Vec<OwnedValue>>,
+    pub rows: Vec<Vec<Value>>,
 }

@@ -13,7 +13,7 @@
 //!   dictionary, then fans out to rows via the hash index.
 
 use raptor_common::hash::FxHashMap;
-use raptor_common::intern::{Interner, Sym};
+use raptor_common::intern::{SharedDict, Sym};
 use std::collections::BTreeMap;
 
 use crate::table::RowId;
@@ -79,7 +79,7 @@ pub struct TrigramIndex {
 }
 
 impl TrigramIndex {
-    pub fn add_sym(&mut self, sym: Sym, dict: &Interner) {
+    pub fn add_sym(&mut self, sym: Sym, dict: &SharedDict) {
         if !self.indexed.insert(sym) {
             return;
         }
@@ -154,7 +154,7 @@ mod tests {
 
     #[test]
     fn trigram_candidates_contain_all_true_matches() {
-        let mut dict = Interner::new();
+        let dict = SharedDict::new();
         let mut idx = TrigramIndex::default();
         let strings = [
             "/bin/tar",
@@ -184,7 +184,7 @@ mod tests {
 
     #[test]
     fn trigram_short_needle_cannot_prune() {
-        let mut dict = Interner::new();
+        let dict = SharedDict::new();
         let mut idx = TrigramIndex::default();
         idx.add_sym(dict.intern("abc"), &dict);
         assert_eq!(idx.candidates("ab"), None);
@@ -192,7 +192,7 @@ mod tests {
 
     #[test]
     fn trigram_unknown_needle_gives_empty() {
-        let mut dict = Interner::new();
+        let dict = SharedDict::new();
         let mut idx = TrigramIndex::default();
         idx.add_sym(dict.intern("/bin/tar"), &dict);
         assert_eq!(idx.candidates("zzzz").unwrap(), Vec::<Sym>::new());
@@ -200,7 +200,7 @@ mod tests {
 
     #[test]
     fn add_sym_is_idempotent() {
-        let mut dict = Interner::new();
+        let dict = SharedDict::new();
         let mut idx = TrigramIndex::default();
         let s = dict.intern("/bin/tar");
         idx.add_sym(s, &dict);

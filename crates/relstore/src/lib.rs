@@ -8,7 +8,8 @@
 //! Architecture, bottom to top:
 //!
 //! * [`value`] — 16-byte [`value::Value`] cells (integers, interned strings,
-//!   null) and a shared string dictionary per database,
+//!   null); strings intern into the shared dictionary plane
+//!   (`raptor_common::SharedDict`) the engine hands both backends,
 //! * [`schema`] — column/table schemas and the catalog,
 //! * [`table`] — row-major storage (flat `Vec<Value>`) with append-only
 //!   inserts,
@@ -39,4 +40,4 @@ pub mod value;
 
 pub use db::{Database, QueryResult};
 pub use schema::{ColumnDef, ColumnType, TableSchema};
-pub use value::{OwnedValue, Value};
+pub use value::Value;

@@ -46,11 +46,15 @@ impl CmpOp {
     }
 }
 
-/// A literal value.
+/// A literal value. Parsed SQL text produces `Str`; the typed
+/// `StorageBackend` lowering produces `Interned` — a pre-resolved handle
+/// into the shared dictionary, so the executor binds the literal without a
+/// dictionary lookup.
 #[derive(Clone, PartialEq, Debug)]
 pub enum Literal {
     Int(i64),
     Str(String),
+    Interned(raptor_common::Sym),
 }
 
 /// Boolean expression tree.

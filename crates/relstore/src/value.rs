@@ -1,114 +1,19 @@
 //! Value cells.
 //!
-//! Rows are flat arrays of [`Value`]: a 16-byte, `Copy` cell. Strings are
-//! interned once per database, so string equality inside the executor is an
-//! integer compare and `LIKE` evaluation can run over the dictionary instead
-//! of over rows.
+//! Rows are flat arrays of [`Value`] — the **shared-plane**
+//! `raptor_storage::Value`: a 16-byte `Copy` cell whose strings are handles
+//! into the dictionary shared with the graph store. String equality inside
+//! the executor is an integer compare, `LIKE` evaluation runs over the
+//! dictionary instead of over rows, and — because query results now leave
+//! the database as the same type — the old `OwnedValue` materialization
+//! layer is gone: strings render exactly once, at the engine's edge.
 
-use raptor_common::intern::{Interner, Sym};
-
-/// A stored cell. `Str` holds a handle into the owning database's interner.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub enum Value {
-    Int(i64),
-    Str(Sym),
-    Null,
-}
-
-impl Value {
-    #[inline]
-    pub fn as_int(self) -> Option<i64> {
-        match self {
-            Value::Int(i) => Some(i),
-            _ => None,
-        }
-    }
-
-    #[inline]
-    pub fn as_sym(self) -> Option<Sym> {
-        match self {
-            Value::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    pub fn is_null(self) -> bool {
-        matches!(self, Value::Null)
-    }
-
-    /// Three-valued-logic-free ordering used by ORDER BY and range scans:
-    /// Null < Int < Str; strings order by dictionary content.
-    pub fn cmp_with(self, other: Value, dict: &Interner) -> std::cmp::Ordering {
-        use std::cmp::Ordering::*;
-        match (self, other) {
-            (Value::Null, Value::Null) => Equal,
-            (Value::Null, _) => Less,
-            (_, Value::Null) => Greater,
-            (Value::Int(a), Value::Int(b)) => a.cmp(&b),
-            (Value::Int(_), Value::Str(_)) => Less,
-            (Value::Str(_), Value::Int(_)) => Greater,
-            (Value::Str(a), Value::Str(b)) => {
-                if a == b {
-                    Equal
-                } else {
-                    dict.resolve(a).cmp(dict.resolve(b))
-                }
-            }
-        }
-    }
-}
-
-/// A detached value — what query results hand back to callers, with strings
-/// materialized so results outlive the database borrow.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
-pub enum OwnedValue {
-    Int(i64),
-    Str(String),
-    Null,
-}
-
-impl OwnedValue {
-    pub fn from_value(v: Value, dict: &Interner) -> OwnedValue {
-        match v {
-            Value::Int(i) => OwnedValue::Int(i),
-            Value::Str(s) => OwnedValue::Str(dict.resolve(s).to_string()),
-            Value::Null => OwnedValue::Null,
-        }
-    }
-
-    /// Renders for display (NULL renders as empty).
-    pub fn render(&self) -> String {
-        match self {
-            OwnedValue::Int(i) => i.to_string(),
-            OwnedValue::Str(s) => s.clone(),
-            OwnedValue::Null => String::new(),
-        }
-    }
-
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            OwnedValue::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    pub fn as_int(&self) -> Option<i64> {
-        match self {
-            OwnedValue::Int(i) => Some(*i),
-            _ => None,
-        }
-    }
-}
-
-impl std::fmt::Display for OwnedValue {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.render())
-    }
-}
+pub use raptor_storage::Value;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use raptor_common::SharedDict;
 
     #[test]
     fn value_is_small() {
@@ -117,7 +22,7 @@ mod tests {
 
     #[test]
     fn ordering_with_dictionary() {
-        let mut dict = Interner::new();
+        let dict = SharedDict::new();
         let a = Value::Str(dict.intern("alpha"));
         let b = Value::Str(dict.intern("beta"));
         assert_eq!(a.cmp_with(b, &dict), std::cmp::Ordering::Less);
@@ -128,11 +33,11 @@ mod tests {
     }
 
     #[test]
-    fn owned_conversion() {
-        let mut dict = Interner::new();
+    fn render_through_dictionary() {
+        let dict = SharedDict::new();
         let s = Value::Str(dict.intern("/etc/passwd"));
-        assert_eq!(OwnedValue::from_value(s, &dict), OwnedValue::Str("/etc/passwd".into()));
-        assert_eq!(OwnedValue::from_value(Value::Int(7), &dict), OwnedValue::Int(7));
-        assert_eq!(OwnedValue::Null.render(), "");
+        assert_eq!(s.render(&dict), "/etc/passwd");
+        assert_eq!(Value::Int(7).render(&dict), "7");
+        assert_eq!(Value::Null.render(&dict), "");
     }
 }

@@ -5,9 +5,12 @@
 //! that it re-parsed into `i64` ids to join. This crate is the replacement
 //! seam:
 //!
-//! * [`value`] — [`Value`] (Int / Str / Null) and the columnar
-//!   [`ResultBatch`]: the internal currency of query results. Rendering to
-//!   display strings happens once, at the final projection.
+//! * [`value`] — [`Value`] (Null / Int / Str-as-`Sym`) and the columnar
+//!   [`ResultBatch`]: the internal currency of query results. String cells
+//!   are handles into the shared dictionary plane
+//!   (`raptor_common::SharedDict`) both backends intern into, so equality
+//!   is an integer compare end-to-end; rendering to display strings
+//!   happens once, at the edge.
 //! * [`request`] — typed descriptions of the two pattern shapes the
 //!   scheduler issues: [`EventPatternQuery`] (event patterns with
 //!   pushed-down predicates and propagated `IN` id sets) and
@@ -33,5 +36,5 @@ pub mod value;
 
 pub use backend::{AttrSource, BackendStats, Field, FieldValue, MutableBackend, StorageBackend};
 pub use request::{CmpOp, EntityClass, EntitySel, EventPatternQuery, PathPatternQuery, Pred};
-pub use stats::{ColumnStats, DegreeStats, Histogram, StoreStats, TableStats};
+pub use stats::{CanonicalStats, ColumnStats, DegreeStats, Histogram, StoreStats, TableStats};
 pub use value::{PatternMatches, ResultBatch, Value, ValueColumn};

@@ -49,7 +49,10 @@ pub enum CmpOp {
     Ge,
 }
 
-/// A typed predicate over one record's attributes.
+/// A typed predicate over one record's attributes. String literals arrive
+/// **pre-interned** ([`Value::Str`] carries a shared-dictionary `Sym`), so
+/// backends evaluate equality without a per-request dictionary lookup;
+/// `LIKE` patterns stay textual (they are pattern syntax, not values).
 #[derive(Clone, PartialEq, Debug)]
 pub enum Pred {
     /// `attr op value`. String equality with `%` wildcards is [`Pred::Like`].
@@ -160,8 +163,12 @@ mod tests {
 
     #[test]
     fn pred_combinators() {
-        let a =
-            Pred::Cmp { attr: "optype".into(), op: CmpOp::Eq, value: Value::Str("read".into()) };
+        let dict = raptor_common::SharedDict::new();
+        let a = Pred::Cmp {
+            attr: "optype".into(),
+            op: CmpOp::Eq,
+            value: Value::Str(dict.intern("read")),
+        };
         let b = Pred::Like { attr: "exename".into(), pattern: "%tar%".into(), negated: false };
         let both = Pred::and([a.clone(), b.clone()]).unwrap();
         assert_eq!(both.atoms(), 2);

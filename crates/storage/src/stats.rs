@@ -27,6 +27,7 @@
 //! time: accessors only read the maintained maps.
 
 use raptor_common::hash::FxHashMap;
+use raptor_common::intern::{SharedDict, Sym};
 use raptor_common::like::like_match;
 
 use crate::request::{CmpOp, EntityClass, Pred};
@@ -173,12 +174,15 @@ impl Histogram {
     }
 }
 
-/// Incrementally-maintained statistics for one column/property.
+/// Incrementally-maintained statistics for one column/property. String
+/// frequencies are keyed by [`Sym`] into the shared dictionary plane —
+/// because both backends intern into the *same* dictionary, relational and
+/// graph statistics for the same data compare equal at the symbol level.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ColumnStats {
     non_null: u64,
     ints: FxHashMap<i64, u64>,
-    strs: FxHashMap<String, u64>,
+    strs: FxHashMap<Sym, u64>,
     /// Rows whose value was not tracked (the cap was already reached the
     /// first time the value appeared).
     other: u64,
@@ -202,12 +206,12 @@ impl ColumnStats {
         }
     }
 
-    pub fn record_str(&mut self, v: &str) {
+    pub fn record_sym(&mut self, v: Sym) {
         self.non_null += 1;
-        if let Some(c) = self.strs.get_mut(v) {
+        if let Some(c) = self.strs.get_mut(&v) {
             *c += 1;
         } else if self.tracked() < MCV_TRACK_CAP {
-            self.strs.insert(v.to_string(), 1);
+            self.strs.insert(v, 1);
         } else {
             self.other += 1;
         }
@@ -228,7 +232,7 @@ impl ColumnStats {
     pub fn freq(&self, v: &Value) -> u64 {
         match v {
             Value::Int(i) => self.ints.get(i).copied().unwrap_or(0),
-            Value::Str(s) => self.strs.get(s.as_str()).copied().unwrap_or(0),
+            Value::Str(s) => self.strs.get(s).copied().unwrap_or(0),
             Value::Null => 0,
         }
     }
@@ -245,9 +249,11 @@ impl ColumnStats {
         self.eq_fraction_inner(self.ints.get(&v).copied().unwrap_or(0))
     }
 
-    /// [`ColumnStats::eq_fraction`] without constructing a [`Value`].
-    pub fn eq_fraction_str(&self, v: &str) -> f64 {
-        self.eq_fraction_inner(self.strs.get(v).copied().unwrap_or(0))
+    /// [`ColumnStats::eq_fraction`] without constructing a [`Value`]. The
+    /// symbol-keyed form: typed requests carry pre-interned symbols, so the
+    /// estimator never touches the dictionary map.
+    pub fn eq_fraction_sym(&self, v: Sym) -> f64 {
+        self.eq_fraction_inner(self.strs.get(&v).copied().unwrap_or(0))
     }
 
     fn eq_fraction_inner(&self, freq: u64) -> f64 {
@@ -264,13 +270,18 @@ impl ColumnStats {
 
     /// Estimated fraction of rows whose string value matches a LIKE
     /// `pattern`. Tracked values are matched exactly (weighted by their
-    /// frequencies); the untracked tail contributes a flat default.
-    pub fn like_fraction(&self, pattern: &str) -> f64 {
+    /// frequencies, resolved through the dictionary); the untracked tail
+    /// contributes a flat default.
+    pub fn like_fraction(&self, pattern: &str, dict: &SharedDict) -> f64 {
         if self.non_null == 0 {
             return 0.0;
         }
-        let matched: u64 =
-            self.strs.iter().filter(|(v, _)| like_match(pattern, v)).map(|(_, c)| c).sum();
+        let matched: u64 = self
+            .strs
+            .iter()
+            .filter(|(v, _)| like_match(pattern, dict.resolve(**v)))
+            .map(|(_, c)| c)
+            .sum();
         let tail = self.other as f64 * LIKE_TAIL_FRACTION;
         ((matched as f64 + tail) / self.non_null as f64).clamp(0.0, 1.0)
     }
@@ -295,15 +306,18 @@ impl ColumnStats {
     }
 
     /// The k most common tracked values with their frequencies, most
-    /// frequent first (ties broken by value for determinism).
-    pub fn top_k(&self, k: usize) -> Vec<(Value, u64)> {
+    /// frequent first (ties broken by *rendered* value for determinism —
+    /// never by handle id, so the order is insertion-order independent).
+    pub fn top_k(&self, k: usize, dict: &SharedDict) -> Vec<(Value, u64)> {
         let mut all: Vec<(Value, u64)> = self
             .ints
             .iter()
             .map(|(&v, &c)| (Value::Int(v), c))
-            .chain(self.strs.iter().map(|(v, &c)| (Value::Str(v.clone()), c)))
+            .chain(self.strs.iter().map(|(&v, &c)| (Value::Str(v), c)))
             .collect();
-        all.sort_by(|(va, ca), (vb, cb)| cb.cmp(ca).then_with(|| va.render().cmp(&vb.render())));
+        all.sort_by(|(va, ca), (vb, cb)| {
+            cb.cmp(ca).then_with(|| va.render(dict).cmp(&vb.render(dict)))
+        });
         all.truncate(k);
         all
     }
@@ -345,8 +359,11 @@ impl TableStats {
         self.col_mut(column).record_int(v);
     }
 
-    pub fn record_str(&mut self, column: &str, v: &str) {
-        self.col_mut(column).record_str(v);
+    /// Records one string value by its shared-dictionary handle (the write
+    /// paths have already interned the value into the row/property, so no
+    /// extra dictionary lookup happens here).
+    pub fn record_sym(&mut self, column: &str, v: Sym) {
+        self.col_mut(column).record_sym(v);
     }
 
     fn col_mut(&mut self, column: &str) -> &mut ColumnStats {
@@ -396,8 +413,11 @@ impl DegreeStats {
 /// vocabulary ([`EntityClass::table_name`] plus `"events"`); each backend
 /// maps its physical names on the way in, so relational and graph stats for
 /// the same data are directly comparable (tests assert they are *equal*).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct StoreStats {
+    /// The shared dictionary plane the symbol-keyed frequencies resolve
+    /// through (same handle the owning store interns into).
+    dict: SharedDict,
     tables: FxHashMap<String, TableStats>,
     degrees: FxHashMap<EntityClass, DegreeStats>,
     node_class: FxHashMap<i64, EntityClass>,
@@ -405,7 +425,32 @@ pub struct StoreStats {
     in_deg: FxHashMap<i64, u64>,
 }
 
+impl Default for StoreStats {
+    /// A fresh stats bundle over its own private dictionary (tests/tools);
+    /// stores constructed on the shared plane use [`StoreStats::new`].
+    fn default() -> Self {
+        Self::new(SharedDict::new())
+    }
+}
+
 impl StoreStats {
+    /// Creates an empty stats bundle resolving through `dict`.
+    pub fn new(dict: SharedDict) -> Self {
+        StoreStats {
+            dict,
+            tables: FxHashMap::default(),
+            degrees: FxHashMap::default(),
+            node_class: FxHashMap::default(),
+            out_deg: FxHashMap::default(),
+            in_deg: FxHashMap::default(),
+        }
+    }
+
+    /// The dictionary plane this bundle's symbols live in.
+    pub fn dict(&self) -> &SharedDict {
+        &self.dict
+    }
+
     pub fn table(&self, name: &str) -> Option<&TableStats> {
         self.tables.get(name)
     }
@@ -465,17 +510,18 @@ impl StoreStats {
         let Some(col) = self.table("events").and_then(|t| t.column("optype")) else {
             return Vec::new();
         };
-        col.top_k(usize::MAX)
+        col.top_k(usize::MAX, &self.dict)
             .into_iter()
-            .filter_map(|(v, c)| v.as_str().map(|s| (s.to_string(), c)))
+            .filter_map(|(v, c)| v.as_sym().map(|s| (self.dict.resolve(s).to_string(), c)))
             .collect()
     }
 
     /// Exact frequency of one event operation.
     pub fn event_op_freq(&self, op: &str) -> u64 {
+        let Some(sym) = self.dict.get(op) else { return 0 };
         self.table("events")
             .and_then(|t| t.column("optype"))
-            .map_or(0, |c| c.freq(&Value::Str(op.to_string())))
+            .map_or(0, |c| c.freq(&Value::Str(sym)))
     }
 
     /// Comparable view for tests: `(table → rows, class → degree)` without
@@ -486,6 +532,66 @@ impl StoreStats {
         rows.sort();
         rows
     }
+
+    /// Dictionary-independent view: every symbol rendered, every map
+    /// sorted. Two stores over **different** dictionaries built from the
+    /// same data compare equal here (e.g. a stream-grown engine vs a
+    /// bulk-loaded one, whose interning orders differ). Within one
+    /// dictionary plane, plain `==` compares at the symbol level and is
+    /// what the backends' equality assertion uses.
+    pub fn canonical(&self) -> CanonicalStats {
+        let tables = self
+            .tables
+            .iter()
+            .map(|(name, t)| {
+                let cols = t
+                    .cols
+                    .iter()
+                    .map(|(cname, c)| {
+                        (
+                            cname.clone(),
+                            CanonicalColumn {
+                                non_null: c.non_null,
+                                other: c.other,
+                                ints: c.ints.iter().map(|(&v, &n)| (v, n)).collect(),
+                                strs: c
+                                    .strs
+                                    .iter()
+                                    .map(|(&v, &n)| (self.dict.resolve(v).to_string(), n))
+                                    .collect(),
+                                hist: c.hist.clone(),
+                            },
+                        )
+                    })
+                    .collect();
+                (name.clone(), CanonicalTable { rows: t.rows, cols })
+            })
+            .collect();
+        let degrees = self.degrees.iter().map(|(c, &d)| (c.table_name().to_string(), d)).collect();
+        CanonicalStats { tables, degrees }
+    }
+}
+
+/// See [`StoreStats::canonical`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct CanonicalStats {
+    tables: std::collections::BTreeMap<String, CanonicalTable>,
+    degrees: std::collections::BTreeMap<String, DegreeStats>,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+struct CanonicalTable {
+    rows: u64,
+    cols: std::collections::BTreeMap<String, CanonicalColumn>,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+struct CanonicalColumn {
+    non_null: u64,
+    other: u64,
+    ints: std::collections::BTreeMap<i64, u64>,
+    strs: std::collections::BTreeMap<String, u64>,
+    hist: Histogram,
 }
 
 impl PartialEq for StoreStats {
@@ -498,28 +604,36 @@ impl PartialEq for StoreStats {
 
 /// Estimated fraction of `table`'s rows matching a typed predicate, under
 /// conjunct independence. Unknown columns estimate 1.0 (no pruning
-/// assumed); results are clamped to `[0, 1]`.
-pub fn selectivity(table: &TableStats, pred: &Pred) -> f64 {
+/// assumed); results are clamped to `[0, 1]`. Equality predicates key the
+/// frequency maps directly on the request's pre-interned symbols; `dict`
+/// is only consulted to resolve LIKE-shaped string literals.
+pub fn selectivity(table: &TableStats, pred: &Pred, dict: &SharedDict) -> f64 {
     let sel = match pred {
         Pred::Cmp { attr, op, value } => match table.column(attr) {
             None => 1.0,
-            Some(col) => match (op, value) {
+            Some(col) => {
                 // `=`/`!=` against a `%` pattern carries LIKE semantics
                 // (mirrors the compilers in both backends).
-                (CmpOp::Eq, Value::Str(s)) if s.contains('%') => col.like_fraction(s),
-                (CmpOp::Ne, Value::Str(s)) if s.contains('%') => 1.0 - col.like_fraction(s),
-                (CmpOp::Eq, v) => col.eq_fraction(v),
-                (CmpOp::Ne, v) => 1.0 - col.eq_fraction(v),
-                (op, Value::Int(i)) => col.cmp_fraction(*op, *i),
-                // Ordered comparison on strings: no histogram, assume a
-                // third matches.
-                _ => 1.0 / 3.0,
-            },
+                let wildcard = value
+                    .as_sym()
+                    .map(|s| dict.resolve(s))
+                    .filter(|s| s.contains('%') && matches!(op, CmpOp::Eq | CmpOp::Ne));
+                match (op, value, wildcard) {
+                    (CmpOp::Eq, _, Some(s)) => col.like_fraction(s, dict),
+                    (CmpOp::Ne, _, Some(s)) => 1.0 - col.like_fraction(s, dict),
+                    (CmpOp::Eq, v, _) => col.eq_fraction(v),
+                    (CmpOp::Ne, v, _) => 1.0 - col.eq_fraction(v),
+                    (op, Value::Int(i), _) => col.cmp_fraction(*op, *i),
+                    // Ordered comparison on strings: no histogram, assume a
+                    // third matches.
+                    _ => 1.0 / 3.0,
+                }
+            }
         },
         Pred::Like { attr, pattern, negated } => match table.column(attr) {
             None => 1.0,
             Some(col) => {
-                let f = col.like_fraction(pattern);
+                let f = col.like_fraction(pattern, dict);
                 if *negated {
                     1.0 - f
                 } else {
@@ -539,12 +653,12 @@ pub fn selectivity(table: &TableStats, pred: &Pred) -> f64 {
                 }
             }
         },
-        Pred::And(a, b) => selectivity(table, a) * selectivity(table, b),
+        Pred::And(a, b) => selectivity(table, a, dict) * selectivity(table, b, dict),
         Pred::Or(a, b) => {
-            let (sa, sb) = (selectivity(table, a), selectivity(table, b));
+            let (sa, sb) = (selectivity(table, a, dict), selectivity(table, b, dict));
             sa + sb - sa * sb
         }
-        Pred::Not(inner) => 1.0 - selectivity(table, inner),
+        Pred::Not(inner) => 1.0 - selectivity(table, inner, dict),
     };
     sel.clamp(0.0, 1.0)
 }
@@ -584,20 +698,23 @@ mod tests {
 
     #[test]
     fn column_exact_below_cap() {
+        let dict = SharedDict::new();
+        let (read, connect, unseen) =
+            (dict.intern("read"), dict.intern("connect"), dict.intern("unseen"));
         let mut c = ColumnStats::default();
         for _ in 0..90 {
-            c.record_str("read");
+            c.record_sym(read);
         }
         for _ in 0..10 {
-            c.record_str("connect");
+            c.record_sym(connect);
         }
         assert_eq!(c.non_null(), 100);
         assert_eq!(c.distinct(), 2);
-        assert_eq!(c.freq(&Value::Str("read".into())), 90);
-        assert!((c.eq_fraction(&Value::Str("connect".into())) - 0.1).abs() < 1e-9);
-        assert_eq!(c.eq_fraction(&Value::Str("unseen".into())), 0.0);
-        let top = c.top_k(1);
-        assert_eq!(top, vec![(Value::Str("read".into()), 90)]);
+        assert_eq!(c.freq(&Value::Str(read)), 90);
+        assert!((c.eq_fraction(&Value::Str(connect)) - 0.1).abs() < 1e-9);
+        assert_eq!(c.eq_fraction(&Value::Str(unseen)), 0.0);
+        let top = c.top_k(1, &dict);
+        assert_eq!(top, vec![(Value::Str(read), 90)]);
     }
 
     #[test]
@@ -616,45 +733,47 @@ mod tests {
 
     #[test]
     fn like_fraction_exact_when_tracked() {
+        let dict = SharedDict::new();
         let mut c = ColumnStats::default();
         for name in ["/etc/passwd", "/tmp/upload.tar", "/tmp/upload.tar.bz2", "/var/log/syslog"] {
-            c.record_str(name);
+            c.record_sym(dict.intern(name));
         }
-        assert!((c.like_fraction("%upload%") - 0.5).abs() < 1e-9);
-        assert!((c.like_fraction("%") - 1.0).abs() < 1e-9);
-        assert_eq!(c.like_fraction("%absent%"), 0.0);
+        assert!((c.like_fraction("%upload%", &dict) - 0.5).abs() < 1e-9);
+        assert!((c.like_fraction("%", &dict) - 1.0).abs() < 1e-9);
+        assert_eq!(c.like_fraction("%absent%", &dict), 0.0);
     }
 
     #[test]
     fn selectivity_composes() {
+        let dict = SharedDict::new();
         let mut t = TableStats::default();
         for _ in 0..80 {
             t.record_row();
-            t.record_str("optype", "read");
-            t.record_str("kind", "file");
+            t.record_sym("optype", dict.intern("read"));
+            t.record_sym("kind", dict.intern("file"));
             t.record_int("starttime", 100);
         }
         for _ in 0..20 {
             t.record_row();
-            t.record_str("optype", "connect");
-            t.record_str("kind", "network");
+            t.record_sym("optype", dict.intern("connect"));
+            t.record_sym("kind", dict.intern("network"));
             t.record_int("starttime", 200);
         }
         let eq = |attr: &str, v: &str| Pred::Cmp {
             attr: attr.into(),
             op: CmpOp::Eq,
-            value: Value::Str(v.into()),
+            value: Value::Str(dict.intern(v)),
         };
-        assert!((selectivity(&t, &eq("optype", "connect")) - 0.2).abs() < 1e-9);
+        assert!((selectivity(&t, &eq("optype", "connect"), &dict) - 0.2).abs() < 1e-9);
         let both = Pred::And(Box::new(eq("optype", "read")), Box::new(eq("kind", "file")));
-        assert!((selectivity(&t, &both) - 0.64).abs() < 1e-9);
+        assert!((selectivity(&t, &both, &dict) - 0.64).abs() < 1e-9);
         let either = Pred::Or(Box::new(eq("optype", "read")), Box::new(eq("optype", "connect")));
-        assert!((selectivity(&t, &either) - 0.84).abs() < 1e-9);
+        assert!((selectivity(&t, &either, &dict) - 0.84).abs() < 1e-9);
         // Unknown column: no pruning assumed.
-        assert_eq!(selectivity(&t, &eq("missing", "x")), 1.0);
+        assert_eq!(selectivity(&t, &eq("missing", "x"), &dict), 1.0);
         // Range via the histogram.
         let range = Pred::Cmp { attr: "starttime".into(), op: CmpOp::Ge, value: Value::Int(150) };
-        let s = selectivity(&t, &range);
+        let s = selectivity(&t, &range, &dict);
         assert!((s - 0.2).abs() < 0.05, "{s}");
     }
 
@@ -679,12 +798,14 @@ mod tests {
     #[test]
     fn event_op_table() {
         let mut s = StoreStats::default();
-        let t = s.table_mut("events");
         for op in ["read", "read", "write"] {
+            let sym = s.dict().intern(op);
+            let t = s.table_mut("events");
             t.record_row();
-            t.record_str("optype", op);
+            t.record_sym("optype", sym);
         }
         assert_eq!(s.event_op_freq("read"), 2);
+        assert_eq!(s.event_op_freq("absent"), 0);
         assert_eq!(s.event_ops(), vec![("read".to_string(), 2), ("write".to_string(), 1)]);
     }
 }

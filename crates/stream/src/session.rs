@@ -103,7 +103,7 @@ impl StreamSession {
         name: &str,
         aq: raptor_tbql::analyze::AnalyzedQuery,
     ) -> Result<QueryId> {
-        self.queries.push(StandingQuery::new(name, aq)?);
+        self.queries.push(StandingQuery::new(name, aq, self.engine.stores.dict.clone())?);
         Ok(QueryId(self.queries.len() - 1))
     }
 

@@ -235,3 +235,111 @@ fn negative_queries_empty_everywhere() {
         assert!(r.rows.is_empty(), "{mode:?}");
     }
 }
+
+/// The golden file pinned from the pre-refactor (owned-string) pipeline:
+/// per corpus query, the projected columns and `sorted_rows()` rendering.
+fn golden_rows() -> Vec<(Vec<String>, Vec<Vec<String>>)> {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/corpus_rows.txt"
+    ))
+    .expect("golden file (regenerate with `cargo run -p raptor-bench --bin golden_rows`)");
+    let mut out: Vec<(Vec<String>, Vec<Vec<String>>)> = Vec::new();
+    for line in text.lines() {
+        if let Some(cols) = line.strip_prefix("columns ") {
+            out.push((cols.split('\t').map(str::to_string).collect(), Vec::new()));
+        } else if let Some(row) = line.strip_prefix("row ") {
+            out.last_mut().unwrap().1.push(row.split('\t').map(str::to_string).collect());
+        }
+    }
+    assert_eq!(out.len(), QUERIES.len(), "golden file covers the whole corpus");
+    out
+}
+
+/// The shared-dictionary-plane hard contract: rendered output is
+/// byte-identical to the pre-refactor golden rendering on every corpus
+/// query × every exec mode × both backends (event + length-1 path forms) ×
+/// bulk and stream-grown stores × threads {1, 2, 4, 8}.
+#[test]
+fn golden_corpus_rows_across_modes_builds_and_threads() {
+    let golden = golden_rows();
+    // Bulk-loaded and stream-grown corpus stores over the same log.
+    let mut bulk = raptor_bench::corpus::corpus_system();
+    let log = raptor_bench::corpus::corpus_log();
+    let mut session = threatraptor::stream::StreamSession::new().unwrap();
+    for batch in
+        threatraptor::stream::EpochStream::new(&log, threatraptor::stream::EpochPolicy::ByCount(64))
+    {
+        session.ingest_batch(&batch).unwrap();
+    }
+    for &threads in &[1usize, 2, 4, 8] {
+        bulk.set_threads(threads);
+        session.set_threads(threads);
+        for (i, q) in QUERIES.iter().enumerate() {
+            let (want_cols, want_rows) = &golden[i];
+            let parsed = threatraptor::tbql::parse_tbql(q).unwrap();
+            let path_q = print_query(&to_length1_path_query(&parsed));
+            for mode in [ExecMode::Scheduled, ExecMode::GiantSql, ExecMode::GiantCypher] {
+                let (r, _) = bulk.query_with_mode(q, mode).unwrap();
+                assert_eq!(&r.columns, want_cols, "q{i} {mode:?} t{threads}");
+                assert_eq!(&r.sorted_rows(), want_rows, "q{i} {mode:?} t{threads}");
+            }
+            // Length-1 path form (graph backend) and the stream-grown store.
+            let (p, _) = bulk.query_with_mode(&path_q, ExecMode::Scheduled).unwrap();
+            assert_eq!(&p.sorted_rows(), want_rows, "q{i} path t{threads}");
+            for text in [*q, path_q.as_str()] {
+                let (s, _) = session.engine().execute_text(text, ExecMode::Scheduled).unwrap();
+                assert_eq!(&s.sorted_rows(), want_rows, "q{i} streamed t{threads}");
+            }
+        }
+    }
+}
+
+/// The shared dictionary plane is literally *one* dictionary: both backends
+/// and the engine hold handles to the same arena, and every string observed
+/// from either store resolves identically through the other.
+#[test]
+fn one_dictionary_spans_both_backends() {
+    let raptor = system();
+    let stores = &raptor.engine().stores;
+    assert!(stores.dict.ptr_eq(stores.rel.dict()), "relational store shares the plane");
+    assert!(stores.dict.ptr_eq(stores.graph.dict()), "graph store shares the plane");
+    assert!(
+        stores.rel.store_stats().dict().ptr_eq(stores.graph.store_stats().dict()),
+        "statistics key on the same plane"
+    );
+    assert!(!stores.dict.is_empty());
+    for (sym, s) in stores.dict.iter() {
+        assert_eq!(stores.rel.dict().resolve(sym), s);
+        assert_eq!(stores.graph.dict().resolve(sym), s);
+        assert_eq!(stores.graph.dict().get(s), Some(sym), "sym↔string mapping is a bijection");
+    }
+}
+
+/// `strings_materialized` edge accounting: zero everywhere inside the
+/// scheduled path (the pipeline is symbol-only), and exactly
+/// rows × string-columns once the edge renders.
+#[test]
+fn strings_materialized_counted_only_at_the_edge() {
+    let raptor = system();
+    let engine = raptor.engine();
+    for q in QUERIES {
+        let parsed = threatraptor::tbql::parse_tbql(q).unwrap();
+        let aq = threatraptor::tbql::analyze(&parsed).unwrap();
+        // The un-rendered batch: the whole scheduled pipeline ran, no
+        // string was materialized.
+        let (batch, stats) = engine.execute_batch(&aq, ExecMode::Scheduled).unwrap();
+        assert_eq!(stats.strings_materialized, 0, "off-edge must stay symbolic: {q}");
+        // The rendered edge: exactly one String per string cell.
+        let (table, stats) = engine.execute(&aq, ExecMode::Scheduled).unwrap();
+        assert_eq!(stats.strings_materialized, batch.str_cells(), "{q}");
+        // ... which is exactly rows × string-columns of the result.
+        let str_cols = batch
+            .cols
+            .iter()
+            .filter(|c| matches!(c, threatraptor::storage::ValueColumn::Str(_)))
+            .count();
+        assert_eq!(stats.strings_materialized, table.rows.len() * str_cols, "{q}");
+        assert!(stats.strings_materialized > 0, "corpus queries all match: {q}");
+    }
+}

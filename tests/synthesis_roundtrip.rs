@@ -19,7 +19,7 @@ fn every_case_synthesizes_and_roundtrips() {
         assert_eq!(q, reparsed, "{}: printer/parser round-trip", case.id);
         let aq = analyze(&reparsed).unwrap_or_else(|e| panic!("{}: {e}\n{text}", case.id));
         // Compiles into both giant forms.
-        let ctx = CompileCtx { aq: &aq, now_ns: 0 };
+        let ctx = CompileCtx { aq: &aq, now_ns: 0, dict: threatraptor::common::SharedDict::new() };
         let sql = giant_sql(&ctx).unwrap_or_else(|e| panic!("{}: {e}", case.id));
         threatraptor::relstore::sql::parse_select(&sql)
             .unwrap_or_else(|e| panic!("{}: giant SQL invalid: {e}\n{sql}", case.id));
