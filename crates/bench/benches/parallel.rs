@@ -21,36 +21,12 @@
 //! machine all thread counts collapse to roughly the sequential time.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use raptor_audit::sim::{generate_background, BackgroundProfile, Simulator};
-use raptor_bench::corpus::EQUIV_CORPUS;
-use raptor_common::time::Timestamp;
+use raptor_bench::corpus::{scaled_corpus_system, EQUIV_CORPUS};
 use raptor_engine::exec::ExecMode;
 use raptor_tbql::{analyze, parse_tbql};
-use threatraptor::ThreatRaptor;
-
-/// The corpus scenario at ~15x background scale (tens of thousands of
-/// events): big enough that scans, probes and traversals dominate.
-fn scaled_system() -> ThreatRaptor {
-    let mut sim = Simulator::new(77, Timestamp::from_secs(1_500_000_000));
-    generate_background(
-        &mut sim,
-        &BackgroundProfile { users: 8, sessions: 1200, ..Default::default() },
-    );
-    let shell = sim.boot_process("/bin/bash", "root");
-    let tar = sim.spawn(shell, "/bin/tar", "tar");
-    sim.read_file(tar, "/etc/passwd", 4096, 4);
-    sim.write_file(tar, "/tmp/upload.tar", 4096, 4);
-    sim.exit(tar);
-    let curl = sim.spawn(shell, "/usr/bin/curl", "curl");
-    sim.read_file(curl, "/tmp/upload.tar", 4096, 2);
-    let fd = sim.connect(curl, "192.168.29.128", 443);
-    sim.send(curl, fd, 4096, 4);
-    sim.exit(curl);
-    ThreatRaptor::from_records(&sim.finish()).unwrap()
-}
 
 fn bench_parallel_vs_sequential(c: &mut Criterion) {
-    let mut raptor = scaled_system();
+    let mut raptor = scaled_corpus_system();
     let aq = analyze(&parse_tbql(EQUIV_CORPUS[3]).unwrap()).unwrap();
     let mut g = c.benchmark_group("parallel_vs_sequential");
     g.sample_size(10);

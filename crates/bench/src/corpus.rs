@@ -44,3 +44,26 @@ pub fn corpus_log() -> ParsedLog {
 pub fn corpus_system() -> ThreatRaptor {
     ThreatRaptor::from_log(&corpus_log()).unwrap()
 }
+
+/// The corpus scenario at ~15x background scale (tens of thousands of
+/// events): big enough that scans, probes and traversals dominate over
+/// per-query fixed costs. Shared by the parallel and columnar-scan wall
+/// benches; deliberately **not** used by `bench_smoke` (CI stays fast).
+pub fn scaled_corpus_system() -> ThreatRaptor {
+    let mut sim = Simulator::new(77, Timestamp::from_secs(1_500_000_000));
+    generate_background(
+        &mut sim,
+        &BackgroundProfile { users: 8, sessions: 1200, ..Default::default() },
+    );
+    let shell = sim.boot_process("/bin/bash", "root");
+    let tar = sim.spawn(shell, "/bin/tar", "tar");
+    sim.read_file(tar, "/etc/passwd", 4096, 4);
+    sim.write_file(tar, "/tmp/upload.tar", 4096, 4);
+    sim.exit(tar);
+    let curl = sim.spawn(shell, "/usr/bin/curl", "curl");
+    sim.read_file(curl, "/tmp/upload.tar", 4096, 2);
+    let fd = sim.connect(curl, "192.168.29.128", 443);
+    sim.send(curl, fd, 4096, 4);
+    sim.exit(curl);
+    ThreatRaptor::from_records(&sim.finish()).unwrap()
+}

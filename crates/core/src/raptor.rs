@@ -65,6 +65,13 @@ impl ThreatRaptor {
         self.engine.set_threads(threads);
     }
 
+    /// Re-segments the relational store's columnar tables to `rows`-row
+    /// segments (see `RAPTOR_SEGMENT_ROWS`; results are byte-identical at
+    /// every capacity — only scan granularity and segment counters change).
+    pub fn set_segment_rows(&mut self, rows: usize) {
+        self.engine.set_segment_rows(rows);
+    }
+
     /// Extracts a threat behavior graph from OSCTI text (Algorithm 1).
     pub fn extract_report(&self, text: &str) -> ExtractionOutput {
         extract(text)

@@ -44,10 +44,17 @@ pub struct Propagation {
 }
 
 impl Propagation {
-    /// Replaces the candidate set for `var` (ids are deduped + sorted).
-    pub fn set(&mut self, var: impl Into<String>, mut ids: Vec<i64>) {
-        ids.sort_unstable();
-        ids.dedup();
+    /// Replaces the candidate set for `var`. `ids` must already be sorted
+    /// and distinct — the [`StorageBackend::entity_candidates`] contract —
+    /// so canonicalization happens in exactly one place (the backend)
+    /// instead of being repeated on every propagation step.
+    ///
+    /// [`StorageBackend::entity_candidates`]: raptor_storage::StorageBackend::entity_candidates
+    pub fn set(&mut self, var: impl Into<String>, ids: Vec<i64>) {
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "candidate ids must arrive sorted-distinct"
+        );
         self.entity_ids.insert(var.into(), ids);
     }
 
@@ -56,9 +63,14 @@ impl Propagation {
     /// filters only ever gain members as new entities are ingested, so
     /// standing queries union per-epoch delta seeds instead of recomputing
     /// (or intersecting) them.
-    pub fn union(&mut self, var: &str, mut ids: Vec<i64>) {
-        ids.sort_unstable();
-        ids.dedup();
+    ///
+    /// Like [`Propagation::set`], `ids` must arrive sorted-distinct (the
+    /// backend contract); the merge relies on it.
+    pub fn union(&mut self, var: &str, ids: Vec<i64>) {
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "candidate ids must arrive sorted-distinct"
+        );
         match self.entity_ids.get_mut(var) {
             Some(existing) => {
                 // Linear merge of two sorted distinct lists — the existing
@@ -91,13 +103,19 @@ impl Propagation {
     }
 
     /// Narrows `var` to the intersection with `ids`; sets it when absent.
-    pub fn intersect(&mut self, var: &str, ids: Vec<i64>) {
+    /// `ids` come straight from match rows, so (unlike [`Propagation::set`])
+    /// they may be unsorted and duplicated.
+    pub fn intersect(&mut self, var: &str, mut ids: Vec<i64>) {
         match self.entity_ids.get_mut(var) {
             Some(existing) => {
                 let set: raptor_common::FxHashSet<i64> = ids.into_iter().collect();
                 existing.retain(|x| set.contains(x));
             }
-            None => self.set(var, ids),
+            None => {
+                ids.sort_unstable();
+                ids.dedup();
+                self.set(var, ids);
+            }
         }
     }
 
@@ -879,29 +897,38 @@ mod tests {
     #[test]
     fn union_merges_sorted_distinct() {
         let mut prop = Propagation::default();
-        prop.union("p", vec![9, 3, 3, 5]);
+        prop.union("p", vec![3, 5, 9]);
         assert_eq!(prop.get("p"), Some(&[3, 5, 9][..]));
-        prop.union("p", vec![4, 9, 1]);
+        prop.union("p", vec![1, 4, 9]);
         assert_eq!(prop.get("p"), Some(&[1, 3, 4, 5, 9][..]));
         prop.union("p", vec![]);
         assert_eq!(prop.get("p"), Some(&[1, 3, 4, 5, 9][..]));
     }
 
+    /// Candidates arrive sorted-distinct from the backend
+    /// (`entity_candidates` is the one canonicalization point — see the
+    /// `candidates_sorted_distinct` backend test); propagation stores and
+    /// emits them verbatim instead of re-sorting on every step.
     #[test]
-    fn propagated_ids_deduped_and_sorted() {
+    fn propagated_ids_emitted_canonically() {
         let (aq, now) = ctx_for("proc p read file f as e1 return p, f");
         let ctx = CompileCtx { aq: &aq, now_ns: now, dict: SharedDict::new() };
         let mut prop = Propagation::default();
-        // Unsorted with duplicates: the emitted IN list must be canonical.
-        prop.set("p", vec![9, 3, 5, 3, 9, 9]);
+        prop.set("p", vec![3, 5, 9]);
         let sql = sql_for_event_pattern(&ctx, &aq.patterns[0], &prop).unwrap();
         assert!(sql.contains("p.id IN (3, 5, 9)"), "{sql}");
-        // The cap measures *distinct* ids: MAX_IN_LIST copies of one id fit.
-        let mut dups: Vec<i64> = vec![7; MAX_IN_LIST + 100];
-        dups.push(8);
-        prop.set("p", dups);
-        let sql = sql_for_event_pattern(&ctx, &aq.patterns[0], &prop).unwrap();
-        assert!(sql.contains("p.id IN (7, 8)"), "{sql}");
+        // Rows from match results (unsorted, duplicated) still canonicalize
+        // through `intersect`'s set-when-absent path.
+        prop.intersect("f", vec![9, 3, 5, 3, 9, 9]);
+        assert_eq!(prop.get("f"), Some(&[3, 5, 9][..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted-distinct")]
+    #[cfg(debug_assertions)]
+    fn propagation_set_rejects_unsorted_in_debug() {
+        let mut prop = Propagation::default();
+        prop.set("p", vec![9, 3, 5]);
     }
 
     #[test]

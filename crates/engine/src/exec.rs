@@ -274,6 +274,13 @@ impl Engine {
         self.stores.graph.set_threads(threads);
     }
 
+    /// Re-segments the relational store's columnar tables to `rows`-row
+    /// segments (zone maps rebuild in one pass; results are byte-identical
+    /// at every capacity). The graph store has no segments.
+    pub fn set_segment_rows(&mut self, rows: usize) {
+        self.stores.rel.set_segment_rows(rows);
+    }
+
     pub(crate) fn rel(&self) -> &dyn StorageBackend {
         &self.stores.rel
     }
@@ -343,6 +350,8 @@ impl Engine {
         stats.backend.items_built += r.stats.tuples_built;
         stats.backend.index_scans += r.stats.index_scans;
         stats.backend.full_scans += r.stats.full_scans;
+        stats.backend.segments_scanned += r.stats.segments_scanned;
+        stats.backend.segments_pruned += r.stats.segments_pruned;
         stats.backend.text_parses += 1;
         stats.backend.data_queries += 1;
         Ok(r)
@@ -397,8 +406,9 @@ impl Engine {
         let mut stats = EngineStats::default();
         let r = self.query_sql_text(&sql, &mut stats)?;
         stats.record_text("relational", QueryKind::Giant, "giant_sql", sql);
-        // Shared plane: the store's rows already *are* engine values.
-        Ok((ResultBatch::from_rows(r.columns, r.rows, self.stores.dict.clone()), stats))
+        // Shared plane: the store's result columns already *are* engine
+        // value columns — the batch wraps them without touching a row.
+        Ok((ResultBatch::new(r.columns, r.cols, self.stores.dict.clone()), stats))
     }
 
     fn execute_giant_cypher(&self, aq: &AnalyzedQuery) -> Result<(ResultBatch, EngineStats)> {
@@ -435,7 +445,14 @@ impl Engine {
                     let sql = entity_candidate_sql(id, e.ty, filter);
                     let r = self.query_sql_text(&sql, stats)?;
                     stats.record_text("relational", QueryKind::Seed, id, sql);
-                    r.rows.iter().filter_map(|row| row[0].as_int()).collect()
+                    // The text path bypasses `entity_candidates`, so it
+                    // canonicalizes here to meet `Propagation::set`'s
+                    // sorted-distinct contract.
+                    let mut ids: Vec<i64> =
+                        (0..r.n_rows()).filter_map(|i| r.cols[0].get(i).as_int()).collect();
+                    ids.sort_unstable();
+                    ids.dedup();
+                    ids
                 }
             };
             prop.set(id.clone(), ids);
@@ -496,14 +513,13 @@ impl Engine {
                 let sql = sql_for_event_pattern(ctx, p, prop)?;
                 let r = self.query_sql_text(&sql, stats)?;
                 stats.record_text("relational", QueryKind::EventPattern, &p.id, sql);
-                Ok(r.rows
-                    .iter()
-                    .map(|row| Match {
-                        subj: row[0].as_int().unwrap_or(-1),
-                        obj: row[1].as_int().unwrap_or(-1),
-                        evt: row[2].as_int().unwrap_or(-1),
-                        start: row[3].as_int().unwrap_or(0),
-                        end: row[4].as_int().unwrap_or(0),
+                Ok((0..r.n_rows())
+                    .map(|i| Match {
+                        subj: r.cols[0].get(i).as_int().unwrap_or(-1),
+                        obj: r.cols[1].get(i).as_int().unwrap_or(-1),
+                        evt: r.cols[2].get(i).as_int().unwrap_or(-1),
+                        start: r.cols[3].get(i).as_int().unwrap_or(0),
+                        end: r.cols[4].get(i).as_int().unwrap_or(0),
                     })
                     .collect())
             }
@@ -996,8 +1012,8 @@ impl Engine {
                     let sql =
                         format!("SELECT id, {attr} FROM {table} WHERE id IN ({})", list.join(", "));
                     let r = self.query_sql_text(&sql, stats)?;
-                    for row in &r.rows {
-                        if let Some(id) = row[0].as_int() {
+                    for i in 0..r.n_rows() {
+                        if let Some(id) = r.cols[0].get(i).as_int() {
                             // The seed pipeline shipped every value here as
                             // a rendered string. Passing the typed value
                             // through is outcome-identical (`cmp_svals`
@@ -1005,7 +1021,7 @@ impl Engine {
                             // way, and rendering agrees cell-for-cell)
                             // without permanently interning rendered
                             // integers into the append-only dictionary.
-                            out.insert(id, row[1]);
+                            out.insert(id, r.cols[1].get(i));
                         }
                     }
                 }

@@ -312,7 +312,7 @@ mod tests {
         let stores = load(&sample_log()).unwrap();
         let r =
             stores.rel.query("SELECT id FROM processes WHERE exename LIKE '%/bin/tar%'").unwrap();
-        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.n_rows(), 1);
         assert!(r.stats.index_scans >= 1);
         let sym = stores.graph.dict().get("/bin/tar").unwrap();
         let nodes = stores
@@ -321,7 +321,7 @@ mod tests {
             .unwrap();
         assert_eq!(nodes.len(), 1);
         // Same entity id across stores.
-        let rel_id = r.rows[0][0].as_int().unwrap();
+        let rel_id = r.row(0)[0].as_int().unwrap();
         let g_id = stores.graph.node_prop(nodes[0], "id").unwrap();
         assert_eq!(g_id, raptor_graphstore::PropValue::Int(rel_id));
     }

@@ -110,12 +110,12 @@ pub fn build_from_stores(stores: &LoadedStores) -> Result<(ProvGraph, ProvTiming
             .ok_or_else(|| raptor_common::Error::storage(format!("missing table {table}")))?;
         let id_col = t.schema.require_column("id")?;
         let a_col = t.schema.require_column(attr_col)?;
-        for (_, row) in t.iter() {
-            let id = match row[id_col] {
+        for rid in 0..t.len() as u32 {
+            let id = match t.cell(rid, id_col) {
                 Value::Int(i) => i,
                 _ => continue,
             };
-            let attr = match row[a_col] {
+            let attr = match t.cell(rid, a_col) {
                 Value::Str(s) => dict.resolve(s).to_string(),
                 _ => String::new(),
             };
@@ -134,9 +134,10 @@ pub fn build_from_stores(stores: &LoadedStores) -> Result<(ProvGraph, ProvTiming
         events_table.schema.require_column("starttime")?,
     );
     let mut raw_events: Vec<RawEvent> = Vec::with_capacity(events_table.len());
-    for (_, row) in events_table.iter() {
+    let et = events_table;
+    for rid in 0..et.len() as u32 {
         let (Value::Int(subj), Value::Int(obj), Value::Str(op), Value::Int(start)) =
-            (row[sc], row[oc], row[opc], row[stc])
+            (et.cell(rid, sc), et.cell(rid, oc), et.cell(rid, opc), et.cell(rid, stc))
         else {
             continue;
         };

@@ -10,7 +10,7 @@ use raptor_common::error::{Error, Result};
 use raptor_common::intern::SharedDict;
 use raptor_storage::{
     AttrSource, BackendStats, EntityClass, EventPatternQuery, Field, FieldValue, MutableBackend,
-    PathPatternQuery, PatternMatches, Pred, StorageBackend, Value as SVal,
+    PathPatternQuery, PatternMatches, Pred, StorageBackend, Value as SVal, ValueColumn,
 };
 
 use crate::db::{Database, Ins};
@@ -123,12 +123,30 @@ impl Database {
         let (core, exec_stats) = execute(self, &plan)?;
         absorb_exec(stats, &exec_stats);
         stats.data_queries += 1;
-        Ok(QueryRows { rows: core.rows })
+        Ok(QueryRows { cols: core.cols })
     }
 }
 
+/// A columnar result from the typed plane: one [`ValueColumn`] per
+/// projected column, consumed column-wise (never re-materialized as rows).
 struct QueryRows {
-    rows: Vec<Vec<SVal>>,
+    cols: Vec<ValueColumn>,
+}
+
+impl QueryRows {
+    fn n_rows(&self) -> usize {
+        self.cols.first().map_or(0, ValueColumn::len)
+    }
+
+    /// Takes column `i` out as an `i64` vector. The typed audit id/time
+    /// columns arrive as dense `ValueColumn::Int`, so this is a move, not a
+    /// conversion; non-int cells (defensively) map to `-1`.
+    fn take_ints(&mut self, i: usize) -> Vec<i64> {
+        match std::mem::replace(&mut self.cols[i], ValueColumn::Int(Vec::new())) {
+            ValueColumn::Int(v) => v,
+            c => (0..c.len()).map(|r| c.get(r).as_int().unwrap_or(-1)).collect(),
+        }
+    }
 }
 
 fn absorb_exec(stats: &mut BackendStats, exec: &ExecStats) {
@@ -136,10 +154,8 @@ fn absorb_exec(stats: &mut BackendStats, exec: &ExecStats) {
     stats.items_built += exec.tuples_built;
     stats.index_scans += exec.index_scans;
     stats.full_scans += exec.full_scans;
-}
-
-fn int_at(row: &[SVal], i: usize) -> i64 {
-    row[i].as_int().unwrap_or(-1)
+    stats.segments_scanned += exec.segments_scanned;
+    stats.segments_pruned += exec.segments_pruned;
 }
 
 impl StorageBackend for Database {
@@ -166,8 +182,11 @@ impl StorageBackend for Database {
             order_by: vec![],
             limit: None,
         };
-        let r = self.run_select(&sel, stats)?;
-        let mut ids: Vec<i64> = r.rows.iter().filter_map(|row| row[0].as_int()).collect();
+        let mut r = self.run_select(&sel, stats)?;
+        // The one place candidates are canonicalized: downstream propagation
+        // (`Propagation::set`/`union` in the engine) relies on the
+        // sorted-distinct contract instead of re-sorting.
+        let mut ids = r.take_ints(0);
         ids.sort_unstable();
         ids.dedup();
         Ok(ids)
@@ -235,18 +254,17 @@ impl StorageBackend for Database {
             order_by: vec![],
             limit: None,
         };
-        let r = self.run_select(&sel, stats)?;
-        let mut out = PatternMatches::with_capacity(r.rows.len(), true);
-        for row in &r.rows {
-            out.push_event(
-                int_at(row, 0),
-                int_at(row, 1),
-                int_at(row, 2),
-                int_at(row, 3),
-                int_at(row, 4),
-            );
-        }
-        Ok(out)
+        let mut r = self.run_select(&sel, stats)?;
+        // Struct-of-arrays straight from the columnar result: the five int
+        // columns *are* the match vectors — moved, not rebuilt row by row.
+        Ok(PatternMatches {
+            subj: r.take_ints(0),
+            obj: r.take_ints(1),
+            evt: r.take_ints(2),
+            start: r.take_ints(3),
+            end: r.take_ints(4),
+            has_event: true,
+        })
     }
 
     fn match_path_pattern(
@@ -299,10 +317,9 @@ impl StorageBackend for Database {
                 limit: None,
             };
             let r = self.run_select(&sel, stats)?;
-            for mut row in r.rows {
-                let val = row.pop().expect("two projected columns");
-                if let Some(id) = row[0].as_int() {
-                    out.push((id, val));
+            for i in 0..r.n_rows() {
+                if let Some(id) = r.cols[0].get(i).as_int() {
+                    out.push((id, r.cols[1].get(i)));
                 }
             }
         }

@@ -11,7 +11,7 @@ use raptor_common::error::{Error, Result};
 use raptor_common::hash::FxHashMap;
 use raptor_common::intern::SharedDict;
 use raptor_common::pool::Pool;
-use raptor_storage::{EntityClass, StoreStats};
+use raptor_storage::{EntityClass, StoreStats, ValueColumn};
 
 use crate::exec::{execute, ExecStats};
 use crate::index::{BTreeIndex, HashIndex, TrigramIndex};
@@ -29,22 +29,40 @@ pub enum Ins<'a> {
     Null,
 }
 
-/// A query result: projected column names, typed shared-plane rows, and
-/// execution counters. Strings stay interned — `rendered_rows` (or the
+/// A query result: projected column names, typed shared-plane **columns**,
+/// and execution counters. Strings stay interned — `rendered_rows` (or the
 /// engine's edge) resolves them through the carried dictionary handle.
 #[derive(Clone, Debug)]
 pub struct QueryResult {
     pub columns: Vec<String>,
-    pub rows: Vec<Vec<Value>>,
+    /// One [`ValueColumn`] per projected column (column-major; rows are
+    /// materialized only on demand via [`QueryResult::rows`]).
+    pub cols: Vec<ValueColumn>,
     pub stats: ExecStats,
-    /// The dictionary plane `rows`' symbols resolve through.
+    /// The dictionary plane `cols`' symbols resolve through.
     pub dict: SharedDict,
 }
 
 impl QueryResult {
+    pub fn n_rows(&self) -> usize {
+        self.cols.first().map_or(0, ValueColumn::len)
+    }
+
+    /// One row, materialized on demand.
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.cols.iter().map(|c| c.get(i)).collect()
+    }
+
+    /// All rows, materialized row-major (tests and edge consumers).
+    pub fn rows(&self) -> Vec<Vec<Value>> {
+        (0..self.n_rows()).map(|i| self.row(i)).collect()
+    }
+
     /// Renders rows as display strings (column order preserved).
     pub fn rendered_rows(&self) -> Vec<Vec<String>> {
-        self.rows.iter().map(|r| r.iter().map(|v| v.render(&self.dict)).collect()).collect()
+        (0..self.n_rows())
+            .map(|i| self.cols.iter().map(|c| c.render(i, &self.dict)).collect())
+            .collect()
     }
 }
 
@@ -130,6 +148,17 @@ impl Database {
         self.pool = Pool::with_threads(threads);
     }
 
+    /// Re-segments every table to `rows`-row segments, rebuilding zone maps
+    /// in one pass. Cell storage is capacity-independent (whole-table
+    /// columnar vectors), so this is cheap and callable at any time —
+    /// results are byte-identical at every capacity, only scan granularity
+    /// (and [`ExecStats`] segment counters) changes.
+    pub fn set_segment_rows(&mut self, rows: usize) {
+        for t in self.tables.values_mut() {
+            t.set_segment_rows(rows);
+        }
+    }
+
     pub fn table(&self, name: &str) -> Option<&Table> {
         self.tables.get(name)
     }
@@ -163,12 +192,14 @@ impl Database {
         t.schema.require_column(col)
     }
 
-    /// Creates a hash (equality) index. Rows already present are indexed.
+    /// Creates a hash (equality) index. Rows already present are indexed
+    /// (one pass down the column vector).
     pub fn create_hash_index(&mut self, table: &str, col: &str) -> Result<()> {
         let ci = self.check_col(table, col)?;
+        let t = &self.tables[table];
         let mut idx = HashIndex::default();
-        for (rid, row) in self.tables[table].iter() {
-            idx.insert(row[ci], rid);
+        for rid in 0..t.len() as u32 {
+            idx.insert(t.cell(rid, ci), rid);
         }
         self.hash_indexes.insert((table.to_string(), col.to_string()), idx);
         Ok(())
@@ -177,9 +208,10 @@ impl Database {
     /// Creates a B-tree (range) index over an integer/time column.
     pub fn create_btree_index(&mut self, table: &str, col: &str) -> Result<()> {
         let ci = self.check_col(table, col)?;
+        let t = &self.tables[table];
         let mut idx = BTreeIndex::default();
-        for (rid, row) in self.tables[table].iter() {
-            if let Value::Int(k) = row[ci] {
+        for rid in 0..t.len() as u32 {
+            if let Value::Int(k) = t.cell(rid, ci) {
                 idx.insert(k, rid);
             }
         }
@@ -191,9 +223,10 @@ impl Database {
     /// hash index on the same column to accelerate `LIKE '%lit%'`).
     pub fn create_trigram_index(&mut self, table: &str, col: &str) -> Result<()> {
         let ci = self.check_col(table, col)?;
+        let t = &self.tables[table];
         let mut idx = TrigramIndex::default();
-        for (_, row) in self.tables[table].iter() {
-            if let Value::Str(s) = row[ci] {
+        for rid in 0..t.len() as u32 {
+            if let Value::Str(s) = t.cell(rid, ci) {
                 idx.add_sym(s, &self.dict);
             }
         }
@@ -273,7 +306,7 @@ impl Database {
         let sel = parse_select(sql)?;
         let plan = plan_select(self, &sel)?;
         let (core, stats) = execute(self, &plan)?;
-        Ok(QueryResult { columns: core.columns, rows: core.rows, stats, dict: self.dict.clone() })
+        Ok(QueryResult { columns: core.columns, cols: core.cols, stats, dict: self.dict.clone() })
     }
 
     /// How many SQL texts this database has parsed (the typed backend path
@@ -292,10 +325,10 @@ impl Database {
     /// Convenience: runs a `SELECT COUNT(*) ...` and returns the count.
     pub fn query_count(&self, sql: &str) -> Result<i64> {
         let r = self.query(sql)?;
-        r.rows
+        r.cols
             .first()
-            .and_then(|row| row.first())
-            .and_then(Value::as_int)
+            .filter(|c| !c.is_empty())
+            .and_then(|c| c.get(0).as_int())
             .ok_or_else(|| Error::execution("query did not return a count"))
     }
 
@@ -366,7 +399,7 @@ mod tests {
     fn single_table_filter() {
         let db = db_with_audit_shape();
         let r = db.query("SELECT exename FROM processes WHERE exename LIKE '%tar%'").unwrap();
-        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.n_rows(), 1);
         assert_eq!(r.rendered_rows()[0][0], "/bin/tar");
     }
 
@@ -397,9 +430,9 @@ mod tests {
                  AND e2.optype = 'write' AND e1.starttime < e2.starttime",
             )
             .unwrap();
-        assert_eq!(r.rows.len(), 1);
-        assert_eq!(r.rows[0][0], Value::Int(0));
-        assert_eq!(r.rows[0][1], Value::Int(1));
+        assert_eq!(r.n_rows(), 1);
+        assert_eq!(r.row(0)[0], Value::Int(0));
+        assert_eq!(r.row(0)[1], Value::Int(1));
     }
 
     #[test]
@@ -448,7 +481,7 @@ mod tests {
         db.create_hash_index("events", "optype").unwrap();
         let fast = db.query("SELECT id FROM events WHERE optype = 'read'").unwrap();
         assert_eq!(fast.stats.index_scans, 1);
-        assert_eq!(slow.rows, fast.rows);
+        assert_eq!(slow.rows(), fast.rows());
     }
 
     #[test]
@@ -458,7 +491,7 @@ mod tests {
         db.create_trigram_index("processes", "exename").unwrap();
         let r = db.query("SELECT id FROM processes WHERE exename LIKE '%curl%'").unwrap();
         assert_eq!(r.stats.index_scans, 1);
-        assert_eq!(r.rows, vec![vec![Value::Int(2)]]);
+        assert_eq!(r.rows(), vec![vec![Value::Int(2)]]);
     }
 
     #[test]
@@ -467,28 +500,28 @@ mod tests {
         db.create_btree_index("events", "starttime").unwrap();
         let r = db.query("SELECT id FROM events WHERE starttime >= 200").unwrap();
         assert_eq!(r.stats.index_scans, 1);
-        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.n_rows(), 2);
     }
 
     #[test]
     fn in_list_filter() {
         let db = db_with_audit_shape();
         let r = db.query("SELECT exename FROM processes WHERE id IN (0, 2)").unwrap();
-        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.n_rows(), 2);
         let r = db
             .query("SELECT exename FROM processes WHERE exename IN ('/bin/tar', 'missing')")
             .unwrap();
-        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.n_rows(), 1);
     }
 
     #[test]
     fn unknown_string_literal_matches_nothing() {
         let db = db_with_audit_shape();
         let r = db.query("SELECT id FROM processes WHERE exename = '/bin/nonexistent'").unwrap();
-        assert!(r.rows.is_empty());
+        assert_eq!(r.n_rows(), 0);
         // ...but != matches everything.
         let r = db.query("SELECT id FROM processes WHERE exename != '/bin/nonexistent'").unwrap();
-        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.n_rows(), 3);
     }
 
     #[test]
@@ -499,18 +532,18 @@ mod tests {
                 "SELECT id FROM events WHERE optype = 'write' OR (optype = 'read' AND starttime >= 300)",
             )
             .unwrap();
-        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.n_rows(), 2);
         let r = db.query("SELECT id FROM events WHERE NOT optype = 'read'").unwrap();
-        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.n_rows(), 1);
         let r = db.query("SELECT id FROM events WHERE optype NOT IN ('read')").unwrap();
-        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.n_rows(), 1);
     }
 
     #[test]
     fn cartesian_join_without_equi_key() {
         let db = db_with_audit_shape();
         let r = db.query("SELECT p.id, f.id FROM processes p, files f").unwrap();
-        assert_eq!(r.rows.len(), 6);
+        assert_eq!(r.n_rows(), 6);
     }
 
     #[test]

@@ -69,7 +69,7 @@ proptest! {
         let sql = format!("SELECT id FROM files WHERE name LIKE '%{needle}%' ORDER BY id");
         let a = plain.query(&sql).unwrap();
         let b = indexed.query(&sql).unwrap();
-        prop_assert_eq!(a.rows, b.rows);
+        prop_assert_eq!(a.rows(), b.rows());
         prop_assert!(b.stats.index_scans >= 1 || b.stats.full_scans >= 1);
     }
 
@@ -95,7 +95,7 @@ proptest! {
             .filter(|(_, v)| **v == probe)
             .map(|(i, _)| i as i64)
             .collect();
-        let got_ids: Vec<i64> = got.rows.iter().filter_map(|r| r[0].as_int()).collect();
+        let got_ids: Vec<i64> = got.rows().iter().filter_map(|r| r[0].as_int()).collect();
         prop_assert_eq!(got_ids, want);
     }
 
@@ -133,7 +133,7 @@ proptest! {
         }
         want.sort_unstable();
         let got_pairs: Vec<(i64, i64)> = got
-            .rows
+            .rows()
             .iter()
             .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
             .collect();

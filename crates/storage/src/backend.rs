@@ -44,6 +44,12 @@ pub struct BackendStats {
     pub full_scans: usize,
     /// Edges traversed (graph backends; 0 for relational).
     pub edges_traversed: usize,
+    /// Columnar segments whose rows a full scan actually evaluated
+    /// (relational backend; 0 for graph).
+    pub segments_scanned: usize,
+    /// Columnar segments refuted wholesale by their zone maps — no row
+    /// inside was touched (relational backend; 0 for graph).
+    pub segments_pruned: usize,
 }
 
 impl BackendStats {
@@ -56,6 +62,8 @@ impl BackendStats {
         self.index_scans += other.index_scans;
         self.full_scans += other.full_scans;
         self.edges_traversed += other.edges_traversed;
+        self.segments_scanned += other.segments_scanned;
+        self.segments_pruned += other.segments_pruned;
     }
 }
 

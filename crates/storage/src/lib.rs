@@ -36,5 +36,7 @@ pub mod value;
 
 pub use backend::{AttrSource, BackendStats, Field, FieldValue, MutableBackend, StorageBackend};
 pub use request::{CmpOp, EntityClass, EntitySel, EventPatternQuery, PathPatternQuery, Pred};
-pub use stats::{CanonicalStats, ColumnStats, DegreeStats, Histogram, StoreStats, TableStats};
+pub use stats::{
+    CanonicalStats, ColumnStats, DegreeStats, Histogram, MinMax, StoreStats, TableStats,
+};
 pub use value::{PatternMatches, ResultBatch, Value, ValueColumn};

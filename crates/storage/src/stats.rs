@@ -52,6 +52,50 @@ pub const TOP_K: usize = 8;
 /// capped column (the tracked majority is matched exactly).
 const LIKE_TAIL_FRACTION: f64 = 0.5;
 
+/// An incremental min/max extent over `i64` values — the shared machinery
+/// behind [`Histogram`]'s bounds and the relational store's per-segment
+/// zone maps, so both are maintained on the write path with no second
+/// collection pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MinMax {
+    min: i64,
+    max: i64,
+    count: u64,
+}
+
+impl MinMax {
+    pub fn record(&mut self, v: i64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+    }
+
+    /// Recorded values (not rows: callers decide what NULL means).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded value (`None` when empty).
+    pub fn min(&self) -> Option<i64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value (`None` when empty).
+    pub fn max(&self) -> Option<i64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Does `[lo, hi]` intersect the recorded extent? `false` when empty.
+    pub fn overlaps(&self, lo: i64, hi: i64) -> bool {
+        self.count > 0 && lo <= self.max && hi >= self.min
+    }
+}
+
 /// A scaling equi-width histogram over `i64` values.
 ///
 /// Buckets cover `[origin + i·width, origin + (i+1)·width)`. When a value
@@ -66,8 +110,7 @@ pub struct Histogram {
     width: i64,
     counts: Vec<u64>,
     total: u64,
-    min: i64,
-    max: i64,
+    extent: MinMax,
 }
 
 impl Histogram {
@@ -81,12 +124,12 @@ impl Histogram {
 
     /// Smallest recorded value (`None` when empty).
     pub fn min(&self) -> Option<i64> {
-        (self.total > 0).then_some(self.min)
+        self.extent.min()
     }
 
     /// Largest recorded value (`None` when empty).
     pub fn max(&self) -> Option<i64> {
-        (self.total > 0).then_some(self.max)
+        self.extent.max()
     }
 
     fn bucket_of(&self, v: i64) -> i128 {
@@ -123,11 +166,8 @@ impl Histogram {
             self.origin = v;
             self.width = 1;
             self.counts = vec![0; HIST_BUCKETS];
-            self.min = v;
-            self.max = v;
         }
-        self.min = self.min.min(v);
-        self.max = self.max.max(v);
+        self.extent.record(v);
         while self.bucket_of(v) < 0 {
             self.grow_down();
         }
@@ -144,10 +184,10 @@ impl Histogram {
         if self.total == 0 {
             return 0.0;
         }
-        if x < self.min {
+        if x < self.extent.min {
             return 0.0;
         }
-        if x >= self.max {
+        if x >= self.extent.max {
             return 1.0;
         }
         let b = self.bucket_of(x);

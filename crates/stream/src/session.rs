@@ -133,6 +133,13 @@ impl StreamSession {
         self.engine.set_threads(threads);
     }
 
+    /// Re-partitions the relational store's columnar segments to `rows`
+    /// rows per segment (zone maps rebuilt in one pass). Purely physical:
+    /// no query result may change.
+    pub fn set_segment_rows(&mut self, rows: usize) {
+        self.engine.set_segment_rows(rows);
+    }
+
     /// Running total of the per-epoch ingest counters.
     pub fn total_ingest_stats(&self) -> BackendStats {
         self.total_ingest
