@@ -185,6 +185,37 @@ fn bench_columnar_scan(c: &mut Criterion) {
     g.finish();
 }
 
+/// The observability-plane overhead contract: tracing disabled must cost
+/// nothing measurable (<1% — each span site is a single relaxed atomic
+/// load), and tracing enabled must stay cheap (lock-free ring writes, no
+/// allocation, no formatting). Measured on corpus q3 — the `columnar_scan`
+/// showcase query — through both the scheduled plan and the full-scan
+/// `GiantSql` baseline, at CI corpus scale (1x) and ~15x so per-span cost
+/// is exercised against both short and scan-dominated executions.
+fn bench_trace_overhead(c: &mut Criterion) {
+    let trace = raptor_common::obs::trace();
+    let aq = analyze(&parse_tbql(EQUIV_CORPUS[3]).unwrap()).unwrap();
+    let mut g = c.benchmark_group("trace_overhead");
+    g.sample_size(20);
+    for (scale, raptor) in [("1x", corpus_system()), ("15x", scaled_corpus_system())] {
+        for (mode_name, mode) in
+            [("scheduled", ExecMode::Scheduled), ("giant_sql", ExecMode::GiantSql)]
+        {
+            trace.set_enabled(false);
+            g.bench_function(&format!("q3_{mode_name}_{scale}_trace_off"), |b| {
+                b.iter(|| raptor.engine().execute(&aq, mode).unwrap())
+            });
+            trace.set_enabled(true);
+            g.bench_function(&format!("q3_{mode_name}_{scale}_trace_on"), |b| {
+                b.iter(|| raptor.engine().execute(&aq, mode).unwrap())
+            });
+            trace.set_enabled(false);
+            trace.clear();
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_variants,
@@ -192,6 +223,7 @@ criterion_group!(
     bench_typed_vs_text,
     bench_scheduler_modes,
     bench_interned_vs_owned,
-    bench_columnar_scan
+    bench_columnar_scan,
+    bench_trace_overhead
 );
 criterion_main!(benches);

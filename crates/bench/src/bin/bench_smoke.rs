@@ -4,15 +4,22 @@
 //! Runs every query of the 8-query equivalence corpus through the
 //! scheduled executor under both scheduler modes (cost-based vs the
 //! paper's syntactic score) on the deterministic corpus system, and emits
-//! `BENCH_schedule.json`: per-query scheduled latency, deterministic
-//! backend work counters, the chosen orders, and a scheduler Q-error
-//! summary — plus a `parallel` section with per-query latency at 1/2/4
-//! worker threads and the resulting speedups (informational only; on the
-//! small corpus store and small CI machines parallelism may not pay — the
-//! `parallel_vs_sequential` criterion group measures it at scale). While
-//! collecting those, the run *asserts* the parallel-plane determinism
-//! contract: every thread count must produce identical rows and identical
-//! deterministic work counters.
+//! `BENCH_schedule.json` (default: `target/BENCH_schedule.json`; the
+//! checked-in baseline lives at `crates/bench/baselines/`): per-query
+//! scheduled latency, deterministic backend work counters, the chosen
+//! orders, and a scheduler Q-error summary — plus a `parallel` section
+//! with per-query latency at 1/2/4 worker threads and the resulting
+//! speedups (informational only; on the small corpus store and small CI
+//! machines parallelism may not pay — the `parallel_vs_sequential`
+//! criterion group measures it at scale). While collecting those, the run
+//! *asserts* the parallel-plane determinism contract: every thread count
+//! must produce identical rows and identical deterministic work counters.
+//!
+//! The `observability` section runs every query with tracing off and on,
+//! asserting rows and deterministic counters are identical either way
+//! (tracing is a pure side channel), and records the exact span count per
+//! query — gated exactly, since the span taxonomy emits one span per
+//! whole operator and can never vary with thread count or machine.
 //!
 //! **Regression gating** compares against a checked-in baseline
 //! (`crates/bench/baselines/BENCH_schedule.json`) and fails (exit 1) on a
@@ -171,6 +178,51 @@ fn run_columnar() -> ColumnarReport {
     }
 }
 
+/// Deterministic signals from the observability plane.
+struct ObsReport {
+    /// Span count per corpus query with tracing enabled (gated exact: the
+    /// taxonomy emits spans at whole-operator level only, never per
+    /// partition, so counts cannot vary with thread count or machine).
+    spans_per_query: Vec<u64>,
+    /// Corpus q3 min latency with tracing disabled / enabled
+    /// (informational only — the `trace_overhead` criterion group is the
+    /// real measurement; never gated, wall clock flakes).
+    q3_latency_ns_trace_off: u128,
+    q3_latency_ns_trace_on: u128,
+}
+
+/// Runs every corpus query twice — tracing off, then on — and *asserts*
+/// the observability contract: identical rows and identical deterministic
+/// work counters either way (tracing is a pure side channel). Records the
+/// exact span count per query for the gate.
+fn run_observability() -> ObsReport {
+    use raptor_common::obs;
+    let raptor = corpus_system();
+    let engine = raptor.engine();
+    let trace = obs::trace();
+    let mut spans_per_query = Vec::new();
+    for (id, q) in EQUIV_CORPUS.iter().enumerate() {
+        let aq = analyze(&parse_tbql(q).expect("corpus parses")).expect("corpus analyzes");
+        trace.set_enabled(false);
+        let (r_off, s_off) = engine.execute_scheduled_as(&aq, SchedulerMode::CostBased).unwrap();
+        trace.set_enabled(true);
+        trace.clear();
+        let (r_on, s_on) = engine.execute_scheduled_as(&aq, SchedulerMode::CostBased).unwrap();
+        let n = trace.span_count();
+        trace.set_enabled(false);
+        assert_eq!(r_off.rows, r_on.rows, "query {id} rows changed under tracing");
+        assert_eq!(s_off.backend, s_on.backend, "query {id} work counters drifted under tracing");
+        spans_per_query.push(n);
+    }
+    let aq = analyze(&parse_tbql(EQUIV_CORPUS[3]).unwrap()).unwrap();
+    let q3_latency_ns_trace_off = measure_latency(engine, &aq, SchedulerMode::CostBased);
+    trace.set_enabled(true);
+    let q3_latency_ns_trace_on = measure_latency(engine, &aq, SchedulerMode::CostBased);
+    trace.set_enabled(false);
+    trace.clear();
+    ObsReport { spans_per_query, q3_latency_ns_trace_off, q3_latency_ns_trace_on }
+}
+
 /// Worker-thread counts the `parallel` section measures.
 const PARALLEL_THREADS: [usize; 3] = [1, 2, 4];
 
@@ -217,6 +269,7 @@ fn render_json(
     reports: &[QueryReport],
     parallel: &[ParallelReport],
     columnar: &ColumnarReport,
+    obs: &ObsReport,
     q_error_max: f64,
 ) -> String {
     let mut out = String::new();
@@ -270,6 +323,20 @@ fn render_json(
     let _ = writeln!(out, "    \"probe_rows\": {},", columnar.probe_rows);
     let _ = writeln!(out, "    \"probe_segments_scanned\": {},", columnar.probe_segments_scanned);
     let _ = writeln!(out, "    \"probe_segments_pruned\": {}", columnar.probe_segments_pruned);
+    let _ = writeln!(out, "  }},");
+    // Observability plane: span counts are gated exactly (the taxonomy is
+    // whole-operator, so counts are machine- and thread-invariant); the q3
+    // trace-on/off latencies are informational only.
+    let _ = writeln!(out, "  \"observability\": {{");
+    for (i, n) in obs.spans_per_query.iter().enumerate() {
+        let _ = writeln!(out, "    \"spans_q{i}\": {n},");
+    }
+    let _ = writeln!(out, "    \"q3_latency_ns_trace_off\": {},", obs.q3_latency_ns_trace_off);
+    let _ = writeln!(out, "    \"q3_latency_ns_trace_on\": {},", obs.q3_latency_ns_trace_on);
+    let overhead = (obs.q3_latency_ns_trace_on as f64 - obs.q3_latency_ns_trace_off as f64)
+        / (obs.q3_latency_ns_trace_off.max(1) as f64)
+        * 100.0;
+    let _ = writeln!(out, "    \"q3_trace_overhead_pct\": {overhead:.2}");
     let _ = writeln!(out, "  }},");
     let orders_differ = reports.iter().filter(|r| r.order_cost != r.order_syntactic).count();
     let work_cost_total: usize = reports.iter().map(|r| r.work_cost).sum();
@@ -373,6 +440,21 @@ fn gate(current: &str, baseline: &str) -> Vec<String> {
             );
         }
     }
+    // Observability plane: span counts are exact-deterministic — any change
+    // to the span taxonomy must regenerate the baseline deliberately.
+    for i in 0.. {
+        let key = format!("spans_q{i}");
+        let (c, b) = (extract_numbers(current, &key), extract_numbers(baseline, &key));
+        if b.is_empty() {
+            break;
+        }
+        if c != b {
+            failures.push(format!(
+                "observability {key} changed: baseline {b:?}, current {c:?} \
+                 (span taxonomy drifted?)"
+            ));
+        }
+    }
     let differ = |json: &str| extract_numbers(json, "orders_differ").last().copied().unwrap_or(0.0);
     if differ(current) < 1.0 && differ(baseline) >= 1.0 {
         failures.push(
@@ -385,7 +467,7 @@ fn gate(current: &str, baseline: &str) -> Vec<String> {
 }
 
 fn main() -> ExitCode {
-    let mut out_path = "BENCH_schedule.json".to_string();
+    let mut out_path = "target/BENCH_schedule.json".to_string();
     let mut baseline_path = format!("{}/baselines/BENCH_schedule.json", env!("CARGO_MANIFEST_DIR"));
     let mut write_baseline = false;
     let mut args = std::env::args().skip(1);
@@ -404,7 +486,13 @@ fn main() -> ExitCode {
     let (reports, q_error_max) = run();
     let parallel = run_parallel();
     let columnar = run_columnar();
-    let json = render_json(&reports, &parallel, &columnar, q_error_max);
+    let obs = run_observability();
+    let json = render_json(&reports, &parallel, &columnar, &obs, q_error_max);
+    if let Some(parent) =
+        std::path::Path::new(&out_path).parent().filter(|p| !p.as_os_str().is_empty())
+    {
+        std::fs::create_dir_all(parent).expect("create output dir");
+    }
     std::fs::write(&out_path, &json).expect("write bench output");
     println!("wrote {out_path}");
     for r in &reports {
@@ -429,6 +517,12 @@ fn main() -> ExitCode {
         columnar.probe_rows,
         columnar.probe_segments_scanned,
         columnar.probe_segments_pruned,
+    );
+    println!(
+        "observability: spans/query={:?}; q3 trace off/on={:.1}µs/{:.1}µs",
+        obs.spans_per_query,
+        obs.q3_latency_ns_trace_off as f64 / 1e3,
+        obs.q3_latency_ns_trace_on as f64 / 1e3,
     );
     for p in &parallel {
         println!(

@@ -19,6 +19,10 @@
 //! * [`intern`] — string interning: the plain [`Interner`] and the
 //!   [`SharedDict`] shared dictionary plane (one concurrently-readable
 //!   dictionary above both storage backends; per-row reads never lock),
+//! * [`obs`] — the observability plane: the lock-free [`obs::TraceSink`]
+//!   span ring (env-gated by `RAPTOR_TRACE`), the global
+//!   [`obs::MetricsRegistry`] with JSON / Prometheus snapshots, and the
+//!   [`obs::SlowQueryLog`] (`RAPTOR_SLOW_QUERY_MS`),
 //! * [`table`] — minimal fixed-width text-table rendering used by the
 //!   benchmark harness to print paper-style tables.
 
@@ -27,6 +31,7 @@ pub mod hash;
 pub mod ids;
 pub mod intern;
 pub mod like;
+pub mod obs;
 pub mod pool;
 pub mod strdist;
 pub mod table;

@@ -125,6 +125,12 @@ impl Pool {
         if self.threads == 1 || n <= 1 || on_pool_worker() {
             return tasks.into_iter().map(|t| t()).collect();
         }
+        // Observability: the depth of the queue this fan-out submits, and
+        // a running total of pooled tasks (touched once per batch, not per
+        // task — worker loops stay metric-free).
+        let m = crate::obs::metrics();
+        m.gauge_set("raptor_pool_queue_depth", n as i64);
+        m.counter_add("raptor_pool_tasks_total", n as u64);
         // Each slot is claimed exactly once via the shared counter; the
         // mutex only guards the `take` (tasks run outside it).
         let slots: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();

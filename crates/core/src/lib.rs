@@ -45,6 +45,11 @@ pub use raptor::{HuntOutcome, ThreatRaptor};
 pub use stream::HuntStream;
 pub use synthesis::{synthesize, SynthesisPlan};
 
+// Observability plane: trace spans, metrics registry, slow-query log
+// (`raptor_common::obs`) and EXPLAIN redaction control (`Redact`).
+pub use raptor_common::obs;
+pub use raptor_engine::Redact;
+
 // Re-export the sub-crates so downstream users need only one dependency.
 pub use raptor_audit as audit;
 pub use raptor_common as common;

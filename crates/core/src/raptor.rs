@@ -117,6 +117,36 @@ impl ThreatRaptor {
         self.engine.execute_text(tbql, mode)
     }
 
+    /// Renders the execution plan for a TBQL query without running its
+    /// patterns: seeding candidates, scheduler choice, pattern order,
+    /// per-pattern cost estimates. See `raptor_engine::explain`.
+    pub fn explain(&self, tbql: &str) -> Result<String> {
+        self.engine.explain_text(tbql)
+    }
+
+    /// Executes a TBQL query and renders the plan annotated with actuals:
+    /// rows, Q-error, access path, backend counters, wall times. `Redact::
+    /// Stable` elides volatile fields (timings, scan granularity) so the
+    /// output is byte-identical across thread counts and segment sizes.
+    pub fn explain_analyze(
+        &self,
+        tbql: &str,
+        redact: raptor_engine::Redact,
+    ) -> Result<(ResultTable, String)> {
+        self.engine.explain_analyze_text(tbql, redact)
+    }
+
+    /// Snapshots the process-wide metrics registry (counters, gauges,
+    /// histograms). Refreshes point-in-time gauges (dictionary size, pinned
+    /// worker count) before capturing. Render with `to_json()` or
+    /// `to_prometheus()`.
+    pub fn metrics(&self) -> raptor_common::obs::MetricsSnapshot {
+        let m = raptor_common::obs::metrics();
+        m.gauge_set("raptor_dict_symbols", self.engine.stores.dict.len() as i64);
+        m.gauge_set("raptor_threads", self.engine.pool().threads() as i64);
+        m.snapshot()
+    }
+
     /// Fuzzy search: aligns a TBQL query against the provenance graph using
     /// inexact (Poirot-style) graph pattern matching. Returns the outcome
     /// plus the loading/preprocessing timings of Table IX.
@@ -210,6 +240,23 @@ He leaked the data back to the C2 host by using /usr/bin/curl to connect to 192.
             .query(r#"proc p["%/usr/bin/cur1%"] connect ip i["192.168.29.128"] as e1 return p, i"#)
             .unwrap();
         assert!(exact.rows.is_empty());
+    }
+
+    #[test]
+    fn explain_and_metrics_facade() {
+        let raptor = system_with_fig2_attack();
+        let q = r#"proc p["%curl%"] connect ip i return p, i"#;
+        let plan = raptor.explain(q).unwrap();
+        assert!(plan.starts_with("EXPLAIN\n"), "{plan}");
+        assert!(plan.contains("scheduler:"), "{plan}");
+        let (table, report) = raptor.explain_analyze(q, raptor_engine::Redact::Stable).unwrap();
+        assert_eq!(table.rows.len(), 1);
+        assert!(report.starts_with("EXPLAIN ANALYZE\n"), "{report}");
+        assert!(report.contains("q_err="), "{report}");
+        let snap = raptor.metrics();
+        assert!(snap.get("raptor_dict_symbols").is_some());
+        assert!(snap.get("raptor_threads").is_some());
+        assert!(snap.to_prometheus().contains("raptor_dict_symbols"));
     }
 
     #[test]

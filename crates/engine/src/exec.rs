@@ -24,6 +24,7 @@
 
 use raptor_common::error::{Error, Result};
 use raptor_common::hash::{FxHashMap, FxHashSet};
+use raptor_common::obs;
 use raptor_common::pool::Pool;
 use raptor_common::time::Duration;
 use raptor_graphstore::cypher::{exec as gexec, parse_cypher};
@@ -86,6 +87,16 @@ pub struct QueryInfo {
     /// The query text — only for paths that really go through a parser
     /// (giant baselines and the text-compat scheduled path).
     pub text: Option<String>,
+    /// Rows (matches / candidates) this query returned.
+    pub rows: Option<usize>,
+    /// Wall time of the backend call, in nanoseconds. Timing only — never
+    /// part of any determinism contract.
+    pub wall_ns: u64,
+    /// Backend counters attributable to this query alone (the difference of
+    /// [`EngineStats::backend`] across the call): access path taken
+    /// (`index_scans` / `full_scans`), rows scanned, segments
+    /// scanned/pruned, edges traversed. `EXPLAIN ANALYZE` renders these.
+    pub delta: BackendStats,
 }
 
 /// Engine-level execution statistics, unified across both backends.
@@ -142,6 +153,9 @@ impl EngineStats {
             label: label.to_string(),
             in_lists,
             text: None,
+            rows: None,
+            wall_ns: 0,
+            delta: BackendStats::default(),
         });
     }
 
@@ -154,7 +168,22 @@ impl EngineStats {
             label: label.to_string(),
             in_lists,
             text: Some(text),
+            rows: None,
+            wall_ns: 0,
+            delta: BackendStats::default(),
         });
+    }
+
+    /// Attaches the observability payload to the most recently recorded
+    /// query: its row count, wall time, and the backend-counter delta it
+    /// alone caused (`before` is the [`EngineStats::backend`] snapshot taken
+    /// just before the call).
+    fn finish_last(&mut self, rows: usize, before: BackendStats, wall_ns: u64) {
+        if let Some(q) = self.queries.last_mut() {
+            q.rows = Some(rows);
+            q.wall_ns = wall_ns;
+            q.delta = self.backend.delta_since(&before);
+        }
     }
 }
 
@@ -290,10 +319,32 @@ impl Engine {
     }
 
     /// Parses, analyzes and executes a TBQL query text.
+    ///
+    /// This is also the slow-query seam: when the query's wall time crosses
+    /// the `RAPTOR_SLOW_QUERY_MS` threshold, its `EXPLAIN ANALYZE` tree is
+    /// recorded into the global [`obs::slow_log`].
     pub fn execute_text(&self, tbql: &str, mode: ExecMode) -> Result<(ResultTable, EngineStats)> {
-        let q = parse_tbql(tbql)?;
-        let aq = analyze(&q)?;
-        self.execute(&aq, mode)
+        let t0 = std::time::Instant::now();
+        let aq = {
+            let mut sp = obs::span("engine.compile");
+            let q = parse_tbql(tbql)?;
+            let aq = analyze(&q)?;
+            sp.attr("patterns", aq.patterns.len() as u64);
+            aq
+        };
+        let (table, stats) = self.execute(&aq, mode)?;
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        if obs::slow_log().threshold_ns().is_some_and(|thr| wall_ns >= thr) {
+            let report = crate::explain::render_analyze(
+                &aq,
+                &stats,
+                Some(wall_ns),
+                table.rows.len(),
+                crate::explain::Redact::Full,
+            );
+            obs::slow_log().record(tbql, wall_ns, &report);
+        }
+        Ok((table, stats))
     }
 
     /// Executes an analyzed query, rendering the result for display.
@@ -303,7 +354,10 @@ impl Engine {
         mode: ExecMode,
     ) -> Result<(ResultTable, EngineStats)> {
         let (batch, mut stats) = self.execute_batch(aq, mode)?;
+        let mut sp = obs::span("engine.render");
         let table = ResultTable::from_batch_counted(&batch, &mut stats);
+        sp.attr("rows", table.rows.len() as u64);
+        sp.attr("strings", stats.strings_materialized as u64);
         Ok((table, stats))
     }
 
@@ -313,11 +367,28 @@ impl Engine {
         aq: &AnalyzedQuery,
         mode: ExecMode,
     ) -> Result<(ResultBatch, EngineStats)> {
-        match mode {
+        let mut sp = obs::span("engine.execute");
+        sp.label(match mode {
+            ExecMode::Scheduled => "scheduled",
+            ExecMode::GiantSql => "giant_sql",
+            ExecMode::GiantCypher => "giant_cypher",
+        });
+        let t0 = std::time::Instant::now();
+        let r = match mode {
             ExecMode::Scheduled => self.execute_scheduled(aq, DataPath::Typed),
             ExecMode::GiantSql => self.execute_giant_sql(aq),
             ExecMode::GiantCypher => self.execute_giant_cypher(aq),
+        };
+        if let Ok((batch, stats)) = &r {
+            sp.attr("rows", batch.n_rows() as u64);
+            let m = obs::metrics();
+            m.counter_add("raptor_queries_total", 1);
+            m.observe_ns("raptor_query_latency_ns", t0.elapsed().as_nanos() as u64);
+            m.counter_add("raptor_data_queries_total", stats.data_queries as u64);
+            m.counter_add("raptor_rows_scanned_total", stats.backend.items_scanned as u64);
+            m.counter_add("raptor_result_rows_total", batch.n_rows() as u64);
         }
+        r
     }
 
     /// The seed's stringly scheduled pipeline (compile to SQL/Cypher text,
@@ -404,8 +475,10 @@ impl Engine {
     fn execute_giant_sql(&self, aq: &AnalyzedQuery) -> Result<(ResultBatch, EngineStats)> {
         let sql = giant_sql(&self.ctx(aq))?;
         let mut stats = EngineStats::default();
+        let t0 = std::time::Instant::now();
         let r = self.query_sql_text(&sql, &mut stats)?;
         stats.record_text("relational", QueryKind::Giant, "giant_sql", sql);
+        stats.finish_last(r.n_rows(), BackendStats::default(), t0.elapsed().as_nanos() as u64);
         // Shared plane: the store's result columns already *are* engine
         // value columns — the batch wraps them without touching a row.
         Ok((ResultBatch::new(r.columns, r.cols, self.stores.dict.clone()), stats))
@@ -414,8 +487,10 @@ impl Engine {
     fn execute_giant_cypher(&self, aq: &AnalyzedQuery) -> Result<(ResultBatch, EngineStats)> {
         let cy = giant_cypher(&self.ctx(aq))?;
         let mut stats = EngineStats::default();
+        let t0 = std::time::Instant::now();
         let r = self.query_cypher_text(&cy, &mut stats)?;
         stats.record_text("graph", QueryKind::Giant, "giant_cypher", cy);
+        stats.finish_last(r.rows.len(), BackendStats::default(), t0.elapsed().as_nanos() as u64);
         let rows: Vec<Vec<SVal>> =
             r.rows.into_iter().map(|row| row.into_iter().map(gval_to_sval).collect()).collect();
         Ok((ResultBatch::from_rows(r.columns, rows, self.stores.dict.clone()), stats))
@@ -424,7 +499,7 @@ impl Engine {
     /// Seeds the propagation table by resolving every filtered entity to its
     /// candidate ids with one small indexed query per entity — the "parts"
     /// with the highest pruning power always execute first.
-    fn seed_entity_candidates(
+    pub(crate) fn seed_entity_candidates(
         &self,
         aq: &AnalyzedQuery,
         prop: &mut Propagation,
@@ -434,6 +509,10 @@ impl Engine {
         for id in &aq.entity_order {
             let e = &aq.entities[id];
             let Some(filter) = &e.filter else { continue };
+            let mut sp = obs::span("engine.seed");
+            sp.label(id);
+            let before = stats.backend;
+            let t0 = std::time::Instant::now();
             let ids = match path {
                 DataPath::Typed => {
                     let (class, pred) = entity_candidate_request(e.ty, filter, &self.stores.dict);
@@ -455,13 +534,40 @@ impl Engine {
                     ids
                 }
             };
+            stats.finish_last(ids.len(), before, t0.elapsed().as_nanos() as u64);
+            sp.attr("candidates", ids.len() as u64);
             prop.set(id.clone(), ids);
         }
         Ok(())
     }
 
-    /// Runs one pattern's data query over the chosen data path.
+    /// Runs one pattern's data query over the chosen data path, recording
+    /// an `engine.pattern` span and the query's observability payload
+    /// (rows, wall time, backend-counter delta) into the last `QueryInfo`.
     fn match_pattern(
+        &self,
+        ctx: &CompileCtx<'_>,
+        p: &raptor_tbql::analyze::APattern,
+        prop: &Propagation,
+        stats: &mut EngineStats,
+        path: DataPath,
+    ) -> Result<Vec<Match>> {
+        let mut sp = obs::span("engine.pattern");
+        sp.label(&p.id);
+        let before = stats.backend;
+        let t0 = std::time::Instant::now();
+        let rows = self.match_pattern_inner(ctx, p, prop, stats, path)?;
+        stats.finish_last(rows.len(), before, t0.elapsed().as_nanos() as u64);
+        if let Some(q) = stats.queries.last() {
+            sp.attr("rows", rows.len() as u64);
+            sp.attr("in_lists", q.in_lists as u64);
+            sp.attr("scanned", q.delta.items_scanned as u64);
+            sp.attr("pruned", q.delta.segments_pruned as u64);
+        }
+        Ok(rows)
+    }
+
+    fn match_pattern_inner(
         &self,
         ctx: &CompileCtx<'_>,
         p: &raptor_tbql::analyze::APattern,
@@ -531,13 +637,15 @@ impl Engine {
     /// see the exact seeded candidate counts (execution-result-constrained
     /// ordering); the syntactic score is the fallback whenever the stores
     /// carry no statistics or the engine is pinned to `Syntactic`.
-    fn plan_order(
+    pub(crate) fn plan_order(
         &self,
         ctx: &CompileCtx<'_>,
         aq: &AnalyzedQuery,
         prop: &Propagation,
         mode: SchedulerMode,
     ) -> Result<(Vec<usize>, Vec<PatternEstimate>, SchedulerMode)> {
+        let mut sp = obs::span("engine.plan");
+        sp.attr("patterns", aq.patterns.len() as u64);
         let mut estimates = base_estimates(aq);
         let stats_ready = self.rel().stats().table("events").is_some_and(|t| t.rows() > 0);
         let used = if mode == SchedulerMode::CostBased && stats_ready {
@@ -561,6 +669,10 @@ impl Engine {
             SchedulerMode::CostBased => cost_based_order(aq, &estimates),
             SchedulerMode::Syntactic => execution_order(aq),
         };
+        sp.label(match used {
+            SchedulerMode::CostBased => "cost_based",
+            SchedulerMode::Syntactic => "syntactic",
+        });
         Ok((order, estimates, used))
     }
 
@@ -702,6 +814,11 @@ impl Engine {
         mut prop: Propagation,
         path: DataPath,
     ) -> Result<ChainRun> {
+        let mut sp = obs::span("engine.chain");
+        if let Some(&first) = chain.first() {
+            sp.label(&aq.patterns[first].id);
+        }
+        sp.attr("patterns", chain.len() as u64);
         let mut stats = EngineStats::default();
         let mut results = Vec::with_capacity(chain.len());
         for &idx in chain {
@@ -734,6 +851,7 @@ impl Engine {
         stats: &mut EngineStats,
         path: DataPath,
     ) -> Result<ResultBatch> {
+        let mut sp = obs::span("engine.join_project");
         let columns: Vec<String> =
             aq.ret.iter().map(|r| format!("{}.{}", r.base, r.attr)).collect();
         // --- join per-pattern matches on shared entity variables ---
@@ -947,6 +1065,7 @@ impl Engine {
             let mut seen: FxHashSet<Vec<SVal>> = FxHashSet::default();
             rows.retain(|r| seen.insert(r.clone()));
         }
+        sp.attr("rows", rows.len() as u64);
         Ok(ResultBatch::from_rows(columns, rows, self.stores.dict.clone()))
     }
 
@@ -1176,7 +1295,7 @@ pub fn to_length1_path_query(q: &raptor_tbql::Query) -> raptor_tbql::Query {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::load::load;
     use raptor_audit::sim::Simulator;
@@ -1184,7 +1303,7 @@ mod tests {
     use raptor_common::time::Timestamp;
 
     /// Builds the Figure 2 data-leak scenario plus background noise.
-    fn fig2_engine() -> Engine {
+    pub(crate) fn fig2_engine() -> Engine {
         let mut sim = Simulator::new(99, Timestamp::from_secs(1_000_000));
         raptor_audit::sim::generate_background(
             &mut sim,

@@ -23,6 +23,10 @@
 //! * [`exec`] — the [`exec::Engine`]: scheduled execution, cross-pattern
 //!   joins on shared entities, `with`-clause evaluation, projection; plus
 //!   the giant-SQL and giant-Cypher execution paths,
+//! * [`explain`] — `EXPLAIN` / `EXPLAIN ANALYZE`: renders the planning and
+//!   execution decisions the engine records (estimates, order, access
+//!   paths, Q-error, segment pruning) as a stable text tree; also the
+//!   report attached to slow-query log entries,
 //! * [`standing`] — standing queries for the streaming mode: registered
 //!   once, re-evaluated per ingestion epoch with delta evaluation (only
 //!   new events are matched; match sets and propagated candidate id-sets
@@ -35,6 +39,7 @@
 pub mod compile;
 pub mod estimate;
 pub mod exec;
+pub mod explain;
 pub mod fuzzy;
 pub mod load;
 pub mod provenance;
@@ -43,6 +48,7 @@ pub mod standing;
 
 pub use estimate::PatternEstimate;
 pub use exec::{Engine, ExecMode, ResultTable};
+pub use explain::Redact;
 pub use load::LoadedStores;
 pub use schedule::SchedulerMode;
 pub use standing::{EpochInput, PatternProgress, StandingQuery};

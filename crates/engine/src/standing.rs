@@ -190,6 +190,10 @@ impl StandingQuery {
         engine: &Engine,
         input: &EpochInput<'_>,
     ) -> Result<(ResultBatch, EngineStats)> {
+        let mut sp = raptor_common::obs::span("stream.standing");
+        sp.label(&self.name);
+        sp.attr("epoch", input.epoch);
+        sp.attr("events", input.event_ids.len() as u64);
         let mut stats = EngineStats::default();
         self.seed_delta(engine, input, &mut stats)?;
 

@@ -8,6 +8,7 @@
 use raptor_common::error::{Error, Result};
 use raptor_common::hash::FxHashSet;
 use raptor_common::intern::SharedDict;
+use raptor_common::obs;
 use raptor_storage::{
     AttrSource, BackendStats, EntityClass, EventPatternQuery, Field, FieldValue, MutableBackend,
     PathPatternQuery, PatternMatches, Pred, StorageBackend, Value as SVal,
@@ -318,7 +319,17 @@ impl StorageBackend for Graph {
             return_items,
             limit: None,
         };
-        let rows = self.run_query(&cq, q.hop_cap, stats)?;
+        // One expansion span per path-pattern request (internal frontier
+        // partitioning stays invisible: counts are thread-count invariant).
+        let rows = {
+            let mut sp = obs::span("graphstore.expand");
+            let before = *stats;
+            let rows = self.run_query(&cq, q.hop_cap, stats)?;
+            sp.attr("rows", rows.len() as u64);
+            sp.attr("edges", (stats.edges_traversed - before.edges_traversed) as u64);
+            sp.attr("nodes", (stats.items_scanned - before.items_scanned) as u64);
+            rows
+        };
         let mut out = PatternMatches::with_capacity(rows.len(), q.want_event);
         for row in &rows {
             if q.want_event {

@@ -35,6 +35,7 @@
 use raptor_common::error::{Error, Result};
 use raptor_common::hash::{FxHashMap, FxHashSet};
 use raptor_common::intern::{SharedDict, Sym};
+use raptor_common::obs;
 
 use crate::db::Database;
 use crate::like::{containment_literal, like_match};
@@ -1011,7 +1012,19 @@ pub fn execute(db: &Database, plan: &QueryPlan) -> Result<(QueryResultCore, Exec
     let mut bound_slots: Vec<usize> = Vec::new();
 
     for (slot, scan) in plan.scans.iter().enumerate() {
-        let rows = run_scan(db, scan, &mut stats)?;
+        // One scan span per table scan (partitioning inside `run_scan` is
+        // invisible here, so span counts are thread-count invariant).
+        let rows = {
+            let mut sp = obs::span("relstore.scan");
+            sp.label(&scan.alias);
+            let before = stats;
+            let rows = run_scan(db, scan, &mut stats)?;
+            sp.attr("rows", rows.len() as u64);
+            sp.attr("scanned", (stats.rows_scanned - before.rows_scanned) as u64);
+            sp.attr("segments", (stats.segments_scanned - before.segments_scanned) as u64);
+            sp.attr("pruned", (stats.segments_pruned - before.segments_pruned) as u64);
+            rows
+        };
         if slot == 0 {
             tuples.data.reserve(rows.len() * nslots);
             for r in rows {
@@ -1020,6 +1033,10 @@ pub fn execute(db: &Database, plan: &QueryPlan) -> Result<(QueryResultCore, Exec
                 tuples.data[n] = r;
             }
         } else {
+            let mut sp = obs::span("relstore.join");
+            sp.label(&scan.alias);
+            sp.attr("probe", tuples.len() as u64);
+            sp.attr("build", rows.len() as u64);
             // Find equi-join keys connecting `slot` to already-bound slots.
             let mut keys: Vec<EquiKey> = Vec::new();
             for (i, (b, slots)) in residual_bound.iter().enumerate() {
@@ -1168,6 +1185,7 @@ pub fn execute(db: &Database, plan: &QueryPlan) -> Result<(QueryResultCore, Exec
                     })
                 };
             }
+            sp.attr("tuples", tuples.len() as u64);
         }
         bound_slots.push(slot);
         stats.tuples_built += tuples.len();

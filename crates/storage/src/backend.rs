@@ -53,6 +53,24 @@ pub struct BackendStats {
 }
 
 impl BackendStats {
+    /// Counter-wise difference vs an earlier snapshot of the same stats —
+    /// the per-data-query deltas the observability plane attaches to each
+    /// issued query (`QueryInfo.delta` at the engine level).
+    pub fn delta_since(&self, before: &BackendStats) -> BackendStats {
+        BackendStats {
+            data_queries: self.data_queries - before.data_queries,
+            text_parses: self.text_parses - before.text_parses,
+            items_scanned: self.items_scanned - before.items_scanned,
+            items_built: self.items_built - before.items_built,
+            items_inserted: self.items_inserted - before.items_inserted,
+            index_scans: self.index_scans - before.index_scans,
+            full_scans: self.full_scans - before.full_scans,
+            edges_traversed: self.edges_traversed - before.edges_traversed,
+            segments_scanned: self.segments_scanned - before.segments_scanned,
+            segments_pruned: self.segments_pruned - before.segments_pruned,
+        }
+    }
+
     pub fn absorb(&mut self, other: &BackendStats) {
         self.data_queries += other.data_queries;
         self.text_parses += other.text_parses;

@@ -3,6 +3,7 @@
 
 use raptor_audit::{Entity, ParsedLog, SystemEvent};
 use raptor_common::error::Result;
+use raptor_common::obs;
 use raptor_engine::exec::{Engine, EngineStats};
 use raptor_engine::load::{self};
 use raptor_engine::standing::{EpochInput, StandingQuery};
@@ -156,20 +157,29 @@ impl StreamSession {
     /// registered queries, so an `Err` here means the session is broken,
     /// not one delta.
     pub fn ingest(&mut self, entities: &[Entity], events: &[SystemEvent]) -> Result<EpochReport> {
+        let mut sp_epoch = obs::span("stream.epoch");
+        sp_epoch.attr("epoch", self.epoch);
+        sp_epoch.attr("entities", entities.len() as u64);
+        sp_epoch.attr("events", events.len() as u64);
         let mut ingest_stats = BackendStats::default();
         let entity_lo = self.engine.stores.graph.node_count() as i64;
-        for e in entities {
-            load::append_entity(&mut self.engine.stores, e, &mut ingest_stats)?;
-        }
-        let entity_hi = self.engine.stores.graph.node_count() as i64;
+        let (entity_hi, event_ids) = {
+            let mut sp = obs::span("stream.ingest");
+            for e in entities {
+                load::append_entity(&mut self.engine.stores, e, &mut ingest_stats)?;
+            }
+            let entity_hi = self.engine.stores.graph.node_count() as i64;
 
-        let mut event_ids: Vec<i64> = Vec::with_capacity(events.len());
-        for ev in events {
-            load::append_event(&mut self.engine.stores, ev, &mut ingest_stats)?;
-            event_ids.push(ev.id.index() as i64);
-        }
-        event_ids.sort_unstable();
-        event_ids.dedup();
+            let mut event_ids: Vec<i64> = Vec::with_capacity(events.len());
+            for ev in events {
+                load::append_event(&mut self.engine.stores, ev, &mut ingest_stats)?;
+                event_ids.push(ev.id.index() as i64);
+            }
+            event_ids.sort_unstable();
+            event_ids.dedup();
+            sp.attr("inserted", ingest_stats.items_inserted as u64);
+            (entity_hi, event_ids)
+        };
         self.total_ingest.absorb(&ingest_stats);
 
         let epoch = self.epoch;
@@ -181,12 +191,15 @@ impl StreamSession {
         // on the engine's pool. Outputs come back in registration order —
         // per-epoch reports are identical at every thread count.
         let engine = &self.engine;
+        let t_detect = std::time::Instant::now();
         let outcomes = engine
             .pool()
             .run(self.queries.iter_mut().map(|sq| move || sq.advance(engine, &input)).collect());
         let mut deltas = Vec::with_capacity(outcomes.len());
+        let mut delta_rows = 0usize;
         for (i, outcome) in outcomes.into_iter().enumerate() {
             let (delta, stats) = outcome?;
+            delta_rows += delta.n_rows();
             deltas.push(QueryDelta {
                 id: QueryId(i),
                 name: self.queries[i].name().to_string(),
@@ -194,6 +207,17 @@ impl StreamSession {
                 stats,
             });
         }
+        // Epoch detection latency: ingest-to-delta wall time for this
+        // epoch's standing-query advancement.
+        let m = obs::metrics();
+        m.counter_add("raptor_epochs_total", 1);
+        m.counter_add("raptor_entities_ingested_total", entities.len() as u64);
+        m.counter_add("raptor_events_ingested_total", events.len() as u64);
+        m.counter_add("raptor_delta_rows_total", delta_rows as u64);
+        if !self.queries.is_empty() {
+            m.observe_ns("raptor_epoch_detect_latency_ns", t_detect.elapsed().as_nanos() as u64);
+        }
+        sp_epoch.attr("delta_rows", delta_rows as u64);
         Ok(EpochReport {
             epoch,
             watermark: self.engine.stores.now_ns,

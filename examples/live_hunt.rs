@@ -4,14 +4,26 @@
 //! registers a TBQL standing query synthesized from the case's OSCTI
 //! report, and prints — per epoch — what was ingested, which patterns
 //! matched for the first time, and the result-row deltas as the hunt
-//! converges on the attack.
+//! converges on the attack. Along the way it reads the observability
+//! plane: a per-epoch metrics line, the final metrics snapshot in
+//! Prometheus text form, and the EXPLAIN ANALYZE tree of the standing
+//! query against the fully grown store.
 //!
 //! ```text
 //! cargo run --release -p threatraptor --example live_hunt
 //! ```
 
+use threatraptor::obs::{self, MetricValue};
 use threatraptor::stream::{EpochPolicy, EpochStream};
-use threatraptor::{SynthesisPlan, ThreatRaptor};
+use threatraptor::{Redact, SynthesisPlan, ThreatRaptor};
+
+/// Reads a counter out of a metrics snapshot (0 when absent).
+fn counter(snap: &obs::MetricsSnapshot, name: &str) -> u64 {
+    match snap.get(name) {
+        Some(MetricValue::Counter(n)) => *n,
+        _ => 0,
+    }
+}
 
 fn main() {
     // The data_leak scenario: tar→bzip2→gpg(-helper)→curl exfiltration
@@ -66,6 +78,18 @@ fn main() {
                 );
             }
         }
+
+        // Per-epoch view of the metrics registry (cumulative counters the
+        // stream session records on every ingest).
+        let snap = obs::metrics().snapshot();
+        println!(
+            "epoch {:>3}  metrics: epochs={} events={} entities={} delta_rows={}",
+            report.epoch,
+            counter(&snap, "raptor_epochs_total"),
+            counter(&snap, "raptor_events_ingested_total"),
+            counter(&snap, "raptor_entities_ingested_total"),
+            counter(&snap, "raptor_delta_rows_total"),
+        );
     }
 
     let progress = hunt.session().query(exact).progress();
@@ -92,4 +116,19 @@ fn main() {
             ),
         }
     }
+
+    // The observability plane, read out at the end of the hunt: the full
+    // metrics snapshot in Prometheus exposition format…
+    let m = obs::metrics();
+    m.gauge_set("raptor_dict_symbols", hunt.session().engine().stores.dict.len() as i64);
+    println!("\n--- metrics (Prometheus text) ---");
+    print!("{}", m.snapshot().to_prometheus());
+
+    // …and the plan of the standing query, annotated with actuals, against
+    // the fully grown store (Redact::Full keeps wall times and scan
+    // granularity visible — this output is for humans, not goldens).
+    println!("--- EXPLAIN ANALYZE (standing query vs final store) ---");
+    let (_, tree) =
+        hunt.session().engine().explain_analyze_text(&tbql, Redact::Full).expect("analyze");
+    print!("{tree}");
 }
