@@ -36,7 +36,7 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use raptor_bench::corpus::{corpus_system, EQUIV_CORPUS};
+use raptor_bench::corpus::{corpus_log, corpus_system, scaled_corpus_log, EQUIV_CORPUS};
 use raptor_engine::SchedulerMode;
 use raptor_tbql::{analyze, parse_tbql};
 
@@ -223,6 +223,91 @@ fn run_observability() -> ObsReport {
     ObsReport { spans_per_query, q3_latency_ns_trace_off, q3_latency_ns_trace_on }
 }
 
+/// Signals from the durability plane: WAL-on vs WAL-off ingest, and
+/// checkpoint + recovery of the ~15x store.
+struct DurabilityReport {
+    /// Events in the corpus stream (context for the throughput numbers).
+    events: usize,
+    /// Full-stream ingest latency without / with the WAL (informational —
+    /// both land on an in-memory disk, isolating the framing + fsync-call
+    /// overhead from medium speed; never gated, wall clock flakes).
+    ingest_ns_volatile: u128,
+    ingest_ns_durable: u128,
+    /// Deterministic counters off the corpus recovery (gated exact): WAL
+    /// records logged == replayed, and epochs committed == replayed.
+    wal_records: u64,
+    wal_epochs: u64,
+    /// The ~15x store: checkpoint size + rows replayed out of it (gated
+    /// exact) and cold recovery wall time (informational).
+    scaled_checkpoint_bytes: u64,
+    scaled_recovered_rows: u64,
+    scaled_recovery_ns: u128,
+}
+
+/// Streams the corpus twice — volatile session vs WAL-backed durable
+/// session — then recovers, asserting the recovered store matches the
+/// volatile one row-for-row. Separately checkpoints the ~15x store and
+/// times a cold recovery from the checkpoint image.
+fn run_durability() -> DurabilityReport {
+    use std::sync::Arc;
+    use threatraptor::common::io::MemFs;
+    use threatraptor::stream::{EpochPolicy, EpochStream, StreamSession};
+    use threatraptor::{DurablePolicy, DurableSession};
+
+    let log = corpus_log();
+    let manual = DurablePolicy { checkpoint_every: 0 };
+
+    let t = Instant::now();
+    let mut volatile = StreamSession::new().expect("volatile session");
+    for b in EpochStream::new(&log, EpochPolicy::ByCount(256)) {
+        volatile.ingest_batch(&b).expect("volatile ingest");
+    }
+    let ingest_ns_volatile = t.elapsed().as_nanos();
+
+    let disk = Arc::new(MemFs::new());
+    let t = Instant::now();
+    let mut durable = DurableSession::open(disk.clone(), manual).expect("durable open");
+    for b in EpochStream::new(&log, EpochPolicy::ByCount(256)) {
+        durable.ingest_batch(&b).expect("durable ingest");
+    }
+    let ingest_ns_durable = t.elapsed().as_nanos();
+    drop(durable);
+
+    let recovered = DurableSession::open(disk, manual).expect("recover corpus WAL");
+    let r = recovered.recovery_report();
+    assert_eq!(
+        recovered.engine().stores.rel.total_rows(),
+        volatile.engine().stores.rel.total_rows(),
+        "recovered corpus store must match the volatile ingest"
+    );
+
+    let scaled = scaled_corpus_log();
+    let disk15 = Arc::new(MemFs::new());
+    let mut s15 = DurableSession::open(disk15.clone(), manual).expect("open 15x");
+    for b in EpochStream::new(&scaled, EpochPolicy::ByCount(4096)) {
+        s15.ingest_batch(&b).expect("ingest 15x");
+    }
+    s15.checkpoint().expect("checkpoint 15x");
+    drop(s15);
+    let t = Instant::now();
+    let rec15 = DurableSession::open(disk15, manual).expect("recover 15x");
+    let scaled_recovery_ns = t.elapsed().as_nanos();
+    let r15 = rec15.recovery_report();
+    assert!(r15.checkpoint_found, "15x recovery must come from the checkpoint");
+    assert_eq!(r15.wal_bytes_discarded, 0);
+
+    DurabilityReport {
+        events: log.events.len(),
+        ingest_ns_volatile,
+        ingest_ns_durable,
+        wal_records: r.wal_records_replayed,
+        wal_epochs: r.wal_epochs_replayed,
+        scaled_checkpoint_bytes: r15.checkpoint_bytes,
+        scaled_recovered_rows: r15.checkpoint_rows,
+        scaled_recovery_ns,
+    }
+}
+
 /// Worker-thread counts the `parallel` section measures.
 const PARALLEL_THREADS: [usize; 3] = [1, 2, 4];
 
@@ -270,6 +355,7 @@ fn render_json(
     parallel: &[ParallelReport],
     columnar: &ColumnarReport,
     obs: &ObsReport,
+    durability: &DurabilityReport,
     q_error_max: f64,
 ) -> String {
     let mut out = String::new();
@@ -337,6 +423,24 @@ fn render_json(
         / (obs.q3_latency_ns_trace_off.max(1) as f64)
         * 100.0;
     let _ = writeln!(out, "    \"q3_trace_overhead_pct\": {overhead:.2}");
+    let _ = writeln!(out, "  }},");
+    // Durability plane: record/epoch/row counters are gated exactly (the
+    // corpus stream is deterministic, so the WAL it produces is too); the
+    // ingest and recovery latencies are informational only.
+    let _ = writeln!(out, "  \"durability\": {{");
+    let _ = writeln!(out, "    \"events\": {},", durability.events);
+    let _ = writeln!(out, "    \"ingest_ns_volatile\": {},", durability.ingest_ns_volatile);
+    let _ = writeln!(out, "    \"ingest_ns_durable\": {},", durability.ingest_ns_durable);
+    let wal_overhead = (durability.ingest_ns_durable as f64 - durability.ingest_ns_volatile as f64)
+        / (durability.ingest_ns_volatile.max(1) as f64)
+        * 100.0;
+    let _ = writeln!(out, "    \"wal_overhead_pct\": {wal_overhead:.2},");
+    let _ = writeln!(out, "    \"wal_records\": {},", durability.wal_records);
+    let _ = writeln!(out, "    \"wal_epochs\": {},", durability.wal_epochs);
+    let _ =
+        writeln!(out, "    \"scaled_checkpoint_bytes\": {},", durability.scaled_checkpoint_bytes);
+    let _ = writeln!(out, "    \"scaled_recovered_rows\": {},", durability.scaled_recovered_rows);
+    let _ = writeln!(out, "    \"scaled_recovery_ns\": {}", durability.scaled_recovery_ns);
     let _ = writeln!(out, "  }},");
     let orders_differ = reports.iter().filter(|r| r.order_cost != r.order_syntactic).count();
     let work_cost_total: usize = reports.iter().map(|r| r.work_cost).sum();
@@ -455,6 +559,28 @@ fn gate(current: &str, baseline: &str) -> Vec<String> {
             ));
         }
     }
+    // Durability plane: the corpus stream is deterministic, so the WAL it
+    // produces — and what recovery replays — is exact. Any drift means the
+    // record framing, the commit protocol, or the checkpoint replay
+    // changed; regenerate the baseline deliberately. Checkpoint size gets
+    // the 2x envelope (encoding growth is fine, blow-up is not).
+    for key in ["wal_records", "wal_epochs", "scaled_recovered_rows"] {
+        let (c, b) = (extract_numbers(current, key), extract_numbers(baseline, key));
+        if !b.is_empty() && c != b {
+            failures.push(format!("durability {key} changed: baseline {b:?}, current {c:?}"));
+        }
+    }
+    if let (Some(c), Some(b)) = (
+        extract_numbers(current, "scaled_checkpoint_bytes").last(),
+        extract_numbers(baseline, "scaled_checkpoint_bytes").last(),
+    ) {
+        if *c > b.max(1.0) * MAX_REGRESSION {
+            failures.push(format!(
+                "durability checkpoint size regressed >{MAX_REGRESSION}x \
+                 (baseline {b}, current {c})"
+            ));
+        }
+    }
     let differ = |json: &str| extract_numbers(json, "orders_differ").last().copied().unwrap_or(0.0);
     if differ(current) < 1.0 && differ(baseline) >= 1.0 {
         failures.push(
@@ -487,7 +613,8 @@ fn main() -> ExitCode {
     let parallel = run_parallel();
     let columnar = run_columnar();
     let obs = run_observability();
-    let json = render_json(&reports, &parallel, &columnar, &obs, q_error_max);
+    let durability = run_durability();
+    let json = render_json(&reports, &parallel, &columnar, &obs, &durability, q_error_max);
     if let Some(parent) =
         std::path::Path::new(&out_path).parent().filter(|p| !p.as_os_str().is_empty())
     {
@@ -523,6 +650,18 @@ fn main() -> ExitCode {
         obs.spans_per_query,
         obs.q3_latency_ns_trace_off as f64 / 1e3,
         obs.q3_latency_ns_trace_on as f64 / 1e3,
+    );
+    println!(
+        "durability: {} events, ingest wal-off/on={:.1}ms/{:.1}ms, wal records/epochs={}/{}; \
+         15x ckpt={}B rows={} recovery={:.1}ms",
+        durability.events,
+        durability.ingest_ns_volatile as f64 / 1e6,
+        durability.ingest_ns_durable as f64 / 1e6,
+        durability.wal_records,
+        durability.wal_epochs,
+        durability.scaled_checkpoint_bytes,
+        durability.scaled_recovered_rows,
+        durability.scaled_recovery_ns as f64 / 1e6,
     );
     for p in &parallel {
         println!(

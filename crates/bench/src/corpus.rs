@@ -46,10 +46,10 @@ pub fn corpus_system() -> ThreatRaptor {
 }
 
 /// The corpus scenario at ~15x background scale (tens of thousands of
-/// events): big enough that scans, probes and traversals dominate over
-/// per-query fixed costs. Shared by the parallel and columnar-scan wall
-/// benches; deliberately **not** used by `bench_smoke` (CI stays fast).
-pub fn scaled_corpus_system() -> ThreatRaptor {
+/// events) as a parsed + reduced log. Exposed so the durability section of
+/// `bench_smoke` can stream, checkpoint and recover the same big store the
+/// wall benches query.
+pub fn scaled_corpus_log() -> ParsedLog {
     let mut sim = Simulator::new(77, Timestamp::from_secs(1_500_000_000));
     generate_background(
         &mut sim,
@@ -65,5 +65,16 @@ pub fn scaled_corpus_system() -> ThreatRaptor {
     let fd = sim.connect(curl, "192.168.29.128", 443);
     sim.send(curl, fd, 4096, 4);
     sim.exit(curl);
-    ThreatRaptor::from_records(&sim.finish()).unwrap()
+    let mut log = LogParser::parse(&sim.finish());
+    reduce::merge_events(&mut log.events, reduce::DEFAULT_THRESHOLD);
+    log
+}
+
+/// Builds the ~15x system (see [`scaled_corpus_log`]): big enough that
+/// scans, probes and traversals dominate over per-query fixed costs.
+/// Shared by the parallel and columnar-scan wall benches; `bench_smoke`
+/// touches it only for the durability section's recovery timing (its query
+/// gates stay on the small corpus so CI stays fast).
+pub fn scaled_corpus_system() -> ThreatRaptor {
+    ThreatRaptor::from_log(&scaled_corpus_log()).unwrap()
 }

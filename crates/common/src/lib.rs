@@ -19,6 +19,10 @@
 //! * [`intern`] — string interning: the plain [`Interner`] and the
 //!   [`SharedDict`] shared dictionary plane (one concurrently-readable
 //!   dictionary above both storage backends; per-row reads never lock),
+//! * [`io`] — the durability plane's I/O substrate: the injectable [`io::Fs`]
+//!   file backend (real directory, in-memory, and the [`io::FailpointFs`]
+//!   deterministic fault injector), IEEE CRC-32, and length-checked binary
+//!   cursor helpers shared by the WAL and checkpoint codecs,
 //! * [`obs`] — the observability plane: the lock-free [`obs::TraceSink`]
 //!   span ring (env-gated by `RAPTOR_TRACE`), the global
 //!   [`obs::MetricsRegistry`] with JSON / Prometheus snapshots, and the
@@ -30,6 +34,7 @@ pub mod error;
 pub mod hash;
 pub mod ids;
 pub mod intern;
+pub mod io;
 pub mod like;
 pub mod obs;
 pub mod pool;

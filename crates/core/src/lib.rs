@@ -43,6 +43,10 @@ pub mod synthesis;
 
 pub use raptor::{HuntOutcome, ThreatRaptor};
 pub use stream::HuntStream;
+
+// Durability plane: WAL + checkpoints + crash recovery
+// (`ThreatRaptor::open` / `open_with_fs`).
+pub use raptor_stream::{DurablePolicy, DurableSession, RecoveryReport};
 pub use synthesis::{synthesize, SynthesisPlan};
 
 // Observability plane: trace spans, metrics registry, slow-query log

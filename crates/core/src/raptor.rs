@@ -5,13 +5,18 @@
 //! TBQL, execute (exact or fuzzy), or run hand-written TBQL directly
 //! ("proactive threat hunting" in the paper's terms).
 
+use std::path::Path;
+use std::sync::Arc;
+
 use raptor_audit::{reduce, LogParser, ParsedLog, SyscallRecord};
-use raptor_common::error::Result;
+use raptor_common::error::{Error, Result};
+use raptor_common::io::{DirFs, Fs};
 use raptor_engine::exec::{Engine, EngineStats, ExecMode, ResultTable};
 use raptor_engine::fuzzy::{self, FuzzyConfig, FuzzyOutcome, QueryGraph};
-use raptor_engine::load::load;
+use raptor_engine::load::{self, load};
 use raptor_engine::provenance::{build_from_stores, ProvTimings};
 use raptor_extract::{extract, ExtractionOutput, ThreatBehaviorGraph};
+use raptor_stream::{DurablePolicy, DurableSession, RecoveryReport};
 use raptor_tbql::print::print_query;
 use raptor_tbql::{analyze, parse_tbql, Query};
 
@@ -30,9 +35,18 @@ pub struct HuntOutcome {
     pub engine_stats: EngineStats,
 }
 
+/// The facade's backing mode: a volatile batch-loaded engine, or a durable
+/// streaming session whose store survives restarts.
+enum Inner {
+    // Both variants are boxed: each carries whole-store state (712+ bytes
+    // of engine, more for a durable session), far too big to pass inline.
+    Batch(Box<Engine>),
+    Durable(Box<DurableSession>),
+}
+
 /// The ThreatRaptor system: loaded stores + query engine.
 pub struct ThreatRaptor {
-    engine: Engine,
+    inner: Inner,
 }
 
 impl ThreatRaptor {
@@ -46,15 +60,94 @@ impl ThreatRaptor {
 
     /// Loads an already-parsed (and reduced) log.
     pub fn from_log(log: &ParsedLog) -> Result<Self> {
-        Ok(ThreatRaptor { engine: Engine::new(load(log)?) })
+        Ok(ThreatRaptor { inner: Inner::Batch(Box::new(Engine::new(load(log)?))) })
+    }
+
+    /// Opens (or recovers) a *durable* system over a directory: every
+    /// append is write-ahead logged, [`ThreatRaptor::checkpoint`]
+    /// serializes the store, and re-opening the same path resumes exactly
+    /// at the last durable point (see `raptor_stream::DurableSession`).
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        Self::open_with_fs(Arc::new(DirFs::new(path)?), DurablePolicy::default())
+    }
+
+    /// [`ThreatRaptor::open`] over an explicit file backend and policy
+    /// (in-memory and fault-injected backends live in `raptor_common::io`).
+    pub fn open_with_fs(fs: Arc<dyn Fs>, policy: DurablePolicy) -> Result<Self> {
+        Ok(ThreatRaptor { inner: Inner::Durable(Box::new(DurableSession::open(fs, policy)?)) })
+    }
+
+    fn eng(&self) -> &Engine {
+        match &self.inner {
+            Inner::Batch(e) => e.as_ref(),
+            Inner::Durable(d) => d.engine(),
+        }
     }
 
     pub fn engine(&self) -> &Engine {
-        &self.engine
+        self.eng()
     }
 
     pub fn engine_mut(&mut self) -> &mut Engine {
-        &mut self.engine
+        match &mut self.inner {
+            Inner::Batch(e) => e.as_mut(),
+            Inner::Durable(d) => d.engine_mut(),
+        }
+    }
+
+    /// The durable session backing this system, when opened with
+    /// [`ThreatRaptor::open`] (register standing queries, inspect epochs).
+    pub fn durable(&self) -> Option<&DurableSession> {
+        match &self.inner {
+            Inner::Durable(d) => Some(d),
+            Inner::Batch(_) => None,
+        }
+    }
+
+    pub fn durable_mut(&mut self) -> Option<&mut DurableSession> {
+        match &mut self.inner {
+            Inner::Durable(d) => Some(d),
+            Inner::Batch(_) => None,
+        }
+    }
+
+    /// What recovery found when this system was opened durably: checkpoint
+    /// used, WAL records replayed, bytes discarded from the torn tail.
+    /// `None` for batch-loaded (volatile) systems.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.durable().map(|d| d.recovery_report())
+    }
+
+    /// Appends a parsed log increment. Durable systems ingest it as one
+    /// committed (WAL-logged + fsynced) epoch; batch systems append
+    /// directly. Entity ids must continue the store's dense id space.
+    pub fn append_log(&mut self, log: &ParsedLog) -> Result<()> {
+        match &mut self.inner {
+            Inner::Batch(e) => {
+                let mut stats = raptor_storage::BackendStats::default();
+                load::append_log(&mut e.stores, log, &mut stats)
+            }
+            Inner::Durable(d) => d.ingest(&log.entities, &log.events).map(|_| ()),
+        }
+    }
+
+    /// Parses + reduces raw records and appends them via
+    /// [`ThreatRaptor::append_log`].
+    pub fn append_records(&mut self, records: &[SyscallRecord]) -> Result<()> {
+        let mut log = LogParser::parse(records);
+        reduce::merge_events(&mut log.events, reduce::DEFAULT_THRESHOLD);
+        self.append_log(&log)
+    }
+
+    /// Checkpoints a durable system now (atomic replace + WAL truncation).
+    /// Errors on batch-loaded systems, which have nothing to persist to.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        match &mut self.inner {
+            Inner::Durable(d) => d.checkpoint(),
+            Inner::Batch(_) => {
+                Err(Error::storage("checkpoint() requires a durable system (ThreatRaptor::open)"))
+            }
+        }
     }
 
     /// Pins the worker count across the whole execution plane (engine
@@ -62,14 +155,20 @@ impl ThreatRaptor {
     /// `RAPTOR_THREADS` / available parallelism; `1` takes the strictly
     /// sequential code paths everywhere.
     pub fn set_threads(&mut self, threads: usize) {
-        self.engine.set_threads(threads);
+        match &mut self.inner {
+            Inner::Batch(e) => e.set_threads(threads),
+            Inner::Durable(d) => d.set_threads(threads),
+        }
     }
 
     /// Re-segments the relational store's columnar tables to `rows`-row
     /// segments (see `RAPTOR_SEGMENT_ROWS`; results are byte-identical at
     /// every capacity — only scan granularity and segment counters change).
     pub fn set_segment_rows(&mut self, rows: usize) {
-        self.engine.set_segment_rows(rows);
+        match &mut self.inner {
+            Inner::Batch(e) => e.set_segment_rows(rows),
+            Inner::Durable(d) => d.set_segment_rows(rows),
+        }
     }
 
     /// Extracts a threat behavior graph from OSCTI text (Algorithm 1).
@@ -97,13 +196,13 @@ impl ThreatRaptor {
         let query = synthesize(&extraction.graph, plan)?;
         let query_text = print_query(&query);
         let aq = analyze(&query)?;
-        let (results, engine_stats) = self.engine.execute(&aq, ExecMode::Scheduled)?;
+        let (results, engine_stats) = self.eng().execute(&aq, ExecMode::Scheduled)?;
         Ok(HuntOutcome { extraction, query, query_text, results, engine_stats })
     }
 
     /// Runs a hand-written TBQL query (proactive hunting).
     pub fn query(&self, tbql: &str) -> Result<ResultTable> {
-        let (table, _) = self.engine.execute_text(tbql, ExecMode::Scheduled)?;
+        let (table, _) = self.eng().execute_text(tbql, ExecMode::Scheduled)?;
         Ok(table)
     }
 
@@ -114,14 +213,14 @@ impl ThreatRaptor {
         tbql: &str,
         mode: ExecMode,
     ) -> Result<(ResultTable, EngineStats)> {
-        self.engine.execute_text(tbql, mode)
+        self.eng().execute_text(tbql, mode)
     }
 
     /// Renders the execution plan for a TBQL query without running its
     /// patterns: seeding candidates, scheduler choice, pattern order,
     /// per-pattern cost estimates. See `raptor_engine::explain`.
     pub fn explain(&self, tbql: &str) -> Result<String> {
-        self.engine.explain_text(tbql)
+        self.eng().explain_text(tbql)
     }
 
     /// Executes a TBQL query and renders the plan annotated with actuals:
@@ -133,7 +232,7 @@ impl ThreatRaptor {
         tbql: &str,
         redact: raptor_engine::Redact,
     ) -> Result<(ResultTable, String)> {
-        self.engine.explain_analyze_text(tbql, redact)
+        self.eng().explain_analyze_text(tbql, redact)
     }
 
     /// Snapshots the process-wide metrics registry (counters, gauges,
@@ -142,8 +241,8 @@ impl ThreatRaptor {
     /// `to_prometheus()`.
     pub fn metrics(&self) -> raptor_common::obs::MetricsSnapshot {
         let m = raptor_common::obs::metrics();
-        m.gauge_set("raptor_dict_symbols", self.engine.stores.dict.len() as i64);
-        m.gauge_set("raptor_threads", self.engine.pool().threads() as i64);
+        m.gauge_set("raptor_dict_symbols", self.eng().stores.dict.len() as i64);
+        m.gauge_set("raptor_threads", self.eng().pool().threads() as i64);
         m.snapshot()
     }
 
@@ -157,7 +256,7 @@ impl ThreatRaptor {
     ) -> Result<(FuzzyOutcome, ProvTimings)> {
         let q = parse_tbql(tbql)?;
         let aq = analyze(&q)?;
-        let (prov, timings) = build_from_stores(&self.engine.stores)?;
+        let (prov, timings) = build_from_stores(&self.eng().stores)?;
         let qg = QueryGraph::from_analyzed(&aq);
         Ok((fuzzy::search(&prov, &qg, cfg), timings))
     }

@@ -14,7 +14,8 @@ use raptor_tbql::print::print_query;
 use raptor_tbql::{analyze, Query};
 
 pub use raptor_stream::{
-    EpochBatch, EpochPolicy, EpochReport, EpochStream, QueryDelta, QueryId, StreamSession,
+    DurablePolicy, DurableSession, EpochBatch, EpochPolicy, EpochReport, EpochStream, QueryDelta,
+    QueryId, RecoveryReport, StreamSession,
 };
 
 use crate::synthesis::{synthesize, SynthesisPlan};

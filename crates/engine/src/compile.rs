@@ -58,6 +58,13 @@ impl Propagation {
         self.entity_ids.insert(var.into(), ids);
     }
 
+    /// Iterates the candidate sets (variable name → sorted-distinct ids).
+    /// Iteration order is the hash map's — callers needing determinism
+    /// (e.g. the durability plane's checkpoint codec) must sort.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[i64])> {
+        self.entity_ids.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
     /// Grows `var` by union with `ids`; sets it when absent. This is the
     /// *streaming* propagation rule: candidate sets derived from entity
     /// filters only ever gain members as new entities are ingested, so

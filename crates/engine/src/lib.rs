@@ -34,8 +34,14 @@
 //! * [`provenance`] / [`fuzzy`] — the fuzzy search mode: Poirot-style
 //!   inexact graph pattern matching with Levenshtein node alignment and
 //!   ancestor-influence scoring; the Poirot baseline stops at the first
-//!   acceptable alignment, ThreatRaptor-Fuzzy searches exhaustively.
+//!   acceptable alignment, ThreatRaptor-Fuzzy searches exhaustively,
+//! * [`wal`] / [`checkpoint`] — the durability plane: a checksummed binary
+//!   write-ahead log hooked below the load seam, and checkpoints that
+//!   serialize the dictionary, columnar segments + zone maps, session
+//!   position and standing-query state, restored by replaying rows through
+//!   the very same seam (identical-by-construction recovery).
 
+pub mod checkpoint;
 pub mod compile;
 pub mod estimate;
 pub mod exec;
@@ -45,10 +51,13 @@ pub mod load;
 pub mod provenance;
 pub mod schedule;
 pub mod standing;
+pub mod wal;
 
+pub use checkpoint::{Restored, SessionMeta, StandingSnap, CKPT_FILE};
 pub use estimate::PatternEstimate;
 pub use exec::{Engine, ExecMode, ResultTable};
 pub use explain::Redact;
 pub use load::LoadedStores;
 pub use schedule::SchedulerMode;
 pub use standing::{EpochInput, PatternProgress, StandingQuery};
+pub use wal::{WalRecord, WalScan, WalSink, WAL_FILE};

@@ -14,6 +14,7 @@
 //! maintain every index on insert, so an incrementally-grown store is
 //! identical-by-construction to a bulk-loaded one.
 
+use crate::wal::WalSink;
 use raptor_audit::{Entity, EntityAttrs, EntityKind, ParsedLog, SystemEvent};
 use raptor_common::error::{Error, Result};
 use raptor_common::intern::SharedDict;
@@ -35,6 +36,13 @@ pub struct LoadedStores {
     pub dict: SharedDict,
     /// Max event end time (reference point for `last N unit` windows).
     pub now_ns: i64,
+    /// The durability plane's write-ahead log sink. When attached, every
+    /// entity/event appended through this seam is logged *before* it is
+    /// applied to either backend, so a crash can never leave the stores
+    /// ahead of the log. `None` (the default) means volatile operation —
+    /// and is also what recovery uses while replaying, so replayed records
+    /// are not logged twice.
+    pub wal: Option<WalSink>,
 }
 
 /// Node labels used in the graph store.
@@ -131,7 +139,15 @@ pub fn class_for_kind(kind: EntityKind) -> EntityClass {
 /// Section III-B: key attributes, plus id lookups for scheduler
 /// propagation). Records appended later maintain all of them.
 pub fn empty() -> Result<LoadedStores> {
-    let dict = SharedDict::new();
+    empty_with_dict(SharedDict::new())
+}
+
+/// [`empty`] over a caller-provided dictionary. The durability plane's
+/// recovery path restores the checkpointed dictionary first (pinning every
+/// interned [`raptor_common::Sym`] to its pre-crash value) and then rebuilds
+/// the stores around it, so symbols inside recovered standing-query state
+/// stay valid.
+pub fn empty_with_dict(dict: SharedDict) -> Result<LoadedStores> {
     let mut rel = Database::with_dict(dict.clone());
     for schema in audit_schema() {
         rel.create_table(schema)?;
@@ -168,7 +184,7 @@ pub fn empty() -> Result<LoadedStores> {
         graph.create_node_index(label, key);
     }
 
-    Ok(LoadedStores { rel, graph, dict, now_ns: 0 })
+    Ok(LoadedStores { rel, graph, dict, now_ns: 0, wal: None })
 }
 
 /// Appends one entity to both stores through their [`MutableBackend`]s.
@@ -186,6 +202,9 @@ pub fn append_entity(
             "entity {id} appended out of order (expected {})",
             stores.graph.node_count()
         )));
+    }
+    if let Some(wal) = &stores.wal {
+        wal.log_entity(e)?;
     }
     let host = e.host as i64;
     let fields: Vec<Field<'_>> = match &e.attrs {
@@ -225,6 +244,9 @@ pub fn append_event(
     ev: &SystemEvent,
     stats: &mut BackendStats,
 ) -> Result<()> {
+    if let Some(wal) = &stores.wal {
+        wal.log_event(ev)?;
+    }
     let fields: [Field<'_>; 8] = [
         ("optype", FieldValue::Str(ev.op.name())),
         ("kind", FieldValue::Str(ev.kind.name())),

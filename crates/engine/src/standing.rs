@@ -32,6 +32,7 @@
 use raptor_common::error::{Error, Result};
 use raptor_common::hash::FxHashMap;
 use raptor_common::intern::SharedDict;
+use raptor_common::io;
 use raptor_storage::{CmpOp as SOp, Pred, ResultBatch, Value as SVal};
 use raptor_tbql::analyze::AnalyzedQuery;
 use raptor_tbql::Window;
@@ -152,6 +153,152 @@ impl StandingQuery {
     /// result over the same data.
     pub fn cumulative_batch(&self) -> ResultBatch {
         ResultBatch::from_rows(self.columns.clone(), self.cumulative.clone(), self.dict.clone())
+    }
+
+    /// Serializes the accumulated evaluation state (durability plane's
+    /// checkpoint codec). The compiled query itself is *not* serialized —
+    /// recovery re-analyzes the registered TBQL text and then restores this
+    /// state into the fresh compilation, so `delta_ok`/`columns` are always
+    /// re-derived, and `emitted` is rebuilt from `cumulative`. Symbols in
+    /// emitted rows refer to the shared dictionary, which the checkpoint
+    /// restores first, pinning them.
+    pub fn encode_state(&self, buf: &mut Vec<u8>) {
+        io::put_u64(buf, self.matches.len() as u64);
+        for (pm, first) in self.matches.iter().zip(&self.first_match_epoch) {
+            io::put_u64(buf, pm.len() as u64);
+            for m in pm {
+                io::put_i64(buf, m.subj);
+                io::put_i64(buf, m.obj);
+                io::put_i64(buf, m.evt);
+                io::put_i64(buf, m.start);
+                io::put_i64(buf, m.end);
+            }
+            match first {
+                Some(e) => {
+                    io::put_u8(buf, 1);
+                    io::put_u64(buf, *e);
+                }
+                None => io::put_u8(buf, 0),
+            }
+        }
+        // Candidate sets, sorted by variable for a deterministic encoding.
+        let mut entries: Vec<(&str, &[i64])> = self.prop.iter().collect();
+        entries.sort_by_key(|(var, _)| *var);
+        io::put_u64(buf, entries.len() as u64);
+        for (var, ids) in entries {
+            io::put_str(buf, var);
+            io::put_u64(buf, ids.len() as u64);
+            for id in ids {
+                io::put_i64(buf, *id);
+            }
+        }
+        io::put_u64(buf, self.cumulative.len() as u64);
+        io::put_u64(buf, self.columns.len() as u64);
+        for row in &self.cumulative {
+            for v in row {
+                match v {
+                    SVal::Null => io::put_u8(buf, 0),
+                    SVal::Int(i) => {
+                        io::put_u8(buf, 1);
+                        io::put_i64(buf, *i);
+                    }
+                    SVal::Str(s) => {
+                        io::put_u8(buf, 2);
+                        io::put_u32(buf, s.0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Restores state written by [`StandingQuery::encode_state`] into a
+    /// freshly-compiled query of the same TBQL text over the restored
+    /// dictionary. Corrupt input yields a typed error, never a panic.
+    pub fn decode_state(&mut self, cur: &mut io::Cur<'_>) -> Result<()> {
+        let n_patterns = cur.get_len()?;
+        if n_patterns != self.aq.patterns.len() {
+            return Err(Error::storage(format!(
+                "standing state has {n_patterns} patterns, query `{}` has {}",
+                self.name,
+                self.aq.patterns.len()
+            )));
+        }
+        let mut matches = Vec::with_capacity(n_patterns);
+        let mut first = Vec::with_capacity(n_patterns);
+        for _ in 0..n_patterns {
+            let n = cur.get_len()?;
+            let mut pm = Vec::with_capacity(n);
+            for _ in 0..n {
+                pm.push(Match {
+                    subj: cur.get_i64()?,
+                    obj: cur.get_i64()?,
+                    evt: cur.get_i64()?,
+                    start: cur.get_i64()?,
+                    end: cur.get_i64()?,
+                });
+            }
+            matches.push(pm);
+            first.push(match cur.get_u8()? {
+                0 => None,
+                1 => Some(cur.get_u64()?),
+                other => {
+                    return Err(Error::storage(format!("invalid option tag {other}")));
+                }
+            });
+        }
+        let mut prop = Propagation::default();
+        for _ in 0..cur.get_len()? {
+            let var = cur.get_str()?;
+            let n = cur.get_len()?;
+            let mut ids = Vec::with_capacity(n);
+            for _ in 0..n {
+                ids.push(cur.get_i64()?);
+            }
+            if !ids.windows(2).all(|w| w[0] < w[1]) {
+                return Err(Error::storage("candidate ids not sorted-distinct (corrupt state)"));
+            }
+            prop.set(var, ids);
+        }
+        let n_rows = cur.get_len()?;
+        let arity = cur.get_len()?;
+        if arity != self.columns.len() {
+            return Err(Error::storage(format!(
+                "standing state arity {arity} != query arity {}",
+                self.columns.len()
+            )));
+        }
+        let n_syms = self.dict.len() as u32;
+        let mut cumulative = Vec::with_capacity(n_rows);
+        let mut emitted: FxHashMap<Vec<SVal>, usize> = FxHashMap::default();
+        for _ in 0..n_rows {
+            let mut row = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                row.push(match cur.get_u8()? {
+                    0 => SVal::Null,
+                    1 => SVal::Int(cur.get_i64()?),
+                    2 => {
+                        let s = cur.get_u32()?;
+                        if s >= n_syms {
+                            return Err(Error::storage(format!(
+                                "symbol {s} out of dictionary range {n_syms}"
+                            )));
+                        }
+                        SVal::Str(raptor_common::Sym(s))
+                    }
+                    other => {
+                        return Err(Error::storage(format!("invalid value tag {other}")));
+                    }
+                });
+            }
+            *emitted.entry(row.clone()).or_insert(0) += 1;
+            cumulative.push(row);
+        }
+        self.matches = matches;
+        self.first_match_epoch = first;
+        self.prop = prop;
+        self.cumulative = cumulative;
+        self.emitted = emitted;
+        Ok(())
     }
 
     /// Delta-seeds the filter-derived candidate sets from this epoch's new

@@ -1,0 +1,600 @@
+//! The durable streaming session: a [`StreamSession`] whose every mutation
+//! survives a crash.
+//!
+//! [`DurableSession`] wires the durability plane together:
+//!
+//! * on ingest, every entity/event is WAL-logged below the load seam
+//!   *before* it touches the backends; after the epoch's standing queries
+//!   have advanced, an `EpochCommit` record is appended and fsynced — the
+//!   epoch's durable point,
+//! * standing-query registrations are WAL-logged as self-committing
+//!   `Register` records,
+//! * periodically (and on [`DurableSession::checkpoint`]) the whole session
+//!   — store, dictionary, session position, standing-query state — is
+//!   atomically serialized to the checkpoint file and the WAL truncated,
+//! * [`DurableSession::open`] recovers: it loads the latest valid
+//!   checkpoint, replays the WAL tail epoch-by-epoch through the same load
+//!   seam (applying registrations at their exact stream position and
+//!   re-advancing standing queries with each epoch's exact input), discards
+//!   the torn/uncommitted tail, and resumes the stream exactly where the
+//!   last durable point left it.
+//!
+//! ## Crash matrix
+//!
+//! | Crash point                     | On recovery                               |
+//! |---------------------------------|-------------------------------------------|
+//! | mid entity/event record         | torn tail discarded; epoch re-delivered    |
+//! | after records, before commit    | uncommitted run discarded; re-delivered    |
+//! | after commit fsync              | epoch fully recovered                      |
+//! | mid checkpoint write            | old checkpoint intact (atomic replace)     |
+//! | after checkpoint, before WAL truncate | replay skips epochs ≤ checkpoint     |
+//! | mid WAL truncate-after-recovery | truncate is atomic; both states valid      |
+//!
+//! Re-delivery is idempotent: [`DurableSession::ingest_batch`] drops
+//! batches whose epoch the session has already committed, so a source that
+//! replays its stream from the beginning after a crash never double-appends
+//! (the dedupe satellite of the durability plane).
+
+use std::sync::Arc;
+
+use raptor_audit::{Entity, SystemEvent};
+use raptor_common::error::{Error, Result};
+use raptor_common::io::Fs;
+use raptor_common::obs;
+use raptor_engine::checkpoint::{self, SessionMeta, StandingSnap};
+use raptor_engine::exec::Engine;
+use raptor_engine::load::{self};
+use raptor_engine::standing::{EpochInput, StandingQuery};
+use raptor_engine::wal::{self, WalRecord, WalSink};
+use raptor_storage::BackendStats;
+use raptor_tbql::{analyze, parse_tbql};
+
+use crate::epoch::EpochBatch;
+use crate::session::{EpochReport, QueryId, StreamSession};
+
+/// Durability policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct DurablePolicy {
+    /// Checkpoint automatically after this many committed epochs
+    /// (`0` = only on explicit [`DurableSession::checkpoint`] calls).
+    pub checkpoint_every: u64,
+}
+
+impl Default for DurablePolicy {
+    fn default() -> Self {
+        DurablePolicy { checkpoint_every: 64 }
+    }
+}
+
+/// What [`DurableSession::open`] found and rebuilt (the bounded recovery
+/// report of the durability plane).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// A valid checkpoint file was loaded.
+    pub checkpoint_found: bool,
+    /// Size of the loaded checkpoint, in bytes.
+    pub checkpoint_bytes: u64,
+    /// Epochs already covered by the checkpoint.
+    pub checkpoint_epochs: u64,
+    /// Entity + event rows replayed out of the checkpoint snapshot.
+    pub checkpoint_rows: u64,
+    /// WAL records applied beyond the checkpoint (including commits and
+    /// registrations).
+    pub wal_records_replayed: u64,
+    /// Committed epochs replayed from the WAL tail.
+    pub wal_epochs_replayed: u64,
+    /// Standing-query registrations recovered (checkpoint + WAL).
+    pub registrations_recovered: u64,
+    /// Bytes discarded from the WAL's torn/uncommitted tail.
+    pub wal_bytes_discarded: u64,
+    /// The epoch the session resumes at (== epochs committed so far).
+    pub resumed_epoch: u64,
+    /// The recovered store's watermark (max event end time).
+    pub watermark: i64,
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.checkpoint_found {
+            writeln!(
+                f,
+                "checkpoint: {} bytes, {} epochs, {} rows replayed",
+                self.checkpoint_bytes, self.checkpoint_epochs, self.checkpoint_rows
+            )?;
+        } else {
+            writeln!(f, "checkpoint: none")?;
+        }
+        writeln!(
+            f,
+            "wal: {} records replayed across {} epochs, {} bytes of torn/uncommitted tail discarded",
+            self.wal_records_replayed, self.wal_epochs_replayed, self.wal_bytes_discarded
+        )?;
+        write!(
+            f,
+            "resumed: epoch {}, watermark {}, {} standing quer{} recovered",
+            self.resumed_epoch,
+            self.watermark,
+            self.registrations_recovered,
+            if self.registrations_recovered == 1 { "y" } else { "ies" }
+        )
+    }
+}
+
+/// A [`StreamSession`] backed by the durability plane (see module docs).
+pub struct DurableSession {
+    fs: Arc<dyn Fs>,
+    session: StreamSession,
+    /// Registered TBQL texts, index-aligned with the session's queries —
+    /// checkpoints serialize the text, recovery re-analyzes it.
+    texts: Vec<String>,
+    /// Per-epoch `(entities, events)` arrival runs since the last
+    /// checkpoint base (mirrors the committed WAL).
+    arrival: Vec<(u64, u64)>,
+    policy: DurablePolicy,
+    report: RecoveryReport,
+    epochs_since_ckpt: u64,
+}
+
+impl DurableSession {
+    /// Opens (or recovers) a durable session over `fs`. With no prior
+    /// state this is an empty session with a WAL attached; otherwise the
+    /// checkpoint is loaded and the WAL tail replayed (see module docs).
+    /// Corrupt files yield a typed error, never a panic.
+    pub fn open(fs: Arc<dyn Fs>, policy: DurablePolicy) -> Result<Self> {
+        let mut report = RecoveryReport::default();
+
+        // 1. Latest valid checkpoint, if any.
+        let (mut engine, mut queries, mut texts, mut meta) = match fs.read(checkpoint::CKPT_FILE)? {
+            Some(bytes) => {
+                let restored = checkpoint::decode(&bytes)?;
+                report.checkpoint_found = true;
+                report.checkpoint_bytes = bytes.len() as u64;
+                report.checkpoint_epochs = restored.meta.epochs;
+                report.checkpoint_rows = restored.replayed_rows;
+                report.registrations_recovered = restored.queries.len() as u64;
+                let mut queries = Vec::with_capacity(restored.queries.len());
+                let mut texts = Vec::with_capacity(restored.queries.len());
+                for (_name, text, q) in restored.queries {
+                    queries.push(q);
+                    texts.push(text);
+                }
+                (Engine::new(restored.stores), queries, texts, restored.meta)
+            }
+            None => (Engine::new(load::empty()?), Vec::new(), Vec::new(), SessionMeta::default()),
+        };
+
+        // 2. Replay the WAL tail, epoch by epoch.
+        let wal_bytes = fs.read(wal::WAL_FILE)?.unwrap_or_default();
+        let scan = wal::scan(&wal_bytes);
+        report.wal_bytes_discarded = scan.discarded as u64;
+        let mut epoch = meta.epochs;
+        let mut pending_entities: Vec<Entity> = Vec::new();
+        let mut pending_events: Vec<SystemEvent> = Vec::new();
+        for rec in scan.records {
+            match rec {
+                WalRecord::Entity(e) => pending_entities.push(e),
+                WalRecord::Event(ev) => pending_events.push(ev),
+                WalRecord::Register { name, text } => {
+                    // A registration before the checkpoint's WAL truncation
+                    // may linger in the log; the checkpoint already holds it.
+                    if queries.iter().any(|q| q.name() == name) {
+                        continue;
+                    }
+                    let aq = analyze(&parse_tbql(&text)?)?;
+                    queries.push(StandingQuery::new(name, aq, engine.stores.dict.clone())?);
+                    texts.push(text);
+                    report.registrations_recovered += 1;
+                    report.wal_records_replayed += 1;
+                }
+                WalRecord::EpochCommit { epoch: committed, watermark: _ } => {
+                    if committed < epoch {
+                        // Epoch already inside the checkpoint (crash landed
+                        // between checkpoint write and WAL truncation).
+                        pending_entities.clear();
+                        pending_events.clear();
+                        continue;
+                    }
+                    if committed > epoch {
+                        return Err(Error::storage(format!(
+                            "WAL replay: commit for epoch {committed} but session is at {epoch}"
+                        )));
+                    }
+                    let mut stats = BackendStats::default();
+                    let entity_lo = engine.stores.graph.node_count() as i64;
+                    for e in &pending_entities {
+                        load::append_entity(&mut engine.stores, e, &mut stats)?;
+                    }
+                    let entity_hi = engine.stores.graph.node_count() as i64;
+                    let mut event_ids: Vec<i64> =
+                        pending_events.iter().map(|ev| ev.id.index() as i64).collect();
+                    for ev in &pending_events {
+                        load::append_event(&mut engine.stores, ev, &mut stats)?;
+                    }
+                    event_ids.sort_unstable();
+                    event_ids.dedup();
+                    let input = EpochInput {
+                        epoch,
+                        entity_range: (entity_lo, entity_hi),
+                        event_ids: &event_ids,
+                    };
+                    for q in &mut queries {
+                        q.advance(&engine, &input)?;
+                    }
+                    meta.total_ingest.absorb(&stats);
+                    meta.arrival.push((pending_entities.len() as u64, pending_events.len() as u64));
+                    report.wal_records_replayed +=
+                        pending_entities.len() as u64 + pending_events.len() as u64 + 1;
+                    report.wal_epochs_replayed += 1;
+                    epoch += 1;
+                    pending_entities.clear();
+                    pending_events.clear();
+                }
+            }
+        }
+
+        // 3. Drop the discarded tail from the file so post-recovery appends
+        //    extend the durable prefix, not torn garbage.
+        if scan.discarded > 0 {
+            fs.replace(wal::WAL_FILE, &wal_bytes[..scan.durable_len])?;
+        }
+
+        report.resumed_epoch = epoch;
+        report.watermark = engine.stores.now_ns;
+        obs::metrics().counter_add("raptor_recovery_replayed_records", report.wal_records_replayed);
+
+        // 4. Attach the WAL sink and hand the rebuilt state to a session.
+        engine.stores.wal = Some(WalSink::new(fs.clone()));
+        let session = StreamSession::resume(engine, queries, epoch, meta.total_ingest);
+        Ok(DurableSession {
+            fs,
+            session,
+            texts,
+            arrival: meta.arrival,
+            policy,
+            report,
+            epochs_since_ckpt: 0,
+        })
+    }
+
+    /// What recovery found and rebuilt when this session was opened.
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.report
+    }
+
+    /// The underlying stream session (read access; queries, engine, epoch
+    /// counters). Ingest through [`DurableSession::ingest`] so epochs
+    /// commit to the WAL.
+    pub fn session(&self) -> &StreamSession {
+        &self.session
+    }
+
+    pub fn engine(&self) -> &Engine {
+        self.session.engine()
+    }
+
+    /// Mutable engine access for knobs (threads, segmentation). Mutating
+    /// store *contents* through this bypasses the WAL; use the ingest path.
+    #[doc(hidden)]
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        self.session.engine_mut()
+    }
+
+    pub fn query(&self, id: QueryId) -> &StandingQuery {
+        self.session.query(id)
+    }
+
+    pub fn epochs(&self) -> u64 {
+        self.session.epochs()
+    }
+
+    /// See [`StreamSession::set_threads`].
+    pub fn set_threads(&mut self, threads: usize) {
+        self.session.set_threads(threads);
+    }
+
+    /// See [`StreamSession::set_segment_rows`] (purely physical; the next
+    /// checkpoint records the new capacity).
+    pub fn set_segment_rows(&mut self, rows: usize) {
+        self.session.set_segment_rows(rows);
+    }
+
+    /// Registers a standing query durably: validated and registered in
+    /// memory, then WAL-logged as a self-committing `Register` record.
+    pub fn register(&mut self, name: &str, tbql: &str) -> Result<QueryId> {
+        let id = self.session.register(name, tbql)?;
+        self.texts.push(tbql.to_string());
+        if let Some(wal) = &self.session.engine().stores.wal {
+            wal.log_register(name, tbql)?;
+        }
+        Ok(id)
+    }
+
+    /// Ingests one epoch durably: records are WAL-logged below the load
+    /// seam as they apply, standing queries advance, and then the epoch's
+    /// `EpochCommit` is appended and fsynced. Only after this returns is
+    /// the epoch durable; a crash anywhere before the commit leaves a tail
+    /// that recovery discards (the source re-delivers the epoch).
+    pub fn ingest(&mut self, entities: &[Entity], events: &[SystemEvent]) -> Result<EpochReport> {
+        let report = self.session.ingest(entities, events)?;
+        if let Some(wal) = &self.session.engine().stores.wal {
+            wal.commit_epoch(report.epoch, report.watermark)?;
+        }
+        self.arrival.push((entities.len() as u64, events.len() as u64));
+        self.epochs_since_ckpt += 1;
+        if self.policy.checkpoint_every > 0
+            && self.epochs_since_ckpt >= self.policy.checkpoint_every
+        {
+            self.checkpoint()?;
+        }
+        Ok(report)
+    }
+
+    /// Ingests one batch from an [`EpochStream`](crate::EpochStream),
+    /// dropping batches the session already committed — re-delivery after
+    /// recovery is idempotent (`Ok(None)` = deduped). A batch from the
+    /// stream's future (an epoch gap) is an error: the source and the
+    /// session have diverged.
+    pub fn ingest_batch(&mut self, batch: &EpochBatch<'_>) -> Result<Option<EpochReport>> {
+        let next = self.session.epochs();
+        if batch.epoch < next {
+            obs::metrics().counter_add("raptor_wal_dedup_skips_total", 1);
+            return Ok(None);
+        }
+        if batch.epoch > next {
+            return Err(Error::storage(format!(
+                "epoch gap: source delivered epoch {} but session expects {next}",
+                batch.epoch
+            )));
+        }
+        self.ingest(batch.entities, batch.events).map(Some)
+    }
+
+    /// Writes a checkpoint (atomic replace) and truncates the WAL. After a
+    /// crash at any point in here, recovery sees either the old
+    /// checkpoint + full WAL or the new checkpoint (+ a WAL whose epochs
+    /// it already covers — replay skips them).
+    pub fn checkpoint(&mut self) -> Result<()> {
+        let meta = SessionMeta {
+            epochs: self.session.epochs(),
+            now_ns: self.session.engine().stores.now_ns,
+            total_ingest: self.session.total_ingest_stats(),
+            arrival: self.arrival.clone(),
+        };
+        let snaps: Vec<StandingSnap<'_>> = self
+            .session
+            .queries()
+            .iter()
+            .zip(&self.texts)
+            .map(|(q, text)| StandingSnap { name: q.name(), text, query: q })
+            .collect();
+        let bytes = checkpoint::encode(&self.session.engine().stores, &snaps, &meta)?;
+        self.fs.replace(checkpoint::CKPT_FILE, &bytes)?;
+        self.fs.replace(wal::WAL_FILE, &[])?;
+        self.epochs_since_ckpt = 0;
+        let m = obs::metrics();
+        m.counter_add("raptor_checkpoints_total", 1);
+        m.gauge_set("raptor_checkpoint_bytes", bytes.len() as i64);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epoch::{EpochPolicy, EpochStream};
+    use raptor_audit::sim::Simulator;
+    use raptor_audit::{LogParser, ParsedLog};
+    use raptor_common::io::{FailpointFs, MemFs};
+    use raptor_common::time::Timestamp;
+
+    fn sample_log() -> ParsedLog {
+        let mut sim = Simulator::new(11, Timestamp::from_secs(5000));
+        let shell = sim.boot_process("/bin/bash", "root");
+        let tar = sim.spawn(shell, "/bin/tar", "tar");
+        sim.read_file(tar, "/etc/passwd", 4096, 4);
+        sim.write_file(tar, "/tmp/out.tar", 4096, 4);
+        sim.exit(tar);
+        let curl = sim.spawn(shell, "/usr/bin/curl", "curl");
+        sim.read_file(curl, "/tmp/out.tar", 4096, 2);
+        let fd = sim.connect(curl, "192.168.29.128", 443);
+        sim.send(curl, fd, 4096, 2);
+        sim.exit(curl);
+        LogParser::parse(&sim.finish())
+    }
+
+    const Q: &str = r#"proc p["%tar%"] read file f["%passwd%"] as e1
+                       proc p2["%curl%"] connect ip i as e2
+                       with e1 before e2 return p, p2, i"#;
+
+    fn manual() -> DurablePolicy {
+        DurablePolicy { checkpoint_every: 0 }
+    }
+
+    /// Ingest everything durably, "restart", and check the recovered
+    /// session equals the original: same counters, same standing state,
+    /// same watermark.
+    #[test]
+    fn recover_from_wal_only() {
+        let log = sample_log();
+        let fs = Arc::new(MemFs::new());
+        let mut live = DurableSession::open(fs.clone(), manual()).unwrap();
+        let qid = live.register("hunt", Q).unwrap();
+        for batch in EpochStream::new(&log, EpochPolicy::ByCount(3)) {
+            live.ingest_batch(&batch).unwrap().expect("fresh epoch");
+        }
+        let want_rows = live.query(qid).cumulative_batch().n_rows();
+        let want_epochs = live.epochs();
+
+        let recovered = DurableSession::open(fs, manual()).unwrap();
+        let r = recovered.recovery_report();
+        assert!(!r.checkpoint_found);
+        assert_eq!(r.wal_epochs_replayed, want_epochs);
+        assert_eq!(r.resumed_epoch, want_epochs);
+        assert_eq!(r.registrations_recovered, 1);
+        assert_eq!(r.wal_bytes_discarded, 0);
+        assert_eq!(recovered.query(QueryId(0)).cumulative_batch().n_rows(), want_rows);
+        assert_eq!(recovered.engine().stores.now_ns, live.engine().stores.now_ns);
+        assert_eq!(recovered.session().total_ingest_stats(), live.session().total_ingest_stats());
+        assert_eq!(
+            recovered.engine().stores.rel.store_stats(),
+            live.engine().stores.rel.store_stats()
+        );
+    }
+
+    /// Same, but through a mid-stream checkpoint: recovery = checkpoint +
+    /// WAL tail.
+    #[test]
+    fn recover_from_checkpoint_plus_tail() {
+        let log = sample_log();
+        let fs = Arc::new(MemFs::new());
+        let mut live = DurableSession::open(fs.clone(), manual()).unwrap();
+        live.register("hunt", Q).unwrap();
+        let batches: Vec<_> = EpochStream::new(&log, EpochPolicy::ByCount(3)).collect();
+        let half = batches.len() / 2;
+        for b in &batches[..half] {
+            live.ingest_batch(b).unwrap();
+        }
+        live.checkpoint().unwrap();
+        for b in &batches[half..] {
+            live.ingest_batch(b).unwrap();
+        }
+        let want_rows = live.query(QueryId(0)).cumulative_batch().n_rows();
+
+        let recovered = DurableSession::open(fs, manual()).unwrap();
+        let r = recovered.recovery_report();
+        assert!(r.checkpoint_found);
+        assert_eq!(r.checkpoint_epochs, half as u64);
+        assert_eq!(r.wal_epochs_replayed, (batches.len() - half) as u64);
+        assert_eq!(recovered.epochs(), batches.len() as u64);
+        assert_eq!(recovered.query(QueryId(0)).cumulative_batch().n_rows(), want_rows);
+        assert_eq!(
+            recovered.engine().stores.rel.store_stats(),
+            live.engine().stores.rel.store_stats()
+        );
+    }
+
+    /// The dedupe satellite: re-delivering the whole stream after recovery
+    /// must be a no-op for already-committed epochs — same store, same
+    /// standing output, same watermark arithmetic (no double-append).
+    #[test]
+    fn redelivery_after_recovery_is_idempotent() {
+        let log = sample_log();
+        let fs = Arc::new(MemFs::new());
+        let mut live = DurableSession::open(fs.clone(), manual()).unwrap();
+        live.register("hunt", Q).unwrap();
+        for batch in EpochStream::new(&log, EpochPolicy::ByCount(2)) {
+            live.ingest_batch(&batch).unwrap();
+        }
+        let want_rows = live.query(QueryId(0)).cumulative_batch().n_rows();
+        let want_nodes = live.engine().stores.graph.node_count();
+        let want_watermark = live.engine().stores.now_ns;
+        drop(live);
+
+        let mut recovered = DurableSession::open(fs, manual()).unwrap();
+        // The source restarts from scratch: every batch is re-delivered.
+        // EpochStream is deterministic, so (epoch, watermark) pairs repeat
+        // exactly — and every one must dedupe.
+        for batch in EpochStream::new(&log, EpochPolicy::ByCount(2)) {
+            assert!(batch.epoch < recovered.epochs());
+            assert!(recovered.ingest_batch(&batch).unwrap().is_none(), "must dedupe");
+        }
+        assert_eq!(recovered.engine().stores.graph.node_count(), want_nodes);
+        assert_eq!(recovered.engine().stores.now_ns, want_watermark);
+        assert_eq!(recovered.query(QueryId(0)).cumulative_batch().n_rows(), want_rows);
+        // A batch from the future (gap) is rejected, not silently applied.
+        let far = EpochBatch {
+            epoch: recovered.epochs() + 1,
+            entities: &[],
+            events: &[],
+            watermark: want_watermark,
+        };
+        assert!(recovered.ingest_batch(&far).is_err());
+    }
+
+    /// EpochStream watermark arithmetic is deterministic across
+    /// re-creation: the same log yields the same (epoch, watermark)
+    /// sequence, and a recovered session's watermark equals the stream's
+    /// at the resume point (the pin for idempotent re-delivery).
+    #[test]
+    fn watermark_arithmetic_pinned() {
+        let log = sample_log();
+        let a: Vec<(u64, i64)> = EpochStream::new(&log, EpochPolicy::ByCount(3))
+            .map(|b| (b.epoch, b.watermark))
+            .collect();
+        let b: Vec<(u64, i64)> = EpochStream::new(&log, EpochPolicy::ByCount(3))
+            .map(|b| (b.epoch, b.watermark))
+            .collect();
+        assert_eq!(a, b);
+        // Watermarks are the running max of event end times: monotone.
+        assert!(a.windows(2).all(|w| w[0].1 <= w[1].1));
+
+        // Ingest a prefix durably; the recovered watermark equals the last
+        // committed batch's watermark.
+        let fs = Arc::new(MemFs::new());
+        let mut live = DurableSession::open(fs.clone(), manual()).unwrap();
+        let batches: Vec<_> = EpochStream::new(&log, EpochPolicy::ByCount(3)).collect();
+        let take = batches.len() / 2;
+        for bt in &batches[..take] {
+            live.ingest_batch(bt).unwrap();
+        }
+        drop(live);
+        let recovered = DurableSession::open(fs, manual()).unwrap();
+        assert_eq!(recovered.recovery_report().watermark, a[take - 1].1);
+        assert_eq!(recovered.epochs(), take as u64);
+    }
+
+    /// A crash torn mid-WAL-write: recovery discards the tail and the
+    /// re-delivered epochs land exactly once.
+    #[test]
+    fn torn_tail_recovers_and_redelivers() {
+        let log = sample_log();
+        let mem = Arc::new(MemFs::new());
+        let fp = Arc::new(FailpointFs::new(mem.clone()));
+        let mut live = DurableSession::open(fp.clone(), manual()).unwrap();
+        live.register("hunt", Q).unwrap();
+        // Let two epochs commit, then tear the third mid-record.
+        let batches: Vec<_> = EpochStream::new(&log, EpochPolicy::ByCount(2)).collect();
+        live.ingest_batch(&batches[0]).unwrap();
+        live.ingest_batch(&batches[1]).unwrap();
+        fp.crash_after_bytes(10);
+        let err = live.ingest_batch(&batches[2]).unwrap_err();
+        assert!(err.to_string().contains("failpoint"), "{err}");
+        drop(live);
+
+        let mut recovered = DurableSession::open(mem, manual()).unwrap();
+        let r = recovered.recovery_report().clone();
+        assert_eq!(r.wal_epochs_replayed, 2);
+        assert!(r.wal_bytes_discarded > 0, "{r:?}");
+        assert_eq!(r.resumed_epoch, 2);
+        // Re-deliver everything; first two dedupe, the rest apply.
+        for b in &batches {
+            recovered.ingest_batch(b).unwrap();
+        }
+        assert_eq!(recovered.epochs(), batches.len() as u64);
+        assert_eq!(
+            recovered.engine().stores.graph.node_count() + {
+                let e = recovered.engine();
+                e.stores.graph.edge_count()
+            },
+            log.entities.len() + log.events.len()
+        );
+    }
+
+    /// Transient WAL errors surface as typed errors without corrupting the
+    /// session's prior durable state.
+    #[test]
+    fn injected_error_surfaces_cleanly() {
+        let log = sample_log();
+        let mem = Arc::new(MemFs::new());
+        let fp = Arc::new(FailpointFs::new(mem.clone()));
+        let mut live = DurableSession::open(fp.clone(), manual()).unwrap();
+        let batches: Vec<_> = EpochStream::new(&log, EpochPolicy::ByCount(4)).collect();
+        live.ingest_batch(&batches[0]).unwrap();
+        fp.error_on_op(0);
+        assert!(live.ingest_batch(&batches[1]).is_err());
+        drop(live);
+        // Epoch 0 survived; the failed epoch never committed.
+        let recovered = DurableSession::open(mem, manual()).unwrap();
+        assert_eq!(recovered.epochs(), 1);
+    }
+}

@@ -17,15 +17,21 @@
 //!   epoch with delta evaluation. Each ingested epoch yields an
 //!   [`EpochReport`]: insert counters (per-epoch reset semantics) and one
 //!   typed [`ResultBatch`](raptor_storage::ResultBatch) *delta* per
-//!   registered query.
+//!   registered query,
+//! * [`durable`] — a [`DurableSession`]: the same session backed by the
+//!   durability plane (WAL below the load seam, periodic checkpoints,
+//!   crash recovery with idempotent re-delivery), producing a
+//!   [`RecoveryReport`] on open.
 //!
 //! The invariant tying it to batch mode: after the final epoch, every
 //! standing query's concatenated deltas equal — as a row multiset — the
 //! `ExecMode::Scheduled` result over the same data bulk-loaded, and zero
 //! SQL/Cypher text is parsed anywhere on the path.
 
+pub mod durable;
 pub mod epoch;
 pub mod session;
 
+pub use durable::{DurablePolicy, DurableSession, RecoveryReport};
 pub use epoch::{EpochBatch, EpochPolicy, EpochStream};
 pub use session::{EpochReport, QueryDelta, QueryId, StreamSession};

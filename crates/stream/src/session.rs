@@ -88,6 +88,29 @@ impl StreamSession {
         })
     }
 
+    /// Rebuilds a session at a given stream position — the durability
+    /// plane's recovery constructor. `engine` must hold stores grown to the
+    /// end of `epoch` committed epochs, and `queries` the standing queries
+    /// with their accumulated state, in registration order. Normal sessions
+    /// start from [`StreamSession::new`].
+    pub fn resume(
+        engine: Engine,
+        queries: Vec<StandingQuery>,
+        epoch: u64,
+        total_ingest: BackendStats,
+    ) -> Self {
+        StreamSession { engine, queries, epoch, total_ingest }
+    }
+
+    /// Mutable engine access for the durability plane (attaching the WAL
+    /// sink, physical re-partitioning). Mutating the stores around the
+    /// session's ingest path breaks the epoch bookkeeping — use
+    /// [`StreamSession::ingest`] for data.
+    #[doc(hidden)]
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
     /// Registers a TBQL text as a standing query. Registration is valid at
     /// any point of the stream; the query only ever sees epochs ingested
     /// after it (plus whatever full re-evaluation of variable-length paths
