@@ -117,6 +117,51 @@ fn run() -> (Vec<QueryReport>, f64) {
     (reports, q_error_max)
 }
 
+/// Variable-length path queries over the corpus store: the
+/// `path_estimation` section. These exercise the path cardinality
+/// catalog's decomposition estimates — every shape the estimator
+/// handles: bounded and unbounded hop envelopes, final-hop operation
+/// selectivity, op-less reachability, and a non-file destination class.
+const PATH_QUERIES: &[&str] = &[
+    "proc p ~>(1~3)[read] file f as e1 return p, f",
+    "proc p ~>(2~4)[write] file f as e1 return p, f",
+    "proc p ~>(1~2) file f as e1 return p, f",
+    "proc p ~>(2~)[connect] ip i as e1 return p, i",
+    "proc p ~>(1~4) proc q as e1 return p, q",
+];
+
+/// Absolute cap on path-pattern Q-error (the satellite gate: down from
+/// ≈94.6 under the degree-power estimator).
+const PATH_QERROR_CAP: f64 = 10.0;
+
+struct PathReport {
+    id: usize,
+    rows: usize,
+    estimated_rows: f64,
+    q_error: f64,
+}
+
+/// Runs every path query through the scheduled executor and reads the
+/// cost model's per-pattern estimate vs actual off the execution stats.
+fn run_path_estimation() -> (Vec<PathReport>, f64) {
+    let raptor = corpus_system();
+    let engine = raptor.engine();
+    let mut reports = Vec::new();
+    let mut worst = 0.0f64;
+    for (id, q) in PATH_QUERIES.iter().enumerate() {
+        let aq = analyze(&parse_tbql(q).expect("path query parses")).expect("path query analyzes");
+        let (r, s) = engine.execute_scheduled_as(&aq, SchedulerMode::CostBased).unwrap();
+        let path_ests: Vec<_> = s.estimates.iter().filter(|e| e.is_path).collect();
+        assert!(!path_ests.is_empty(), "path query {id} must carry a path pattern");
+        let qe = path_ests.iter().filter_map(|e| e.q_error()).fold(0.0f64, f64::max);
+        assert!(qe.is_finite(), "path q-error must stay finite on query {id}");
+        worst = worst.max(qe);
+        let est = path_ests.iter().filter_map(|e| e.estimated_rows).fold(0.0f64, f64::max);
+        reports.push(PathReport { id, rows: r.rows.len(), estimated_rows: est, q_error: qe });
+    }
+    (reports, worst)
+}
+
 /// Segment capacity the `columnar` probe section pins. Small enough that
 /// the ~2.3k-row corpus events table spans multiple segments (at the
 /// 4096-row default it fits in one, and zone maps would have nothing to
@@ -189,6 +234,14 @@ struct ObsReport {
     /// real measurement; never gated, wall clock flakes).
     q3_latency_ns_trace_off: u128,
     q3_latency_ns_trace_on: u128,
+    /// `standing.frontier` spans emitted by a path-shaped standing query
+    /// streamed over the corpus (gated exact: one span per epoch with
+    /// events, epoch slicing is deterministic).
+    frontier_spans: u64,
+    /// Frontier-cache hit/miss counter deltas of the same run (gated
+    /// exact: the eligible query hits every epoch, misses never).
+    frontier_hits: u64,
+    frontier_misses: u64,
 }
 
 /// Runs every corpus query twice — tracing off, then on — and *asserts*
@@ -220,7 +273,51 @@ fn run_observability() -> ObsReport {
     let q3_latency_ns_trace_on = measure_latency(engine, &aq, SchedulerMode::CostBased);
     trace.set_enabled(false);
     trace.clear();
-    ObsReport { spans_per_query, q3_latency_ns_trace_off, q3_latency_ns_trace_on }
+
+    // Frontier plane: stream the corpus under a path-shaped standing query
+    // and read the span + cache-counter trail. The epoch slicing is
+    // deterministic, so every number here is exact.
+    use threatraptor::stream::{EpochPolicy, EpochStream, StreamSession};
+    let metric = |name: &str| match obs::metrics().snapshot().get(name) {
+        Some(obs::MetricValue::Counter(v)) => *v,
+        _ => 0,
+    };
+    let hits0 = metric("raptor_path_frontier_hits_total");
+    let misses0 = metric("raptor_path_frontier_misses_total");
+    trace.set_enabled(true);
+    let hunt_q = PATH_QUERIES[0];
+    let mut hunt = StreamSession::new().expect("stream session");
+    hunt.register("path_hunt", hunt_q).expect("path hunt registers");
+    let log = corpus_log();
+    for b in EpochStream::new(&log, EpochPolicy::ByCount(256)) {
+        hunt.ingest_batch(&b).expect("hunt ingest");
+    }
+    trace.set_enabled(false);
+    let frontier_spans =
+        trace.snapshot().iter().filter(|s| s.name == "standing.frontier").count() as u64;
+    trace.clear();
+    let frontier_hits = metric("raptor_path_frontier_hits_total") - hits0;
+    let frontier_misses = metric("raptor_path_frontier_misses_total") - misses0;
+    // The delta-incremental path must converge to the batch answer.
+    let aq = analyze(&parse_tbql(hunt_q).unwrap()).unwrap();
+    let (want, _) = engine.execute_scheduled_as(&aq, SchedulerMode::CostBased).unwrap();
+    let got = raptor_engine::ResultTable::from_batch(
+        &hunt.queries().iter().find(|q| q.name() == "path_hunt").unwrap().cumulative_batch(),
+    );
+    assert_eq!(
+        got.sorted_rows(),
+        want.sorted_rows(),
+        "frontier-streamed standing query must match batch"
+    );
+
+    ObsReport {
+        spans_per_query,
+        q3_latency_ns_trace_off,
+        q3_latency_ns_trace_on,
+        frontier_spans,
+        frontier_hits,
+        frontier_misses,
+    }
 }
 
 /// Signals from the durability plane: WAL-on vs WAL-off ingest, and
@@ -350,12 +447,15 @@ fn run_parallel() -> Vec<ParallelReport> {
         .collect()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     reports: &[QueryReport],
     parallel: &[ParallelReport],
     columnar: &ColumnarReport,
     obs: &ObsReport,
     durability: &DurabilityReport,
+    paths: &[PathReport],
+    path_q_error_max: f64,
     q_error_max: f64,
 ) -> String {
     let mut out = String::new();
@@ -413,10 +513,26 @@ fn render_json(
     // Observability plane: span counts are gated exactly (the taxonomy is
     // whole-operator, so counts are machine- and thread-invariant); the q3
     // trace-on/off latencies are informational only.
+    // Path-estimation plane: the catalog's decomposition estimates on
+    // var-length path queries. Rows are exact-deterministic; the per-run
+    // worst Q-error is capped absolutely (the whole point of the catalog).
+    let _ = writeln!(out, "  \"path_estimation\": [");
+    for (i, p) in paths.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"query\": {},", p.id);
+        let _ = writeln!(out, "      \"path_rows\": {},", p.rows);
+        let _ = writeln!(out, "      \"path_est_rows\": {:.4},", p.estimated_rows);
+        let _ = writeln!(out, "      \"path_q_error\": {:.4}", p.q_error);
+        let _ = writeln!(out, "    }}{}", if i + 1 < paths.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ],");
     let _ = writeln!(out, "  \"observability\": {{");
     for (i, n) in obs.spans_per_query.iter().enumerate() {
         let _ = writeln!(out, "    \"spans_q{i}\": {n},");
     }
+    let _ = writeln!(out, "    \"frontier_spans\": {},", obs.frontier_spans);
+    let _ = writeln!(out, "    \"frontier_hits\": {},", obs.frontier_hits);
+    let _ = writeln!(out, "    \"frontier_misses\": {},", obs.frontier_misses);
     let _ = writeln!(out, "    \"q3_latency_ns_trace_off\": {},", obs.q3_latency_ns_trace_off);
     let _ = writeln!(out, "    \"q3_latency_ns_trace_on\": {},", obs.q3_latency_ns_trace_on);
     let overhead = (obs.q3_latency_ns_trace_on as f64 - obs.q3_latency_ns_trace_off as f64)
@@ -449,6 +565,7 @@ fn render_json(
     let _ = writeln!(out, "    \"orders_differ\": {orders_differ},");
     let _ = writeln!(out, "    \"work_cost_total\": {work_cost_total},");
     let _ = writeln!(out, "    \"work_syntactic_total\": {work_syntactic_total},");
+    let _ = writeln!(out, "    \"path_q_error_max\": {path_q_error_max:.4},");
     let _ = writeln!(out, "    \"q_error_max\": {q_error_max:.4}");
     let _ = writeln!(out, "  }}");
     let _ = writeln!(out, "}}");
@@ -544,6 +661,35 @@ fn gate(current: &str, baseline: &str) -> Vec<String> {
             );
         }
     }
+    // Path-estimation plane: result rows are exact-deterministic, and the
+    // worst path-pattern Q-error is capped *absolutely* — the catalog's
+    // decomposition estimates must keep it under PATH_QERROR_CAP
+    // regardless of what the baseline recorded.
+    {
+        let (c, b) =
+            (extract_numbers(current, "path_rows"), extract_numbers(baseline, "path_rows"));
+        if !b.is_empty() && c != b {
+            failures.push(format!("path_estimation rows changed: baseline {b:?}, current {c:?}"));
+        }
+    }
+    if let Some(c) = extract_numbers(current, "path_q_error_max").last() {
+        if *c > PATH_QERROR_CAP {
+            failures.push(format!(
+                "path-pattern q_error_max {c} exceeds the absolute cap {PATH_QERROR_CAP} \
+                 (catalog estimates regressed toward degree-power quality)"
+            ));
+        }
+    }
+    // Frontier plane: span and cache counters are exact-deterministic.
+    for key in ["frontier_spans", "frontier_hits", "frontier_misses"] {
+        let (c, b) = (extract_numbers(current, key), extract_numbers(baseline, key));
+        if !b.is_empty() && c != b {
+            failures.push(format!(
+                "observability {key} changed: baseline {b:?}, current {c:?} \
+                 (frontier span taxonomy or cache behaviour drifted?)"
+            ));
+        }
+    }
     // Observability plane: span counts are exact-deterministic — any change
     // to the span taxonomy must regenerate the baseline deliberately.
     for i in 0.. {
@@ -610,11 +756,21 @@ fn main() -> ExitCode {
     }
 
     let (reports, q_error_max) = run();
+    let (paths, path_q_error_max) = run_path_estimation();
     let parallel = run_parallel();
     let columnar = run_columnar();
     let obs = run_observability();
     let durability = run_durability();
-    let json = render_json(&reports, &parallel, &columnar, &obs, &durability, q_error_max);
+    let json = render_json(
+        &reports,
+        &parallel,
+        &columnar,
+        &obs,
+        &durability,
+        &paths,
+        path_q_error_max,
+        q_error_max,
+    );
     if let Some(parent) =
         std::path::Path::new(&out_path).parent().filter(|p| !p.as_os_str().is_empty())
     {
@@ -646,11 +802,22 @@ fn main() -> ExitCode {
         columnar.probe_segments_pruned,
     );
     println!(
-        "observability: spans/query={:?}; q3 trace off/on={:.1}µs/{:.1}µs",
+        "observability: spans/query={:?}; q3 trace off/on={:.1}µs/{:.1}µs; \
+         frontier spans={} hits={} misses={}",
         obs.spans_per_query,
         obs.q3_latency_ns_trace_off as f64 / 1e3,
         obs.q3_latency_ns_trace_on as f64 / 1e3,
+        obs.frontier_spans,
+        obs.frontier_hits,
+        obs.frontier_misses,
     );
+    for p in &paths {
+        println!(
+            "path q{}: rows={} est={:.1} q_err={:.2}",
+            p.id, p.rows, p.estimated_rows, p.q_error
+        );
+    }
+    println!("path_estimation: q_error_max={path_q_error_max:.2} (cap {PATH_QERROR_CAP})");
     println!(
         "durability: {} events, ingest wal-off/on={:.1}ms/{:.1}ms, wal records/epochs={}/{}; \
          15x ckpt={}B rows={} recovery={:.1}ms",

@@ -243,6 +243,10 @@ impl ThreatRaptor {
         let m = raptor_common::obs::metrics();
         m.gauge_set("raptor_dict_symbols", self.eng().stores.dict.len() as i64);
         m.gauge_set("raptor_threads", self.eng().pool().threads() as i64);
+        m.gauge_set(
+            "raptor_path_frontier_entries",
+            raptor_engine::standing::frontier_entries_total(),
+        );
         m.snapshot()
     }
 

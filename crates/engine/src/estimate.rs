@@ -12,19 +12,33 @@
 //!   entity fractions come from the scheduler's *seed* candidate sets when
 //!   present (exact — the seeds have already executed by planning time) and
 //!   from column statistics otherwise,
-//! * path patterns: degree-power expansion à la Pathce — the seeded start
-//!   set fans out by the subject class's mean out-degree for the first hop
-//!   and the store-wide mean degree per further hop, capped at the
-//!   engine's hop cap exactly like the syntactic score caps unbounded
-//!   paths, then lands on the object class with a final-hop operation
-//!   selectivity from the event-op frequency table.
+//! * path patterns: **decomposition against the path cardinality catalog**
+//!   (`raptor_storage::catalog`) — the pattern is split into cataloged
+//!   sub-patterns joined on their shared endpoints: exact per-hop-count
+//!   walk counts `walks(k, src-class, dst-class)` for `k ≤ CATALOG_K`
+//!   (geometric extrapolation from the cataloged ratio beyond), a final-hop
+//!   operation selectivity from the per-(class, optype, class) edge
+//!   counts, and the subject/object candidate fractions. When the catalog
+//!   is cold (or disabled via `RAPTOR_PATH_CATALOG=0`) the estimator falls
+//!   back to degree-power expansion à la Pathce: the seeded start set fans
+//!   out by the subject class's mean out-degree for the first hop and the
+//!   store-wide mean degree per further hop.
+//!
+//! Either way the result is clamped: **capped** at the catalog's observed
+//! reachable-pair count (sources with out-edges × destinations with
+//! in-edges) and the candidate cross product, and **floored** at one row
+//! when the scheduler seeded either endpoint (seeds exist because earlier
+//! patterns matched), so Q-error stays bounded even on the fallback path.
 //!
 //! Estimates and the measured actual rows are both recorded in
 //! `EngineStats` ([`PatternEstimate`]), so scheduler **Q-error** is
 //! observable on every query.
 
+use raptor_storage::catalog::{PathCatalog, CATALOG_K};
 use raptor_storage::stats::{selectivity, StoreStats};
-use raptor_storage::{CmpOp, EntitySel, EventPatternQuery, PathPatternQuery, Pred, Value};
+use raptor_storage::{
+    CmpOp, EntityClass, EntitySel, EventPatternQuery, PathPatternQuery, Pred, Value,
+};
 
 /// One pattern's cost-model record: the estimate the scheduler ordered by
 /// and the actual row count observed during execution.
@@ -107,8 +121,142 @@ pub fn estimate_event_pattern(req: &EventPatternQuery, rel: &StoreStats) -> f64 
 }
 
 /// Estimated result rows of one path-pattern data query against the graph
-/// store, by degree-power expansion over the adjacency summaries.
+/// store: decomposition against the path cardinality catalog when it is
+/// warm, degree-power expansion as the cold-catalog fallback — both
+/// clamped to the observed reachable-pair cap and the seeded-candidate
+/// floor (module docs).
 pub fn estimate_path_pattern(req: &PathPatternQuery, graph: &StoreStats) -> f64 {
+    let start = entity_count(graph, &req.subject);
+    let end = entity_count(graph, &req.object);
+    let lo = req.min_hops.max(1);
+    let hi = req.max_hops.unwrap_or(req.hop_cap).min(req.hop_cap).max(lo);
+    let cat = graph.catalog();
+    let mut est = if cat.is_warm() {
+        decomposition_estimate(req, graph, cat, lo, hi)
+    } else {
+        degree_power_estimate(req, graph, lo, hi)
+    };
+    if cat.is_warm() {
+        // Hard bound from the catalog: distinct (subject, object) pairs
+        // cannot exceed sources-with-out-edges × sinks-with-in-edges.
+        est = est.min(cat.reachable_pairs(req.subject.class, req.object.class) as f64);
+    }
+    // Results are DISTINCT (subject, object[, final event]) bindings:
+    // bounded by the candidate cross product.
+    est = est.min(start.max(1.0) * end.max(1.0));
+    if req.subject.id_in.is_some() || req.object.id_in.is_some() {
+        // Seeded-candidate floor: the scheduler only seeds an endpoint
+        // after an earlier pattern matched it, so a vanishing estimate is
+        // overconfident — never drop below one expected row.
+        est = est.max(1.0);
+    }
+    est
+}
+
+/// Decomposed estimate: exact cataloged walk counts per hop length joined
+/// with the endpoint candidate fractions and the final-hop operation
+/// selectivity; hop counts beyond [`CATALOG_K`] extrapolate geometrically
+/// from the cataloged `walks(K)/walks(K-1)` ratio.
+fn decomposition_estimate(
+    req: &PathPatternQuery,
+    graph: &StoreStats,
+    cat: &PathCatalog,
+    lo: u32,
+    hi: u32,
+) -> f64 {
+    let (c, d) = (req.subject.class, req.object.class);
+    let class_nodes = |cl: EntityClass| graph.degree(cl).map_or(0, |ds| ds.nodes).max(1) as f64;
+    let subj_frac = (entity_count(graph, &req.subject) / class_nodes(c)).min(1.0);
+    let obj_frac = if req.subject_is_object {
+        // The path must close back on its start node.
+        1.0 / class_nodes(d)
+    } else {
+        (entity_count(graph, &req.object) / class_nodes(d)).min(1.0)
+    };
+    let final_sel = match &req.final_hop_pred {
+        Some(p) => final_hop_selectivity(p, cat, d, graph),
+        None => 1.0,
+    };
+    let wk1 = cat.walks(CATALOG_K - 1, c, d) as f64;
+    let wk = cat.walks(CATALOG_K, c, d) as f64;
+    let ratio = if wk1 > 0.0 {
+        wk / wk1
+    } else {
+        graph.total_edges() as f64 / graph.total_nodes().max(1) as f64
+    };
+    let mut total = 0.0;
+    for k in lo..=hi {
+        total += if k <= CATALOG_K {
+            cat.walks(k, c, d) as f64
+        } else {
+            wk * ratio.powi((k - CATALOG_K) as i32)
+        };
+    }
+    total * final_sel * subj_frac * obj_frac
+}
+
+/// Selectivity of a final-hop predicate: `optype` equality atoms are
+/// answered **exactly** from the catalog's per-(class, optype, class) edge
+/// counts restricted to edges landing on the object class; everything else
+/// falls back to the events-table column statistics.
+fn final_hop_selectivity(
+    pred: &Pred,
+    cat: &PathCatalog,
+    d: EntityClass,
+    graph: &StoreStats,
+) -> f64 {
+    let into = cat.edges_into_class(d).max(1) as f64;
+    let op_frac = |v: &Value| -> Option<f64> {
+        let sym = v.as_sym()?;
+        // `%` wildcards carry LIKE semantics: not an exact op lookup.
+        if graph.dict().resolve(sym).contains('%') {
+            return None;
+        }
+        Some(cat.op_into_class(sym, d) as f64 / into)
+    };
+    let sel = match pred {
+        Pred::Cmp { attr, op: CmpOp::Eq, value } if attr == "optype" => match op_frac(value) {
+            Some(f) => f,
+            None => fallback_selectivity(pred, graph),
+        },
+        Pred::Cmp { attr, op: CmpOp::Ne, value } if attr == "optype" => match op_frac(value) {
+            Some(f) => 1.0 - f,
+            None => fallback_selectivity(pred, graph),
+        },
+        Pred::InSet { attr, negated, values } if attr == "optype" => {
+            match values.iter().map(op_frac).collect::<Option<Vec<f64>>>() {
+                Some(fs) => {
+                    let f: f64 = fs.iter().sum::<f64>().clamp(0.0, 1.0);
+                    if *negated {
+                        1.0 - f
+                    } else {
+                        f
+                    }
+                }
+                None => fallback_selectivity(pred, graph),
+            }
+        }
+        Pred::And(a, b) => {
+            final_hop_selectivity(a, cat, d, graph) * final_hop_selectivity(b, cat, d, graph)
+        }
+        Pred::Or(a, b) => {
+            let (sa, sb) =
+                (final_hop_selectivity(a, cat, d, graph), final_hop_selectivity(b, cat, d, graph));
+            sa + sb - sa * sb
+        }
+        Pred::Not(inner) => 1.0 - final_hop_selectivity(inner, cat, d, graph),
+        other => fallback_selectivity(other, graph),
+    };
+    sel.clamp(0.0, 1.0)
+}
+
+fn fallback_selectivity(pred: &Pred, graph: &StoreStats) -> f64 {
+    graph.table("events").map_or(1.0, |t| selectivity(t, pred, graph.dict()))
+}
+
+/// The pre-catalog estimator, kept as the cold/disabled-catalog fallback:
+/// degree-power expansion over the adjacency summaries.
+fn degree_power_estimate(req: &PathPatternQuery, graph: &StoreStats, lo: u32, hi: u32) -> f64 {
     let total_nodes = graph.total_nodes().max(1) as f64;
     let total_edges = graph.total_edges() as f64;
     let start = entity_count(graph, &req.subject);
@@ -127,8 +275,6 @@ pub fn estimate_path_pattern(req: &PathPatternQuery, graph: &StoreStats) -> f64 
     } else {
         (end / total_nodes).min(1.0)
     };
-    let lo = req.min_hops.max(1);
-    let hi = req.max_hops.unwrap_or(req.hop_cap).min(req.hop_cap).max(lo);
     let mut total = 0.0;
     let mut frontier = start * first_fanout;
     for h in 1..=hi {
@@ -137,9 +283,7 @@ pub fn estimate_path_pattern(req: &PathPatternQuery, graph: &StoreStats) -> f64 
         }
         frontier *= fanout;
     }
-    // Results are DISTINCT (subject, object[, final event]) bindings:
-    // bounded by the candidate cross product.
-    total.min(start.max(1.0) * end.max(1.0))
+    total
 }
 
 #[cfg(test)]
@@ -151,6 +295,9 @@ mod tests {
     /// 5 network connects.
     fn stats() -> StoreStats {
         let mut s = StoreStats::default();
+        // Env-independent: these tests pin catalog behaviour, so force the
+        // catalog on even under `RAPTOR_PATH_CATALOG=0`.
+        *s.catalog_mut() = raptor_storage::PathCatalog::new(true);
         for id in 0..10 {
             s.record_node(EntityClass::Process, id);
             let exe = s.dict().intern(if id == 0 { "/usr/bin/gpg" } else { "/bin/noise" });
@@ -173,7 +320,7 @@ mod tests {
             t.record_row();
             t.record_sym("optype", op);
             t.record_sym("kind", kind);
-            s.record_edge((i % 10) as i64, 10 + (i % 5) as i64);
+            s.record_edge((i % 10) as i64, 10 + (i % 5) as i64, Some(op));
         }
         s
     }
@@ -216,29 +363,90 @@ mod tests {
         assert!(est < 10.0, "{est}");
     }
 
-    #[test]
-    fn path_estimates_grow_with_hops() {
-        let s = stats();
-        let path = |max| PathPatternQuery {
+    fn path(s: &StoreStats, max: Option<u32>) -> PathPatternQuery {
+        PathPatternQuery {
             subject: EntitySel::of(EntityClass::Process, None),
             object: EntitySel::of(EntityClass::File, None),
             min_hops: 1,
-            max_hops: Some(max),
+            max_hops: max,
             hop_cap: 16,
-            final_hop_pred: Some(op_eq(&s, "read")),
+            final_hop_pred: Some(op_eq(s, "read")),
             final_event_id_in: None,
             want_event: true,
             subject_is_object: false,
-        };
-        let one = estimate_path_pattern(&path(1), &s);
-        let four = estimate_path_pattern(&path(4), &s);
+        }
+    }
+
+    /// With a warm catalog the estimator *knows* files dead-end (no
+    /// process→…→file walk is longer than one hop in this fixture), so
+    /// extra hop budget no longer inflates the estimate — and everything
+    /// is clamped at the observed reachable-pair count (10×5 = 50).
+    #[test]
+    fn catalog_decomposition_sees_dead_ends() {
+        let s = stats();
+        assert!(s.catalog().is_warm());
+        let one = estimate_path_pattern(&path(&s, Some(1)), &s);
+        let four = estimate_path_pattern(&path(&s, Some(4)), &s);
+        assert!(one > 0.0);
+        assert!((four - one).abs() < 1e-9, "{four} vs {one}");
+        assert!(one <= 50.0 + 1e-9, "{one}");
+        let unbounded = estimate_path_pattern(&path(&s, None), &s);
+        assert!(unbounded.is_finite());
+        assert!(unbounded <= 50.0 + 1e-9, "{unbounded}");
+    }
+
+    /// Multi-hop connectivity *is* credited when the catalog has walks: a
+    /// sparse process chain ending in one file read gains estimate with
+    /// every hop of budget, while staying under the reachable-pair cap.
+    #[test]
+    fn catalog_decomposition_grows_with_real_walks() {
+        let mut s = StoreStats::default();
+        *s.catalog_mut() = raptor_storage::PathCatalog::new(true);
+        for id in 0..10 {
+            s.record_node(EntityClass::Process, id);
+            s.table_mut("processes").record_row();
+        }
+        for id in 10..15 {
+            s.record_node(EntityClass::File, id);
+            s.table_mut("files").record_row();
+        }
+        // Chain 0→1→2→3 (fork), then 3→10 (read).
+        for (u, v, op) in [(0i64, 1i64, "fork"), (1, 2, "fork"), (2, 3, "fork"), (3, 10, "read")] {
+            let op = s.dict().intern(op);
+            let t = s.table_mut("events");
+            t.record_row();
+            t.record_sym("optype", op);
+            s.record_edge(u, v, Some(op));
+        }
+        let one = estimate_path_pattern(&path(&s, Some(1)), &s);
+        let four = estimate_path_pattern(&path(&s, Some(4)), &s);
+        assert!(one > 0.0);
+        assert!(four > one, "{four} vs {one}");
+    }
+
+    /// The cold-catalog fallback keeps the old degree-power behaviour —
+    /// estimates grow with hops — but is now clamped by the candidate
+    /// cross product and floored at one row when an endpoint is seeded.
+    #[test]
+    fn degree_power_fallback_is_clamped() {
+        let mut s = stats();
+        *s.catalog_mut() = raptor_storage::PathCatalog::new(false);
+        assert!(!s.catalog().is_warm());
+        let one = estimate_path_pattern(&path(&s, Some(1)), &s);
+        let four = estimate_path_pattern(&path(&s, Some(4)), &s);
         assert!(one > 0.0);
         assert!(four > one, "{four} vs {one}");
         // The cross-product cap keeps unbounded paths finite.
-        let unbounded = PathPatternQuery { max_hops: None, ..path(1) };
-        let est = estimate_path_pattern(&unbounded, &s);
-        assert!(est.is_finite());
-        assert!(est <= 10.0 * 5.0 + 1e-9, "{est}");
+        let unbounded = estimate_path_pattern(&path(&s, None), &s);
+        assert!(unbounded.is_finite());
+        assert!(unbounded <= 10.0 * 5.0 + 1e-9, "{unbounded}");
+        // Seeded-candidate floor: seeds exist because earlier patterns
+        // matched, so the estimate never collapses to zero.
+        let mut seeded = path(&s, Some(1));
+        seeded.subject.id_in = Some(vec![7]);
+        seeded.final_hop_pred = Some(op_eq(&s, "no-such-op"));
+        let est = estimate_path_pattern(&seeded, &s);
+        assert!(est >= 1.0, "{est}");
     }
 
     #[test]

@@ -41,9 +41,7 @@ use crate::compile::{
 };
 use crate::estimate::{estimate_event_pattern, estimate_path_pattern, PatternEstimate};
 use crate::load::LoadedStores;
-use crate::schedule::{
-    cost_based_order, dependency_chains, execution_order, pruning_score, SchedulerMode,
-};
+use crate::schedule::{dependency_chains, execution_order, pruning_score, SchedulerMode};
 
 /// Execution strategy.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -653,20 +651,81 @@ impl Engine {
         } else {
             SchedulerMode::Syntactic
         };
-        if used == SchedulerMode::CostBased {
-            for (i, p) in aq.patterns.iter().enumerate() {
-                let est = if p.is_path() {
-                    let req = path_pattern_request(ctx, p, prop, self.max_hops)?;
-                    estimate_path_pattern(&req, self.graph().stats())
-                } else {
-                    let req = event_pattern_request(ctx, p, prop)?;
-                    estimate_event_pattern(&req, self.rel().stats())
-                };
-                estimates[i].estimated_rows = Some(est);
-            }
-        }
         let order = match used {
-            SchedulerMode::CostBased => cost_based_order(aq, &estimates),
+            SchedulerMode::CostBased => {
+                let mut base = Vec::with_capacity(aq.patterns.len());
+                let mut sides: Vec<[(String, f64); 2]> = Vec::with_capacity(aq.patterns.len());
+                for p in &aq.patterns {
+                    let class_rows = |v: &str| -> f64 {
+                        let rows = aq
+                            .entities
+                            .get(v)
+                            .map(|e| class_for_type(e.ty))
+                            .and_then(|c| self.rel().stats().table(c.table_name()))
+                            .map_or(0, |t| t.rows());
+                        rows.max(1) as f64
+                    };
+                    let est = if p.is_path() {
+                        let req = path_pattern_request(ctx, p, prop, self.max_hops)?;
+                        estimate_path_pattern(&req, self.graph().stats())
+                    } else {
+                        let req = event_pattern_request(ctx, p, prop)?;
+                        estimate_event_pattern(&req, self.rel().stats())
+                    };
+                    base.push(est);
+                    sides.push([
+                        (p.subject.clone(), class_rows(&p.subject)),
+                        (p.object.clone(), class_rows(&p.object)),
+                    ]);
+                }
+                // Join-aware greedy ordering: repeatedly pick the cheapest
+                // remaining pattern, then *condition* every unpicked
+                // pattern sharing one of its variables — an executed
+                // pattern bounds the shared variable's distinct candidates
+                // by its own output, shrinking the partner's effective
+                // entity fraction exactly like `IN`-propagation will at run
+                // time. Conditioned estimates are what Q-error measures.
+                let mut bound: FxHashMap<&str, f64> = FxHashMap::default();
+                let conditioned = |i: usize, bound: &FxHashMap<&str, f64>| -> f64 {
+                    let mut est = base[i];
+                    let [(sv, sr), (ov, or)] = &sides[i];
+                    if let Some(b) = bound.get(sv.as_str()) {
+                        est *= (b / sr).min(1.0);
+                    }
+                    // A self-loop pattern's one variable conditions once.
+                    if ov != sv {
+                        if let Some(b) = bound.get(ov.as_str()) {
+                            est *= (b / or).min(1.0);
+                        }
+                    }
+                    est
+                };
+                let mut remaining: Vec<usize> = (0..aq.patterns.len()).collect();
+                let mut order = Vec::with_capacity(remaining.len());
+                while !remaining.is_empty() {
+                    let (pos, _) = remaining
+                        .iter()
+                        .enumerate()
+                        .min_by(|&(_, &a), &(_, &b)| {
+                            let (pa, pb) = (&aq.patterns[a], &aq.patterns[b]);
+                            conditioned(a, &bound)
+                                .total_cmp(&conditioned(b, &bound))
+                                .then(pruning_score(aq, pb).cmp(&pruning_score(aq, pa)))
+                                .then(pa.is_path().cmp(&pb.is_path()))
+                                .then(a.cmp(&b))
+                        })
+                        .expect("non-empty");
+                    let i = remaining.swap_remove(pos);
+                    let est = conditioned(i, &bound);
+                    estimates[i].estimated_rows = Some(est);
+                    for (v, _) in &sides[i] {
+                        let b = bound.entry(v.as_str()).or_insert(f64::INFINITY);
+                        *b = b.min(est);
+                    }
+                    order.push(i);
+                }
+                order
+            }
             SchedulerMode::Syntactic => execution_order(aq),
         };
         sp.label(match used {

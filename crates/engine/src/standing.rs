@@ -11,10 +11,16 @@
 //!   filter-derived [`Propagation`] candidate sets grow monotonically
 //!   (delta-seeded from each epoch's new entity-id range, then unioned)
 //!   instead of being recomputed,
-//! * variable-length path patterns are the documented exception: a new path
-//!   may mix old and new edges, so they fall back to full re-evaluation
-//!   each epoch (their match set is *replaced*, which is still monotone on
-//!   a grow-only store),
+//! * variable-length path patterns are matched **delta-incrementally**
+//!   through a cached [`PathFrontier`]: each epoch's new edges extend the
+//!   per-query min-distance frontier (and retro-seed walks passing through
+//!   them) instead of re-walking the graph, so per-epoch cost tracks the
+//!   epoch size. Shapes outside the frontier's equivalence envelope — and
+//!   every path pattern when `RAPTOR_PATH_CATALOG=0` — fall back to full
+//!   re-evaluation each epoch (their match set is *replaced*, which is
+//!   still monotone on a grow-only store). Either way the accumulated match
+//!   list is kept canonically sorted, so emitted deltas are byte-identical
+//!   whichever path ran,
 //! * the cross-pattern join, `with`-clause constraints, and projection then
 //!   run in memory over the accumulated match sets (the same
 //!   `join_project` stage one-shot scheduled execution uses), and the
@@ -29,10 +35,13 @@
 //! still pushed into every data query, so candidate sets only ever prune,
 //! never decide, correctness.
 
+use std::sync::atomic::{AtomicI64, Ordering};
+
 use raptor_common::error::{Error, Result};
 use raptor_common::hash::FxHashMap;
 use raptor_common::intern::SharedDict;
-use raptor_common::io;
+use raptor_common::{io, obs};
+use raptor_graphstore::PathFrontier;
 use raptor_storage::{CmpOp as SOp, Pred, ResultBatch, Value as SVal};
 use raptor_tbql::analyze::AnalyzedQuery;
 use raptor_tbql::Window;
@@ -56,6 +65,52 @@ pub struct EpochInput<'a> {
     pub event_ids: &'a [i64],
 }
 
+/// Process-wide count of cached frontier distance entries, maintained by
+/// every live standing query (the `raptor_path_frontier_entries` gauge).
+static FRONTIER_ENTRIES: AtomicI64 = AtomicI64::new(0);
+
+/// Total cached `(node, anchor)` frontier entries across all live standing
+/// queries. `ThreatRaptor::metrics()` and the stream session publish this as
+/// the `raptor_path_frontier_entries` gauge.
+pub fn frontier_entries_total() -> i64 {
+    FRONTIER_ENTRIES.load(Ordering::Relaxed)
+}
+
+/// Per-pattern frontier cache state.
+enum FrontierSlot {
+    /// Not yet decided — building the frontier needs the compiled request,
+    /// which needs the engine, so it happens on the first advance.
+    Unknown,
+    /// Ineligible pattern shape, or the path-catalog plane is disabled
+    /// (`RAPTOR_PATH_CATALOG=0`): full re-evaluation every epoch.
+    Off,
+    On(Box<PathFrontier>),
+}
+
+/// Builds (or refuses) the frontier for one path pattern, applying any
+/// checkpoint-restored state blob and marking already-accumulated matches
+/// as emitted.
+fn build_frontier(
+    req: &raptor_storage::PathPatternQuery,
+    dict: &SharedDict,
+    pending: &mut Option<Vec<u8>>,
+    matches: &[Match],
+) -> Result<FrontierSlot> {
+    if !raptor_storage::path_catalog_enabled() {
+        return Ok(FrontierSlot::Off);
+    }
+    match PathFrontier::new(req, dict)? {
+        Some(mut f) => {
+            if let Some(blob) = pending.take() {
+                f.decode(&mut io::Cur::new(&blob))?;
+            }
+            f.seed_seen(matches.iter().map(|m| (m.subj, m.obj)));
+            Ok(FrontierSlot::On(Box::new(f)))
+        }
+        None => Ok(FrontierSlot::Off),
+    }
+}
+
 /// Per-pattern progress of a standing query.
 #[derive(Clone, Debug)]
 pub struct PatternProgress {
@@ -77,8 +132,16 @@ pub struct StandingQuery {
     /// Accumulated per-pattern matches (index-aligned with `aq.patterns`).
     matches: Vec<Vec<Match>>,
     /// Per-pattern: this pattern is delta-evaluable (event pattern or
-    /// length-1 path). Others re-evaluate fully each epoch.
+    /// length-1 path). Others go through the frontier cache or re-evaluate
+    /// fully each epoch.
     delta_ok: Vec<bool>,
+    /// Per-pattern cached path frontiers (index-aligned with `aq.patterns`).
+    frontiers: Vec<FrontierSlot>,
+    /// Checkpoint-restored frontier state blobs, applied when the matching
+    /// frontier is built at the next advance.
+    pending_frontier: Vec<Option<Vec<u8>>>,
+    /// Last frontier-entry count reported into [`FRONTIER_ENTRIES`].
+    reported_entries: i64,
     /// Monotone filter-derived candidate sets.
     prop: Propagation,
     /// Multiset of rows already emitted across all epochs.
@@ -115,6 +178,9 @@ impl StandingQuery {
             dict,
             matches: vec![Vec::new(); n],
             delta_ok,
+            frontiers: (0..n).map(|_| FrontierSlot::Unknown).collect(),
+            pending_frontier: vec![None; n],
+            reported_entries: 0,
             prop: Propagation::default(),
             emitted: FxHashMap::default(),
             cumulative: Vec::new(),
@@ -301,6 +367,74 @@ impl StandingQuery {
         Ok(())
     }
 
+    /// Serializes the cached frontier state (the checkpoint's version-2
+    /// section). Patterns without an active frontier write an absent marker;
+    /// restored-but-not-yet-rebuilt blobs pass through unchanged, so
+    /// checkpointing a freshly restored session loses nothing.
+    pub fn encode_frontier_state(&self, buf: &mut Vec<u8>) {
+        io::put_u64(buf, self.frontiers.len() as u64);
+        for (slot, pending) in self.frontiers.iter().zip(&self.pending_frontier) {
+            let blob = match slot {
+                FrontierSlot::On(f) => {
+                    let mut b = Vec::new();
+                    f.encode(&mut b);
+                    Some(b)
+                }
+                _ => pending.clone(),
+            };
+            match blob {
+                Some(b) => {
+                    io::put_u8(buf, 1);
+                    io::put_u64(buf, b.len() as u64);
+                    buf.extend_from_slice(&b);
+                }
+                None => io::put_u8(buf, 0),
+            }
+        }
+    }
+
+    /// Restores state written by [`StandingQuery::encode_frontier_state`].
+    /// The blobs are stashed and validated when the frontiers are rebuilt at
+    /// the next advance (their specs need the engine's compiled requests).
+    pub fn decode_frontier_state(&mut self, cur: &mut io::Cur<'_>) -> Result<()> {
+        let n = cur.get_len()?;
+        if n != self.aq.patterns.len() {
+            return Err(Error::storage(format!(
+                "frontier state has {n} patterns, query `{}` has {}",
+                self.name,
+                self.aq.patterns.len()
+            )));
+        }
+        for i in 0..n {
+            self.pending_frontier[i] = match cur.get_u8()? {
+                0 => None,
+                1 => {
+                    let len = cur.get_len()?;
+                    Some(cur.get_bytes(len)?.to_vec())
+                }
+                other => {
+                    return Err(Error::storage(format!("invalid frontier tag {other}")));
+                }
+            };
+        }
+        Ok(())
+    }
+
+    /// Publishes this query's frontier-entry count into the process-wide
+    /// gauge as a delta against what it last reported.
+    fn sync_frontier_entries(&mut self) {
+        let now: i64 = self
+            .frontiers
+            .iter()
+            .map(|s| match s {
+                FrontierSlot::On(f) => f.entries() as i64,
+                _ => 0,
+            })
+            .sum();
+        FRONTIER_ENTRIES.fetch_add(now - self.reported_entries, Ordering::Relaxed);
+        self.reported_entries = now;
+    }
+
     /// Delta-seeds the filter-derived candidate sets from this epoch's new
     /// entity-id range and unions them into the monotone propagation state.
     fn seed_delta(
@@ -368,19 +502,54 @@ impl StandingQuery {
                     changed |= !delta.is_empty();
                     self.matches[p.index].extend(delta);
                 } else {
-                    // Variable-length path: full re-evaluation (replace).
+                    // Variable-length path: delta-incremental through the
+                    // cached frontier when the shape allows it, full
+                    // re-evaluation otherwise.
                     let req = path_pattern_request(&ctx, p, &self.prop, engine.max_hops)?;
-                    let m = engine.graph().match_path_pattern(&req, &mut stats.backend)?;
-                    stats.record("graph", QueryKind::PathPattern, &p.id, 0);
-                    let rows = matches_to_rows(&m);
-                    changed |= rows.len() != self.matches[p.index].len();
-                    self.matches[p.index] = rows;
+                    if matches!(self.frontiers[p.index], FrontierSlot::Unknown) {
+                        self.frontiers[p.index] = build_frontier(
+                            &req,
+                            &self.dict,
+                            &mut self.pending_frontier[p.index],
+                            &self.matches[p.index],
+                        )?;
+                    }
+                    if let FrontierSlot::On(f) = &mut self.frontiers[p.index] {
+                        let mut fsp = raptor_common::obs::span("standing.frontier");
+                        fsp.label(&p.id);
+                        let pairs = f.advance(&engine.stores.graph);
+                        fsp.attr("new_pairs", pairs.len() as u64);
+                        fsp.attr("entries", f.entries() as u64);
+                        obs::metrics().counter_add("raptor_path_frontier_hits_total", 1);
+                        changed |= !pairs.is_empty();
+                        self.matches[p.index].extend(pairs.into_iter().map(|(subj, obj)| Match {
+                            subj,
+                            obj,
+                            evt: -1,
+                            start: 0,
+                            end: 0,
+                        }));
+                    } else {
+                        obs::metrics().counter_add("raptor_path_frontier_misses_total", 1);
+                        let m = engine.graph().match_path_pattern(&req, &mut stats.backend)?;
+                        stats.record("graph", QueryKind::PathPattern, &p.id, 0);
+                        let rows = matches_to_rows(&m);
+                        changed |= rows.len() != self.matches[p.index].len();
+                        self.matches[p.index] = rows;
+                    }
+                    // Canonical order: the frontier accumulates and full
+                    // re-evaluation replaces, in different orders — sorting
+                    // both keeps emitted deltas byte-identical whichever
+                    // path ran (the catalog on/off determinism contract).
+                    self.matches[p.index]
+                        .sort_unstable_by_key(|r| (r.subj, r.obj, r.evt, r.start, r.end));
                 }
                 if !self.matches[p.index].is_empty() && self.first_match_epoch[p.index].is_none() {
                     self.first_match_epoch[p.index] = Some(input.epoch);
                 }
             }
         }
+        self.sync_frontier_entries();
 
         // A query only produces rows once every pattern has matched; and an
         // epoch that changed nothing cannot emit new rows.
@@ -411,6 +580,12 @@ impl StandingQuery {
             self.cumulative.push(row.clone());
         }
         Ok((ResultBatch::from_rows(self.columns.clone(), delta_rows, self.dict.clone()), stats))
+    }
+}
+
+impl Drop for StandingQuery {
+    fn drop(&mut self) {
+        FRONTIER_ENTRIES.fetch_sub(self.reported_entries, Ordering::Relaxed);
     }
 }
 

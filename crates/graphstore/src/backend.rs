@@ -79,7 +79,7 @@ fn like_to_cexpr(var: &str, attr: &str, pattern: &str, negated: bool) -> CExpr {
 }
 
 /// Lowers a typed predicate to a Cypher WHERE expression over `var`.
-fn pred_to_cexpr(var: &str, p: &Pred, dict: &SharedDict) -> Result<CExpr> {
+pub(crate) fn pred_to_cexpr(var: &str, p: &Pred, dict: &SharedDict) -> Result<CExpr> {
     Ok(match p {
         Pred::Cmp { attr, op, value } => {
             // `= '%…%'` keeps LIKE semantics (defensive: the TBQL lowering

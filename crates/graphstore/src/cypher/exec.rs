@@ -292,6 +292,28 @@ fn eval_where(g: &Graph, e: &CExpr, binding: &[BindVal], vars: &VarTable) -> boo
     }
 }
 
+/// Evaluates a WHERE-style expression against a single bound node. This is
+/// the frontier plane's hook for reusing the executor's predicate semantics
+/// (string comparisons resolve through the dictionary, unseen literals only
+/// satisfy `<>`, …) outside a full MATCH: `var` is the sole variable the
+/// expression may reference.
+pub(crate) fn eval_single_node(g: &Graph, e: &CExpr, var: &str, node: NodeId) -> bool {
+    let mut vars = VarTable { slots: FxHashMap::default(), count: 0 };
+    let slot = vars.slot(var);
+    let mut binding = vec![BindVal::Unbound; vars.count];
+    binding[slot] = BindVal::Node(node);
+    eval_where(g, e, &binding, &vars)
+}
+
+/// Edge flavour of [`eval_single_node`].
+pub(crate) fn eval_single_edge(g: &Graph, e: &CExpr, var: &str, edge: EdgeId) -> bool {
+    let mut vars = VarTable { slots: FxHashMap::default(), count: 0 };
+    let slot = vars.slot(var);
+    let mut binding = vec![BindVal::Unbound; vars.count];
+    binding[slot] = BindVal::Edge(edge);
+    eval_where(g, e, &binding, &vars)
+}
+
 /// Runs a parsed query.
 pub fn execute(g: &Graph, q: &CypherQuery, max_hops: u32) -> Result<CypherResult> {
     let mut stats = GraphQueryStats::default();

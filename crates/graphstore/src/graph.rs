@@ -255,7 +255,12 @@ impl Graph {
             let ts = self.stats.table_mut(table);
             ts.record_int("subject", src.0 as i64);
             ts.record_int("object", dst.0 as i64);
-            self.stats.record_edge(src.0 as i64, dst.0 as i64);
+            let optype_key = self.dict.intern("optype");
+            let op = interned.iter().find_map(|&(k, v)| match v {
+                PropValue::Str(s) if k == optype_key => Some(s),
+                _ => None,
+            });
+            self.stats.record_edge(src.0 as i64, dst.0 as i64, op);
         }
         let (label, props) = (label_sym, interned);
         let id = EdgeId(self.edges.len() as u32);

@@ -21,7 +21,9 @@
 
 pub mod backend;
 pub mod cypher;
+pub mod frontier;
 pub mod graph;
 
 pub use cypher::exec::{CypherResult, GraphQueryStats};
+pub use frontier::PathFrontier;
 pub use graph::{EdgeId, Graph, NodeId, PropValue};

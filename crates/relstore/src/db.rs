@@ -277,7 +277,11 @@ impl Database {
                 }
             } else if table == "events" {
                 if let (Some(s), Some(o)) = (int_col("subject"), int_col("object")) {
-                    self.stats.record_edge(s, o);
+                    let op = schema.column_index("optype").and_then(|ci| match values[ci] {
+                        Value::Str(sym) => Some(sym),
+                        _ => None,
+                    });
+                    self.stats.record_edge(s, o, op);
                 }
             }
         }

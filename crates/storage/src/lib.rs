@@ -30,11 +30,13 @@
 //! baseline modes; this crate deliberately knows nothing about them.
 
 pub mod backend;
+pub mod catalog;
 pub mod request;
 pub mod stats;
 pub mod value;
 
 pub use backend::{AttrSource, BackendStats, Field, FieldValue, MutableBackend, StorageBackend};
+pub use catalog::{path_catalog_enabled, CanonicalCatalog, PathCatalog, CATALOG_K};
 pub use request::{CmpOp, EntityClass, EntitySel, EventPatternQuery, PathPatternQuery, Pred};
 pub use stats::{
     CanonicalStats, ColumnStats, DegreeStats, Histogram, MinMax, StoreStats, TableStats,

@@ -30,6 +30,7 @@ use raptor_common::hash::FxHashMap;
 use raptor_common::intern::{SharedDict, Sym};
 use raptor_common::like::like_match;
 
+use crate::catalog::PathCatalog;
 use crate::request::{CmpOp, EntityClass, Pred};
 use crate::value::Value;
 
@@ -463,6 +464,7 @@ pub struct StoreStats {
     node_class: FxHashMap<i64, EntityClass>,
     out_deg: FxHashMap<i64, u64>,
     in_deg: FxHashMap<i64, u64>,
+    catalog: PathCatalog,
 }
 
 impl Default for StoreStats {
@@ -483,7 +485,19 @@ impl StoreStats {
             node_class: FxHashMap::default(),
             out_deg: FxHashMap::default(),
             in_deg: FxHashMap::default(),
+            catalog: PathCatalog::default(),
         }
+    }
+
+    /// The path cardinality catalog riding this stats bundle (see
+    /// [`crate::catalog`]).
+    pub fn catalog(&self) -> &PathCatalog {
+        &self.catalog
+    }
+
+    /// Mutable catalog handle (tests toggle the gate without the env var).
+    pub fn catalog_mut(&mut self) -> &mut PathCatalog {
+        &mut self.catalog
     }
 
     /// The dictionary plane this bundle's symbols live in.
@@ -525,9 +539,14 @@ impl StoreStats {
         self.degrees.entry(class).or_default().nodes += 1;
     }
 
-    /// Registers one event edge `subject → object`, updating per-class
-    /// degree summaries.
-    pub fn record_edge(&mut self, subject: i64, object: i64) {
+    /// Registers one event edge `subject → object` carrying operation
+    /// `op`, updating per-class degree summaries and the path catalog.
+    pub fn record_edge(&mut self, subject: i64, object: i64, op: Option<Sym>) {
+        if let (Some(&cs), Some(&co), Some(op)) =
+            (self.node_class.get(&subject), self.node_class.get(&object), op)
+        {
+            self.catalog.record_edge(subject, object, cs, co, op);
+        }
         if let Some(&c) = self.node_class.get(&subject) {
             let deg = self.out_deg.entry(subject).or_insert(0);
             *deg += 1;
@@ -823,9 +842,10 @@ mod tests {
         s.record_node(EntityClass::Process, 0);
         s.record_node(EntityClass::Process, 1);
         s.record_node(EntityClass::File, 2);
-        s.record_edge(0, 2);
-        s.record_edge(0, 2);
-        s.record_edge(1, 2);
+        let op = s.dict().intern("read");
+        s.record_edge(0, 2, Some(op));
+        s.record_edge(0, 2, Some(op));
+        s.record_edge(1, 2, Some(op));
         let p = s.degree(EntityClass::Process).unwrap();
         assert_eq!((p.nodes, p.out_edges, p.max_out), (2, 3, 2));
         let f = s.degree(EntityClass::File).unwrap();

@@ -237,6 +237,10 @@ impl StreamSession {
         m.counter_add("raptor_entities_ingested_total", entities.len() as u64);
         m.counter_add("raptor_events_ingested_total", events.len() as u64);
         m.counter_add("raptor_delta_rows_total", delta_rows as u64);
+        m.gauge_set(
+            "raptor_path_frontier_entries",
+            raptor_engine::standing::frontier_entries_total(),
+        );
         if !self.queries.is_empty() {
             m.observe_ns("raptor_epoch_detect_latency_ns", t_detect.elapsed().as_nanos() as u64);
         }
